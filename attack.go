@@ -1,0 +1,40 @@
+package reconpriv
+
+import (
+	"github.com/reconpriv/reconpriv/internal/dp"
+)
+
+// NIRAttackResult summarizes the non-independent-reasoning attack on
+// differentially private answers (the paper's Section 2 and Table 1).
+type NIRAttackResult struct {
+	TrueConf    float64 // y/x, the confidence the attacker is after
+	ConfMean    float64 // mean of the noisy estimate Y/X over the trials
+	ConfStdErr  float64
+	RelErr1Mean float64 // utility of the first noisy answer
+	RelErr2Mean float64 // utility of the second noisy answer
+	Indicator   float64 // 2(b/x)², Corollary 2's closed-form predictor
+}
+
+// NIRAttack simulates the two-query ratio attack against an
+// ε-differentially-private Laplace mechanism: count queries with true
+// answers x (the public-attribute match) and y (the match with the
+// sensitive value) are answered with Laplace noise of scale
+// b = sensitivity/ε, and the attacker estimates the rule confidence y/x
+// from the noisy pair. When the indicator 2(b/x)² is small (the paper's
+// rule of thumb: b/x ≤ 1/20), the estimate is reliable and a sensitive
+// disclosure occurs even though each answer is differentially private.
+func NIRAttack(epsilon, sensitivity, x, y float64, trials int, seed int64) (*NIRAttackResult, error) {
+	mech := dp.LaplaceMechanism{Epsilon: epsilon, Sensitivity: sensitivity}
+	res, err := dp.RatioAttack(rngFor(seed), mech, x, y, trials)
+	if err != nil {
+		return nil, err
+	}
+	return &NIRAttackResult{
+		TrueConf:    res.TrueConf,
+		ConfMean:    res.Conf.Mean,
+		ConfStdErr:  res.Conf.StdErr,
+		RelErr1Mean: res.RelErr1.Mean,
+		RelErr2Mean: res.RelErr2.Mean,
+		Indicator:   dp.Indicator(mech.Scale(), x),
+	}, nil
+}

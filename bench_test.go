@@ -1,0 +1,330 @@
+package reconpriv
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for paper-vs-measured) and time the
+// regeneration. Each benchmark reports domain-specific metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as a results
+// harness: the headline quantities of each artifact appear next to the
+// timing. cmd/rpbench prints the full rows/series.
+//
+// Benchmarks use fewer perturbation runs per point (3) than the paper's 10
+// to keep `go test -bench=.` minutes-scale; cmd/rpbench defaults to 10.
+
+import (
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/datagen"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/experiments"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+const (
+	benchRuns       = 3
+	benchCensusSize = 300000
+)
+
+// BenchmarkTable1NIRAttack regenerates Table 1: the ratio attack on the
+// Example-1 rule through differentially private answers.
+func BenchmarkTable1NIRAttack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// ε=0.5 column: the disclosure the paper highlights.
+		b.ReportMetric(res.Columns[2].Conf.Mean, "conf@eps0.5")
+		b.ReportMetric(res.Columns[2].RelErr1.Mean, "relerr1@eps0.5")
+	}
+}
+
+// BenchmarkTable2Indicator regenerates Table 2, the closed-form disclosure
+// indicator grid.
+func BenchmarkTable2Indicator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable2()
+		b.ReportMetric(res.Values[1][2], "indicator@b20x500")
+	}
+}
+
+// BenchmarkTable4ChiMergeAdult regenerates Table 4: the chi-square
+// aggregation impact on ADULT (16/14/5/2 → 7/4/2/2, |G| 2240 → 112).
+func BenchmarkTable4ChiMergeAdult(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GroupsAfter), "groups-after")
+	}
+}
+
+// BenchmarkTable5ChiMergeCensus regenerates Table 5 (CENSUS 300K: Age 77→1,
+// |G| 116424 → 1512).
+func BenchmarkTable5ChiMergeCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5(benchCensusSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GroupsAfter), "groups-after")
+	}
+}
+
+// BenchmarkFig1MaxGroupSize regenerates both panels of Figure 1 (s_g vs f).
+func BenchmarkFig1MaxGroupSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.RunFig1("ADULT")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.RunFig1("CENSUS"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Series[1].SG[0], "sg@f0.5p0.5")
+	}
+}
+
+// BenchmarkFig2AdultViolation regenerates Figure 2: ADULT violation rates
+// across the p, λ, δ sweeps.
+func BenchmarkFig2AdultViolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var def float64
+		for _, v := range []experiments.SweepVar{experiments.SweepP, experiments.SweepLambda, experiments.SweepDelta} {
+			res, err := experiments.RunViolationSweep(true, v, benchCensusSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			def = res.Points[2].VG
+		}
+		b.ReportMetric(def, "vg@defaults")
+	}
+}
+
+// BenchmarkFig3AdultError regenerates Figure 3: ADULT relative error of SPS
+// vs UP across the p, λ, δ sweeps.
+func BenchmarkFig3AdultError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var up, sps float64
+		for _, v := range []experiments.SweepVar{experiments.SweepP, experiments.SweepLambda, experiments.SweepDelta} {
+			res, err := experiments.RunErrorSweep(true, v, benchCensusSize, benchRuns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			up = res.Points[2].UP.Mean
+			sps = res.Points[2].SPS.Mean
+		}
+		b.ReportMetric(up, "up-err@defaults")
+		b.ReportMetric(sps, "sps-err@defaults")
+	}
+}
+
+// BenchmarkFig4CensusViolation regenerates Figure 4: CENSUS violation rates
+// across the p, λ, δ and |D| sweeps.
+func BenchmarkFig4CensusViolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var vr float64
+		for _, v := range []experiments.SweepVar{experiments.SweepP, experiments.SweepLambda, experiments.SweepDelta, experiments.SweepSize} {
+			res, err := experiments.RunViolationSweep(false, v, benchCensusSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vr = res.Points[2].VR
+		}
+		b.ReportMetric(vr, "vr@defaults")
+	}
+}
+
+// BenchmarkFig5CensusError regenerates Figure 5: CENSUS relative error of
+// SPS vs UP across the p, λ, δ and |D| sweeps.
+func BenchmarkFig5CensusError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var ratio float64
+		for _, v := range []experiments.SweepVar{experiments.SweepP, experiments.SweepLambda, experiments.SweepDelta, experiments.SweepSize} {
+			res, err := experiments.RunErrorSweep(false, v, benchCensusSize, benchRuns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = res.Points[2].SPS.Mean / res.Points[2].UP.Mean
+		}
+		b.ReportMetric(ratio, "sps/up@defaults")
+	}
+}
+
+// BenchmarkAblationBounds compares the plugged-in tail bounds (Theorem 2's
+// extension point): Chernoff vs Chebyshev vs Hoeffding vs Markov.
+func BenchmarkAblationBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBoundsAblation(benchCensusSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].SGAdult, "chernoff-sg")
+		b.ReportMetric(res.Rows[1].SGAdult, "bernstein-sg")
+		b.ReportMetric(res.Rows[2].SGAdult, "chebyshev-sg")
+	}
+}
+
+// BenchmarkAblationEstimators compares MLE, matrix MLE, and iterative Bayes
+// reconstruction accuracy and cost.
+func BenchmarkAblationEstimators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEstimatorAblation(benchRuns, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].MLE, "mle-l1@50")
+		b.ReportMetric(res.Rows[0].EM, "em-l1@50")
+	}
+}
+
+// BenchmarkAblationReduceP compares SPS against the rejected
+// reduce-p-globally alternative on ADULT.
+func BenchmarkAblationReduceP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunReducePAblation(true, benchCensusSize, benchRuns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SPSError.Mean, "sps-err")
+		b.ReportMetric(res.ReduceP.Mean, "reducep-err")
+	}
+}
+
+// BenchmarkAblationPerturbModes compares the reference per-record
+// perturbation path with the distribution-identical histogram path.
+func BenchmarkAblationPerturbModes(b *testing.B) {
+	raw := datagen.Adult(1)
+	groups := dataset.GroupsOf(raw)
+	rng := stats.NewRand(1)
+	b.Run("per-record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perturb.Table(rng, raw, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PublishUP(rng, groups, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOutputVsData compares ε-DP Laplace answers against UP and SPS on
+// the shared query pool (the Introduction's output- vs data-perturbation
+// contrast).
+func BenchmarkOutputVsData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOutputVsData(true, benchCensusSize, benchRuns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SPSError.Mean, "sps-err")
+		b.ReportMetric(res.DP[1].DPError.Mean, "dp-err@eps0.5")
+	}
+}
+
+// BenchmarkAuditAdult runs the Monte-Carlo verification of Corollary 3 on
+// ADULT's ten largest personal groups.
+func BenchmarkAuditAdult(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAudit(true, benchCensusSize, 1000, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.UP.BoundViolations(0.02)), "bound-violations")
+	}
+}
+
+// BenchmarkIncrementalPublish times streaming publication of the ADULT
+// records through the incremental publisher.
+func BenchmarkIncrementalPublish(b *testing.B) {
+	raw := datagen.Adult(1)
+	for i := 0; i < b.N; i++ {
+		inc, err := core.NewIncremental(raw.Schema, core.DefaultParams, stats.NewRand(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inc.AddTable(raw); err != nil {
+			b.Fatal(err)
+		}
+		st := inc.Stats()
+		b.ReportMetric(float64(st.Trials)/float64(st.Records), "trial-fraction")
+	}
+}
+
+// BenchmarkParallelSPSCensus compares the deterministic parallel publisher
+// against the sequential one on CENSUS 300K.
+func BenchmarkParallelSPSCensus(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.PublishSPSParallel(int64(i), ds.Groups, core.DefaultParams, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublishSPSCensus times one full SPS publication of CENSUS 300K —
+// the paper's Section 5 claims O(|D| log |D| + |D|); ours is a linear pass
+// over group histograms after an O(|D|) grouping.
+func BenchmarkPublishSPSCensus(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.PublishSPS(rng, ds.Groups, core.DefaultParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPoolEvaluate times a 5,000-query pool evaluation against a
+// published CENSUS 300K (group-indexed, O(1) per query).
+func BenchmarkQueryPoolEvaluate(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	up, err := core.PublishUP(stats.NewRand(1), ds.Groups, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	marg, err := query.BuildMarginalsFromGroups(up, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Pool.Evaluate(marg, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChiMergeCensus times the Section 3.4 generalization alone on the
+// 300K CENSUS (the dominant preprocessing cost).
+func BenchmarkChiMergeCensus(b *testing.B) {
+	raw, err := datagen.Census(benchCensusSize, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Generalize(&Table{t: raw}, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

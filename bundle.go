@@ -1,0 +1,110 @@
+package reconpriv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/reconpriv/reconpriv/internal/perturb"
+)
+
+// BundleMeta is the sidecar metadata a consumer needs to use a published
+// table: the retention probability to invert, the privacy parameters it was
+// published under, and the generalization that produced its domains.
+// Publishing the parameters is safe — reconstruction privacy is a property
+// of the perturbation process, not a secret of the publisher.
+type BundleMeta struct {
+	Sensitive    string           `json:"sensitive"`
+	P            float64          `json:"retention_probability"`
+	Lambda       float64          `json:"lambda"`
+	Delta        float64          `json:"delta"`
+	Significance float64          `json:"significance"`
+	RecordsIn    int              `json:"records_in"`
+	RecordsOut   int              `json:"records_out"`
+	Merges       []AttributeMerge `json:"merges,omitempty"`
+}
+
+const (
+	bundleDataFile = "data.csv"
+	bundleMetaFile = "meta.json"
+)
+
+// WriteBundle publishes the table with the full pipeline and writes the
+// result to dir as data.csv plus meta.json. The directory is created if
+// missing.
+func WriteBundle(dir string, t *Table, opt Options) (*PublishReport, error) {
+	pub, rep, err := Publish(t, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reconpriv: creating bundle directory: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, bundleDataFile))
+	if err != nil {
+		return nil, fmt.Errorf("reconpriv: creating bundle data: %w", err)
+	}
+	defer f.Close()
+	if err := pub.WriteCSV(f); err != nil {
+		return nil, err
+	}
+	meta := BundleMeta{
+		Sensitive:    t.SensitiveAttribute(),
+		P:            opt.RetentionProbability,
+		Lambda:       opt.Lambda,
+		Delta:        opt.Delta,
+		Significance: opt.Significance,
+		RecordsIn:    rep.RecordsIn,
+		RecordsOut:   rep.RecordsOut,
+		Merges:       rep.Merges,
+	}
+	mf, err := os.Create(filepath.Join(dir, bundleMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("reconpriv: creating bundle meta: %w", err)
+	}
+	defer mf.Close()
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(meta); err != nil {
+		return nil, fmt.Errorf("reconpriv: encoding bundle meta: %w", err)
+	}
+	return rep, nil
+}
+
+// ReadBundle loads a publication written by WriteBundle. The returned meta
+// carries the retention probability for Reconstruct / EstimateCount.
+func ReadBundle(dir string) (*Table, *BundleMeta, error) {
+	mf, err := os.Open(filepath.Join(dir, bundleMetaFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("reconpriv: opening bundle meta: %w", err)
+	}
+	defer mf.Close()
+	var meta BundleMeta
+	if err := json.NewDecoder(mf).Decode(&meta); err != nil {
+		return nil, nil, fmt.Errorf("reconpriv: decoding bundle meta: %w", err)
+	}
+	if meta.Sensitive == "" {
+		return nil, nil, fmt.Errorf("reconpriv: bundle meta missing the sensitive attribute")
+	}
+	f, err := os.Open(filepath.Join(dir, bundleDataFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("reconpriv: opening bundle data: %w", err)
+	}
+	defer f.Close()
+	t, err := ReadCSV(f, meta.Sensitive)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, &meta, nil
+}
+
+// RetentionForBreach returns the largest retention probability p that
+// upgrades any adversary prior ≤ rho1 on a sensitive value to a posterior
+// ≤ rho2 under uniform perturbation (ρ1-ρ2 privacy via amplification). Use
+// it to pick Options.RetentionProbability when reconstruction privacy is
+// layered on top of a breach-probability guarantee, as Definition 4
+// anticipates.
+func RetentionForBreach(rho1, rho2 float64, m int) (float64, error) {
+	return perturb.RetentionForRho1Rho2(rho1, rho2, m)
+}

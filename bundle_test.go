@@ -1,0 +1,121 @@
+package reconpriv
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/perturb"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	tab := medicalTable(t)
+	dir := t.TempDir()
+	rep, err := WriteBundle(dir, tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsIn != tab.NumRows() {
+		t.Errorf("RecordsIn = %d", rep.RecordsIn)
+	}
+	pub, meta, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Sensitive != "Disease" {
+		t.Errorf("Sensitive = %q", meta.Sensitive)
+	}
+	if meta.P != DefaultOptions.RetentionProbability ||
+		meta.Lambda != DefaultOptions.Lambda ||
+		meta.Delta != DefaultOptions.Delta {
+		t.Errorf("meta parameters corrupted: %+v", meta)
+	}
+	if pub.NumRows() != meta.RecordsOut {
+		t.Errorf("bundle rows %d != meta %d", pub.NumRows(), meta.RecordsOut)
+	}
+	if len(meta.Merges) == 0 {
+		t.Error("meta should record the generalization")
+	}
+	// The consumer path: reconstruct using only bundle contents.
+	dist, err := Reconstruct(pub, nil, meta.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("reconstruction sums to %v", sum)
+	}
+}
+
+func TestBundleErrors(t *testing.T) {
+	tab := medicalTable(t)
+	if _, err := WriteBundle(t.TempDir(), tab, Options{}); err == nil {
+		t.Error("invalid options should error")
+	}
+	if _, _, err := ReadBundle(t.TempDir()); err == nil {
+		t.Error("empty directory should error")
+	}
+	// Corrupt meta.
+	dir := t.TempDir()
+	if _, err := WriteBundle(dir, tab, DefaultOptions); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBundle(dir); err == nil {
+		t.Error("corrupt meta should error")
+	}
+	// Meta without sensitive attribute.
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBundle(dir); err == nil {
+		t.Error("meta without sensitive attribute should error")
+	}
+}
+
+func TestRetentionForBreach(t *testing.T) {
+	p, err := RetentionForBreach(0.1, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perturb.RetentionForRho1Rho2(0.1, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != want {
+		t.Errorf("RetentionForBreach = %v, want %v", p, want)
+	}
+	if _, err := RetentionForBreach(0.5, 0.1, 10); err == nil {
+		t.Error("rho2 < rho1 should error")
+	}
+}
+
+func TestSampleMedicalWithColor(t *testing.T) {
+	tab, err := SampleMedicalWithColor(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := tab.Attributes()
+	if len(attrs) != 4 || attrs[2] != "FavoriteColor" {
+		t.Errorf("attributes = %v", attrs)
+	}
+	// The color must merge away under generalization (no SA impact).
+	_, merges, err := Generalize(tab, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range merges {
+		if m.Attribute == "FavoriteColor" && m.DomainAfter != 1 {
+			t.Errorf("FavoriteColor should merge to 1, got %d", m.DomainAfter)
+		}
+	}
+	if _, err := SampleMedicalWithColor(0, 1); err == nil {
+		t.Error("size 0 should error")
+	}
+}

@@ -1,0 +1,81 @@
+// Command rpgen generates the built-in synthetic data sets as CSV (plus an
+// optional JSON schema) for use with rpperturb and rpquery.
+//
+// Usage:
+//
+//	rpgen -dataset adult|census|medical [-n N] [-seed N] [-o file.csv] [-schema file.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/reconpriv/reconpriv/internal/datagen"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "adult", "adult, census, or medical")
+		n      = flag.Int("n", 0, "record count (census/medical; adult is fixed at 45222)")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "-", "output CSV path (- for stdout)")
+		schema = flag.String("schema", "", "optional path for the JSON schema")
+	)
+	flag.Parse()
+
+	var t *dataset.Table
+	var err error
+	switch *name {
+	case "adult":
+		t = datagen.Adult(*seed)
+	case "census":
+		size := *n
+		if size == 0 {
+			size = 300000
+		}
+		t, err = datagen.Census(size, *seed)
+	case "medical":
+		size := *n
+		if size == 0 {
+			size = 10000
+		}
+		t, err = datagen.Medical(size, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *name)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, t); err != nil {
+		fatal(err)
+	}
+	if *schema != "" {
+		f, err := os.Create(*schema)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := dataset.WriteSchema(f, t.Schema); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rpgen: wrote %d records of %s\n", t.NumRows(), *name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package reconpriv
+
+import (
+	"github.com/reconpriv/reconpriv/internal/datagen"
+)
+
+// The library ships three synthetic sample data sets so the examples and the
+// quickstart run without external files. SampleAdult and SampleCensus are
+// statistical stand-ins for the UCI ADULT and the 500K CENSUS data sets used
+// in the paper's evaluation (see DESIGN.md for the substitution rationale);
+// SampleMedical is the Gender/Job/Disease table of the paper's Example 2.
+
+// SampleAdult returns the 45,222-record ADULT stand-in: public attributes
+// Education, Occupation, Race, Gender and sensitive attribute Income
+// (two values). It embeds the paper's Example-1 rule cell: exactly 501
+// records match {Prof-school, Prof-specialty, White, Male}, 420 of them
+// with income >50K.
+func SampleAdult(seed int64) *Table {
+	return &Table{t: datagen.Adult(seed)}
+}
+
+// SampleCensus returns an n-record CENSUS stand-in (n ≤ 500,000): public
+// attributes Age, Gender, Education, Marital, Race and a 50-value sensitive
+// Occupation attribute.
+func SampleCensus(n int, seed int64) (*Table, error) {
+	t, err := datagen.Census(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// SampleMedical returns an n-record medical table D(Gender, Job, Disease)
+// with a 10-value sensitive Disease attribute — the running example of the
+// paper's Section 1.2.
+func SampleMedical(n int, seed int64) (*Table, error) {
+	t, err := datagen.Medical(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// SampleMedicalWithColor returns the medical table extended with an
+// SA-irrelevant FavoriteColor attribute — the Section 3.4 scenario in which
+// an adversary aggregates personal groups that differ only on an irrelevant
+// attribute to sharpen a personal reconstruction, and which the chi-square
+// generalization neutralizes by merging the irrelevant values.
+func SampleMedicalWithColor(n int, seed int64) (*Table, error) {
+	t, err := datagen.MedicalWithColor(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}

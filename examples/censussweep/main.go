@@ -1,0 +1,83 @@
+// Census sweep: run the publishing pipeline on a large, many-valued data set
+// (a 100K sample of the CENSUS stand-in with a 50-value sensitive
+// Occupation) and compare count-query utility between plain uniform
+// perturbation and the reconstruction-private SPS publication.
+//
+// Run with: go run ./examples/censussweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/reconpriv/reconpriv"
+)
+
+func main() {
+	raw, err := reconpriv.SampleCensus(100000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raw: %d records, %v\n", raw.NumRows(), raw.Attributes())
+
+	opt := reconpriv.DefaultOptions
+	viol, err := reconpriv.CheckViolations(raw, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("violations at defaults: %d/%d groups (%.1f%%), covering %.1f%% of records\n\n",
+		viol.ViolatingGroups, viol.Groups, 100*viol.VG(), 100*viol.VR())
+
+	up, _, err := reconpriv.PublishUniform(raw, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sps, rep, err := reconpriv.Publish(raw, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPS sampled %d of %d personal groups\n\n", rep.SampledGroups, rep.PersonalGroups)
+
+	// The publication keeps generalized values; query a few large slices.
+	gen, _, err := reconpriv.Generalize(raw, opt.Significance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eduVals, err := gen.Domain("Education")
+	if err != nil {
+		log.Fatal(err)
+	}
+	occVals, err := gen.Domain("Occupation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-34s %8s %10s %10s\n", "query", "true", "UP est", "SPS est")
+	var upErr, spsErr float64
+	queries := 0
+	for e := 0; e < 3; e++ {
+		for o := 0; o < 3; o++ {
+			conds := map[string]string{"Education": eduVals[e]}
+			occ := occVals[o*7]
+			ans, err := reconpriv.Count(gen, conds, occ)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ue, err := reconpriv.EstimateCount(up, conds, occ, opt.RetentionProbability)
+			if err != nil {
+				log.Fatal(err)
+			}
+			se, err := reconpriv.EstimateCount(sps, conds, occ, opt.RetentionProbability)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-34s %8d %10.0f %10.0f\n",
+				fmt.Sprintf("Edu=%s ∧ Occ=%s", eduVals[e], occ), ans, ue, se)
+			upErr += math.Abs(ue-float64(ans)) / float64(ans)
+			spsErr += math.Abs(se-float64(ans)) / float64(ans)
+			queries++
+		}
+	}
+	fmt.Printf("\navg relative error over %d queries: UP %.3f, SPS %.3f\n", queries, upErr/float64(queries), spsErr/float64(queries))
+	fmt.Println("on this near-balanced 50-value data set, reconstruction privacy costs little utility")
+}

@@ -1,0 +1,65 @@
+// NIR attack: reproduce the paper's Section 2 / Example 1 demonstration that
+// differentially private answers disclose sensitive information through
+// non-independent reasoning.
+//
+// The adversary issues two count queries against an ε-DP Laplace mechanism:
+//
+//	Q1: Education=Prof-school ∧ Occupation=Prof-specialty ∧ Race=White ∧ Gender=Male
+//	Q2: Q1 ∧ Income=>50K
+//
+// and estimates the rule confidence from the noisy pair. As ε grows (better
+// utility), the estimate converges to the true 83.83% — a targeted
+// disclosure that no fixed noise scale can prevent for large enough counts.
+//
+// Run with: go run ./examples/nirattack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/reconpriv/reconpriv"
+)
+
+func main() {
+	adult := reconpriv.SampleAdult(1)
+	conds := map[string]string{
+		"Education":  "Prof-school",
+		"Occupation": "Prof-specialty",
+		"Race":       "White",
+		"Gender":     "Male",
+	}
+	ans1, err := reconpriv.Count(adult, conds, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans2, err := reconpriv.Count(adult, conds, ">50K")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true answers: ans1=%d ans2=%d  Conf=%.4f\n", ans1, ans2, float64(ans2)/float64(ans1))
+	fmt.Printf("(the overall >50K rate is only %.2f%%, so the rule is a sensitive inference)\n\n",
+		100*overallRate(adult))
+
+	fmt.Printf("%-8s %-8s %-12s %-10s %-12s %-12s %s\n",
+		"eps", "b", "Conf' mean", "Conf' SE", "relerr ans1", "relerr ans2", "indicator 2(b/x)^2")
+	for _, eps := range []float64{0.01, 0.1, 0.5} {
+		res, err := reconpriv.NIRAttack(eps, 2, float64(ans1), float64(ans2), 10, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8g %-8g %-12.4f %-10.4f %-12.4f %-12.4f %.6f\n",
+			eps, 2/eps, res.ConfMean, res.ConfStdErr, res.RelErr1Mean, res.RelErr2Mean, res.Indicator)
+	}
+	fmt.Println("\nAt eps=0.5 the noisy answers are accurate (small relative errors) AND the")
+	fmt.Println("confidence estimate is within 1% of the truth: utility and disclosure arrive together.")
+	fmt.Println("Reconstruction privacy prevents exactly this personal-group inference (see quickstart).")
+}
+
+func overallRate(t *reconpriv.Table) float64 {
+	high, err := reconpriv.Count(t, nil, ">50K")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(high) / float64(t.NumRows())
+}

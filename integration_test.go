@@ -1,0 +1,251 @@
+package reconpriv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/chimerge"
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/datagen"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// These integration tests exercise the full pipeline across module
+// boundaries — generate → generalize → test → publish → query — asserting
+// the paper's two experimental claims end to end:
+//
+//  1. reconstruction privacy is violated by realistic data under plain
+//     uniform perturbation, and
+//  2. SPS removes every violation while the aggregate query error stays
+//     close to the UP baseline.
+
+func TestEndToEndAdultPipeline(t *testing.T) {
+	raw := datagen.Adult(1)
+	res, err := chimerge.Generalize(raw, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.GroupsOf(res.Table)
+	pm := core.DefaultParams
+
+	// Claim 1: violations on the raw personal groups.
+	before := core.Violations(groups, pm)
+	if before.ViolatingGroups == 0 {
+		t.Fatal("ADULT should violate reconstruction privacy at the defaults")
+	}
+
+	// Publish with SPS.
+	published, st, err := core.PublishSPS(stats.NewRand(1), groups, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampledGroups != before.ViolatingGroups {
+		t.Errorf("sampled %d groups, violations were %d", st.SampledGroups, before.ViolatingGroups)
+	}
+
+	// Every published group's effective trial count is its sample size,
+	// which SPS capped at s_g — verify via the published sizes: scaling
+	// restored them, so check the sample arithmetic instead.
+	m := groups.Schema.SADomain()
+	for i := range groups.Groups {
+		g := &groups.Groups[i]
+		sg := core.MaxGroupSize(g.MaxFreq(), m, pm)
+		if float64(g.Size) <= sg {
+			continue
+		}
+		// The published group must still exist with roughly the same size.
+		pg := &published.Groups[i]
+		if pg.Size == 0 {
+			t.Errorf("group %d vanished", i)
+		}
+	}
+
+	// Utility: query error of SPS vs UP on the 5,000-query pool.
+	origMarg, err := query.BuildMarginals(raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genMarg, err := query.BuildMarginals(res.Table, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := query.GeneratePool(stats.NewRand(42), origMarg, genMarg, res.Mappings, query.DefaultPoolOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := core.PublishUP(stats.NewRand(2), groups, pm.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upMarg, err := query.BuildMarginalsFromGroups(up, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upRep, err := pool.Evaluate(upMarg, pm.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spsMarg, err := query.BuildMarginalsFromGroups(published, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spsRep, err := pool.Evaluate(spsMarg, pm.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upRep.AvgError > 0.10 {
+		t.Errorf("UP error %v unexpectedly large", upRep.AvgError)
+	}
+	if spsRep.AvgError > 4*upRep.AvgError {
+		t.Errorf("SPS error %v too far above UP %v", spsRep.AvgError, upRep.AvgError)
+	}
+}
+
+func TestEndToEndSPSRestoresPrivacyProcessLevel(t *testing.T) {
+	// Reconstruction privacy is a property of the perturbation process:
+	// after SPS, each previously-violating group was rebuilt from a sample
+	// of at most s_g independent trials. Verify empirically on one large
+	// group: across many publications, the personal reconstruction error
+	// exceeds λ with frequency ≥ δ-ish, while without sampling (UP) the
+	// error stays small much more often.
+	raw, err := datagen.Medical(30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.GroupsOf(raw)
+	pm := core.DefaultParams
+	m := raw.Schema.SADomain()
+
+	// Pick the biggest violating group and its top sensitive value.
+	var target *dataset.Group
+	for i := range groups.Groups {
+		g := &groups.Groups[i]
+		if !core.GroupPrivate(g, m, pm) && (target == nil || g.Size > target.Size) {
+			target = g
+		}
+	}
+	if target == nil {
+		t.Fatal("no violating group in fixture")
+	}
+	topSA := 0
+	for sa, c := range target.SACounts {
+		if c > target.SACounts[topSA] {
+			topSA = sa
+		}
+	}
+	f := target.Freq(uint16(topSA))
+
+	reconstructFreq := func(published *dataset.GroupSet) float64 {
+		pg := published.Find(target.Key)
+		if pg == nil || pg.Size == 0 {
+			return math.NaN()
+		}
+		return (float64(pg.SACounts[topSA])/float64(pg.Size) - (1-pm.P)/float64(m)) / pm.P
+	}
+
+	const runs = 300
+	upBig, spsBig := 0, 0 // publications with |F'-f|/f > λ
+	for run := 0; run < runs; run++ {
+		rng := stats.NewRand(int64(run))
+		up, err := core.PublishUP(rng, groups, pm.P)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sps, _, err := core.PublishSPS(rng, groups, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(reconstructFreq(up)-f)/f > pm.Lambda {
+			upBig++
+		}
+		if math.Abs(reconstructFreq(sps)-f)/f > pm.Lambda {
+			spsBig++
+		}
+	}
+	upRate := float64(upBig) / runs
+	spsRate := float64(spsBig) / runs
+	if spsRate < 2*upRate {
+		t.Errorf("SPS personal-reconstruction failure rate %v should far exceed UP's %v", spsRate, upRate)
+	}
+}
+
+func TestEndToEndAggregateUnbiasedness(t *testing.T) {
+	// Theorem 5 across the full pipeline: the reconstructed count of an
+	// aggregate subset, averaged over publications, approaches the truth.
+	raw, err := datagen.Medical(20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := dataset.GroupsOf(raw)
+	pm := core.DefaultParams
+	m := raw.Schema.SADomain()
+
+	// Aggregate subset: all records with Job=0 (both genders → two groups).
+	trueCount := 0
+	for i := range groups.Groups {
+		g := &groups.Groups[i]
+		if g.Key[1] == 0 {
+			trueCount += g.SACounts[5]
+		}
+	}
+	const runs = 400
+	var sum float64
+	for run := 0; run < runs; run++ {
+		sps, _, err := core.PublishSPS(stats.NewRand(int64(run)), groups, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, obs := 0, 0
+		for i := range sps.Groups {
+			g := &sps.Groups[i]
+			if g.Key[1] == 0 {
+				size += g.Size
+				obs += g.SACounts[5]
+			}
+		}
+		fPrime := (float64(obs)/float64(size) - (1-pm.P)/float64(m)) / pm.P
+		sum += fPrime * float64(size)
+	}
+	mean := sum / runs
+	if math.Abs(mean-float64(trueCount))/float64(trueCount) > 0.05 {
+		t.Errorf("mean reconstructed count %v, want ≈ %d (Theorem 5)", mean, trueCount)
+	}
+}
+
+func TestEndToEndCSVPipelineThroughFacade(t *testing.T) {
+	// The CLI path: table → CSV → read back → publish → CSV → read back →
+	// reconstruct. Everything must survive serialization.
+	tab, err := SampleMedical(5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _, err := Publish(tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pub.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != pub.NumRows() {
+		t.Fatal("row count changed through CSV")
+	}
+	dist, err := Reconstruct(back, nil, DefaultOptions.RetentionProbability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("reconstruction after round trip sums to %v", sum)
+	}
+}

@@ -1,0 +1,68 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestBernsteinTighterThanChernoffUpper(t *testing.T) {
+	// Property: exp(−ω²µ/(2+2ω/3)) ≤ exp(−ω²µ/(2+ω)) for all ω > 0 —
+	// Bernstein dominates the paper's simplified Chernoff form.
+	prop := func(omegaRaw, muRaw uint16) bool {
+		omega := 0.01 + float64(omegaRaw%500)/100
+		mu := 1 + float64(muRaw%5000)
+		return (Bernstein{}).Upper(omega, mu, 0) <= (Chernoff{}).Upper(omega, mu, 0)+1e-15
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernsteinLowerMatchesChernoff(t *testing.T) {
+	for _, omega := range []float64{0.1, 0.5, 1, 2} {
+		if (Bernstein{}).Lower(omega, 100, 0) != (Chernoff{}).Lower(omega, 100, 0) {
+			t.Errorf("lower tails should coincide at ω=%v", omega)
+		}
+	}
+}
+
+func TestBernsteinDegenerate(t *testing.T) {
+	if (Bernstein{}).Upper(0, 10, 0) != 1 || (Bernstein{}).Lower(0, 10, 0) != 1 {
+		t.Error("ω=0 should give the trivial bound")
+	}
+}
+
+func TestBernsteinHoldsEmpirically(t *testing.T) {
+	rng := stats.NewRand(11)
+	const n = 400
+	const pTrial = 0.25
+	mu := float64(n) * pTrial
+	const trials = 20000
+	for _, omega := range []float64{0.15, 0.3} {
+		over := 0
+		for k := 0; k < trials; k++ {
+			x := float64(stats.Binomial(rng, n, pTrial))
+			if (x-mu)/mu > omega {
+				over++
+			}
+		}
+		bound := (Bernstein{}).Upper(omega, mu, n)
+		if frac := float64(over) / trials; frac > bound+0.01 {
+			t.Errorf("ω=%v: empirical %v exceeds Bernstein %v", omega, frac, bound)
+		}
+	}
+}
+
+func TestBernsteinConvergesToChernoffSmallOmega(t *testing.T) {
+	// As ω → 0 the two denominators coincide; ratio of exponents → 1.
+	omega := 1e-4
+	mu := 1e6
+	a := math.Log((Bernstein{}).Upper(omega, mu, 0))
+	b := math.Log((Chernoff{}).Upper(omega, mu, 0))
+	if math.Abs(a/b-1) > 1e-3 {
+		t.Errorf("exponent ratio %v, want → 1", a/b)
+	}
+}

@@ -1,0 +1,183 @@
+// Package bounds implements tail bounds on Poisson trials and the paper's
+// Theorem 2 conversion between bounds on the observed count O* and bounds on
+// the reconstructed frequency F'.
+//
+// The bound actually used by the privacy criterion is the Chernoff bound
+// (Theorem 3), but the conversion "does not hinge on the particular form of
+// the bound functions" — any TailBound can be plugged in, which is exactly
+// the escape hatch the paper reserves for future, tighter bounds. Chebyshev
+// and Hoeffding are provided as plug-in alternatives and as ablation
+// baselines.
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// TailBound bounds the relative deviation of a sum X of independent Poisson
+// trials from its mean µ.
+//
+//	Upper(ω, µ, n) ≥ Pr[(X-µ)/µ > ω]     for ω ∈ (0, ∞)
+//	Lower(ω, µ, n) ≥ Pr[(X-µ)/µ < -ω]    for ω ∈ (0, 1]
+//
+// n is the number of trials; bounds that do not need it (Chernoff,
+// Chebyshev) ignore it.
+type TailBound interface {
+	// Name identifies the bound in reports and ablation output.
+	Name() string
+	Upper(omega, mu float64, n int) float64
+	Lower(omega, mu float64, n int) float64
+}
+
+// Chernoff is the simplified-yet-tight form of the Chernoff bound the paper
+// adopts (Theorem 3):
+//
+//	Pr[(X-µ)/µ > ω]  < exp(-ω²µ/(2+ω))
+//	Pr[(X-µ)/µ < -ω] < exp(-ω²µ/2)
+type Chernoff struct{}
+
+func (Chernoff) Name() string { return "chernoff" }
+
+func (Chernoff) Upper(omega, mu float64, _ int) float64 {
+	if omega <= 0 {
+		return 1
+	}
+	return math.Exp(-omega * omega * mu / (2 + omega))
+}
+
+func (Chernoff) Lower(omega, mu float64, _ int) float64 {
+	if omega <= 0 {
+		return 1
+	}
+	if omega > 1 {
+		omega = 1 // Pr[X < 0] = 0; the ω=1 bound remains valid
+	}
+	return math.Exp(-omega * omega * mu / 2)
+}
+
+// Chebyshev bounds the tails through the variance. For Poisson trials
+// Var[X] = Σ pᵢ(1-pᵢ) ≤ µ, so Pr[|X-µ| ≥ ωµ] ≤ µ/(ωµ)² = 1/(ω²µ). It is
+// one of the "early upper bounds" the paper contrasts with Chernoff.
+type Chebyshev struct{}
+
+func (Chebyshev) Name() string { return "chebyshev" }
+
+func (Chebyshev) Upper(omega, mu float64, _ int) float64 {
+	if omega <= 0 {
+		return 1
+	}
+	return math.Min(1, 1/(omega*omega*mu))
+}
+
+func (Chebyshev) Lower(omega, mu float64, n int) float64 {
+	return Chebyshev{}.Upper(omega, mu, n)
+}
+
+// Hoeffding bounds the tails through the trial count n:
+// Pr[X-µ ≥ t] ≤ exp(-2t²/n) with t = ωµ.
+type Hoeffding struct{}
+
+func (Hoeffding) Name() string { return "hoeffding" }
+
+func (Hoeffding) Upper(omega, mu float64, n int) float64 {
+	if omega <= 0 || n <= 0 {
+		return 1
+	}
+	t := omega * mu
+	return math.Exp(-2 * t * t / float64(n))
+}
+
+func (Hoeffding) Lower(omega, mu float64, n int) float64 {
+	return Hoeffding{}.Upper(omega, mu, n)
+}
+
+// Markov is Pr[X ≥ (1+ω)µ] ≤ 1/(1+ω); it carries no information about the
+// lower tail (bound 1) and is included for completeness of the ablation.
+type Markov struct{}
+
+func (Markov) Name() string { return "markov" }
+
+func (Markov) Upper(omega, mu float64, _ int) float64 {
+	if omega <= 0 {
+		return 1
+	}
+	return 1 / (1 + omega)
+}
+
+func (Markov) Lower(float64, float64, int) float64 { return 1 }
+
+// Conversion carries the parameters of the paper's Theorem 2, which links the
+// error of the observed count O* to the error of the MLE F' in a subset S:
+//
+//	(F'-f)/f > λ  ⇔  (O*-µ)/µ > ω   with  λ = ωµ/(|S|pf),
+//
+// where µ = E[O*] = |S|(fp + (1-p)/m).
+type Conversion struct {
+	F    float64 // actual frequency of the sensitive value in S
+	P    float64 // retention probability
+	M    int     // SA domain size
+	Size int     // |S|
+}
+
+// Validate checks the conversion parameters.
+func (c Conversion) Validate() error {
+	if c.F < 0 || c.F > 1 || math.IsNaN(c.F) {
+		return fmt.Errorf("bounds: frequency must be in [0,1], got %v", c.F)
+	}
+	if c.P <= 0 || c.P >= 1 || math.IsNaN(c.P) {
+		return fmt.Errorf("bounds: retention probability must be in (0,1), got %v", c.P)
+	}
+	if c.M < 2 {
+		return fmt.Errorf("bounds: SA domain must have at least 2 values, got %d", c.M)
+	}
+	if c.Size < 0 {
+		return fmt.Errorf("bounds: negative subset size %d", c.Size)
+	}
+	return nil
+}
+
+// Mu returns µ = E[O*] = |S|(fp + (1-p)/m) (Lemma 2(i)).
+func (c Conversion) Mu() float64 {
+	return float64(c.Size) * (c.F*c.P + (1-c.P)/float64(c.M))
+}
+
+// OmegaForLambda maps a relative error λ on F' to the corresponding relative
+// error ω on O*: ω = λ|S|pf/µ = λpf/(fp+(1-p)/m).
+func (c Conversion) OmegaForLambda(lambda float64) float64 {
+	mu := c.Mu()
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	return lambda * float64(c.Size) * c.P * c.F / mu
+}
+
+// LambdaForOmega is the inverse map: λ = ωµ/(|S|pf).
+func (c Conversion) LambdaForOmega(omega float64) float64 {
+	den := float64(c.Size) * c.P * c.F
+	if den == 0 {
+		return math.Inf(1)
+	}
+	return omega * c.Mu() / den
+}
+
+// MaxLambda returns the upper end of the λ range for which the lower-tail
+// bound applies, 1 + (1-p)/(mpf) — the λ that corresponds to ω = 1
+// (Corollary 4's admissible range).
+func (c Conversion) MaxLambda() float64 {
+	if c.F == 0 {
+		return math.Inf(1)
+	}
+	return 1 + (1-c.P)/(float64(c.M)*c.P*c.F)
+}
+
+// FPrimeTails converts a TailBound on O* into the pair (U, L) bounding
+//
+//	Pr[(F'-f)/f > λ] < U   and   Pr[(F'-f)/f < -λ] < L
+//
+// via Theorem 2 (Corollary 3 when the bound is Chernoff).
+func FPrimeTails(b TailBound, c Conversion, lambda float64) (upper, lower float64) {
+	omega := c.OmegaForLambda(lambda)
+	mu := c.Mu()
+	return b.Upper(omega, mu, c.Size), b.Lower(omega, mu, c.Size)
+}

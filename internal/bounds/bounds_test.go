@@ -1,0 +1,213 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestChernoffKnownForm(t *testing.T) {
+	c := Chernoff{}
+	// U(ω, µ) = exp(-ω²µ/(2+ω)), L(ω, µ) = exp(-ω²µ/2).
+	if got, want := c.Upper(1, 10, 0), math.Exp(-10.0/3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Upper(1,10) = %v, want %v", got, want)
+	}
+	if got, want := c.Lower(1, 10, 0), math.Exp(-5.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Lower(1,10) = %v, want %v", got, want)
+	}
+}
+
+func TestChernoffLowerClampsOmega(t *testing.T) {
+	c := Chernoff{}
+	if c.Lower(2, 10, 0) != c.Lower(1, 10, 0) {
+		t.Error("lower bound should clamp ω to 1 (Pr[X<0] = 0)")
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	for _, b := range []TailBound{Chernoff{}, Chebyshev{}, Hoeffding{}, Markov{}} {
+		if b.Upper(0, 10, 100) != 1 {
+			t.Errorf("%s.Upper(0) should be the trivial bound 1", b.Name())
+		}
+		if b.Lower(0, 10, 100) != 1 {
+			t.Errorf("%s.Lower(0) should be the trivial bound 1", b.Name())
+		}
+	}
+}
+
+func TestBoundsMonotoneInMu(t *testing.T) {
+	// Property: all bounds are non-increasing in µ (more trials, tighter
+	// concentration) — the fact the enforcement algorithm relies on.
+	prop := func(omegaRaw, muRaw uint16) bool {
+		omega := 0.05 + float64(omegaRaw%100)/100
+		mu := 1 + float64(muRaw%10000)
+		n := int(mu * 2)
+		for _, b := range []TailBound{Chernoff{}, Chebyshev{}, Hoeffding{}} {
+			if b.Upper(omega, mu+50, n+100) > b.Upper(omega, mu, n)+1e-12 {
+				return false
+			}
+			if b.Lower(omega, mu+50, n+100) > b.Lower(omega, mu, n)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChernoffBoundsHoldEmpirically(t *testing.T) {
+	// Simulate Poisson trials and verify the bounds dominate observed tail
+	// frequencies (with slack for simulation noise).
+	rng := stats.NewRand(1)
+	const n = 500
+	const pTrial = 0.3
+	mu := float64(n) * pTrial
+	const trials = 20000
+	for _, omega := range []float64{0.1, 0.2, 0.3} {
+		over, under := 0, 0
+		r1, r2 := stats.NewRand(2), rng
+		_ = r1
+		for k := 0; k < trials; k++ {
+			x := float64(stats.Binomial(r2, n, pTrial))
+			if (x-mu)/mu > omega {
+				over++
+			}
+			if (x-mu)/mu < -omega {
+				under++
+			}
+		}
+		c := Chernoff{}
+		if frac := float64(over) / trials; frac > c.Upper(omega, mu, n)+0.01 {
+			t.Errorf("ω=%v: empirical upper tail %v exceeds Chernoff bound %v", omega, frac, c.Upper(omega, mu, n))
+		}
+		if frac := float64(under) / trials; frac > c.Lower(omega, mu, n)+0.01 {
+			t.Errorf("ω=%v: empirical lower tail %v exceeds Chernoff bound %v", omega, frac, c.Lower(omega, mu, n))
+		}
+	}
+}
+
+func TestMarkovNoLowerInformation(t *testing.T) {
+	if (Markov{}).Lower(0.5, 100, 200) != 1 {
+		t.Error("Markov carries no lower-tail information")
+	}
+}
+
+func TestConversionValidate(t *testing.T) {
+	good := Conversion{F: 0.5, P: 0.5, M: 2, Size: 100}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid conversion rejected: %v", err)
+	}
+	bad := []Conversion{
+		{F: -0.1, P: 0.5, M: 2, Size: 1},
+		{F: 1.1, P: 0.5, M: 2, Size: 1},
+		{F: 0.5, P: 0, M: 2, Size: 1},
+		{F: 0.5, P: 1, M: 2, Size: 1},
+		{F: 0.5, P: 0.5, M: 1, Size: 1},
+		{F: 0.5, P: 0.5, M: 2, Size: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestMuMatchesLemma2(t *testing.T) {
+	c := Conversion{F: 0.4, P: 0.5, M: 10, Size: 1000}
+	want := 1000 * (0.4*0.5 + 0.5/10)
+	if math.Abs(c.Mu()-want) > 1e-9 {
+		t.Errorf("Mu = %v, want %v", c.Mu(), want)
+	}
+}
+
+func TestOmegaLambdaRoundTrip(t *testing.T) {
+	// Property: LambdaForOmega(OmegaForLambda(λ)) = λ (Theorem 2 is a
+	// bijection between the two error scales).
+	prop := func(fRaw, pRaw, lRaw uint8, mRaw uint8, sizeRaw uint16) bool {
+		c := Conversion{
+			F:    0.01 + 0.98*float64(fRaw)/255,
+			P:    0.01 + 0.98*float64(pRaw)/255,
+			M:    2 + int(mRaw%60),
+			Size: 1 + int(sizeRaw),
+		}
+		lambda := 0.01 + float64(lRaw)/128
+		omega := c.OmegaForLambda(lambda)
+		back := c.LambdaForOmega(omega)
+		return math.Abs(back-lambda) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLambdaIsOmegaOne(t *testing.T) {
+	// OmegaForLambda(MaxLambda) must be exactly 1.
+	c := Conversion{F: 0.3, P: 0.5, M: 10, Size: 500}
+	omega := c.OmegaForLambda(c.MaxLambda())
+	if math.Abs(omega-1) > 1e-9 {
+		t.Errorf("ω at MaxLambda = %v, want 1", omega)
+	}
+}
+
+func TestFPrimeTailsMatchesManualConversion(t *testing.T) {
+	c := Conversion{F: 0.3, P: 0.5, M: 10, Size: 500}
+	lambda := 0.3
+	u, l := FPrimeTails(Chernoff{}, c, lambda)
+	omega := c.OmegaForLambda(lambda)
+	mu := c.Mu()
+	if u != (Chernoff{}).Upper(omega, mu, 500) || l != (Chernoff{}).Lower(omega, mu, 500) {
+		t.Error("FPrimeTails should be the Chernoff bound at the converted ω")
+	}
+	if l >= u {
+		// For ω ∈ (0,1], L < U (the simplification used by Corollary 4).
+		t.Errorf("expected L < U for small ω, got L=%v U=%v", l, u)
+	}
+}
+
+func TestFPrimeTailsEmpirical(t *testing.T) {
+	// End-to-end: perturb a subset, reconstruct with the MLE, and verify the
+	// converted Chernoff bounds dominate the empirical tail frequencies of
+	// the estimator error (Corollary 3).
+	const size = 400
+	const m = 5
+	const p = 0.5
+	const f = 0.4
+	lambda := 0.3
+	conv := Conversion{F: f, P: p, M: m, Size: size}
+	u, l := FPrimeTails(Chernoff{}, conv, lambda)
+	rng := stats.NewRand(7)
+	const trials = 5000
+	over, under := 0, 0
+	saCount := int(f * size)
+	for k := 0; k < trials; k++ {
+		observed := 0
+		for i := 0; i < size; i++ {
+			orig := i < saCount
+			if rng.Float64() < p {
+				if orig {
+					observed++
+				}
+			} else if rng.Intn(m) == 0 {
+				observed++
+			}
+		}
+		fPrime := (float64(observed)/size - (1-p)/m) / p
+		rel := (fPrime - f) / f
+		if rel > lambda {
+			over++
+		}
+		if rel < -lambda {
+			under++
+		}
+	}
+	if frac := float64(over) / trials; frac > u+0.01 {
+		t.Errorf("empirical upper tail %v exceeds converted bound %v", frac, u)
+	}
+	if frac := float64(under) / trials; frac > l+0.01 {
+		t.Errorf("empirical lower tail %v exceeds converted bound %v", frac, l)
+	}
+}

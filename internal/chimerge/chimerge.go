@@ -1,0 +1,185 @@
+// Package chimerge implements the public-attribute generalization of the
+// paper's Section 3.4. For each public attribute, every pair of domain
+// values is tested with the chi-square test for two binned distributions
+// with unequal totals (Eq. 4, Numerical Recipes form, degrees of freedom m);
+// pairs the test fails to distinguish are connected in a graph, and each
+// connected component is merged into one generalized value. After merging,
+// any two surviving values have a statistically different impact on SA, so
+// aggregate groups genuinely mix different sub-populations — the property
+// the Split Role Principle relies on.
+package chimerge
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// DefaultSignificance is the conventional 0.05 level the paper uses.
+const DefaultSignificance = 0.05
+
+// ChiSquare computes the Eq. 4 statistic for two binned SA distributions
+// with (possibly) unequal numbers of data points:
+//
+//	χ² = Σⱼ (√(R/S)·oⱼ − √(S/R)·o'ⱼ)² / (oⱼ + o'ⱼ),  R = Σoⱼ, S = Σo'ⱼ.
+//
+// Bins where both counts are zero contribute nothing (their term is 0/0 and
+// is skipped, per Numerical Recipes).
+func ChiSquare(o, o2 []float64) (float64, error) {
+	if len(o) != len(o2) {
+		return 0, fmt.Errorf("chimerge: histograms have different lengths %d and %d", len(o), len(o2))
+	}
+	var r, s float64
+	for j := range o {
+		r += o[j]
+		s += o2[j]
+	}
+	if r == 0 || s == 0 {
+		return 0, fmt.Errorf("chimerge: empty histogram (totals %v, %v)", r, s)
+	}
+	rs := math.Sqrt(r / s)
+	sr := math.Sqrt(s / r)
+	var chi2 float64
+	for j := range o {
+		den := o[j] + o2[j]
+		if den == 0 {
+			continue
+		}
+		d := rs*o2[j] - sr*o[j] // symmetric in the pair; sign squared away
+		chi2 += d * d / den
+	}
+	return chi2, nil
+}
+
+// SameDistribution runs the paper's test at the given significance level:
+// it returns true when the null hypothesis "o and o2 are drawn from the same
+// population distribution" is NOT disproven, i.e. when the values should be
+// merged. Following the paper, the degrees of freedom equal the number of
+// bins m (the two totals are not constrained to match).
+func SameDistribution(o, o2 []float64, significance float64) (bool, error) {
+	chi2, err := ChiSquare(o, o2)
+	if err != nil {
+		return false, err
+	}
+	crit, err := stats.ChiSquareQuantile(1-significance, len(o))
+	if err != nil {
+		return false, err
+	}
+	return chi2 <= crit, nil
+}
+
+// AttrResult describes the merge outcome for one public attribute.
+type AttrResult struct {
+	Attr         int    // attribute index in the schema
+	Name         string // attribute name
+	DomainBefore int
+	DomainAfter  int
+	Components   []int    // value code -> component id
+	OldLabels    []string // original value labels, indexed by old code
+}
+
+// Result is the outcome of generalizing a table.
+type Result struct {
+	Table    *dataset.Table         // remapped table over generalized values
+	Mappings []dataset.ValueMapping // one per public attribute
+	Attrs    []AttrResult           // per-attribute domain impact (Tables 4/5)
+}
+
+// MappingFor returns the value mapping of the given original attribute
+// index, or nil if the attribute was not remapped (the SA attribute).
+func (r *Result) MappingFor(attr int) *dataset.ValueMapping {
+	for i := range r.Mappings {
+		if r.Mappings[i].Attr == attr {
+			return &r.Mappings[i]
+		}
+	}
+	return nil
+}
+
+// Generalize merges, for every public attribute, the values the chi-square
+// test cannot distinguish (connected components of the failed-to-disprove
+// graph) and returns the remapped table plus the mapping bookkeeping.
+func Generalize(t *dataset.Table, significance float64) (*Result, error) {
+	if significance <= 0 || significance >= 1 {
+		return nil, fmt.Errorf("chimerge: significance must be in (0,1), got %v", significance)
+	}
+	m := t.Schema.SADomain()
+	crit, err := stats.ChiSquareQuantile(1-significance, m)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	n := t.NumRows()
+	for _, attr := range t.Schema.NAIndices() {
+		dom := t.Schema.Attrs[attr].Domain()
+		// Conditional SA histogram per attribute value, one table pass.
+		hist := make([][]float64, dom)
+		for v := range hist {
+			hist[v] = make([]float64, m)
+		}
+		for r := 0; r < n; r++ {
+			hist[t.At(r, attr)][t.SA(r)]++
+		}
+		uf := newUnionFind(dom)
+		for a := 0; a < dom; a++ {
+			if isEmpty(hist[a]) {
+				continue
+			}
+			for b := a + 1; b < dom; b++ {
+				if isEmpty(hist[b]) {
+					continue
+				}
+				chi2, err := ChiSquare(hist[a], hist[b])
+				if err != nil {
+					return nil, fmt.Errorf("chimerge: attribute %q values %d,%d: %w",
+						t.Schema.Attrs[attr].Name, a, b, err)
+				}
+				if chi2 <= crit {
+					uf.union(a, b)
+				}
+			}
+		}
+		comps, numComps := uf.components()
+		mapping := dataset.ValueMapping{
+			Attr:      attr,
+			OldToNew:  make([]uint16, dom),
+			NewValues: make([]string, numComps),
+		}
+		members := make([][]string, numComps)
+		for v := 0; v < dom; v++ {
+			c := comps[v]
+			mapping.OldToNew[v] = uint16(c)
+			members[c] = append(members[c], t.Schema.Attrs[attr].Label(uint16(v)))
+		}
+		for c := range members {
+			mapping.NewValues[c] = strings.Join(members[c], "|")
+		}
+		res.Mappings = append(res.Mappings, mapping)
+		res.Attrs = append(res.Attrs, AttrResult{
+			Attr:         attr,
+			Name:         t.Schema.Attrs[attr].Name,
+			DomainBefore: dom,
+			DomainAfter:  numComps,
+			Components:   comps,
+			OldLabels:    append([]string(nil), t.Schema.Attrs[attr].Values...),
+		})
+	}
+	out, err := dataset.Remap(t, res.Mappings)
+	if err != nil {
+		return nil, err
+	}
+	res.Table = out
+	return res, nil
+}
+
+func isEmpty(h []float64) bool {
+	for _, v := range h {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

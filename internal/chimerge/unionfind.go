@@ -1,0 +1,60 @@
+package chimerge
+
+// unionFind is a standard disjoint-set forest with union by rank and path
+// compression, used to extract the connected components of the
+// "not statistically distinguishable" graph over attribute values.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	switch {
+	case uf.rank[ra] < uf.rank[rb]:
+		uf.parent[ra] = rb
+	case uf.rank[ra] > uf.rank[rb]:
+		uf.parent[rb] = ra
+	default:
+		uf.parent[rb] = ra
+		uf.rank[ra]++
+	}
+}
+
+// components returns, for each element, a dense component id numbered by
+// first appearance, plus the number of components.
+func (uf *unionFind) components() ([]int, int) {
+	ids := make([]int, len(uf.parent))
+	next := 0
+	seen := make(map[int]int)
+	for i := range uf.parent {
+		root := uf.find(i)
+		id, ok := seen[root]
+		if !ok {
+			id = next
+			seen[root] = id
+			next++
+		}
+		ids[i] = id
+	}
+	return ids, next
+}

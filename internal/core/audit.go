@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+)
+
+// GroupAudit is the Monte-Carlo audit of one personal group: the empirical
+// tail probabilities of the personal-reconstruction error for the group's
+// most frequent sensitive value, next to the Chernoff upper bounds the
+// criterion is defined against.
+type GroupAudit struct {
+	Key        []uint16
+	Size       int
+	F          float64 // frequency of the audited (most frequent) value
+	SG         float64 // Eq. 10 threshold
+	Violating  bool    // Corollary 4 verdict on the raw group
+	UpperEmp   float64 // empirical Pr[(F'-f)/f > λ]
+	LowerEmp   float64 // empirical Pr[(F'-f)/f < -λ]
+	UpperBound float64 // Chernoff U (Corollary 3)
+	LowerBound float64 // Chernoff L (Corollary 3)
+}
+
+// AuditReport summarizes a full audit.
+type AuditReport struct {
+	Trials int
+	Groups []GroupAudit
+}
+
+// BoundViolations counts groups whose empirical tail exceeded its Chernoff
+// bound by more than the Monte-Carlo tolerance — zero in a correct
+// implementation.
+func (r *AuditReport) BoundViolations(tolerance float64) int {
+	n := 0
+	for _, g := range r.Groups {
+		if g.UpperEmp > g.UpperBound+tolerance || g.LowerEmp > g.LowerBound+tolerance {
+			n++
+		}
+	}
+	return n
+}
+
+// Audit estimates, by direct simulation of the publishing process, the tail
+// probabilities Pr[(F'−f)/f > λ] and Pr[(F'−f)/f < −λ] for the most
+// frequent sensitive value of every personal group, under either plain
+// uniform perturbation (sps=false) or the SPS publication (sps=true).
+//
+// This is the empirical counterpart of Corollary 3: for UP publications the
+// empirical tails must stay below the converted Chernoff bounds; for SPS
+// publications of violating groups they must rise to at least the level the
+// criterion demands (min(U,L) evaluated at the sample size s_g is ≥ δ).
+//
+// maxGroups caps the number of audited groups (largest first, since those
+// are the interesting ones); 0 audits everything.
+func Audit(rng *rand.Rand, gs *dataset.GroupSet, pm Params, sps bool, trials, maxGroups int) (*AuditReport, error) {
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("core: audit needs at least one trial")
+	}
+	m := gs.Schema.SADomain()
+	order := make([]int, gs.NumGroups())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return gs.Groups[order[a]].Size > gs.Groups[order[b]].Size })
+	if maxGroups > 0 && maxGroups < len(order) {
+		order = order[:maxGroups]
+	}
+	rep := &AuditReport{Trials: trials}
+	st := &SPSStats{}
+	for _, gi := range order {
+		g := &gs.Groups[gi]
+		if g.Size == 0 {
+			continue
+		}
+		topSA := 0
+		for sa, c := range g.SACounts {
+			if c > g.SACounts[topSA] {
+				topSA = sa
+			}
+		}
+		f := g.Freq(uint16(topSA))
+		if f == 0 {
+			continue
+		}
+		sg := MaxGroupSize(g.MaxFreq(), m, pm)
+		u, l := GroupTails(g.Size, f, m, pm)
+		audit := GroupAudit{
+			Key:        g.Key,
+			Size:       g.Size,
+			F:          f,
+			SG:         sg,
+			Violating:  float64(g.Size) > sg,
+			UpperBound: u,
+			LowerBound: l,
+		}
+		over, under := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			var counts []int
+			if sps && audit.Violating {
+				counts = spsGroup(rng, g, sg, pm.P, st)
+			} else {
+				counts = perturb.Counts(rng, g.SACounts, pm.P)
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			fPrime := (float64(counts[topSA])/float64(total) - (1-pm.P)/float64(m)) / pm.P
+			rel := (fPrime - f) / f
+			if rel > pm.Lambda {
+				over++
+			}
+			if rel < -pm.Lambda {
+				under++
+			}
+		}
+		audit.UpperEmp = float64(over) / float64(trials)
+		audit.LowerEmp = float64(under) / float64(trials)
+		rep.Groups = append(rep.Groups, audit)
+	}
+	return rep, nil
+}
+
+// GroupDiag is one row of the Diagnose report: everything an operator needs
+// to understand why a group does or does not violate, and how hard SPS
+// would sample it.
+type GroupDiag struct {
+	Key       []uint16
+	Size      int
+	MaxFreq   float64
+	SG        float64
+	Violating bool
+	Tau       float64 // sampling rate s_g/|g| (1 when not violating)
+}
+
+// Diagnose returns per-group diagnostics sorted by size (largest first).
+func Diagnose(gs *dataset.GroupSet, pm Params) []GroupDiag {
+	m := gs.Schema.SADomain()
+	out := make([]GroupDiag, 0, gs.NumGroups())
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		sg := MaxGroupSize(g.MaxFreq(), m, pm)
+		d := GroupDiag{
+			Key:       g.Key,
+			Size:      g.Size,
+			MaxFreq:   g.MaxFreq(),
+			SG:        sg,
+			Violating: float64(g.Size) > sg,
+			Tau:       1,
+		}
+		if d.Violating && g.Size > 0 {
+			d.Tau = sg / float64(g.Size)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Size > out[b].Size })
+	return out
+}
+
+// FormatKey renders a group key with the schema's labels.
+func FormatKey(gs *dataset.GroupSet, key []uint16) string {
+	na := gs.NAIndices()
+	s := ""
+	for i, a := range na {
+		if i > 0 {
+			s += ", "
+		}
+		s += gs.Schema.Attrs[a].Name + "=" + gs.Schema.Attrs[a].Label(key[i])
+	}
+	return s
+}

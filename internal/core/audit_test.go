@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestAuditUPRespectsChernoffBounds(t *testing.T) {
+	// Corollary 3 empirically: under UP, no group's empirical tail may
+	// exceed its converted Chernoff bound (beyond Monte-Carlo noise).
+	gs := spsTestGroups(t)
+	rep, err := Audit(stats.NewRand(1), gs, DefaultParams, false, 2000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 3 {
+		t.Fatalf("audited %d groups", len(rep.Groups))
+	}
+	if v := rep.BoundViolations(0.02); v != 0 {
+		t.Errorf("%d groups exceeded their Chernoff bounds", v)
+	}
+}
+
+func TestAuditSPSRaisesPersonalError(t *testing.T) {
+	// For a violating group, the SPS publication must push the total tail
+	// probability of a >λ relative error above the UP level — that is the
+	// entire point of sampling.
+	gs := spsTestGroups(t)
+	up, err := Audit(stats.NewRand(2), gs, DefaultParams, false, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sps, err := Audit(stats.NewRand(3), gs, DefaultParams, true, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Groups[0].Violating {
+		t.Fatal("largest fixture group should violate")
+	}
+	upTail := up.Groups[0].UpperEmp + up.Groups[0].LowerEmp
+	spsTail := sps.Groups[0].UpperEmp + sps.Groups[0].LowerEmp
+	if spsTail < 3*upTail {
+		t.Errorf("SPS tail %v should far exceed UP tail %v", spsTail, upTail)
+	}
+	// And the SPS tail should be material: at the sample size s_g the
+	// Chernoff bound on the tail equals δ = 0.3; the true probability sits
+	// well below its bound (Chernoff is not tight), so require a floor an
+	// order of magnitude under δ rather than δ itself.
+	if spsTail < 0.015 {
+		t.Errorf("SPS tail %v suspiciously small for a violating group", spsTail)
+	}
+}
+
+func TestAuditOrderAndCap(t *testing.T) {
+	gs := spsTestGroups(t)
+	rep, err := Audit(stats.NewRand(4), gs, DefaultParams, false, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("cap ignored: %d groups", len(rep.Groups))
+	}
+	if rep.Groups[0].Size < rep.Groups[1].Size {
+		t.Error("audit should process largest groups first")
+	}
+}
+
+func TestAuditValidation(t *testing.T) {
+	gs := spsTestGroups(t)
+	if _, err := Audit(stats.NewRand(1), gs, Params{}, false, 10, 0); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, err := Audit(stats.NewRand(1), gs, DefaultParams, false, 0, 0); err == nil {
+		t.Error("0 trials should error")
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	gs := spsTestGroups(t)
+	diags := Diagnose(gs, DefaultParams)
+	if len(diags) != 3 {
+		t.Fatalf("diags = %d", len(diags))
+	}
+	// Sorted by size descending.
+	if diags[0].Size < diags[1].Size || diags[1].Size < diags[2].Size {
+		t.Error("diagnostics not size-sorted")
+	}
+	for _, d := range diags {
+		if d.Violating {
+			if math.Abs(d.Tau-d.SG/float64(d.Size)) > 1e-12 {
+				t.Errorf("tau = %v, want sg/size", d.Tau)
+			}
+			if d.Tau >= 1 {
+				t.Error("violating group should have tau < 1")
+			}
+		} else if d.Tau != 1 {
+			t.Error("non-violating group should have tau 1")
+		}
+	}
+}
+
+func TestFormatKey(t *testing.T) {
+	gs := spsTestGroups(t)
+	got := FormatKey(gs, gs.Groups[0].Key)
+	if got != "A=x" {
+		t.Errorf("FormatKey = %q, want A=x", got)
+	}
+}

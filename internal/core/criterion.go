@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the
+// (λ, δ)-reconstruction-privacy criterion (Definition 3), the efficient
+// Chernoff-based test (Corollary 4, Eq. 9/10), and the
+// Sampling-Perturbing-Scaling (SPS) enforcement algorithm of Section 5.
+//
+// Reconstruction privacy requires that in every personal group g the best
+// upper bound on Pr[(F'−f)/f > λ] (and the symmetric lower tail) is at least
+// δ: an adversary reconstructing the sensitive-value distribution of the
+// records that exactly match a target's public attributes cannot certify a
+// small relative error. Aggregate groups — unions of personal groups — are
+// deliberately left unconstrained; they carry the statistical utility
+// (the Split Role Principle, Definition 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reconpriv/reconpriv/internal/bounds"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+// Params bundles the knobs of the publishing pipeline: the retention
+// probability of uniform perturbation and the privacy parameters of
+// Definition 3.
+type Params struct {
+	P      float64 // retention probability, in (0,1)
+	Lambda float64 // λ: relative-error radius, > 0
+	Delta  float64 // δ: floor on the best tail-probability upper bound, in [0,1]
+}
+
+// DefaultParams are the boldface defaults of the paper's Table 6.
+var DefaultParams = Params{P: 0.5, Lambda: 0.3, Delta: 0.3}
+
+// Validate checks the parameter ranges of Definitions 3 and 4.
+func (pm Params) Validate() error {
+	if math.IsNaN(pm.P) || pm.P <= 0 || pm.P >= 1 {
+		return fmt.Errorf("core: retention probability must be in (0,1), got %v", pm.P)
+	}
+	if math.IsNaN(pm.Lambda) || pm.Lambda <= 0 {
+		return fmt.Errorf("core: lambda must be positive, got %v", pm.Lambda)
+	}
+	if math.IsNaN(pm.Delta) || pm.Delta < 0 || pm.Delta > 1 {
+		return fmt.Errorf("core: delta must be in [0,1], got %v", pm.Delta)
+	}
+	return nil
+}
+
+// MaxGroupSize returns s_g (Eq. 10/12): the largest number of independent
+// perturbation trials for which a sensitive value of frequency f in an
+// m-value domain still satisfies (λ, δ)-reconstruction privacy,
+//
+//	s_g = −2(fp + (1−p)/m)·ln δ / (λpf)².
+//
+// A frequency of zero (or δ = 1, where any bound suffices) yields +Inf:
+// such values can never be reconstructed accurately in a relative sense.
+func MaxGroupSize(f float64, m int, pm Params) float64 {
+	if f <= 0 || pm.Delta >= 1 {
+		return math.Inf(1)
+	}
+	if pm.Delta == 0 {
+		return 0
+	}
+	num := -2 * (f*pm.P + (1-pm.P)/float64(m)) * math.Log(pm.Delta)
+	den := pm.Lambda * pm.P * f
+	return num / (den * den)
+}
+
+// ValuePrivate is the per-value test of Corollary 4: sensitive value
+// frequency f is (λ, δ)-reconstruction-private in a group of the given size
+// iff size ≤ s_g(f).
+func ValuePrivate(size int, f float64, m int, pm Params) bool {
+	return float64(size) <= MaxGroupSize(f, m, pm)
+}
+
+// GroupPrivate tests a whole personal group. Because s_g decreases in f,
+// the group is private iff the test passes for its most frequent sensitive
+// value (the Section 5 observation that reduces the group test to Eq. 10).
+func GroupPrivate(g *dataset.Group, m int, pm Params) bool {
+	return ValuePrivate(g.Size, g.MaxFreq(), m, pm)
+}
+
+// GroupTails evaluates the Chernoff upper bounds (U, L) of Corollary 3 for
+// a given frequency within a group — the quantities whose minimum Definition
+// 3 compares against δ. Exposed for diagnostics and tests.
+func GroupTails(size int, f float64, m int, pm Params) (upper, lower float64) {
+	conv := bounds.Conversion{F: f, P: pm.P, M: m, Size: size}
+	return bounds.FPrimeTails(bounds.Chernoff{}, conv, pm.Lambda)
+}
+
+// ViolationReport aggregates how much of a data set violates the criterion:
+// v_g is the fraction of personal groups violating, v_r the fraction of
+// records covered by a violating group — the two series of Figures 2 and 4.
+type ViolationReport struct {
+	Groups          int
+	ViolatingGroups int
+	Records         int
+	ViolatingRecord int
+	MinGroupSize    int
+	MaxGroupSize    int
+}
+
+// VG returns the violating-group rate v_g.
+func (r ViolationReport) VG() float64 {
+	if r.Groups == 0 {
+		return 0
+	}
+	return float64(r.ViolatingGroups) / float64(r.Groups)
+}
+
+// VR returns the violating-record coverage v_r.
+func (r ViolationReport) VR() float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.ViolatingRecord) / float64(r.Records)
+}
+
+// Violations tests every personal group of the set against Corollary 4.
+// Note the test depends only on the raw data and the parameters — privacy is
+// a property of the perturbation process, not of one sampled D*.
+func Violations(gs *dataset.GroupSet, pm Params) ViolationReport {
+	m := gs.Schema.SADomain()
+	rep := ViolationReport{Groups: gs.NumGroups()}
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		rep.Records += g.Size
+		if i == 0 || g.Size < rep.MinGroupSize {
+			rep.MinGroupSize = g.Size
+		}
+		if g.Size > rep.MaxGroupSize {
+			rep.MaxGroupSize = g.Size
+		}
+		if !GroupPrivate(g, m, pm) {
+			rep.ViolatingGroups++
+			rep.ViolatingRecord += g.Size
+		}
+	}
+	return rep
+}
+
+// MaxGroupSizeForBound generalizes Eq. 10 to any plug-in tail bound
+// (Theorem 2 is bound-agnostic): it returns the largest group size for which
+// min(U, L) ≥ δ at the value's frequency. The bounds are monotone
+// non-increasing in the group size, so an exponential bracket plus binary
+// search finds the threshold exactly.
+func MaxGroupSizeForBound(b bounds.TailBound, f float64, m int, pm Params) float64 {
+	if f <= 0 || pm.Delta >= 1 {
+		return math.Inf(1)
+	}
+	private := func(size int) bool {
+		conv := bounds.Conversion{F: f, P: pm.P, M: m, Size: size}
+		u, l := bounds.FPrimeTails(b, conv, pm.Lambda)
+		return pm.Delta <= math.Min(u, l)
+	}
+	if !private(1) {
+		return 0
+	}
+	hi := 1
+	for private(hi) {
+		hi *= 2
+		if hi > 1<<40 {
+			return math.Inf(1)
+		}
+	}
+	lo := hi / 2 // private(lo), !private(hi)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if private(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return float64(lo)
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/bounds"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams.Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []Params{
+		{P: 0, Lambda: 0.3, Delta: 0.3},
+		{P: 1, Lambda: 0.3, Delta: 0.3},
+		{P: 0.5, Lambda: 0, Delta: 0.3},
+		{P: 0.5, Lambda: -1, Delta: 0.3},
+		{P: 0.5, Lambda: 0.3, Delta: -0.1},
+		{P: 0.5, Lambda: 0.3, Delta: 1.1},
+		{P: math.NaN(), Lambda: 0.3, Delta: 0.3},
+	}
+	for i, pm := range bad {
+		if pm.Validate() == nil {
+			t.Errorf("case %d should fail validation: %+v", i, pm)
+		}
+	}
+}
+
+func TestMaxGroupSizeKnownValues(t *testing.T) {
+	// Hand-computed values of Eq. 10 at the defaults (see Figure 1a):
+	// s_g(f=0.5, m=2) = 2·0.5·(−ln 0.3)/(0.075)² ≈ 214,
+	// s_g(f=0.75, m=2) ≈ 119, s_g(f=0.9, m=2) ≈ 92.5.
+	cases := []struct {
+		f    float64
+		want float64
+	}{
+		{0.5, 214.0},
+		{0.75, 119.0},
+		{0.9, 92.5},
+	}
+	for _, c := range cases {
+		got := MaxGroupSize(c.f, 2, DefaultParams)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("MaxGroupSize(%v, 2) = %v, want ~%v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestMaxGroupSizeFormula(t *testing.T) {
+	// Property: the returned value matches Eq. 10 exactly.
+	prop := func(fRaw, pRaw, lRaw, dRaw uint8, mRaw uint8) bool {
+		f := 0.01 + 0.98*float64(fRaw)/255
+		pm := Params{
+			P:      0.01 + 0.98*float64(pRaw)/255,
+			Lambda: 0.01 + float64(lRaw)/255,
+			Delta:  0.01 + 0.98*float64(dRaw)/255,
+		}
+		m := 2 + int(mRaw%60)
+		want := -2 * (f*pm.P + (1-pm.P)/float64(m)) * math.Log(pm.Delta) /
+			math.Pow(pm.Lambda*pm.P*f, 2)
+		got := MaxGroupSize(f, m, pm)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxGroupSizeMonotonicity(t *testing.T) {
+	// Section 4.3: larger f, p, λ, δ all make violations more likely, i.e.
+	// shrink s_g.
+	base := DefaultParams
+	m := 10
+	sg := MaxGroupSize(0.3, m, base)
+	if MaxGroupSize(0.4, m, base) >= sg {
+		t.Error("s_g should decrease in f")
+	}
+	bigger := base
+	bigger.P = 0.7
+	if MaxGroupSize(0.3, m, bigger) >= sg {
+		t.Error("s_g should decrease in p")
+	}
+	bigger = base
+	bigger.Lambda = 0.4
+	if MaxGroupSize(0.3, m, bigger) >= sg {
+		t.Error("s_g should decrease in lambda")
+	}
+	bigger = base
+	bigger.Delta = 0.4
+	if MaxGroupSize(0.3, m, bigger) >= sg {
+		t.Error("s_g should decrease in delta")
+	}
+}
+
+func TestMaxGroupSizeEdgeCases(t *testing.T) {
+	if !math.IsInf(MaxGroupSize(0, 2, DefaultParams), 1) {
+		t.Error("f=0 should give +Inf (never reconstructible in relative terms)")
+	}
+	pm := DefaultParams
+	pm.Delta = 1
+	if !math.IsInf(MaxGroupSize(0.5, 2, pm), 1) {
+		t.Error("delta=1 should give +Inf")
+	}
+	pm.Delta = 0
+	if MaxGroupSize(0.5, 2, pm) != 0 {
+		t.Error("delta=0 should give 0")
+	}
+}
+
+func TestValueAndGroupPrivate(t *testing.T) {
+	pm := DefaultParams
+	// s_g(0.75, m=2) ≈ 119: a group of 100 passes, of 200 fails.
+	if !ValuePrivate(100, 0.75, 2, pm) {
+		t.Error("size 100 at f=0.75 should be private")
+	}
+	if ValuePrivate(200, 0.75, 2, pm) {
+		t.Error("size 200 at f=0.75 should violate")
+	}
+	g := &dataset.Group{SACounts: []int{150, 50}, Size: 200}
+	if GroupPrivate(g, 2, pm) {
+		t.Error("group of 200 with max f=0.75 should violate")
+	}
+	small := &dataset.Group{SACounts: []int{75, 25}, Size: 100}
+	if !GroupPrivate(small, 2, pm) {
+		t.Error("group of 100 with max f=0.75 should be private")
+	}
+}
+
+func TestGroupPrivateUsesMaxFrequency(t *testing.T) {
+	// Corollary 4 must hold for every SA value; since s_g decreases in f,
+	// testing the max frequency suffices. Cross-check against the
+	// exhaustive per-value test on random groups.
+	prop := func(c0, c1, c2 uint8) bool {
+		g := &dataset.Group{SACounts: []int{int(c0), int(c1), int(c2)}}
+		g.Size = int(c0) + int(c1) + int(c2)
+		if g.Size == 0 {
+			return true
+		}
+		m := 3
+		viaMax := GroupPrivate(g, m, DefaultParams)
+		exhaustive := true
+		for sa := range g.SACounts {
+			if !ValuePrivate(g.Size, g.Freq(uint16(sa)), m, DefaultParams) {
+				exhaustive = false
+			}
+		}
+		return viaMax == exhaustive
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupTailsConsistentWithTest(t *testing.T) {
+	// The Corollary 4 test must agree with δ ≤ min(U, L) evaluated through
+	// the bounds package, within the λ range where the test applies.
+	pm := DefaultParams
+	for _, f := range []float64{0.2, 0.5, 0.75} {
+		for _, size := range []int{50, 150, 500, 2000} {
+			m := 4
+			conv := bounds.Conversion{F: f, P: pm.P, M: m, Size: size}
+			if pm.Lambda > conv.MaxLambda() {
+				continue
+			}
+			u, l := GroupTails(size, f, m, pm)
+			viaBounds := pm.Delta <= math.Min(u, l)
+			viaTest := ValuePrivate(size, f, m, pm)
+			if viaBounds != viaTest {
+				t.Errorf("f=%v size=%d: bounds test %v, Corollary 4 %v (U=%v L=%v)",
+					f, size, viaBounds, viaTest, u, l)
+			}
+		}
+	}
+}
+
+func TestViolationsCounts(t *testing.T) {
+	// Construct a group set with one violating and one private group.
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"x", "y"}},
+		{Name: "S", Values: []string{"s0", "s1"}},
+	}, "S")
+	tab := dataset.NewTable(s, 300)
+	for i := 0; i < 200; i++ { // group x: 200 records at f=0.75 → violates
+		sa := uint16(0)
+		if i >= 150 {
+			sa = 1
+		}
+		tab.MustAppendRow(0, sa)
+	}
+	for i := 0; i < 100; i++ { // group y: 100 records at f=0.75 → private
+		sa := uint16(0)
+		if i >= 75 {
+			sa = 1
+		}
+		tab.MustAppendRow(1, sa)
+	}
+	gs := dataset.GroupsOf(tab)
+	rep := Violations(gs, DefaultParams)
+	if rep.Groups != 2 || rep.ViolatingGroups != 1 {
+		t.Fatalf("violating groups = %d/%d, want 1/2", rep.ViolatingGroups, rep.Groups)
+	}
+	if rep.Records != 300 || rep.ViolatingRecord != 200 {
+		t.Fatalf("violating records = %d/%d, want 200/300", rep.ViolatingRecord, rep.Records)
+	}
+	if math.Abs(rep.VG()-0.5) > 1e-12 || math.Abs(rep.VR()-200.0/300) > 1e-12 {
+		t.Errorf("VG=%v VR=%v", rep.VG(), rep.VR())
+	}
+	if rep.MinGroupSize != 100 || rep.MaxGroupSize != 200 {
+		t.Errorf("group size range [%d, %d], want [100, 200]", rep.MinGroupSize, rep.MaxGroupSize)
+	}
+}
+
+func TestMaxGroupSizeForBoundMatchesChernoffClosedForm(t *testing.T) {
+	// The generic search under the Chernoff bound must agree with Eq. 10
+	// (up to integer rounding).
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.75, 0.9} {
+		for _, m := range []int{2, 10, 50} {
+			closed := MaxGroupSize(f, m, DefaultParams)
+			searched := MaxGroupSizeForBound(bounds.Chernoff{}, f, m, DefaultParams)
+			if math.Abs(searched-math.Floor(closed)) > 1.0 {
+				t.Errorf("f=%v m=%d: search %v vs closed form %v", f, m, searched, closed)
+			}
+		}
+	}
+}
+
+func TestMaxGroupSizeForBoundMarkovInfinite(t *testing.T) {
+	// Markov has no lower-tail information, so min(U, L) = L = 1 ≥ δ always:
+	// every size is "private" under it.
+	if !math.IsInf(MaxGroupSizeForBound(bounds.Markov{}, 0.5, 2, DefaultParams), 1) {
+		t.Error("Markov should never certify a violation")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+)
+
+// Incremental maintains a reconstruction-private publication under record
+// insertion. Section 3.1 argues data perturbation is "more amendable to
+// record insertion" than noisy query answers because each record is
+// perturbed independently; this type makes that argument concrete while
+// preserving the SPS privacy invariant:
+//
+//	at all times, the published version of a personal group derives from
+//	at most s_g independent perturbation trials,
+//
+// where s_g is evaluated at the group's current maximum frequency. New
+// records in a group still under its budget are perturbed and published
+// directly (one new trial). Once a group reaches its budget, additional
+// records are *absorbed*: the publication grows by duplicating one of the
+// group's existing perturbed sample records (chosen proportionally to the
+// sample histogram), which adds no independent trial — the streaming
+// analogue of SPS's Scaling step.
+//
+// Because f drifts as records arrive, s_g drifts too; the maintained sample
+// is never larger than the smallest budget in force while it was built, so
+// the invariant holds conservatively. Rebuild republishes from scratch when
+// drift makes the incremental publication too conservative.
+type Incremental struct {
+	schema *dataset.Schema
+	params Params
+	rng    *rand.Rand
+	m      int
+
+	groups map[uint64]*incGroup
+	order  []uint64 // insertion order of group keys, for deterministic output
+
+	naIdx []int
+	radix []int
+
+	recordsIn int
+	trials    int // independent perturbation trials spent so far
+	absorbed  int // records published by duplication instead of a new trial
+}
+
+// incGroup is the per-group state.
+type incGroup struct {
+	key    []uint16
+	raw    []int // true SA histogram (drives f and s_g)
+	sample []int // perturbed sample histogram (the independent trials)
+	pub    []int // published histogram (sample + duplicates)
+	size   int   // raw record count
+}
+
+// NewIncremental creates an empty incremental publisher for the schema.
+func NewIncremental(schema *dataset.Schema, pm Params, rng *rand.Rand) (*Incremental, error) {
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	inc := &Incremental{
+		schema: schema,
+		params: pm,
+		rng:    rng,
+		m:      schema.SADomain(),
+		groups: make(map[uint64]*incGroup),
+		naIdx:  schema.NAIndices(),
+	}
+	inc.radix = make([]int, len(inc.naIdx))
+	for i, a := range inc.naIdx {
+		inc.radix[i] = schema.Attrs[a].Domain()
+	}
+	return inc, nil
+}
+
+// encode packs an NA key.
+func (inc *Incremental) encode(key []uint16) uint64 {
+	var k uint64
+	for i := range inc.naIdx {
+		k = k*uint64(inc.radix[i]) + uint64(key[i])
+	}
+	return k
+}
+
+// Add ingests one record: its public-attribute key (NAIndices order) and
+// sensitive value. It returns true when the record spent a fresh
+// perturbation trial and false when it was absorbed by duplication.
+func (inc *Incremental) Add(key []uint16, sa uint16) (bool, error) {
+	if len(key) != len(inc.naIdx) {
+		return false, fmt.Errorf("core: key arity %d, schema has %d public attributes", len(key), len(inc.naIdx))
+	}
+	for i, v := range key {
+		if int(v) >= inc.radix[i] {
+			return false, fmt.Errorf("core: key value %d out of domain for attribute %d", v, inc.naIdx[i])
+		}
+	}
+	if int(sa) >= inc.m {
+		return false, fmt.Errorf("core: sensitive value %d out of domain", sa)
+	}
+	k := inc.encode(key)
+	g, ok := inc.groups[k]
+	if !ok {
+		g = &incGroup{
+			key:    append([]uint16(nil), key...),
+			raw:    make([]int, inc.m),
+			sample: make([]int, inc.m),
+			pub:    make([]int, inc.m),
+		}
+		inc.groups[k] = g
+		inc.order = append(inc.order, k)
+	}
+	g.raw[sa]++
+	g.size++
+	inc.recordsIn++
+
+	sampleSize := 0
+	for _, c := range g.sample {
+		sampleSize += c
+	}
+	maxFreq := 0
+	for _, c := range g.raw {
+		if c > maxFreq {
+			maxFreq = c
+		}
+	}
+	sg := MaxGroupSize(float64(maxFreq)/float64(g.size), inc.m, inc.params)
+	if float64(sampleSize) < sg {
+		// Budget available: spend a fresh trial.
+		v := perturb.Value(inc.rng, sa, inc.m, inc.params.P)
+		g.sample[v]++
+		g.pub[v]++
+		inc.trials++
+		return true, nil
+	}
+	// Budget exhausted: absorb by duplicating an existing sample record.
+	if sampleSize == 0 {
+		// s_g < 1 corner: publish one trial anyway (a single trial can
+		// never support an accurate reconstruction).
+		v := perturb.Value(inc.rng, sa, inc.m, inc.params.P)
+		g.sample[v]++
+		g.pub[v]++
+		inc.trials++
+		return true, nil
+	}
+	pick := inc.rng.Intn(sampleSize)
+	for v, c := range g.sample {
+		if pick < c {
+			g.pub[v]++
+			break
+		}
+		pick -= c
+	}
+	inc.absorbed++
+	return false, nil
+}
+
+// AddTable ingests every record of a table sharing the publisher's schema.
+func (inc *Incremental) AddTable(t *dataset.Table) error {
+	if t.Schema.NumAttrs() != inc.schema.NumAttrs() {
+		return fmt.Errorf("core: table schema does not match the publisher")
+	}
+	key := make([]uint16, len(inc.naIdx))
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		row := t.Row(r)
+		for i, a := range inc.naIdx {
+			key[i] = row[a]
+		}
+		if _, err := inc.Add(key, row[t.Schema.SA]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats describes the incremental publisher's state.
+type IncrementalStats struct {
+	Records  int // records ingested
+	Groups   int // personal groups seen
+	Trials   int // independent perturbation trials spent
+	Absorbed int // records published by duplication
+}
+
+// Stats returns current counters.
+func (inc *Incremental) Stats() IncrementalStats {
+	return IncrementalStats{
+		Records:  inc.recordsIn,
+		Groups:   len(inc.groups),
+		Trials:   inc.trials,
+		Absorbed: inc.absorbed,
+	}
+}
+
+// Snapshot materializes the current publication as a group set. The
+// publication has exactly one record per ingested record.
+func (inc *Incremental) Snapshot() *dataset.GroupSet {
+	t := dataset.NewTable(inc.schema, inc.recordsIn)
+	row := make([]uint16, inc.schema.NumAttrs())
+	for _, k := range inc.order {
+		g := inc.groups[k]
+		for i, a := range inc.naIdx {
+			row[a] = g.key[i]
+		}
+		for sa, c := range g.pub {
+			row[inc.schema.SA] = uint16(sa)
+			for j := 0; j < c; j++ {
+				t.MustAppendRow(row...)
+			}
+		}
+	}
+	return dataset.GroupsOf(t)
+}
+
+// Rebuild republishes everything from the accumulated raw histograms with a
+// fresh batch SPS pass, resetting the drift accumulated by streaming. The
+// publisher continues from the rebuilt state.
+func (inc *Incremental) Rebuild() error {
+	st := &SPSStats{}
+	inc.trials = 0
+	inc.absorbed = 0
+	for _, k := range inc.order {
+		g := inc.groups[k]
+		maxC := 0
+		for _, c := range g.raw {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if g.size == 0 {
+			continue
+		}
+		group := &dataset.Group{Key: g.key, SACounts: g.raw, Size: g.size}
+		sg := MaxGroupSize(group.MaxFreq(), inc.m, inc.params)
+		if float64(g.size) <= sg {
+			g.sample = perturb.Counts(inc.rng, g.raw, inc.params.P)
+			g.pub = append([]int(nil), g.sample...)
+			inc.trials += g.size
+			continue
+		}
+		g.pub = spsGroup(inc.rng, group, sg, inc.params.P, st)
+		// The sample behind the publication is the s_g-sized draw; scale
+		// bookkeeping: approximate the sample by the publication rescaled,
+		// for absorption purposes the published histogram shape is what
+		// duplication draws from.
+		g.sample = append([]int(nil), g.pub...)
+		inc.trials += int(sg)
+		inc.absorbed += g.size - int(sg)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func incSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"x", "y"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2", "s3", "s4"}},
+	}, "S")
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	s := incSchema(t)
+	if _, err := NewIncremental(s, Params{}, stats.NewRand(1)); err == nil {
+		t.Error("invalid params should error")
+	}
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Add([]uint16{0, 0}, 0); err == nil {
+		t.Error("wrong key arity should error")
+	}
+	if _, err := inc.Add([]uint16{9}, 0); err == nil {
+		t.Error("out-of-domain key should error")
+	}
+	if _, err := inc.Add([]uint16{0}, 99); err == nil {
+		t.Error("out-of-domain SA should error")
+	}
+}
+
+func TestIncrementalPublishesEveryRecord(t *testing.T) {
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		key := []uint16{uint16(rng.Intn(2))}
+		sa := uint16(rng.Intn(5))
+		if _, err := inc.Add(key, sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inc.Stats()
+	if st.Records != n {
+		t.Errorf("Records = %d", st.Records)
+	}
+	if st.Trials+st.Absorbed != n {
+		t.Errorf("trials %d + absorbed %d != %d", st.Trials, st.Absorbed, n)
+	}
+	snap := inc.Snapshot()
+	if snap.Total() != n {
+		t.Errorf("snapshot has %d records, want %d", snap.Total(), n)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalBudgetInvariant(t *testing.T) {
+	// Feed a single group far beyond its budget: the trial count must stop
+	// near s_g while the publication keeps growing.
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All records share the group and a 0.6/0.2/0.1/0.1 SA profile.
+	const n = 5000
+	rng := stats.NewRand(5)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		var sa uint16
+		switch {
+		case u < 0.6:
+			sa = 0
+		case u < 0.8:
+			sa = 1
+		case u < 0.9:
+			sa = 2
+		default:
+			sa = 3
+		}
+		if _, err := inc.Add([]uint16{0}, sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inc.Stats()
+	sg := MaxGroupSize(0.6, 5, DefaultParams) // ≈ 119 at the defaults
+	// Early low-sample noise can let a few extra trials in while f
+	// stabilizes (the budget is evaluated on the running f); allow slack.
+	if float64(st.Trials) > 2*sg {
+		t.Errorf("trials = %d, budget s_g ≈ %.0f — invariant badly broken", st.Trials, sg)
+	}
+	if st.Absorbed != n-st.Trials {
+		t.Errorf("absorbed = %d, want %d", st.Absorbed, n-st.Trials)
+	}
+	if snap := inc.Snapshot(); snap.Total() != n {
+		t.Errorf("snapshot size %d", snap.Total())
+	}
+}
+
+func TestIncrementalMatchesBatchStatistically(t *testing.T) {
+	// The incremental publication must stay a usable basis for aggregate
+	// reconstruction: reconstruct the global SA distribution from the
+	// snapshot and compare to the raw distribution.
+	s := incSchema(t)
+	pm := DefaultParams
+	const n = 20000
+	var rawHist [5]int
+	inc, err := NewIncremental(s, pm, stats.NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(7)
+	for i := 0; i < n; i++ {
+		key := []uint16{uint16(rng.Intn(2))}
+		sa := uint16(stats.Categorical(rng, []float64{0.4, 0.25, 0.2, 0.1, 0.05}))
+		rawHist[sa]++
+		if _, err := inc.Add(key, sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := inc.Snapshot()
+	var pubHist [5]int
+	total := 0
+	for i := range snap.Groups {
+		for sa, c := range snap.Groups[i].SACounts {
+			pubHist[sa] += c
+			total += c
+		}
+	}
+	for sa := 0; sa < 5; sa++ {
+		fPrime := (float64(pubHist[sa])/float64(total) - (1-pm.P)/5) / pm.P
+		f := float64(rawHist[sa]) / n
+		// Duplication inflates variance relative to batch UP, so the band
+		// is loose — but the estimate must remain in the neighborhood.
+		if math.Abs(fPrime-f) > 0.08 {
+			t.Errorf("sa=%d: reconstructed %v, raw %v", sa, fPrime, f)
+		}
+	}
+}
+
+func TestIncrementalAddTable(t *testing.T) {
+	s := incSchema(t)
+	tab := dataset.NewTable(s, 100)
+	rng := stats.NewRand(8)
+	for i := 0; i < 100; i++ {
+		tab.MustAppendRow(uint16(rng.Intn(2)), uint16(rng.Intn(5)))
+	}
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats().Records != 100 {
+		t.Errorf("Records = %d", inc.Stats().Records)
+	}
+	other := dataset.MustSchema([]dataset.Attribute{
+		{Name: "B", Values: []string{"x"}},
+		{Name: "C", Values: []string{"y"}},
+		{Name: "S", Values: []string{"s0", "s1"}},
+	}, "S")
+	otherTab := dataset.NewTable(other, 1)
+	otherTab.MustAppendRow(0, 0, 0)
+	if err := inc.AddTable(otherTab); err == nil {
+		t.Error("mismatched schema should error")
+	}
+}
+
+func TestIncrementalRebuild(t *testing.T) {
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(11)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		var sa uint16
+		if rng.Float64() < 0.6 {
+			sa = 0
+		} else {
+			sa = uint16(1 + rng.Intn(4))
+		}
+		if _, err := inc.Add([]uint16{0}, sa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if st.Records != n {
+		t.Errorf("Records = %d after rebuild", st.Records)
+	}
+	snap := inc.Snapshot()
+	// Rebuild runs batch SPS, so the size is restored up to scaling
+	// rounding.
+	if math.Abs(float64(snap.Total()-n)) > 0.05*n {
+		t.Errorf("snapshot %d records after rebuild, want ≈ %d", snap.Total(), n)
+	}
+	// Trials after rebuild equal the batch budget, not the streaming one.
+	sg := MaxGroupSize(0.6, 5, DefaultParams)
+	if float64(st.Trials) > 1.5*sg {
+		t.Errorf("trials after rebuild = %d, want ≈ s_g = %.0f", st.Trials, sg)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestParallelUPDeterministicAcrossWorkerCounts(t *testing.T) {
+	gs := spsTestGroups(t)
+	base, err := PublishUPParallel(7, gs, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		got, err := PublishUPParallel(7, gs, 0.5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.Groups {
+			for sa := range base.Groups[i].SACounts {
+				if got.Groups[i].SACounts[sa] != base.Groups[i].SACounts[sa] {
+					t.Fatalf("workers=%d: output differs at group %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSPSDeterministicAcrossWorkerCounts(t *testing.T) {
+	gs := spsTestGroups(t)
+	base, stBase, err := PublishSPSParallel(9, gs, DefaultParams, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 7, 0} {
+		got, st, err := PublishSPSParallel(9, gs, DefaultParams, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SampledGroups != stBase.SampledGroups || st.RecordsOut != stBase.RecordsOut {
+			t.Fatalf("workers=%d: stats differ (%+v vs %+v)", workers, st, stBase)
+		}
+		for i := range base.Groups {
+			for sa := range base.Groups[i].SACounts {
+				if got.Groups[i].SACounts[sa] != base.Groups[i].SACounts[sa] {
+					t.Fatalf("workers=%d: output differs at group %d", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSPSMatchesSequentialSemantics(t *testing.T) {
+	// Same sampled-group decisions and size preservation as the sequential
+	// algorithm (the random draws differ, the structure must not).
+	gs := spsTestGroups(t)
+	_, seqSt, err := PublishSPS(stats.NewRand(11), gs, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parSt, err := PublishSPSParallel(11, gs, DefaultParams, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parSt.SampledGroups != seqSt.SampledGroups {
+		t.Errorf("sampled groups: parallel %d, sequential %d", parSt.SampledGroups, seqSt.SampledGroups)
+	}
+	if parSt.RecordsIn != seqSt.RecordsIn {
+		t.Errorf("records in: %d vs %d", parSt.RecordsIn, seqSt.RecordsIn)
+	}
+	for i := range par.Groups {
+		orig := gs.Groups[i].Size
+		if math.Abs(float64(par.Groups[i].Size-orig)) > 0.05*float64(orig)+10 {
+			t.Errorf("group %d size %d, want ≈ %d", i, par.Groups[i].Size, orig)
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	gs := spsTestGroups(t)
+	if _, err := PublishUPParallel(1, gs, 0, 2); err == nil {
+		t.Error("invalid p should error")
+	}
+	if _, _, err := PublishSPSParallel(1, gs, Params{}, 2); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestGroupSeedSeparation(t *testing.T) {
+	// Neighboring groups must get distinct, well-mixed seeds.
+	seen := make(map[int64]bool)
+	for i := 0; i < 10000; i++ {
+		s := groupSeed(42, i)
+		if seen[s] {
+			t.Fatalf("seed collision at group %d", i)
+		}
+		seen[s] = true
+	}
+	if groupSeed(1, 0) == groupSeed(2, 0) {
+		t.Error("different master seeds must give different group seeds")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// randomGroupSet builds an arbitrary group set from fuzz input: up to 8
+// groups over a 4-value SA domain with counts up to 500 per value.
+func randomGroupSet(raw []uint16) *dataset.GroupSet {
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"v0", "v1", "v2", "v3", "v4", "v5", "v6", "v7"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2", "s3"}},
+	}, "S")
+	t := dataset.NewTable(s, 64)
+	gi := 0
+	for len(raw) >= 4 && gi < 8 {
+		for sa := 0; sa < 4; sa++ {
+			c := int(raw[sa] % 500)
+			for k := 0; k < c; k++ {
+				t.MustAppendRow(uint16(gi), uint16(sa))
+			}
+		}
+		raw = raw[4:]
+		gi++
+	}
+	if t.NumRows() == 0 {
+		t.MustAppendRow(0, 0)
+	}
+	return dataset.GroupsOf(t)
+}
+
+func TestPropertyUPConservesEverything(t *testing.T) {
+	rng := stats.NewRand(100)
+	prop := func(raw []uint16, pRaw uint8) bool {
+		gs := randomGroupSet(raw)
+		p := 0.05 + 0.9*float64(pRaw)/255
+		out, err := PublishUP(rng, gs, p)
+		if err != nil {
+			return false
+		}
+		if out.NumGroups() != gs.NumGroups() || out.Total() != gs.Total() {
+			return false
+		}
+		for i := range out.Groups {
+			if out.Groups[i].Size != gs.Groups[i].Size {
+				return false
+			}
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySPSStructure(t *testing.T) {
+	// For any group set and valid parameters: SPS preserves the group
+	// structure, keeps sizes within the scaling-rounding band, never
+	// produces negative counts, and samples exactly the violating groups.
+	rng := stats.NewRand(101)
+	prop := func(raw []uint16, pRaw, lRaw, dRaw uint8) bool {
+		gs := randomGroupSet(raw)
+		pm := Params{
+			P:      0.05 + 0.9*float64(pRaw)/255,
+			Lambda: 0.05 + float64(lRaw)/255,
+			Delta:  0.05 + 0.9*float64(dRaw)/255,
+		}
+		out, st, err := PublishSPS(rng, gs, pm)
+		if err != nil {
+			return false
+		}
+		if out.NumGroups() != gs.NumGroups() || out.Validate() != nil {
+			return false
+		}
+		m := gs.Schema.SADomain()
+		wantSampled := 0
+		for i := range gs.Groups {
+			g := &gs.Groups[i]
+			if !GroupPrivate(g, m, pm) {
+				wantSampled++
+			}
+			// Size within a generous rounding band: per perturbed record
+			// one Bernoulli, so deviation scales like sqrt(size).
+			dev := math.Abs(float64(out.Groups[i].Size - g.Size))
+			if dev > 6*math.Sqrt(float64(g.Size)+1)+3 {
+				return false
+			}
+			for _, c := range out.Groups[i].SACounts {
+				if c < 0 {
+					return false
+				}
+			}
+		}
+		return st.SampledGroups == wantSampled
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyViolationsMonotoneInParams(t *testing.T) {
+	// Corollary 4 commentary: violations can only grow when p, λ, or δ grow.
+	prop := func(raw []uint16, aRaw, bRaw uint8) bool {
+		gs := randomGroupSet(raw)
+		lo := 0.05 + 0.45*float64(aRaw)/255
+		hi := lo + 0.4*float64(bRaw)/255 + 0.01
+		base := Params{P: 0.5, Lambda: 0.3, Delta: 0.3}
+		for _, set := range []func(*Params, float64){
+			func(pm *Params, v float64) { pm.P = v },
+			func(pm *Params, v float64) { pm.Lambda = v },
+			func(pm *Params, v float64) { pm.Delta = v },
+		} {
+			pmLo, pmHi := base, base
+			set(&pmLo, lo)
+			set(&pmHi, hi)
+			if Violations(gs, pmLo).ViolatingGroups > Violations(gs, pmHi).ViolatingGroups {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIncrementalConservation(t *testing.T) {
+	// For any insertion stream: records in == trials + absorbed, and the
+	// snapshot publishes exactly one record per insertion.
+	prop := func(stream []uint16) bool {
+		s := dataset.MustSchema([]dataset.Attribute{
+			{Name: "A", Values: []string{"x", "y", "z"}},
+			{Name: "S", Values: []string{"s0", "s1", "s2"}},
+		}, "S")
+		inc, err := NewIncremental(s, DefaultParams, stats.NewRand(7))
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, v := range stream {
+			key := []uint16{uint16(v % 3)}
+			sa := uint16((v / 3) % 3)
+			if _, err := inc.Add(key, sa); err != nil {
+				return false
+			}
+			n++
+		}
+		st := inc.Stats()
+		if st.Records != n || st.Trials+st.Absorbed != n {
+			return false
+		}
+		return inc.Snapshot().Total() == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

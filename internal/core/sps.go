@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+)
+
+// SPSStats reports what the SPS algorithm did to a data set.
+type SPSStats struct {
+	Groups        int // personal groups processed
+	SampledGroups int // groups whose size exceeded s_g and were sampled
+	RecordsIn     int // records before publishing
+	RecordsOut    int // records after publishing (≈ RecordsIn, Fact 2)
+	SampledAway   int // records removed by Sampling before Scaling restored size
+}
+
+// PublishUP publishes the group set with plain uniform perturbation (the UP
+// baseline of Section 6): every record's SA value is perturbed, no sampling.
+func PublishUP(rng *rand.Rand, gs *dataset.GroupSet, p float64) (*dataset.GroupSet, error) {
+	if err := perturb.ValidateP(p); err != nil {
+		return nil, err
+	}
+	out := gs.CloneShape()
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		pg := &out.Groups[i]
+		pg.SACounts = perturb.Counts(rng, g.SACounts, p)
+		pg.Size = g.Size
+	}
+	return out, nil
+}
+
+// PublishSPS runs Sampling-Perturbing-Scaling (Section 5) on every personal
+// group and returns the published group set D*₂ together with statistics.
+//
+// For each group g with maximum SA frequency f:
+//   - if |g| ≤ s_g, the group is perturbed verbatim (g*₂ = g*);
+//   - otherwise a frequency-preserving sample g₁ of expected size s_g is
+//     drawn (per SA value: ⌊|g_sa|·τ⌋ records plus one more with probability
+//     frac(|g_sa|·τ), τ = s_g/|g|), g₁ is perturbed into g*₁, and each
+//     perturbed record is duplicated ⌊τ'⌋ times plus once with probability
+//     frac(τ'), τ' = |g|/|g*₁|, scaling back to the original size.
+//
+// Groups are multisets over SA (records in a group are identical on NA), so
+// the implementation operates on SA histograms; every coin toss matches the
+// per-record description in the paper exactly.
+func PublishSPS(rng *rand.Rand, gs *dataset.GroupSet, pm Params) (*dataset.GroupSet, *SPSStats, error) {
+	if err := pm.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m := gs.Schema.SADomain()
+	out := gs.CloneShape()
+	st := &SPSStats{Groups: gs.NumGroups()}
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		st.RecordsIn += g.Size
+		sg := MaxGroupSize(g.MaxFreq(), m, pm)
+		if float64(g.Size) <= sg {
+			// Already private: plain perturbation, no sampling.
+			out.Groups[i].SACounts = perturb.Counts(rng, g.SACounts, pm.P)
+			out.Groups[i].Size = g.Size
+			st.RecordsOut += g.Size
+			continue
+		}
+		st.SampledGroups++
+		counts2 := spsGroup(rng, g, sg, pm.P, st)
+		total := 0
+		for _, c := range counts2 {
+			total += c
+		}
+		out.Groups[i].SACounts = counts2
+		out.Groups[i].Size = total
+		st.RecordsOut += total
+	}
+	return out, st, nil
+}
+
+// spsGroup applies the three steps to one violating group and returns the
+// published histogram g*₂.
+func spsGroup(rng *rand.Rand, g *dataset.Group, sg float64, p float64, st *SPSStats) []int {
+	m := len(g.SACounts)
+	tau := sg / float64(g.Size)
+
+	// Step 1: Sampling(g, s_g) — per SA value, keep ⌊c·τ⌋ records and one
+	// more with probability frac(c·τ). All records in g_sa are identical, so
+	// "pick any" is a count operation.
+	sample := make([]int, m)
+	sampleSize := 0
+	for sa, c := range g.SACounts {
+		if c == 0 {
+			continue
+		}
+		exact := float64(c) * tau
+		k := int(math.Floor(exact))
+		if rng.Float64() < exact-float64(k) {
+			k++
+		}
+		if k > c {
+			k = c
+		}
+		sample[sa] = k
+		sampleSize += k
+	}
+	if sampleSize == 0 {
+		// Degenerate corner (s_g < 1): keep one record of the most frequent
+		// value so Scaling has something to duplicate. A single trial is
+		// trivially private for any s_g ≥ 1 requirement relevant here.
+		best := 0
+		for sa, c := range g.SACounts {
+			if c > g.SACounts[best] {
+				best = sa
+			}
+		}
+		sample[best] = 1
+		sampleSize = 1
+	}
+	st.SampledAway += g.Size - sampleSize
+
+	// Step 2: Perturbing(g₁, p, m) — uniform perturbation of the sample.
+	perturbed := perturb.Counts(rng, sample, p)
+
+	// Step 3: Scaling(g*₁, |g|) — duplicate each perturbed record ⌊τ'⌋ times
+	// plus once with probability frac(τ'). Duplication happens after the
+	// perturbation, so it adds no independent trials (the privacy argument
+	// of Theorem 4 rests on g*₁ alone).
+	tauPrime := float64(g.Size) / float64(sampleSize)
+	whole := int(math.Floor(tauPrime))
+	frac := tauPrime - float64(whole)
+	out := make([]int, m)
+	for sa, c := range perturbed {
+		if c == 0 {
+			continue
+		}
+		n := c * whole
+		for k := 0; k < c; k++ {
+			if rng.Float64() < frac {
+				n++
+			}
+		}
+		out[sa] = n
+	}
+	return out
+}
+
+// RetentionForNoViolation is the alternative route to privacy that Section 5
+// considers and rejects: keep all records but shrink the retention
+// probability globally until every personal group satisfies Corollary 4.
+// It returns the largest such p ≤ pm.P found by binary search (s_g → ∞ as
+// p → 0, so a feasible p always exists), or an error if even p = pm.P/2¹⁰⁰
+// does not suffice. The ablation bench compares its utility against SPS.
+func RetentionForNoViolation(gs *dataset.GroupSet, pm Params) (float64, error) {
+	if err := pm.Validate(); err != nil {
+		return 0, err
+	}
+	ok := func(p float64) bool {
+		trial := pm
+		trial.P = p
+		return Violations(gs, trial).ViolatingGroups == 0
+	}
+	if ok(pm.P) {
+		return pm.P, nil
+	}
+	lo := pm.P
+	for i := 0; !ok(lo); i++ {
+		lo /= 2
+		if i > 100 {
+			return 0, fmt.Errorf("core: no retention probability below %v removes all violations", pm.P)
+		}
+	}
+	hi := lo * 2 // ok(lo), !ok(hi)
+	for k := 0; k < 60; k++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

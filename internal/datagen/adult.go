@@ -1,0 +1,251 @@
+// Package datagen synthesizes the three data sets the experiments run on.
+//
+// The paper evaluates on the UCI ADULT data set and the 500K-record CENSUS
+// data set of Xiao & Tao. Neither file is available in this offline build,
+// so the package generates statistical stand-ins that preserve every
+// property the experiments depend on (see DESIGN.md §4): record counts,
+// attribute domains, the Example-1 rule cell, the chi-square merge structure
+// of Tables 4 and 5, and the group-size × max-frequency profiles that drive
+// Figures 2–5. All generation is deterministic given the seed.
+package datagen
+
+import (
+	"math"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// AdultSize is the paper's record count for ADULT (45,222 records after
+// removing missing values).
+const AdultSize = 45222
+
+// The Example-1 cell: Q1 = {Prof-school, Prof-specialty, White, Male}
+// matches exactly AdultQ1Count records, AdultQ2Count of which earn >50K,
+// giving the rule confidence 420/501 = 83.83%.
+const (
+	AdultQ1Count = 501
+	AdultQ2Count = 420
+)
+
+// AdultIncomeRate is the global frequency of ">50K" the generator calibrates
+// to (the paper reports 24.78%).
+const AdultIncomeRate = 0.2478
+
+var adultEducation = []string{
+	"Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th",
+	"11th", "12th", "HS-grad", "Some-college", "Assoc-acdm", "Assoc-voc",
+	"Bachelors", "Masters", "Doctorate", "Prof-school",
+}
+
+// adultEduCluster maps each education value to one of 7 income-impact
+// classes; the chi-square merge of Table 4 recovers exactly these classes
+// (16 → 7). Prof-school is a singleton so that the pinned Example-1 cell
+// cannot perturb a within-cluster comparison.
+var adultEduCluster = []int{
+	0, 0, 0, // Preschool, 1st-4th, 5th-6th
+	1, 1, 1, // 7th-8th, 9th, 10th
+	2, 2, 2, // 11th, 12th, HS-grad
+	3, 3, 3, // Some-college, Assoc-acdm, Assoc-voc
+	4, 4, // Bachelors, Masters
+	5, // Doctorate
+	6, // Prof-school (holds the Example-1 cell)
+}
+
+var adultEduWeight = []float64{-0.14, -0.08, -0.02, 0.04, 0.12, 0.22, 0.30}
+
+var adultOccupation = []string{
+	"Priv-house-serv", "Other-service", "Handlers-cleaners", "Farming-fishing", "Machine-op-inspct",
+	"Adm-clerical", "Transport-moving", "Craft-repair", "Armed-Forces",
+	"Tech-support", "Sales", "Protective-serv", "Exec-managerial",
+	"Prof-specialty",
+}
+
+// adultOccCluster: 14 → 4 (Table 4). Prof-specialty is a singleton for the
+// same pinned-cell reason as Prof-school.
+var adultOccCluster = []int{
+	0, 0, 0, 0, 0,
+	1, 1, 1, 1,
+	2, 2, 2, 2,
+	3,
+}
+
+var adultOccWeight = []float64{-0.08, -0.02, 0.05, 0.15}
+
+var adultRace = []string{"White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"}
+
+// adultRaceCluster: 5 → 2 (Table 4); White shares a cluster with
+// Asian-Pac-Islander, which the pinned cell must not split (the 501 extra
+// White records shift its marginal by <0.01, well under test resolution).
+var adultRaceCluster = []int{0, 0, 1, 1, 1}
+
+var adultRaceWeight = []float64{0.03, -0.06}
+
+var adultGender = []string{"Male", "Female"}
+
+var adultGenderWeight = []float64{0.05, -0.07}
+
+var adultIncome = []string{"<=50K", ">50K"}
+
+// Marginal draws for the random layer. Every value keeps at least ~2% mass
+// so each conditional histogram has enough records for the chi-square test
+// to resolve the 0.06 cross-cluster rate gaps (see DESIGN.md §4).
+var (
+	adultEduMarginal = []float64{
+		0.030, 0.030, 0.030, 0.045, 0.048, 0.055,
+		0.062, 0.040, 0.140, 0.105, 0.055, 0.058,
+		0.112, 0.070, 0.060, 0.060,
+	}
+	adultOccMarginal = []float64{
+		0.040, 0.075, 0.055, 0.045, 0.075,
+		0.090, 0.060, 0.095, 0.040,
+		0.055, 0.095, 0.050, 0.105,
+		0.120,
+	}
+	adultRaceMarginal   = []float64{0.550, 0.100, 0.130, 0.100, 0.120}
+	adultGenderMarginal = []float64{0.52, 0.48}
+)
+
+// adultIndex locates the Example-1 value codes.
+var (
+	adultEduProfSchool    = uint16(15)
+	adultOccProfSpecialty = uint16(13)
+	adultRaceWhite        = uint16(0)
+	adultGenderMale       = uint16(0)
+)
+
+// AdultSchema returns the ADULT schema: Education, Occupation, Race, Gender
+// public; Income sensitive (m = 2).
+func AdultSchema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "Education", Values: append([]string(nil), adultEducation...)},
+		{Name: "Occupation", Values: append([]string(nil), adultOccupation...)},
+		{Name: "Race", Values: append([]string(nil), adultRace...)},
+		{Name: "Gender", Values: append([]string(nil), adultGender...)},
+		{Name: "Income", Values: append([]string(nil), adultIncome...)},
+	}, "Income")
+}
+
+// adultRate returns P(>50K | e, o, r, g) for a calibration base rate. The
+// rate depends on the values only through their clusters, which is what
+// makes the Table 4 merge structure identifiable.
+func adultRate(base float64, e, o, r, g int) float64 {
+	rate := base +
+		adultEduWeight[adultEduCluster[e]] +
+		adultOccWeight[adultOccCluster[o]] +
+		adultRaceWeight[adultRaceCluster[r]] +
+		adultGenderWeight[g]
+	return math.Min(0.95, math.Max(0.02, rate))
+}
+
+// adultCalibrateBase solves for the base rate that makes the expected global
+// >50K frequency equal AdultIncomeRate. The expectation accounts for all
+// three generation layers — the uniform coverage layer, the pinned Example-1
+// cell at 420/501, and the marginal-weighted random layer — and includes the
+// clamping of adultRate, evaluated exactly over all 2,240 NA combinations.
+func adultCalibrateBase() float64 {
+	numCombos := float64(len(adultEducation) * len(adultOccupation) * len(adultRace) * len(adultGender))
+	expected := func(base float64) float64 {
+		var unif, marg float64
+		for e := range adultEducation {
+			for o := range adultOccupation {
+				for r := range adultRace {
+					for g := range adultGender {
+						rate := adultRate(base, e, o, r, g)
+						unif += rate / numCombos
+						marg += rate * adultEduMarginal[e] * adultOccMarginal[o] *
+							adultRaceMarginal[r] * adultGenderMarginal[g]
+					}
+				}
+			}
+		}
+		coverage := numCombos - 1
+		random := float64(AdultSize) - coverage - AdultQ1Count
+		return (coverage*unif +
+			AdultQ1Count*(float64(AdultQ2Count)/float64(AdultQ1Count)) +
+			random*marg) / float64(AdultSize)
+	}
+	lo, hi := -0.5, 1.5
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if expected(mid) < AdultIncomeRate {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Adult generates the 45,222-record ADULT stand-in. The layout is:
+//
+//  1. one coverage record per NA combination except the Example-1 cell
+//     (2,239 records) so |G| = 2,240 before generalization (Table 4);
+//  2. exactly AdultQ1Count records of the Example-1 cell, the first
+//     AdultQ2Count of them earning >50K;
+//  3. the remainder drawn from the marginal model, rejecting the
+//     Example-1 cell so its count stays pinned.
+func Adult(seed int64) *dataset.Table {
+	rng := stats.NewRand(seed)
+	schema := AdultSchema()
+	t := dataset.NewTable(schema, AdultSize)
+	base := adultCalibrateBase()
+
+	income := func(e, o, r, g int) uint16 {
+		if rng.Float64() < adultRate(base, e, o, r, g) {
+			return 1
+		}
+		return 0
+	}
+	pinned := func(e, o, r, g int) bool {
+		return uint16(e) == adultEduProfSchool && uint16(o) == adultOccProfSpecialty &&
+			uint16(r) == adultRaceWhite && uint16(g) == adultGenderMale
+	}
+
+	// Layer 1: coverage.
+	for e := range adultEducation {
+		for o := range adultOccupation {
+			for r := range adultRace {
+				for g := range adultGender {
+					if pinned(e, o, r, g) {
+						continue
+					}
+					t.MustAppendRow(uint16(e), uint16(o), uint16(r), uint16(g), income(e, o, r, g))
+				}
+			}
+		}
+	}
+
+	// Layer 2: the Example-1 cell, with its confidence pinned to 420/501.
+	for i := 0; i < AdultQ1Count; i++ {
+		inc := uint16(0)
+		if i < AdultQ2Count {
+			inc = 1
+		}
+		t.MustAppendRow(adultEduProfSchool, adultOccProfSpecialty, adultRaceWhite, adultGenderMale, inc)
+	}
+
+	// Layer 3: random fill.
+	eduCDF := stats.CDF(append([]float64(nil), adultEduMarginal...))
+	occCDF := stats.CDF(append([]float64(nil), adultOccMarginal...))
+	raceCDF := stats.CDF(append([]float64(nil), adultRaceMarginal...))
+	genCDF := stats.CDF(append([]float64(nil), adultGenderMarginal...))
+	for t.NumRows() < AdultSize {
+		e := stats.CategoricalCDF(rng, eduCDF)
+		o := stats.CategoricalCDF(rng, occCDF)
+		r := stats.CategoricalCDF(rng, raceCDF)
+		g := stats.CategoricalCDF(rng, genCDF)
+		if pinned(e, o, r, g) {
+			continue
+		}
+		t.MustAppendRow(uint16(e), uint16(o), uint16(r), uint16(g), income(e, o, r, g))
+	}
+	return t
+}
+
+// AdultExample1Query returns the value codes of the Example-1 queries:
+// Q1 = Education=Prof-school ∧ Occupation=Prof-specialty ∧ Race=White ∧
+// Gender=Male, Q2 = Q1 ∧ Income=>50K.
+func AdultExample1Query() (conds [4]uint16, sa uint16) {
+	return [4]uint16{adultEduProfSchool, adultOccProfSpecialty, adultRaceWhite, adultGenderMale}, 1
+}

@@ -1,0 +1,194 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// CensusMaxSize is the full CENSUS size; the paper samples 100K–500K.
+const CensusMaxSize = 500000
+
+// Census domains (Table 5): Age 77, Gender 2, Education 14, Marital 6,
+// Race 9 public; Occupation 50 sensitive.
+const (
+	censusAgeDomain     = 77
+	censusGenderDomain  = 2
+	censusEduDomain     = 14
+	censusMaritalDomain = 6
+	censusRaceDomain    = 9
+	censusOccDomain     = 50
+)
+
+// censusAmp scales the per-value occupation preference patterns. It must be
+// large enough that any two values of a non-Age attribute are chi-square
+// distinguishable at the 100K scale, and small enough that every
+// sub-population keeps a near-balanced occupation distribution (the paper's
+// description of CENSUS). Near-balance is what makes s_g large (Figure 1b),
+// so that only the largest personal groups violate reconstruction privacy
+// and their sampling rates s_g/|g| stay mild — the property behind Figure
+// 5's small SPS-over-UP cost.
+const censusAmp = 0.38
+
+// censusCoverageRef is the data size at which the coverage layer visits
+// every (age × combo) cell exactly once, reproducing Table 5's
+// |G| = 116,424 before generalization. At other sizes the coverage layer is
+// scaled proportionally so the uniform/skewed mixture — and therefore the
+// group-size profile driving Figures 4 and 5 — is the same at every |D|.
+const censusCoverageRef = 300000
+
+// CensusSchema returns the CENSUS schema with Occupation as SA.
+func CensusSchema() *dataset.Schema {
+	mk := func(prefix string, n int, first int) []string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%s%02d", prefix, first+i)
+		}
+		return vals
+	}
+	age := make([]string, censusAgeDomain)
+	for i := range age {
+		age[i] = fmt.Sprintf("%d", 17+i)
+	}
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "Age", Values: age},
+		{Name: "Gender", Values: []string{"Male", "Female"}},
+		{Name: "Education", Values: mk("Edu-", censusEduDomain, 1)},
+		{Name: "Marital", Values: mk("Marital-", censusMaritalDomain, 1)},
+		{Name: "Race", Values: mk("Race-", censusRaceDomain, 1)},
+		{Name: "Occupation", Values: mk("Occ-", censusOccDomain, 1)},
+	}, "Occupation")
+}
+
+// Skewed marginals for the four non-Age public attributes. The skew is what
+// produces the CENSUS profile of Figure 4: a few personal groups are very
+// large (they violate reconstruction privacy and cover most records) while
+// most groups are small (they do not).
+var (
+	censusGenderMarginal  = []float64{0.52, 0.48}
+	censusEduMarginal     = []float64{0.36, 0.22, 0.13, 0.08, 0.05, 0.04, 0.03, 0.025, 0.02, 0.015, 0.012, 0.008, 0.010, 0.010}
+	censusMaritalMarginal = []float64{0.46, 0.30, 0.12, 0.06, 0.04, 0.02}
+	censusRaceMarginal    = []float64{0.55, 0.24, 0.08, 0.04, 0.03, 0.02, 0.02, 0.01, 0.01}
+)
+
+// censusAgeMarginal is a mild triangular profile peaked mid-range; Age is
+// generated independently of Occupation, which is why the chi-square merge
+// collapses all 77 ages into one generalized value (Table 5's 77 → 1).
+func censusAgeMarginal() []float64 {
+	w := make([]float64, censusAgeDomain)
+	for i := range w {
+		x := float64(i) / float64(censusAgeDomain-1)
+		w[i] = 1.2 - math.Abs(x-0.45)
+	}
+	return stats.Normalize(w)
+}
+
+// censusPattern is the deterministic preference of value v of attribute
+// attr for occupation j, in [-1, 1]. Both the phase and the j-frequency
+// depend on (attr, v), so any two values of the same attribute trace
+// structurally different curves over the 50 occupations (a shared frequency
+// would make some pairs near-identical phase shifts and defeat the
+// chi-square split), keeping every pair distinguishable at the 100K scale.
+func censusPattern(attr, v, j int) float64 {
+	phase := 0.7 + 5.3*float64(attr)*float64(v+1)/7.0
+	freq := 1.05 + 0.23*float64(v) + 0.41*float64(attr)
+	return math.Sin(phase + freq*float64(j+1))
+}
+
+// censusOccDistributions precomputes, for every (gender, edu, marital, race)
+// combination, the occupation distribution
+//
+//	P(occ = j | combo) ∝ Π_attr (1 + amp·pattern(attr, value, j))
+//
+// returned as CDFs indexed by the mixed-radix combo code.
+func censusOccDistributions() [][]float64 {
+	numCombos := censusGenderDomain * censusEduDomain * censusMaritalDomain * censusRaceDomain
+	cdfs := make([][]float64, numCombos)
+	combo := 0
+	for g := 0; g < censusGenderDomain; g++ {
+		for e := 0; e < censusEduDomain; e++ {
+			for ma := 0; ma < censusMaritalDomain; ma++ {
+				for r := 0; r < censusRaceDomain; r++ {
+					probs := make([]float64, censusOccDomain)
+					for j := 0; j < censusOccDomain; j++ {
+						w := (1 + censusAmp*censusPattern(1, g, j)) *
+							(1 + censusAmp*censusPattern(2, e, j)) *
+							(1 + censusAmp*censusPattern(3, ma, j)) *
+							(1 + censusAmp*censusPattern(4, r, j))
+						probs[j] = math.Max(w, 0.01)
+					}
+					stats.Normalize(probs)
+					cdfs[combo] = stats.CDF(probs)
+					combo++
+				}
+			}
+		}
+	}
+	return cdfs
+}
+
+// censusComboCode packs (g, e, ma, r) into the mixed-radix combo index used
+// by censusOccDistributions.
+func censusComboCode(g, e, ma, r int) int {
+	return ((g*censusEduDomain+e)*censusMaritalDomain+ma)*censusRaceDomain + r
+}
+
+// Census generates an n-record CENSUS stand-in (n ≤ CensusMaxSize). The
+// layout is:
+//
+//  1. a coverage layer visiting the 116,424 (age × combo) cells in a
+//     seed-shuffled order — at n ≥ 116,424 every public-attribute
+//     combination is present, matching Table 5's |G| before and after
+//     generalization;
+//  2. a random layer drawing each attribute from its marginal, with
+//     Occupation drawn from the combo-conditional distribution.
+func Census(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 || n > CensusMaxSize {
+		return nil, fmt.Errorf("datagen: census size must be in 1..%d, got %d", CensusMaxSize, n)
+	}
+	rng := stats.NewRand(seed)
+	schema := CensusSchema()
+	t := dataset.NewTable(schema, n)
+	cdfs := censusOccDistributions()
+	numCombos := len(cdfs)
+	cells := censusAgeDomain * numCombos
+
+	// Layer 1: coverage, scaled with n (see censusCoverageRef). When the
+	// proportional target exceeds the cell count (n > censusCoverageRef)
+	// the shuffled permutation is revisited cyclically.
+	perm := rng.Perm(cells)
+	cover := int(int64(n) * int64(cells) / censusCoverageRef)
+	if cover > n {
+		cover = n
+	}
+	for i := 0; i < cover; i++ {
+		cell := perm[i%cells]
+		age := cell / numCombos
+		combo := cell % numCombos
+		r := combo % censusRaceDomain
+		ma := (combo / censusRaceDomain) % censusMaritalDomain
+		e := (combo / (censusRaceDomain * censusMaritalDomain)) % censusEduDomain
+		g := combo / (censusRaceDomain * censusMaritalDomain * censusEduDomain)
+		occ := stats.CategoricalCDF(rng, cdfs[combo])
+		t.MustAppendRow(uint16(age), uint16(g), uint16(e), uint16(ma), uint16(r), uint16(occ))
+	}
+
+	// Layer 2: random fill.
+	ageCDF := stats.CDF(censusAgeMarginal())
+	genCDF := stats.CDF(append([]float64(nil), censusGenderMarginal...))
+	eduCDF := stats.CDF(append([]float64(nil), censusEduMarginal...))
+	marCDF := stats.CDF(append([]float64(nil), censusMaritalMarginal...))
+	raceCDF := stats.CDF(append([]float64(nil), censusRaceMarginal...))
+	for t.NumRows() < n {
+		age := stats.CategoricalCDF(rng, ageCDF)
+		g := stats.CategoricalCDF(rng, genCDF)
+		e := stats.CategoricalCDF(rng, eduCDF)
+		ma := stats.CategoricalCDF(rng, marCDF)
+		r := stats.CategoricalCDF(rng, raceCDF)
+		occ := stats.CategoricalCDF(rng, cdfs[censusComboCode(g, e, ma, r)])
+		t.MustAppendRow(uint16(age), uint16(g), uint16(e), uint16(ma), uint16(r), uint16(occ))
+	}
+	return t, nil
+}

@@ -1,0 +1,316 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+func TestAdultShape(t *testing.T) {
+	a := Adult(1)
+	if a.NumRows() != AdultSize {
+		t.Fatalf("rows = %d, want %d", a.NumRows(), AdultSize)
+	}
+	s := a.Schema
+	wantDomains := map[string]int{
+		"Education": 16, "Occupation": 14, "Race": 5, "Gender": 2, "Income": 2,
+	}
+	for name, want := range wantDomains {
+		i, err := s.AttrIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Attrs[i].Domain(); got != want {
+			t.Errorf("%s domain = %d, want %d", name, got, want)
+		}
+	}
+	if s.SAAttr().Name != "Income" {
+		t.Errorf("SA = %q, want Income", s.SAAttr().Name)
+	}
+}
+
+func TestAdultPinnedCell(t *testing.T) {
+	a := Adult(1)
+	conds, sa := AdultExample1Query()
+	n1, n2 := 0, 0
+	for r := 0; r < a.NumRows(); r++ {
+		row := a.Row(r)
+		if row[0] == conds[0] && row[1] == conds[1] && row[2] == conds[2] && row[3] == conds[3] {
+			n1++
+			if row[4] == sa {
+				n2++
+			}
+		}
+	}
+	if n1 != AdultQ1Count || n2 != AdultQ2Count {
+		t.Errorf("pinned cell = %d/%d, want %d/%d", n2, n1, AdultQ2Count, AdultQ1Count)
+	}
+}
+
+func TestAdultPinnedCellStableAcrossSeeds(t *testing.T) {
+	// The Example-1 cell is pinned regardless of the seed.
+	a := Adult(12345)
+	conds, sa := AdultExample1Query()
+	n1, n2 := 0, 0
+	for r := 0; r < a.NumRows(); r++ {
+		row := a.Row(r)
+		if row[0] == conds[0] && row[1] == conds[1] && row[2] == conds[2] && row[3] == conds[3] {
+			n1++
+			if row[4] == sa {
+				n2++
+			}
+		}
+	}
+	if n1 != AdultQ1Count || n2 != AdultQ2Count {
+		t.Errorf("seed 12345: pinned cell = %d/%d", n2, n1)
+	}
+}
+
+func TestAdultIncomeRateNearTarget(t *testing.T) {
+	a := Adult(1)
+	hist := a.SAHistogram()
+	rate := float64(hist[1]) / float64(a.NumRows())
+	if math.Abs(rate-AdultIncomeRate) > 0.015 {
+		t.Errorf(">50K rate = %v, want ≈ %v", rate, AdultIncomeRate)
+	}
+}
+
+func TestAdultFullCoverage(t *testing.T) {
+	// All 2,240 NA combinations must be present (Table 4's |G| before).
+	a := Adult(1)
+	gs := dataset.GroupsOf(a)
+	if gs.NumGroups() != 2240 {
+		t.Errorf("|G| before = %d, want 2240", gs.NumGroups())
+	}
+}
+
+func TestAdultDeterministic(t *testing.T) {
+	if !Adult(7).Equal(Adult(7)) {
+		t.Error("same seed must give the same table")
+	}
+	if Adult(7).Equal(Adult(8)) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestAdultRateDependsOnlyOnClusters(t *testing.T) {
+	// The income model must be constant within each planted cluster — the
+	// property that makes the Table 4 merge structure identifiable.
+	base := adultCalibrateBase()
+	for e1 := range adultEducation {
+		for e2 := range adultEducation {
+			if adultEduCluster[e1] != adultEduCluster[e2] {
+				continue
+			}
+			r1 := adultRate(base, e1, 0, 0, 0)
+			r2 := adultRate(base, e2, 0, 0, 0)
+			if r1 != r2 {
+				t.Fatalf("education values %d and %d share a cluster but differ: %v vs %v", e1, e2, r1, r2)
+			}
+		}
+	}
+	// And distinct clusters must differ (at interior, unclamped settings).
+	for c1 := 0; c1 < len(adultEduWeight); c1++ {
+		for c2 := c1 + 1; c2 < len(adultEduWeight); c2++ {
+			if adultEduWeight[c1] == adultEduWeight[c2] {
+				t.Fatalf("education clusters %d and %d have equal weight", c1, c2)
+			}
+		}
+	}
+}
+
+func TestAdultClusterSizes(t *testing.T) {
+	count := func(assign []int, n int) []int {
+		out := make([]int, n)
+		for _, c := range assign {
+			out[c]++
+		}
+		return out
+	}
+	if got := len(count(adultEduCluster, 7)); got != 7 {
+		t.Errorf("education clusters = %d, want 7", got)
+	}
+	for c, n := range count(adultOccCluster, 4) {
+		if n == 0 {
+			t.Errorf("occupation cluster %d is empty", c)
+		}
+	}
+	if adultEduCluster[adultEduProfSchool] != 6 {
+		t.Error("Prof-school must be the singleton education cluster")
+	}
+	if adultOccCluster[adultOccProfSpecialty] != 3 {
+		t.Error("Prof-specialty must be the singleton occupation cluster")
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	c, err := Census(50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 50000 {
+		t.Fatalf("rows = %d", c.NumRows())
+	}
+	s := c.Schema
+	wantDomains := map[string]int{
+		"Age": 77, "Gender": 2, "Education": 14, "Marital": 6, "Race": 9, "Occupation": 50,
+	}
+	for name, want := range wantDomains {
+		i, err := s.AttrIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Attrs[i].Domain(); got != want {
+			t.Errorf("%s domain = %d, want %d", name, got, want)
+		}
+	}
+	if s.SAAttr().Name != "Occupation" {
+		t.Errorf("SA = %q", s.SAAttr().Name)
+	}
+}
+
+func TestCensusSizeValidation(t *testing.T) {
+	if _, err := Census(0, 1); err == nil {
+		t.Error("size 0 should error")
+	}
+	if _, err := Census(CensusMaxSize+1, 1); err == nil {
+		t.Error("oversize should error")
+	}
+}
+
+func TestCensusFullCoverageAtReferenceSize(t *testing.T) {
+	// At 300K the coverage layer visits every (age × combo) cell, matching
+	// Table 5's |G| = 116,424 before generalization.
+	c, err := Census(300000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := dataset.GroupsOf(c)
+	if gs.NumGroups() != 116424 {
+		t.Errorf("|G| before = %d, want 116424", gs.NumGroups())
+	}
+}
+
+func TestCensusDeterministic(t *testing.T) {
+	a, err := Census(20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Census(20000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed must give the same table")
+	}
+}
+
+func TestCensusOccupationBalanced(t *testing.T) {
+	// "A large number of balanced distributed SA values": no occupation
+	// should dominate globally.
+	c, err := Census(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := c.SAHistogram()
+	for v, n := range hist {
+		frac := float64(n) / 200000
+		if frac > 0.06 || frac < 0.004 {
+			t.Errorf("occupation %d global frequency %v outside the balanced band", v, frac)
+		}
+	}
+}
+
+func TestCensusAgeIndependentOfOccupation(t *testing.T) {
+	// Age must carry no information about Occupation (Table 5's 77 → 1
+	// merge): compare the occupation distribution of two age halves.
+	c, err := Census(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young := make([]float64, 50)
+	old := make([]float64, 50)
+	for r := 0; r < c.NumRows(); r++ {
+		row := c.Row(r)
+		if row[0] < 38 {
+			young[row[5]]++
+		} else {
+			old[row[5]]++
+		}
+	}
+	var ny, no float64
+	for j := range young {
+		ny += young[j]
+		no += old[j]
+	}
+	// Total variation distance between the two conditional distributions.
+	var tv float64
+	for j := range young {
+		tv += math.Abs(young[j]/ny - old[j]/no)
+	}
+	tv /= 2
+	// Sampling noise alone contributes ≈ 25·sqrt(0.02/1e5) ≈ 0.014 here, so
+	// anything near that is consistent with exact independence.
+	if tv > 0.025 {
+		t.Errorf("TV distance between age halves = %v, want sampling-noise level", tv)
+	}
+}
+
+func TestMedicalShape(t *testing.T) {
+	m, err := Medical(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 5000 {
+		t.Fatalf("rows = %d", m.NumRows())
+	}
+	if m.Schema.SADomain() != 10 {
+		t.Errorf("disease domain = %d, want 10", m.Schema.SADomain())
+	}
+	if _, err := Medical(0, 1); err == nil {
+		t.Error("size 0 should error")
+	}
+}
+
+func TestMedicalBreastCancerGendered(t *testing.T) {
+	// The Example-2 premise: breast cancer is concentrated among women.
+	m, err := Medical(40000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maleBC, femaleBC, males, females float64
+	for r := 0; r < m.NumRows(); r++ {
+		row := m.Row(r)
+		if row[0] == 0 {
+			males++
+			if row[2] == 4 {
+				maleBC++
+			}
+		} else {
+			females++
+			if row[2] == 4 {
+				femaleBC++
+			}
+		}
+	}
+	if femaleBC/females < 5*(maleBC/males) {
+		t.Errorf("breast cancer rates: female %v, male %v — want strong separation",
+			femaleBC/females, maleBC/males)
+	}
+}
+
+func TestMedicalDiseaseDistNormalized(t *testing.T) {
+	for g := 0; g < 2; g++ {
+		for j := 0; j < len(medicalJobs); j++ {
+			d := medicalDiseaseDist(g, j)
+			var sum float64
+			for _, v := range d {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("dist(%d,%d) sums to %v", g, j, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package datagen
+
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// The medical table of the paper's Example 2: D(Gender, Job, Disease) with a
+// 10-value sensitive Disease attribute. It is the running example of the
+// paper's exposition (Bob the male engineer, breast cancer, cervical
+// spondylosis) and powers the quickstart and medical examples plus many
+// unit tests.
+
+var medicalJobs = []string{"Engineer", "Teacher", "Doctor", "Lawyer", "Clerk"}
+
+var medicalDiseases = []string{
+	"Flu", "Diabetes", "Hypertension", "Asthma", "BreastCancer",
+	"CervicalSpondylosis", "Migraine", "Arthritis", "Gastritis", "HIV",
+}
+
+var medicalJobMarginal = []float64{0.24, 0.22, 0.14, 0.12, 0.28}
+
+var medicalGenderMarginal = []float64{0.5, 0.5}
+
+// MedicalSchema returns the Example 2 schema: Gender and Job public,
+// Disease sensitive (m = 10).
+func MedicalSchema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "Gender", Values: []string{"Male", "Female"}},
+		{Name: "Job", Values: append([]string(nil), medicalJobs...)},
+		{Name: "Disease", Values: append([]string(nil), medicalDiseases...)},
+	}, "Disease")
+}
+
+// medicalDiseaseDist returns P(disease | gender, job). Breast cancer is
+// almost exclusively female (the Example 2 point: the female-engineer
+// records are useless for inferring Bob's breast-cancer risk), and
+// cervical spondylosis is elevated for desk jobs regardless of gender
+// (the aggregate relationship the publisher wants to keep learnable).
+func medicalDiseaseDist(gender, job int) []float64 {
+	w := make([]float64, len(medicalDiseases))
+	for j := range w {
+		w[j] = 1
+	}
+	if gender == 1 { // Female
+		w[4] = 6 // BreastCancer
+	} else {
+		w[4] = 0.1
+	}
+	switch job {
+	case 0, 4: // Engineer, Clerk: desk jobs
+		w[5] = 5 // CervicalSpondylosis
+	case 2: // Doctor
+		w[0] = 2.5 // Flu exposure
+	case 3: // Lawyer
+		w[6] = 2 // Migraine
+	}
+	return stats.Normalize(w)
+}
+
+// medicalColors is the FavoriteColor domain of the Section 3.4 discussion:
+// a public attribute with no impact on the sensitive attribute at all.
+var medicalColors = []string{"Red", "Blue", "Green", "Yellow", "Black", "White"}
+
+// MedicalWithColorSchema extends the Example-2 schema with FavoriteColor —
+// the paper's Section 3.4 example of a public attribute whose values all
+// have the same (null) impact on SA, enabling the aggregation attack that
+// the chi-square generalization exists to stop.
+func MedicalWithColorSchema() *dataset.Schema {
+	return dataset.MustSchema([]dataset.Attribute{
+		{Name: "Gender", Values: []string{"Male", "Female"}},
+		{Name: "Job", Values: append([]string(nil), medicalJobs...)},
+		{Name: "FavoriteColor", Values: append([]string(nil), medicalColors...)},
+		{Name: "Disease", Values: append([]string(nil), medicalDiseases...)},
+	}, "Disease")
+}
+
+// MedicalWithColor generates the Example-2 table plus an independent
+// FavoriteColor attribute. Disease depends on Gender and Job exactly as in
+// Medical and is independent of FavoriteColor given them.
+func MedicalWithColor(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: medical size must be positive, got %d", n)
+	}
+	rng := stats.NewRand(seed)
+	schema := MedicalWithColorSchema()
+	t := dataset.NewTable(schema, n)
+	genCDF := stats.CDF(append([]float64(nil), medicalGenderMarginal...))
+	jobCDF := stats.CDF(append([]float64(nil), medicalJobMarginal...))
+	cdfs := make([][]float64, 2*len(medicalJobs))
+	for g := 0; g < 2; g++ {
+		for j := range medicalJobs {
+			cdfs[g*len(medicalJobs)+j] = stats.CDF(medicalDiseaseDist(g, j))
+		}
+	}
+	for t.NumRows() < n {
+		g := stats.CategoricalCDF(rng, genCDF)
+		j := stats.CategoricalCDF(rng, jobCDF)
+		c := rng.Intn(len(medicalColors))
+		d := stats.CategoricalCDF(rng, cdfs[g*len(medicalJobs)+j])
+		t.MustAppendRow(uint16(g), uint16(j), uint16(c), uint16(d))
+	}
+	return t, nil
+}
+
+// Medical generates an n-record Example-2 table.
+func Medical(n int, seed int64) (*dataset.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: medical size must be positive, got %d", n)
+	}
+	rng := stats.NewRand(seed)
+	schema := MedicalSchema()
+	t := dataset.NewTable(schema, n)
+	genCDF := stats.CDF(append([]float64(nil), medicalGenderMarginal...))
+	jobCDF := stats.CDF(append([]float64(nil), medicalJobMarginal...))
+	cdfs := make([][]float64, 2*len(medicalJobs))
+	for g := 0; g < 2; g++ {
+		for j := range medicalJobs {
+			cdfs[g*len(medicalJobs)+j] = stats.CDF(medicalDiseaseDist(g, j))
+		}
+	}
+	for t.NumRows() < n {
+		g := stats.CategoricalCDF(rng, genCDF)
+		j := stats.CategoricalCDF(rng, jobCDF)
+		d := stats.CategoricalCDF(rng, cdfs[g*len(medicalJobs)+j])
+		t.MustAppendRow(uint16(g), uint16(j), uint16(d))
+	}
+	return t, nil
+}

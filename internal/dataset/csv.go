@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the table with a header row of attribute names and one
+// labeled row per record.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.NumAttrs())
+	for i := range t.Schema.Attrs {
+		header[i] = t.Schema.Attrs[i].Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(header))
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		row := t.Row(r)
+		for c := range rec {
+			rec[c] = t.Schema.Attrs[c].Label(row[c])
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", r, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table whose header names the attributes; saName designates
+// the sensitive attribute. Attribute domains are built from the values seen,
+// in first-appearance order. Use ReadCSVWithSchema when the caller already
+// has a schema (e.g. to keep domain codes stable across files).
+func ReadCSV(r io.Reader, saName string) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	attrs := make([]Attribute, len(header))
+	codes := make([]map[string]uint16, len(header))
+	for i, name := range header {
+		attrs[i] = Attribute{Name: name}
+		codes[i] = make(map[string]uint16)
+	}
+	var rows [][]uint16
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		row := make([]uint16, len(header))
+		for c, label := range rec {
+			code, ok := codes[c][label]
+			if !ok {
+				if len(attrs[c].Values) >= 1<<16 {
+					return nil, fmt.Errorf("dataset: attribute %q exceeds %d distinct values", header[c], 1<<16)
+				}
+				code = uint16(len(attrs[c].Values))
+				attrs[c].Values = append(attrs[c].Values, label)
+				codes[c][label] = code
+			}
+			row[c] = code
+		}
+		rows = append(rows, row)
+	}
+	schema, err := NewSchema(attrs, saName)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema, len(rows))
+	for _, row := range rows {
+		t.appendRaw(row)
+	}
+	return t, nil
+}
+
+// ReadCSVWithSchema reads records against a known schema; every value must
+// already be in the corresponding attribute's domain and columns must appear
+// in schema order.
+func ReadCSVWithSchema(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) != schema.NumAttrs() {
+		return nil, fmt.Errorf("dataset: CSV has %d columns, schema has %d attributes", len(header), schema.NumAttrs())
+	}
+	for i, name := range header {
+		if schema.Attrs[i].Name != name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", i, name, schema.Attrs[i].Name)
+		}
+	}
+	t := NewTable(schema, 1024)
+	row := make([]uint16, schema.NumAttrs())
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		for c, label := range rec {
+			code, cerr := schema.Attrs[c].Code(label)
+			if cerr != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d: %w", line, cerr)
+			}
+			row[c] = code
+		}
+		t.appendRaw(row)
+	}
+	return t, nil
+}
+
+// schemaJSON is the serialized form of a Schema.
+type schemaJSON struct {
+	SA    string `json:"sensitive"`
+	Attrs []struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values"`
+	} `json:"attributes"`
+}
+
+// WriteSchema serializes the schema as JSON, so that value codes survive a
+// round trip through the CLI tools.
+func WriteSchema(w io.Writer, s *Schema) error {
+	var sj schemaJSON
+	sj.SA = s.Attrs[s.SA].Name
+	for i := range s.Attrs {
+		sj.Attrs = append(sj.Attrs, struct {
+			Name   string   `json:"name"`
+			Values []string `json:"values"`
+		}{s.Attrs[i].Name, s.Attrs[i].Values})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}
+
+// ReadSchema deserializes a schema written by WriteSchema.
+func ReadSchema(r io.Reader) (*Schema, error) {
+	var sj schemaJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("dataset: decoding schema: %w", err)
+	}
+	attrs := make([]Attribute, len(sj.Attrs))
+	for i, a := range sj.Attrs {
+		attrs[i] = Attribute{Name: a.Name, Values: a.Values}
+	}
+	return NewSchema(attrs, sj.SA)
+}

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := randomTable(t, 10, 150)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), tab.NumRows())
+	}
+	// Compare label-wise (codes may be permuted by first-appearance order).
+	for r := 0; r < tab.NumRows(); r++ {
+		for c := 0; c < tab.Schema.NumAttrs(); c++ {
+			a := tab.Schema.Attrs[c].Label(tab.At(r, c))
+			b := back.Schema.Attrs[c].Label(back.At(r, c))
+			if a != b {
+				t.Fatalf("row %d col %d: %q != %q", r, c, a, b)
+			}
+		}
+	}
+}
+
+func TestReadCSVWithSchemaRoundTrip(t *testing.T) {
+	tab := randomTable(t, 11, 80)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVWithSchema(&buf, tab.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(tab) {
+		t.Error("schema-preserving round trip should be code-identical")
+	}
+}
+
+func TestReadCSVWithSchemaErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := ReadCSVWithSchema(strings.NewReader("X,Y\n"), s); err == nil {
+		t.Error("column count mismatch should error")
+	}
+	if _, err := ReadCSVWithSchema(strings.NewReader("Gender,Work,Disease\n"), s); err == nil {
+		t.Error("column name mismatch should error")
+	}
+	if _, err := ReadCSVWithSchema(strings.NewReader("Gender,Job,Disease\nM,pilot,flu\n"), s); err == nil {
+		t.Error("unknown value should error")
+	}
+}
+
+func TestReadCSVMissingSA(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("A,B\nx,y\n"), "C"); err == nil {
+		t.Error("missing sensitive attribute should error")
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	tab, err := ReadCSV(strings.NewReader("A,S\n"), "S")
+	if err == nil {
+		// Attributes end up with empty domains, which NewSchema rejects.
+		_ = tab
+		t.Error("header-only CSV should error (empty domains)")
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchema(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SA != s.SA || back.NumAttrs() != s.NumAttrs() {
+		t.Fatal("schema shape changed in round trip")
+	}
+	for i := range s.Attrs {
+		if back.Attrs[i].Name != s.Attrs[i].Name {
+			t.Errorf("attr %d name %q != %q", i, back.Attrs[i].Name, s.Attrs[i].Name)
+		}
+		if back.Attrs[i].Domain() != s.Attrs[i].Domain() {
+			t.Errorf("attr %d domain size changed", i)
+		}
+	}
+}
+
+func TestReadSchemaBadJSON(t *testing.T) {
+	if _, err := ReadSchema(strings.NewReader("{nope")); err == nil {
+		t.Error("invalid JSON should error")
+	}
+}
+
+func TestRemap(t *testing.T) {
+	tab := randomTable(t, 12, 60)
+	// Merge the 3 jobs into 2: eng+law -> 0, doc -> 1.
+	mapping := ValueMapping{
+		Attr:      1,
+		OldToNew:  []uint16{0, 1, 0},
+		NewValues: []string{"eng|law", "doc"},
+	}
+	out, err := Remap(tab, []ValueMapping{mapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Attrs[1].Domain() != 2 {
+		t.Fatalf("remapped domain = %d, want 2", out.Schema.Attrs[1].Domain())
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		want := mapping.OldToNew[tab.At(r, 1)]
+		if out.At(r, 1) != want {
+			t.Fatalf("row %d: job %d, want %d", r, out.At(r, 1), want)
+		}
+		if out.At(r, 0) != tab.At(r, 0) || out.SA(r) != tab.SA(r) {
+			t.Fatal("unmapped attributes must be preserved")
+		}
+	}
+}
+
+func TestRemapErrors(t *testing.T) {
+	tab := randomTable(t, 13, 10)
+	if _, err := Remap(tab, []ValueMapping{{Attr: 7}}); err == nil {
+		t.Error("out-of-range attribute should error")
+	}
+	if _, err := Remap(tab, []ValueMapping{{Attr: 2, OldToNew: []uint16{0, 0, 0, 0}, NewValues: []string{"x"}}}); err == nil {
+		t.Error("remapping SA should error")
+	}
+	if _, err := Remap(tab, []ValueMapping{{Attr: 1, OldToNew: []uint16{0}, NewValues: []string{"x"}}}); err == nil {
+		t.Error("incomplete mapping should error")
+	}
+	if _, err := Remap(tab, []ValueMapping{{Attr: 1, OldToNew: []uint16{0, 5, 0}, NewValues: []string{"x"}}}); err == nil {
+		t.Error("mapping beyond new domain should error")
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// testSchema builds a small 3-attribute schema with Disease sensitive.
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema([]Attribute{
+		{Name: "Gender", Values: []string{"M", "F"}},
+		{Name: "Job", Values: []string{"eng", "doc", "law"}},
+		{Name: "Disease", Values: []string{"flu", "hiv", "asthma", "none"}},
+	}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	attrs := []Attribute{
+		{Name: "A", Values: []string{"x"}},
+		{Name: "S", Values: []string{"a", "b"}},
+	}
+	if _, err := NewSchema(attrs, "missing"); err == nil {
+		t.Error("missing SA name should error")
+	}
+	if _, err := NewSchema([]Attribute{{Name: "", Values: []string{"x"}}, attrs[1]}, "S"); err == nil {
+		t.Error("empty attribute name should error")
+	}
+	if _, err := NewSchema([]Attribute{{Name: "S", Values: nil}}, "S"); err == nil {
+		t.Error("empty domain should error")
+	}
+	dup := []Attribute{
+		{Name: "A", Values: []string{"x"}},
+		{Name: "A", Values: []string{"y"}},
+	}
+	if _, err := NewSchema(dup, "A"); err == nil {
+		t.Error("duplicate attribute names should error")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.SA != 2 {
+		t.Errorf("SA index = %d, want 2", s.SA)
+	}
+	if s.SADomain() != 4 {
+		t.Errorf("SADomain = %d, want 4", s.SADomain())
+	}
+	if got := s.NAIndices(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("NAIndices = %v", got)
+	}
+	if s.GroupSpace() != 6 {
+		t.Errorf("GroupSpace = %d, want 6", s.GroupSpace())
+	}
+	i, err := s.AttrIndex("Job")
+	if err != nil || i != 1 {
+		t.Errorf("AttrIndex(Job) = %d, %v", i, err)
+	}
+	if _, err := s.AttrIndex("Nope"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+}
+
+func TestAttributeCodeLabel(t *testing.T) {
+	s := testSchema(t)
+	job := &s.Attrs[1]
+	c, err := job.Code("doc")
+	if err != nil || c != 1 {
+		t.Errorf("Code(doc) = %d, %v", c, err)
+	}
+	if _, err := job.Code("nurse"); err == nil {
+		t.Error("unknown label should error")
+	}
+	if job.Label(2) != "law" {
+		t.Errorf("Label(2) = %q", job.Label(2))
+	}
+	if !strings.Contains(job.Label(99), "Job") {
+		t.Errorf("out-of-range label should mention the attribute, got %q", job.Label(99))
+	}
+}
+
+func TestSchemaCloneIsDeep(t *testing.T) {
+	s := testSchema(t)
+	cp := s.Clone()
+	cp.Attrs[0].Values[0] = "CHANGED"
+	if s.Attrs[0].Values[0] != "M" {
+		t.Error("Clone should not share value slices")
+	}
+}
+
+func TestTableAppendAndAccess(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s, 4)
+	if err := tab.AppendRow(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	if tab.At(1, 1) != 2 || tab.SA(0) != 2 {
+		t.Error("unexpected cell values")
+	}
+	tab.SetSA(0, 3)
+	if tab.SA(0) != 3 {
+		t.Error("SetSA did not take effect")
+	}
+	if err := tab.AppendRow(0, 1); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if err := tab.AppendRow(0, 9, 0); err == nil {
+		t.Error("out-of-domain value should error")
+	}
+}
+
+func TestTableCloneIndependent(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s, 1)
+	tab.MustAppendRow(0, 0, 0)
+	cp := tab.Clone()
+	cp.SetSA(0, 1)
+	if tab.SA(0) != 0 {
+		t.Error("Clone should copy storage")
+	}
+	if !tab.Equal(tab) {
+		t.Error("table should equal itself")
+	}
+	if tab.Equal(cp) {
+		t.Error("modified clone should differ")
+	}
+}
+
+func TestSAHistogram(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s, 5)
+	for _, sa := range []uint16{0, 1, 1, 3, 3} {
+		tab.MustAppendRow(0, 0, sa)
+	}
+	h := tab.SAHistogram()
+	want := []int{1, 2, 0, 2}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("hist[%d] = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestSortByNAThenSA(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s, 6)
+	rows := [][]uint16{
+		{1, 2, 3}, {0, 1, 2}, {1, 0, 0}, {0, 1, 0}, {0, 0, 3}, {1, 0, 1},
+	}
+	for _, r := range rows {
+		tab.MustAppendRow(r...)
+	}
+	tab.SortByNAThenSA()
+	prev := tab.Row(0)
+	for i := 1; i < tab.NumRows(); i++ {
+		cur := tab.Row(i)
+		if lessRow(cur, prev) {
+			t.Fatalf("rows out of order at %d: %v before %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func lessRow(a, b []uint16) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestTableEqualDifferentSchemas(t *testing.T) {
+	s1 := testSchema(t)
+	s2, err := NewSchema([]Attribute{
+		{Name: "Gender", Values: []string{"M", "F"}},
+		{Name: "Work", Values: []string{"eng", "doc", "law"}},
+		{Name: "Disease", Values: []string{"flu", "hiv", "asthma", "none"}},
+	}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := NewTable(s1, 1), NewTable(s2, 1)
+	t1.MustAppendRow(0, 0, 0)
+	t2.MustAppendRow(0, 0, 0)
+	if t1.Equal(t2) {
+		t.Error("tables with different attribute names should not be equal")
+	}
+}

@@ -1,0 +1,15 @@
+// Package dataset implements the relational substrate of the library: a
+// dictionary-encoded categorical table with one designated sensitive
+// attribute (SA) and any number of public attributes (NA), plus the
+// personal-group machinery of the paper's Section 3.2.
+//
+// A personal group is the set of records that agree on every public
+// attribute; it is the unit at which reconstruction privacy is defined and
+// enforced. Grouping uses a mixed-radix encoding of the NA tuple, which is
+// equivalent to (and faster than) the sort-then-scan pass described in the
+// paper's Section 5 complexity analysis.
+//
+// Values are stored as uint16 codes into per-attribute dictionaries, so a
+// 500K-record, 6-attribute table occupies ~6 MB and group extraction is a
+// single linear pass.
+package dataset

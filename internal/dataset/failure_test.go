@@ -1,0 +1,43 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after a byte budget, exercising the error paths of the
+// CSV and schema writers.
+type failWriter struct {
+	budget int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, errDiskFull
+	}
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errDiskFull
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	tab := randomTable(t, 20, 200)
+	for _, budget := range []int{0, 10, 100} {
+		if err := WriteCSV(&failWriter{budget: budget}, tab); err == nil {
+			t.Errorf("budget %d: expected an error from the failing writer", budget)
+		}
+	}
+}
+
+func TestWriteSchemaPropagatesWriterErrors(t *testing.T) {
+	s := testSchema(t)
+	if err := WriteSchema(&failWriter{budget: 3}, s); err == nil {
+		t.Error("expected an error from the failing writer")
+	}
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is one personal group: the multiset of records that agree on every
+// public attribute. Only the NA key and the SA histogram are materialized;
+// together they determine the group completely, because records inside a
+// group differ at most on SA.
+type Group struct {
+	Key      []uint16 // public-attribute values, in NAIndices order
+	SACounts []int    // histogram of sensitive values within the group
+	Size     int      // total records = sum of SACounts
+}
+
+// MaxFreq returns f, the maximum relative frequency of any sensitive value in
+// the group — the quantity that drives the maximum group size s_g (Eq. 10).
+func (g *Group) MaxFreq() float64 {
+	if g.Size == 0 {
+		return 0
+	}
+	max := 0
+	for _, c := range g.SACounts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / float64(g.Size)
+}
+
+// Freq returns the relative frequency of sensitive value sa in the group.
+func (g *Group) Freq(sa uint16) float64 {
+	if g.Size == 0 {
+		return 0
+	}
+	return float64(g.SACounts[sa]) / float64(g.Size)
+}
+
+// GroupSet is the partition of a table into personal groups, ordered by the
+// mixed-radix encoding of their NA keys (deterministic across runs).
+type GroupSet struct {
+	Schema *Schema
+	Groups []Group
+
+	naIdx []int // cached NAIndices
+	radix []int // domain sizes of the NA attributes, aligned with naIdx
+}
+
+// GroupsOf partitions the table into personal groups with a single linear
+// scan over a mixed-radix encoding of each record's NA tuple. This is the
+// moral equivalent of the sort-then-scan pass in the paper's Section 5,
+// at O(|D| + |G| log |G|) instead of O(|D| log |D|).
+func GroupsOf(t *Table) *GroupSet {
+	gs := &GroupSet{Schema: t.Schema}
+	gs.naIdx = t.Schema.NAIndices()
+	gs.radix = make([]int, len(gs.naIdx))
+	for i, a := range gs.naIdx {
+		gs.radix[i] = t.Schema.Attrs[a].Domain()
+	}
+	m := t.Schema.SADomain()
+	byKey := make(map[uint64]int) // encoded NA key -> index into Groups
+	n := t.NumRows()
+	order := make([]uint64, 0, 64)
+	for r := 0; r < n; r++ {
+		row := t.Row(r)
+		key := gs.encodeRow(row)
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(gs.Groups)
+			byKey[key] = gi
+			kv := make([]uint16, len(gs.naIdx))
+			for i, a := range gs.naIdx {
+				kv[i] = row[a]
+			}
+			gs.Groups = append(gs.Groups, Group{Key: kv, SACounts: make([]int, m)})
+			order = append(order, key)
+		}
+		g := &gs.Groups[gi]
+		g.SACounts[row[t.Schema.SA]]++
+		g.Size++
+	}
+	// Deterministic order: sort groups by their encoded key.
+	perm := make([]int, len(gs.Groups))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return order[perm[a]] < order[perm[b]] })
+	sorted := make([]Group, len(gs.Groups))
+	for out, in := range perm {
+		sorted[out] = gs.Groups[in]
+	}
+	gs.Groups = sorted
+	return gs
+}
+
+// encodeRow packs the NA values of a full row into one mixed-radix uint64.
+func (gs *GroupSet) encodeRow(row []uint16) uint64 {
+	var key uint64
+	for i, a := range gs.naIdx {
+		key = key*uint64(gs.radix[i]) + uint64(row[a])
+	}
+	return key
+}
+
+// EncodeKey packs a group key (NA values in NAIndices order) into the same
+// mixed-radix encoding used internally.
+func (gs *GroupSet) EncodeKey(key []uint16) uint64 {
+	var k uint64
+	for i := range gs.naIdx {
+		k = k*uint64(gs.radix[i]) + uint64(key[i])
+	}
+	return k
+}
+
+// NumGroups returns |G|.
+func (gs *GroupSet) NumGroups() int { return len(gs.Groups) }
+
+// Total returns the number of records across all groups.
+func (gs *GroupSet) Total() int {
+	total := 0
+	for i := range gs.Groups {
+		total += gs.Groups[i].Size
+	}
+	return total
+}
+
+// AvgGroupSize returns |D|/|G|, reported in the paper's Tables 4 and 5.
+func (gs *GroupSet) AvgGroupSize() float64 {
+	if len(gs.Groups) == 0 {
+		return 0
+	}
+	return float64(gs.Total()) / float64(len(gs.Groups))
+}
+
+// NAIndices returns the public-attribute indices aligned with group keys.
+func (gs *GroupSet) NAIndices() []int { return gs.naIdx }
+
+// Find returns the group with the given NA key, or nil if absent.
+// The lookup is a binary search over the deterministic key order.
+func (gs *GroupSet) Find(key []uint16) *Group {
+	if len(key) != len(gs.naIdx) {
+		return nil
+	}
+	want := gs.EncodeKey(key)
+	lo, hi := 0, len(gs.Groups)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if gs.EncodeKey(gs.Groups[mid].Key) < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(gs.Groups) && gs.EncodeKey(gs.Groups[lo].Key) == want {
+		return &gs.Groups[lo]
+	}
+	return nil
+}
+
+// Table materializes the group set back into a table: for every group, one
+// record per histogram count, ordered by NA key then SA. The result is
+// record-for-record equivalent to the table the groups came from (up to row
+// order, which carries no information).
+func (gs *GroupSet) Table() *Table {
+	t := NewTable(gs.Schema, gs.Total())
+	row := make([]uint16, gs.Schema.NumAttrs())
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		for ki, a := range gs.naIdx {
+			row[a] = g.Key[ki]
+		}
+		for sa, c := range g.SACounts {
+			row[gs.Schema.SA] = uint16(sa)
+			for k := 0; k < c; k++ {
+				t.appendRaw(row)
+			}
+		}
+	}
+	return t
+}
+
+// CloneShape returns a new GroupSet with the same schema and group keys but
+// zeroed histograms and sizes; publishing algorithms fill in the perturbed
+// histograms group by group.
+func (gs *GroupSet) CloneShape() *GroupSet {
+	out := &GroupSet{
+		Schema: gs.Schema,
+		Groups: make([]Group, len(gs.Groups)),
+		naIdx:  gs.naIdx,
+		radix:  gs.radix,
+	}
+	m := gs.Schema.SADomain()
+	for i := range gs.Groups {
+		out.Groups[i].Key = gs.Groups[i].Key
+		out.Groups[i].SACounts = make([]int, m)
+	}
+	return out
+}
+
+// Validate checks internal consistency (sizes match histograms, keys are in
+// domain); it is used by tests and by the CLI after loading foreign data.
+func (gs *GroupSet) Validate() error {
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		if len(g.Key) != len(gs.naIdx) {
+			return fmt.Errorf("dataset: group %d key arity %d != %d", i, len(g.Key), len(gs.naIdx))
+		}
+		sum := 0
+		for _, c := range g.SACounts {
+			if c < 0 {
+				return fmt.Errorf("dataset: group %d has a negative SA count", i)
+			}
+			sum += c
+		}
+		if sum != g.Size {
+			return fmt.Errorf("dataset: group %d size %d != histogram sum %d", i, g.Size, sum)
+		}
+		for ki, v := range g.Key {
+			if int(v) >= gs.radix[ki] {
+				return fmt.Errorf("dataset: group %d key value %d out of domain", i, v)
+			}
+		}
+	}
+	return nil
+}

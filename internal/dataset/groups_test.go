@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTable builds a reproducible random table for property tests.
+func randomTable(t *testing.T, seed int64, rows int) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := testSchema(t)
+	tab := NewTable(s, rows)
+	for i := 0; i < rows; i++ {
+		tab.MustAppendRow(uint16(rng.Intn(2)), uint16(rng.Intn(3)), uint16(rng.Intn(4)))
+	}
+	return tab
+}
+
+// bruteForceGroups computes groups by scanning with a map keyed by strings.
+func bruteForceGroups(tab *Table) map[[2]uint16][]int {
+	out := make(map[[2]uint16][]int)
+	for r := 0; r < tab.NumRows(); r++ {
+		row := tab.Row(r)
+		key := [2]uint16{row[0], row[1]}
+		counts, ok := out[key]
+		if !ok {
+			counts = make([]int, tab.Schema.SADomain())
+		}
+		counts[row[2]]++
+		out[key] = counts
+	}
+	return out
+}
+
+func TestGroupsOfMatchesBruteForce(t *testing.T) {
+	tab := randomTable(t, 1, 500)
+	gs := GroupsOf(tab)
+	brute := bruteForceGroups(tab)
+	if gs.NumGroups() != len(brute) {
+		t.Fatalf("NumGroups = %d, brute force = %d", gs.NumGroups(), len(brute))
+	}
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		want, ok := brute[[2]uint16{g.Key[0], g.Key[1]}]
+		if !ok {
+			t.Fatalf("unexpected group key %v", g.Key)
+		}
+		for sa := range want {
+			if g.SACounts[sa] != want[sa] {
+				t.Errorf("group %v count[%d] = %d, want %d", g.Key, sa, g.SACounts[sa], want[sa])
+			}
+		}
+	}
+	if gs.Total() != tab.NumRows() {
+		t.Errorf("Total = %d, want %d", gs.Total(), tab.NumRows())
+	}
+}
+
+func TestGroupsDeterministicOrder(t *testing.T) {
+	tab := randomTable(t, 2, 300)
+	a := GroupsOf(tab)
+	b := GroupsOf(tab)
+	for i := range a.Groups {
+		if a.Groups[i].Key[0] != b.Groups[i].Key[0] || a.Groups[i].Key[1] != b.Groups[i].Key[1] {
+			t.Fatal("group order must be deterministic")
+		}
+	}
+	// Sorted by encoded key.
+	for i := 1; i < len(a.Groups); i++ {
+		if a.EncodeKey(a.Groups[i-1].Key) >= a.EncodeKey(a.Groups[i].Key) {
+			t.Fatal("groups not in key order")
+		}
+	}
+}
+
+func TestGroupFind(t *testing.T) {
+	tab := randomTable(t, 3, 200)
+	gs := GroupsOf(tab)
+	for i := range gs.Groups {
+		g := gs.Find(gs.Groups[i].Key)
+		if g != &gs.Groups[i] {
+			t.Fatalf("Find did not return group %v", gs.Groups[i].Key)
+		}
+	}
+	if gs.Find([]uint16{9, 9}) != nil {
+		t.Error("Find of absent key should be nil")
+	}
+	if gs.Find([]uint16{0}) != nil {
+		t.Error("Find with wrong arity should be nil")
+	}
+}
+
+func TestGroupMaxFreqAndFreq(t *testing.T) {
+	g := Group{Key: []uint16{0}, SACounts: []int{2, 6, 2}, Size: 10}
+	if g.MaxFreq() != 0.6 {
+		t.Errorf("MaxFreq = %v, want 0.6", g.MaxFreq())
+	}
+	if g.Freq(0) != 0.2 || g.Freq(1) != 0.6 {
+		t.Error("Freq mismatch")
+	}
+	empty := Group{SACounts: []int{0, 0}}
+	if empty.MaxFreq() != 0 || empty.Freq(0) != 0 {
+		t.Error("empty group frequencies should be 0")
+	}
+}
+
+func TestGroupSetTableRoundTrip(t *testing.T) {
+	// Property: GroupsOf(gs.Table()) has identical groups (the table
+	// round-trips up to row order, which carries no information).
+	prop := func(seed int64) bool {
+		tab := randomTable(t, seed, 200)
+		gs := GroupsOf(tab)
+		back := GroupsOf(gs.Table())
+		if back.NumGroups() != gs.NumGroups() || back.Total() != gs.Total() {
+			return false
+		}
+		for i := range gs.Groups {
+			a, b := &gs.Groups[i], &back.Groups[i]
+			if a.Size != b.Size {
+				return false
+			}
+			for sa := range a.SACounts {
+				if a.SACounts[sa] != b.SACounts[sa] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneShape(t *testing.T) {
+	tab := randomTable(t, 4, 100)
+	gs := GroupsOf(tab)
+	cp := gs.CloneShape()
+	if cp.NumGroups() != gs.NumGroups() {
+		t.Fatal("CloneShape changed group count")
+	}
+	if cp.Total() != 0 {
+		t.Error("CloneShape should zero sizes")
+	}
+	for i := range cp.Groups {
+		if cp.Groups[i].Key[0] != gs.Groups[i].Key[0] {
+			t.Fatal("CloneShape changed keys")
+		}
+		for _, c := range cp.Groups[i].SACounts {
+			if c != 0 {
+				t.Fatal("CloneShape should zero histograms")
+			}
+		}
+	}
+	// Find must still work on the clone (internal caches preserved).
+	if cp.Find(gs.Groups[0].Key) == nil {
+		t.Error("Find broken on CloneShape result")
+	}
+}
+
+func TestGroupSetValidate(t *testing.T) {
+	tab := randomTable(t, 5, 50)
+	gs := GroupsOf(tab)
+	if err := gs.Validate(); err != nil {
+		t.Errorf("valid group set failed validation: %v", err)
+	}
+	bad := GroupsOf(tab)
+	bad.Groups[0].Size++
+	if err := bad.Validate(); err == nil {
+		t.Error("size/histogram mismatch should fail validation")
+	}
+	bad2 := GroupsOf(tab)
+	bad2.Groups[0].SACounts[0] = -1
+	bad2.Groups[0].Size = bad2.Groups[0].Size - 1 - 1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative count should fail validation")
+	}
+}
+
+func TestAvgGroupSize(t *testing.T) {
+	tab := randomTable(t, 6, 120)
+	gs := GroupsOf(tab)
+	want := float64(120) / float64(gs.NumGroups())
+	if gs.AvgGroupSize() != want {
+		t.Errorf("AvgGroupSize = %v, want %v", gs.AvgGroupSize(), want)
+	}
+	empty := &GroupSet{}
+	if empty.AvgGroupSize() != 0 {
+		t.Error("empty group set average should be 0")
+	}
+}

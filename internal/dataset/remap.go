@@ -1,0 +1,59 @@
+package dataset
+
+import "fmt"
+
+// ValueMapping records how one attribute's domain was rewritten — e.g. by the
+// chi-square generalization of Section 3.4, which merges values with the same
+// impact on SA into a single generalized value.
+type ValueMapping struct {
+	Attr      int      // attribute index in the original schema
+	OldToNew  []uint16 // old code -> new code
+	NewValues []string // labels of the new (generalized) domain
+}
+
+// Remap rewrites the table under the given per-attribute mappings (attributes
+// without a mapping are kept verbatim) and returns a new table with a new
+// schema. The sensitive attribute may not be remapped: the paper perturbs SA
+// but never generalizes it.
+func Remap(t *Table, mappings []ValueMapping) (*Table, error) {
+	schema := t.Schema.Clone()
+	perAttr := make([]*ValueMapping, schema.NumAttrs())
+	for i := range mappings {
+		m := &mappings[i]
+		if m.Attr < 0 || m.Attr >= schema.NumAttrs() {
+			return nil, fmt.Errorf("dataset: mapping for out-of-range attribute %d", m.Attr)
+		}
+		if m.Attr == schema.SA {
+			return nil, fmt.Errorf("dataset: the sensitive attribute cannot be generalized")
+		}
+		if len(m.OldToNew) != t.Schema.Attrs[m.Attr].Domain() {
+			return nil, fmt.Errorf("dataset: mapping for %q covers %d of %d values",
+				schema.Attrs[m.Attr].Name, len(m.OldToNew), t.Schema.Attrs[m.Attr].Domain())
+		}
+		for old, nw := range m.OldToNew {
+			if int(nw) >= len(m.NewValues) {
+				return nil, fmt.Errorf("dataset: mapping for %q sends value %d to %d, beyond the new domain",
+					schema.Attrs[m.Attr].Name, old, nw)
+			}
+		}
+		perAttr[m.Attr] = m
+		schema.Attrs[m.Attr].Values = append([]string(nil), m.NewValues...)
+		schema.Attrs[m.Attr].index = nil
+	}
+	out := NewTable(schema, t.NumRows())
+	stride := schema.NumAttrs()
+	n := t.NumRows()
+	row := make([]uint16, stride)
+	for r := 0; r < n; r++ {
+		src := t.Row(r)
+		for c := 0; c < stride; c++ {
+			if m := perAttr[c]; m != nil {
+				row[c] = m.OldToNew[src[c]]
+			} else {
+				row[c] = src[c]
+			}
+		}
+		out.appendRaw(row)
+	}
+	return out, nil
+}

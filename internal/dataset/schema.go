@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Attribute describes one categorical attribute: its name and the dictionary
+// mapping value codes to value labels.
+type Attribute struct {
+	Name   string
+	Values []string
+
+	index map[string]uint16 // lazily built label -> code index
+}
+
+// Domain returns the number of distinct values of the attribute.
+func (a *Attribute) Domain() int { return len(a.Values) }
+
+// Code returns the code of the given value label.
+func (a *Attribute) Code(label string) (uint16, error) {
+	if a.index == nil {
+		a.index = make(map[string]uint16, len(a.Values))
+		for i, v := range a.Values {
+			a.index[v] = uint16(i)
+		}
+	}
+	c, ok := a.index[label]
+	if !ok {
+		return 0, fmt.Errorf("dataset: attribute %q has no value %q", a.Name, label)
+	}
+	return c, nil
+}
+
+// Label returns the label of the given value code.
+func (a *Attribute) Label(code uint16) string {
+	if int(code) >= len(a.Values) {
+		return fmt.Sprintf("<%s:%d>", a.Name, code)
+	}
+	return a.Values[code]
+}
+
+// Schema is the set of attributes of a table together with the index of the
+// single sensitive attribute. All other attributes are public (NA).
+type Schema struct {
+	Attrs []Attribute
+	SA    int // index into Attrs of the sensitive attribute
+}
+
+// NewSchema builds a schema. saName must match one attribute name.
+func NewSchema(attrs []Attribute, saName string) (*Schema, error) {
+	s := &Schema{Attrs: attrs, SA: -1}
+	seen := make(map[string]bool, len(attrs))
+	for i := range attrs {
+		if attrs[i].Name == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has an empty name", i)
+		}
+		if seen[attrs[i].Name] {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", attrs[i].Name)
+		}
+		seen[attrs[i].Name] = true
+		if len(attrs[i].Values) == 0 {
+			return nil, fmt.Errorf("dataset: attribute %q has an empty domain", attrs[i].Name)
+		}
+		if len(attrs[i].Values) > 1<<16 {
+			return nil, fmt.Errorf("dataset: attribute %q domain exceeds uint16", attrs[i].Name)
+		}
+		if attrs[i].Name == saName {
+			s.SA = i
+		}
+	}
+	if s.SA < 0 {
+		return nil, fmt.Errorf("dataset: sensitive attribute %q not found in schema", saName)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for statically
+// known schemas such as the built-in data generators.
+func MustSchema(attrs []Attribute, saName string) *Schema {
+	s, err := NewSchema(attrs, saName)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the total number of attributes (public + sensitive).
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// SADomain returns m, the domain size of the sensitive attribute.
+func (s *Schema) SADomain() int { return s.Attrs[s.SA].Domain() }
+
+// SAAttr returns the sensitive attribute.
+func (s *Schema) SAAttr() *Attribute { return &s.Attrs[s.SA] }
+
+// NAIndices returns the indices of the public attributes in schema order.
+func (s *Schema) NAIndices() []int {
+	idx := make([]int, 0, len(s.Attrs)-1)
+	for i := range s.Attrs {
+		if i != s.SA {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// AttrIndex returns the index of the attribute with the given name.
+func (s *Schema) AttrIndex(name string) (int, error) {
+	for i := range s.Attrs {
+		if s.Attrs[i].Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: attribute %q not found", name)
+}
+
+// GroupSpace returns the size of the cross product of the public-attribute
+// domains — the maximum possible number of personal groups.
+func (s *Schema) GroupSpace() int {
+	space := 1
+	for _, i := range s.NAIndices() {
+		space *= s.Attrs[i].Domain()
+	}
+	return space
+}
+
+// Clone returns a deep copy of the schema (dictionaries included) so the
+// copy can be mutated — e.g. by the chi-square generalization — without
+// affecting tables that still reference the original.
+func (s *Schema) Clone() *Schema {
+	attrs := make([]Attribute, len(s.Attrs))
+	for i := range s.Attrs {
+		attrs[i] = Attribute{
+			Name:   s.Attrs[i].Name,
+			Values: append([]string(nil), s.Attrs[i].Values...),
+		}
+	}
+	return &Schema{Attrs: attrs, SA: s.SA}
+}

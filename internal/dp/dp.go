@@ -1,0 +1,175 @@
+// Package dp implements the output-perturbation substrate the paper attacks
+// in Section 2: the ε-differential-privacy Laplace and Gaussian mechanisms
+// for count queries, the Taylor-expansion moments of the ratio of two noisy
+// answers (Lemma 1), and the closed-form disclosure indicator 2(b/x)²
+// (Corollary 2) that predicts when the ratio Y/X pins down y/x.
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// LaplaceMechanism answers numeric queries with Laplace noise of scale
+// b = Δ/ε, the standard ε-differential-privacy construction.
+type LaplaceMechanism struct {
+	Epsilon     float64 // privacy budget ε
+	Sensitivity float64 // query sensitivity Δ (2 for the paired count queries of Section 2)
+}
+
+// Validate checks the mechanism parameters.
+func (m LaplaceMechanism) Validate() error {
+	if m.Epsilon <= 0 || math.IsNaN(m.Epsilon) {
+		return fmt.Errorf("dp: epsilon must be positive, got %v", m.Epsilon)
+	}
+	if m.Sensitivity <= 0 || math.IsNaN(m.Sensitivity) {
+		return fmt.Errorf("dp: sensitivity must be positive, got %v", m.Sensitivity)
+	}
+	return nil
+}
+
+// Scale returns the noise scale b = Δ/ε.
+func (m LaplaceMechanism) Scale() float64 { return m.Sensitivity / m.Epsilon }
+
+// Variance returns the noise variance 2b².
+func (m LaplaceMechanism) Variance() float64 { b := m.Scale(); return 2 * b * b }
+
+// Answer returns the noisy answer a + Lap(b).
+func (m LaplaceMechanism) Answer(rng *rand.Rand, trueAnswer float64) float64 {
+	return trueAnswer + stats.Laplace(rng, m.Scale())
+}
+
+// GaussianMechanism answers numeric queries with zero-mean Gaussian noise;
+// for (ε, δ)-DP the standard deviation is σ = Δ·sqrt(2 ln(1.25/δ))/ε.
+// Like Laplace it has zero mean and fixed variance, so Corollary 1 applies.
+type GaussianMechanism struct {
+	Epsilon     float64
+	Delta       float64
+	Sensitivity float64
+}
+
+// Validate checks the mechanism parameters.
+func (m GaussianMechanism) Validate() error {
+	if m.Epsilon <= 0 || math.IsNaN(m.Epsilon) {
+		return fmt.Errorf("dp: epsilon must be positive, got %v", m.Epsilon)
+	}
+	if m.Delta <= 0 || m.Delta >= 1 || math.IsNaN(m.Delta) {
+		return fmt.Errorf("dp: delta must be in (0,1), got %v", m.Delta)
+	}
+	if m.Sensitivity <= 0 || math.IsNaN(m.Sensitivity) {
+		return fmt.Errorf("dp: sensitivity must be positive, got %v", m.Sensitivity)
+	}
+	return nil
+}
+
+// Sigma returns the noise standard deviation.
+func (m GaussianMechanism) Sigma() float64 {
+	return m.Sensitivity * math.Sqrt(2*math.Log(1.25/m.Delta)) / m.Epsilon
+}
+
+// Variance returns σ².
+func (m GaussianMechanism) Variance() float64 { s := m.Sigma(); return s * s }
+
+// Answer returns the noisy answer a + N(0, σ²).
+func (m GaussianMechanism) Answer(rng *rand.Rand, trueAnswer float64) float64 {
+	return trueAnswer + stats.Gaussian(rng, m.Sigma())
+}
+
+// RatioMoments holds the Lemma 1 Taylor approximations for the ratio Y/X of
+// two noisy answers X = x+ξ₁, Y = y+ξ₂ with zero-mean noises of variance V:
+//
+//	E[Y/X]   ≈ (y/x)(1 + V/x²)
+//	Var[Y/X] ≈ (V/x²)(1 + y²/x²)
+type RatioMoments struct {
+	Mean     float64
+	Variance float64
+}
+
+// RatioMomentsApprox evaluates Lemma 1 for true answers x, y and noise
+// variance V. x must be non-zero.
+func RatioMomentsApprox(x, y, V float64) (RatioMoments, error) {
+	if x == 0 {
+		return RatioMoments{}, fmt.Errorf("dp: Lemma 1 requires x != 0")
+	}
+	vx2 := V / (x * x)
+	return RatioMoments{
+		Mean:     (y / x) * (1 + vx2),
+		Variance: vx2 * (1 + (y*y)/(x*x)),
+	}, nil
+}
+
+// Indicator returns 2(b/x)², the Corollary 2 disclosure indicator for the
+// Laplace mechanism: it simultaneously bounds |E[Y/X] − y/x| and one half of
+// Var[Y/X]. The paper's rule of thumb is that b/x ≤ 1/20 (indicator ≤ 1/200)
+// makes Y/X a good estimate of y/x — i.e. a disclosure if y/x is sensitive.
+func Indicator(b, x float64) float64 {
+	r := b / x
+	return 2 * r * r
+}
+
+// MeanBiasBound returns the Corollary 2(i) bound |E[Y/X] − y/x| ≤ 2(b/x)².
+func MeanBiasBound(b, x float64) float64 { return Indicator(b, x) }
+
+// VarianceBound returns the Corollary 2(ii) bound Var[Y/X] ≤ 4(b/x)².
+func VarianceBound(b, x float64) float64 { return 2 * Indicator(b, x) }
+
+// AttackTrial is one run of the Section 2 / Table 1 experiment: two noisy
+// answers and the derived confidence estimate.
+type AttackTrial struct {
+	Ans1, Ans2 float64 // noisy answers X, Y
+	Conf       float64 // Y/X
+	RelErr1    float64 // |x - X| / x
+	RelErr2    float64 // |y - Y| / y
+}
+
+// AttackResult aggregates trials of the ratio attack.
+type AttackResult struct {
+	TrueConf float64 // y/x
+	Conf     stats.Summary
+	RelErr1  stats.Summary
+	RelErr2  stats.Summary
+	Trials   []AttackTrial
+}
+
+// RatioAttack runs the NIR disclosure experiment of Example 1: issue the two
+// count queries with true answers x (the NA match count) and y (the NA ∧ SA
+// match count) against the mechanism `trials` times, and summarize the
+// attacker's confidence estimate Y/X together with the per-answer relative
+// errors — the disclosure and utility columns of Table 1.
+func RatioAttack(rng *rand.Rand, mech LaplaceMechanism, x, y float64, trials int) (AttackResult, error) {
+	if err := mech.Validate(); err != nil {
+		return AttackResult{}, err
+	}
+	if x <= 0 || y < 0 {
+		return AttackResult{}, fmt.Errorf("dp: attack requires x > 0 and y >= 0, got x=%v y=%v", x, y)
+	}
+	if trials < 1 {
+		return AttackResult{}, fmt.Errorf("dp: need at least one trial")
+	}
+	res := AttackResult{TrueConf: y / x}
+	confs := make([]float64, 0, trials)
+	errs1 := make([]float64, 0, trials)
+	errs2 := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		X := mech.Answer(rng, x)
+		Y := mech.Answer(rng, y)
+		t := AttackTrial{
+			Ans1:    X,
+			Ans2:    Y,
+			Conf:    Y / X,
+			RelErr1: math.Abs(x-X) / x,
+			RelErr2: math.Abs(y-Y) / y,
+		}
+		res.Trials = append(res.Trials, t)
+		confs = append(confs, t.Conf)
+		errs1 = append(errs1, t.RelErr1)
+		errs2 = append(errs2, t.RelErr2)
+	}
+	res.Conf = stats.MustSummarize(confs)
+	res.RelErr1 = stats.MustSummarize(errs1)
+	res.RelErr2 = stats.MustSummarize(errs2)
+	return res, nil
+}

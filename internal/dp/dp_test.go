@@ -1,0 +1,231 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestLaplaceMechanismScale(t *testing.T) {
+	m := LaplaceMechanism{Epsilon: 0.1, Sensitivity: 2}
+	if m.Scale() != 20 {
+		t.Errorf("Scale = %v, want 20 (b = Δ/ε)", m.Scale())
+	}
+	if m.Variance() != 800 {
+		t.Errorf("Variance = %v, want 800 (2b²)", m.Variance())
+	}
+}
+
+func TestLaplaceMechanismValidate(t *testing.T) {
+	bad := []LaplaceMechanism{
+		{Epsilon: 0, Sensitivity: 1},
+		{Epsilon: -1, Sensitivity: 1},
+		{Epsilon: 1, Sensitivity: 0},
+		{Epsilon: math.NaN(), Sensitivity: 1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestLaplaceAnswerMoments(t *testing.T) {
+	m := LaplaceMechanism{Epsilon: 0.5, Sensitivity: 2}
+	rng := stats.NewRand(1)
+	const n = 100000
+	const truth = 500.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := m.Answer(rng, truth)
+		sum += x
+		sumSq += (x - truth) * (x - truth)
+	}
+	if mean := sum / n; math.Abs(mean-truth) > 0.2 {
+		t.Errorf("noisy answer mean = %v, want ~%v", mean, truth)
+	}
+	if variance := sumSq / n; math.Abs(variance-m.Variance())/m.Variance() > 0.05 {
+		t.Errorf("noise variance = %v, want ~%v", variance, m.Variance())
+	}
+}
+
+func TestGaussianMechanism(t *testing.T) {
+	g := GaussianMechanism{Epsilon: 1, Delta: 1e-5, Sensitivity: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2 * math.Log(1.25/1e-5))
+	if math.Abs(g.Sigma()-want) > 1e-9 {
+		t.Errorf("Sigma = %v, want %v", g.Sigma(), want)
+	}
+	rng := stats.NewRand(2)
+	const n = 50000
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		d := g.Answer(rng, 100) - 100
+		sumSq += d * d
+	}
+	if v := sumSq / n; math.Abs(v-g.Variance())/g.Variance() > 0.05 {
+		t.Errorf("empirical variance %v, want ~%v", v, g.Variance())
+	}
+	bad := GaussianMechanism{Epsilon: 1, Delta: 0, Sensitivity: 1}
+	if bad.Validate() == nil {
+		t.Error("delta=0 should fail validation")
+	}
+}
+
+func TestRatioMomentsApprox(t *testing.T) {
+	// Lemma 1 exact algebra: E[Y/X] ≈ (y/x)(1 + V/x²).
+	rm, err := RatioMomentsApprox(500, 420, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := (420.0 / 500) * (1 + 800.0/250000)
+	if math.Abs(rm.Mean-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", rm.Mean, wantMean)
+	}
+	wantVar := (800.0 / 250000) * (1 + (420.0*420)/(500.0*500))
+	if math.Abs(rm.Variance-wantVar) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", rm.Variance, wantVar)
+	}
+	if _, err := RatioMomentsApprox(0, 1, 1); err == nil {
+		t.Error("x=0 should error")
+	}
+}
+
+func TestRatioMomentsMatchSimulation(t *testing.T) {
+	// For large x the Taylor approximation should match the simulated
+	// moments of Y/X closely.
+	const x, y = 2000.0, 1500.0
+	mech := LaplaceMechanism{Epsilon: 0.1, Sensitivity: 2}
+	V := mech.Variance()
+	approx, err := RatioMomentsApprox(x, y, V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		r := mech.Answer(rng, y) / mech.Answer(rng, x)
+		sum += r
+		sumSq += r * r
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-approx.Mean) > 0.002 {
+		t.Errorf("simulated mean %v vs Taylor %v", mean, approx.Mean)
+	}
+	if math.Abs(variance-approx.Variance)/approx.Variance > 0.1 {
+		t.Errorf("simulated variance %v vs Taylor %v", variance, approx.Variance)
+	}
+}
+
+func TestIndicatorTable2Values(t *testing.T) {
+	// Spot-check the paper's Table 2 cells.
+	cases := []struct {
+		b, x, want float64
+	}{
+		{10, 5000, 0.000008},
+		{20, 1000, 0.0008},
+		{40, 500, 0.0128},
+		{200, 200, 2},
+		{200, 100, 8},
+	}
+	for _, c := range cases {
+		if got := Indicator(c.b, c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Indicator(%v, %v) = %v, want %v", c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestIndicatorBoundsRelationship(t *testing.T) {
+	// Corollary 2: the mean-bias bound is the indicator, the variance bound
+	// is twice it — for any b and x.
+	prop := func(bRaw, xRaw uint16) bool {
+		b := 1 + float64(bRaw%500)
+		x := 1 + float64(xRaw%10000)
+		return MeanBiasBound(b, x) == Indicator(b, x) &&
+			math.Abs(VarianceBound(b, x)-2*Indicator(b, x)) < 1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorollary2BoundsHold(t *testing.T) {
+	// |E[Y/X] − y/x| ≤ 2(b/x)² empirically for large-ish x.
+	mech := LaplaceMechanism{Epsilon: 0.1, Sensitivity: 2}
+	const x, y = 1000.0, 700.0
+	rng := stats.NewRand(4)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += mech.Answer(rng, y) / mech.Answer(rng, x)
+	}
+	mean := sum / n
+	bias := math.Abs(mean - y/x)
+	bound := MeanBiasBound(mech.Scale(), x)
+	// Allow simulation noise on top of the bound.
+	se := math.Sqrt(VarianceBound(mech.Scale(), x) / n)
+	if bias > bound+4*se {
+		t.Errorf("bias %v exceeds Corollary 2 bound %v", bias, bound)
+	}
+}
+
+func TestRatioAttack(t *testing.T) {
+	mech := LaplaceMechanism{Epsilon: 0.5, Sensitivity: 2}
+	res, err := RatioAttack(stats.NewRand(5), mech, 501, 420, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 10 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	if math.Abs(res.TrueConf-0.8383) > 0.001 {
+		t.Errorf("TrueConf = %v", res.TrueConf)
+	}
+	// At eps=0.5 (b=4) the estimate should be close to the truth.
+	if math.Abs(res.Conf.Mean-res.TrueConf) > 0.05 {
+		t.Errorf("Conf mean = %v, want near %v", res.Conf.Mean, res.TrueConf)
+	}
+	if res.RelErr1.Mean > 0.1 || res.RelErr2.Mean > 0.1 {
+		t.Error("relative errors should be small at eps=0.5")
+	}
+}
+
+func TestRatioAttackDisclosureGradient(t *testing.T) {
+	// The attack sharpens as epsilon grows — the Section 2 claim.
+	rng := stats.NewRand(6)
+	var prevSE float64 = math.Inf(1)
+	for _, eps := range []float64{0.01, 0.1, 0.5} {
+		mech := LaplaceMechanism{Epsilon: eps, Sensitivity: 2}
+		res, err := RatioAttack(rng, mech, 501, 420, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Conf.StdErr >= prevSE {
+			t.Errorf("eps=%v: SE %v did not shrink from %v", eps, res.Conf.StdErr, prevSE)
+		}
+		prevSE = res.Conf.StdErr
+	}
+}
+
+func TestRatioAttackErrors(t *testing.T) {
+	mech := LaplaceMechanism{Epsilon: 0.5, Sensitivity: 2}
+	rng := stats.NewRand(7)
+	if _, err := RatioAttack(rng, mech, 0, 1, 10); err == nil {
+		t.Error("x=0 should error")
+	}
+	if _, err := RatioAttack(rng, mech, 10, -1, 10); err == nil {
+		t.Error("y<0 should error")
+	}
+	if _, err := RatioAttack(rng, mech, 10, 5, 0); err == nil {
+		t.Error("0 trials should error")
+	}
+	if _, err := RatioAttack(rng, LaplaceMechanism{}, 10, 5, 10); err == nil {
+		t.Error("invalid mechanism should error")
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/bounds"
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// BoundsAblationRow is one tail bound's induced group-size threshold and the
+// violation rates it yields on both data sets.
+type BoundsAblationRow struct {
+	Bound    string
+	SGAdult  float64 // s_g at (f=0.75, m=2) — a typical ADULT group
+	SGCensus float64 // s_g at (f=0.05, m=50) — a typical CENSUS group
+	AdultVG  float64
+	AdultVR  float64
+	CensusVG float64
+	CensusVR float64
+}
+
+// BoundsAblation compares the bounds pluggable through Theorem 2.
+type BoundsAblation struct {
+	Rows []BoundsAblationRow
+}
+
+// RunBoundsAblation quantifies why the paper adopts the Chernoff bound: a
+// looser plugged-in bound yields a larger "best known" upper bound, hence a
+// larger admissible group size s_g and fewer detected violations — i.e. a
+// weaker test of the same criterion.
+func RunBoundsAblation(censusSize int) (*BoundsAblation, error) {
+	adult, err := AdultData()
+	if err != nil {
+		return nil, err
+	}
+	census, err := CensusData(censusSize)
+	if err != nil {
+		return nil, err
+	}
+	res := &BoundsAblation{}
+	for _, b := range []bounds.TailBound{bounds.Chernoff{}, bounds.Bernstein{}, bounds.Chebyshev{}, bounds.Hoeffding{}, bounds.Markov{}} {
+		row := BoundsAblationRow{Bound: b.Name()}
+		row.SGAdult = core.MaxGroupSizeForBound(b, 0.75, 2, DefaultParams)
+		row.SGCensus = core.MaxGroupSizeForBound(b, 0.05, 50, DefaultParams)
+		for _, ds := range []*Dataset{adult, census} {
+			m := ds.Groups.Schema.SADomain()
+			groups, records := 0, 0
+			vGroups, vRecords := 0, 0
+			for i := range ds.Groups.Groups {
+				g := &ds.Groups.Groups[i]
+				groups++
+				records += g.Size
+				if float64(g.Size) > core.MaxGroupSizeForBound(b, g.MaxFreq(), m, DefaultParams) {
+					vGroups++
+					vRecords += g.Size
+				}
+			}
+			vg := float64(vGroups) / float64(groups)
+			vr := float64(vRecords) / float64(records)
+			if ds == adult {
+				row.AdultVG, row.AdultVR = vg, vr
+			} else {
+				row.CensusVG, row.CensusVR = vg, vr
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the comparison.
+func (r *BoundsAblation) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: plugged-in tail bound (Theorem 2) at default parameters\n")
+	t := &textTable{header: []string{"bound", "sg(adult f=.75)", "sg(census f=.05)", "adult vg", "adult vr", "census vg", "census vr"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Bound, fmtSG(row.SGAdult), fmtSG(row.SGCensus),
+			pct(row.AdultVG), pct(row.AdultVR), pct(row.CensusVG), pct(row.CensusVR))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+func fmtSG(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// EstimatorAblationRow compares the three reconstruction estimators on one
+// subset size: mean L1 distance between the estimate and the true frequency
+// vector over the trials.
+type EstimatorAblationRow struct {
+	Size   int
+	MLE    float64
+	Matrix float64
+	EM     float64
+}
+
+// EstimatorAblation compares MLE, matrix-inverse MLE, and iterative Bayes.
+type EstimatorAblation struct {
+	M      int
+	P      float64
+	Trials int
+	Rows   []EstimatorAblationRow
+}
+
+// RunEstimatorAblation perturbs synthetic subsets of varying size and
+// measures each estimator's L1 reconstruction error. MLE and the matrix
+// form must coincide (they are the same estimator); EM trades a small bias
+// for staying on the probability simplex, which pays off on small subsets.
+func RunEstimatorAblation(trials int, seed int64) (*EstimatorAblation, error) {
+	const m = 10
+	p := DefaultParams.P
+	truth := []float64{0.30, 0.20, 0.15, 0.10, 0.08, 0.06, 0.05, 0.03, 0.02, 0.01}
+	rng := stats.NewRand(seed)
+	res := &EstimatorAblation{M: m, P: p, Trials: trials}
+	for _, size := range []int{50, 200, 1000, 5000, 20000} {
+		var sumMLE, sumMat, sumEM float64
+		for trial := 0; trial < trials; trial++ {
+			counts := make([]int, m)
+			for i := 0; i < size; i++ {
+				sa := stats.Categorical(rng, truth)
+				counts[perturb.Value(rng, uint16(sa), m, p)]++
+			}
+			mle, err := reconstruct.MLE(counts, p)
+			if err != nil {
+				return nil, err
+			}
+			mat, err := reconstruct.MatrixMLE(counts, p)
+			if err != nil {
+				return nil, err
+			}
+			em, err := reconstruct.IterativeBayes(counts, p, 500, 1e-9)
+			if err != nil {
+				return nil, err
+			}
+			sumMLE += l1(mle, truth)
+			sumMat += l1(mat, truth)
+			sumEM += l1(em, truth)
+		}
+		res.Rows = append(res.Rows, EstimatorAblationRow{
+			Size:   size,
+			MLE:    sumMLE / float64(trials),
+			Matrix: sumMat / float64(trials),
+			EM:     sumEM / float64(trials),
+		})
+	}
+	return res, nil
+}
+
+func l1(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// String renders the estimator comparison.
+func (r *EstimatorAblation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: reconstruction estimators (m=%d, p=%.1f, %d trials, L1 error)\n", r.M, r.P, r.Trials)
+	t := &textTable{header: []string{"|S|", "MLE", "matrix MLE", "iterative Bayes"}}
+	for _, row := range r.Rows {
+		t.addRow(fmt.Sprintf("%d", row.Size), f4(row.MLE), f4(row.Matrix), f4(row.EM))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// ReducePAblation compares SPS against the rejected alternative of Section
+// 5: shrinking the retention probability globally until no group violates.
+type ReducePAblation struct {
+	Dataset   string
+	OriginalP float64
+	ReducedP  float64
+	Runs      int
+	UPError   stats.Summary // baseline UP at the original p (violating)
+	SPSError  stats.Summary // SPS at the original p (private)
+	ReduceP   stats.Summary // UP at the reduced p (private)
+}
+
+// RunReducePAblation quantifies the paper's argument that "reducing p has a
+// global effect of making the perturbed data too noisy": both SPS and
+// reduce-p achieve reconstruction privacy, but reduce-p pays with a much
+// larger query error.
+func RunReducePAblation(adult bool, censusSize, runs int) (*ReducePAblation, error) {
+	var ds *Dataset
+	var err error
+	if adult {
+		ds, err = AdultData()
+	} else {
+		ds, err = CensusData(censusSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pm := DefaultParams
+	reduced, err := core.RetentionForNoViolation(ds.Groups, pm)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReducePAblation{Dataset: ds.Name, OriginalP: pm.P, ReducedP: reduced, Runs: runs}
+	var upErrs, spsErrs, redErrs []float64
+	for run := 0; run < runs; run++ {
+		rng := stats.NewRand(RunSeed + int64(run))
+		up, err := core.PublishUP(rng, ds.Groups, pm.P)
+		if err != nil {
+			return nil, err
+		}
+		upMarg, err := query.BuildMarginalsFromGroups(up, 3)
+		if err != nil {
+			return nil, err
+		}
+		upRep, err := ds.Pool.Evaluate(upMarg, pm.P)
+		if err != nil {
+			return nil, err
+		}
+		sps, _, err := core.PublishSPS(rng, ds.Groups, pm)
+		if err != nil {
+			return nil, err
+		}
+		spsMarg, err := query.BuildMarginalsFromGroups(sps, 3)
+		if err != nil {
+			return nil, err
+		}
+		spsRep, err := ds.Pool.Evaluate(spsMarg, pm.P)
+		if err != nil {
+			return nil, err
+		}
+		red, err := core.PublishUP(rng, ds.Groups, reduced)
+		if err != nil {
+			return nil, err
+		}
+		redMarg, err := query.BuildMarginalsFromGroups(red, 3)
+		if err != nil {
+			return nil, err
+		}
+		redRep, err := ds.Pool.Evaluate(redMarg, reduced)
+		if err != nil {
+			return nil, err
+		}
+		upErrs = append(upErrs, upRep.AvgError)
+		spsErrs = append(spsErrs, spsRep.AvgError)
+		redErrs = append(redErrs, redRep.AvgError)
+	}
+	res.UPError = stats.MustSummarize(upErrs)
+	res.SPSError = stats.MustSummarize(spsErrs)
+	res.ReduceP = stats.MustSummarize(redErrs)
+	return res, nil
+}
+
+// String renders the three-way comparison.
+func (r *ReducePAblation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: SPS vs globally reducing p on %s (%d runs)\n", r.Dataset, r.Runs)
+	t := &textTable{header: []string{"publication", "p", "private?", "avg rel err", "se"}}
+	t.addRow("UP", fmt.Sprintf("%.3f", r.OriginalP), "no", pct(r.UPError.Mean), f4(r.UPError.StdErr))
+	t.addRow("SPS", fmt.Sprintf("%.3f", r.OriginalP), "yes", pct(r.SPSError.Mean), f4(r.SPSError.StdErr))
+	t.addRow("UP reduced-p", fmt.Sprintf("%.3f", r.ReducedP), "yes", pct(r.ReduceP.Mean), f4(r.ReduceP.StdErr))
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// ErrorPoint is one x position of a relative-error curve: the pool-average
+// relative error of count queries answered from UP- and SPS-published data,
+// averaged over the experiment's runs (the paper averages 10 runs).
+type ErrorPoint struct {
+	X   float64
+	UP  stats.Summary
+	SPS stats.Summary
+}
+
+// ErrorSweep reproduces one panel of Figures 3 (ADULT) or 5 (CENSUS).
+type ErrorSweep struct {
+	Dataset string
+	Var     SweepVar
+	Runs    int
+	Points  []ErrorPoint
+}
+
+// RunErrorSweep evaluates the 5,000-query pool against UP and SPS
+// publications at every grid position, over `runs` independent
+// perturbations. The published data is indexed group-level, so each run
+// costs O(|D| + |G|·m + |pool|).
+func RunErrorSweep(adult bool, v SweepVar, censusSize, runs int) (*ErrorSweep, error) {
+	if adult && v == SweepSize {
+		return nil, fmt.Errorf("experiments: the size sweep is CENSUS-only")
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("experiments: need at least one run, got %d", runs)
+	}
+	xs, err := sweepValues(v)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &ErrorSweep{Var: v, Runs: runs}
+	for _, x := range xs {
+		var ds *Dataset
+		if adult {
+			ds, err = AdultData()
+		} else if v == SweepSize {
+			ds, err = CensusData(int(x))
+		} else {
+			ds, err = CensusData(censusSize)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sweep.Dataset = ds.Name
+		pm := paramsAt(v, x)
+		upErrs := make([]float64, 0, runs)
+		spsErrs := make([]float64, 0, runs)
+		for run := 0; run < runs; run++ {
+			rng := stats.NewRand(RunSeed + int64(run))
+			up, err := core.PublishUP(rng, ds.Groups, pm.P)
+			if err != nil {
+				return nil, err
+			}
+			upMarg, err := query.BuildMarginalsFromGroups(up, 3)
+			if err != nil {
+				return nil, err
+			}
+			upRep, err := ds.Pool.Evaluate(upMarg, pm.P)
+			if err != nil {
+				return nil, err
+			}
+			sps, _, err := core.PublishSPS(rng, ds.Groups, pm)
+			if err != nil {
+				return nil, err
+			}
+			spsMarg, err := query.BuildMarginalsFromGroups(sps, 3)
+			if err != nil {
+				return nil, err
+			}
+			spsRep, err := ds.Pool.Evaluate(spsMarg, pm.P)
+			if err != nil {
+				return nil, err
+			}
+			upErrs = append(upErrs, upRep.AvgError)
+			spsErrs = append(spsErrs, spsRep.AvgError)
+		}
+		sweep.Points = append(sweep.Points, ErrorPoint{
+			X:   x,
+			UP:  stats.MustSummarize(upErrs),
+			SPS: stats.MustSummarize(spsErrs),
+		})
+	}
+	if v == SweepSize {
+		sweep.Dataset = "CENSUS"
+	}
+	return sweep, nil
+}
+
+// String renders the two series with their standard errors.
+func (s *ErrorSweep) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s relative error vs %s (SPS vs UP, %d runs, 5000-query pool)\n", s.Dataset, s.Var, s.Runs)
+	t := &textTable{header: []string{string(s.Var), "UP err", "UP se", "SPS err", "SPS se", "SPS/UP"}}
+	for _, pt := range s.Points {
+		x := fmt.Sprintf("%g", pt.X)
+		if s.Var == SweepSize {
+			x = fmt.Sprintf("%gK", pt.X/1000)
+		}
+		ratio := pt.SPS.Mean / pt.UP.Mean
+		t.addRow(x, pct(pt.UP.Mean), f4(pt.UP.StdErr), pct(pt.SPS.Mean), f4(pt.SPS.StdErr), fmt.Sprintf("%.2fx", ratio))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+)
+
+// Fig1PSettings are the retention probabilities of Figure 1's three curves.
+var Fig1PSettings = []float64{0.3, 0.5, 0.7}
+
+// Fig1Series is one s_g-vs-f curve for a fixed retention probability.
+type Fig1Series struct {
+	P  float64
+	F  []float64
+	SG []float64
+}
+
+// Fig1Result reproduces Figure 1: the maximum group size s_g (Eq. 12) as a
+// function of the maximum frequency f, for ADULT (m = 2, f ∈ [0.5, 0.9] —
+// with two SA values the top frequency is at least one half) and CENSUS
+// (m = 50, f ∈ [0.1, 0.9]).
+type Fig1Result struct {
+	Panel  string // "ADULT" or "CENSUS"
+	M      int
+	Series []Fig1Series
+}
+
+// RunFig1 computes one panel with the default λ and δ.
+func RunFig1(panel string) (*Fig1Result, error) {
+	var m int
+	var fs []float64
+	switch panel {
+	case "ADULT":
+		m = 2
+		for f := 0.5; f <= 0.901; f += 0.05 {
+			fs = append(fs, f)
+		}
+	case "CENSUS":
+		m = 50
+		for f := 0.1; f <= 0.901; f += 0.05 {
+			fs = append(fs, f)
+		}
+	default:
+		return nil, fmt.Errorf("experiments: Figure 1 panel must be ADULT or CENSUS, got %q", panel)
+	}
+	res := &Fig1Result{Panel: panel, M: m}
+	for _, p := range Fig1PSettings {
+		pm := DefaultParams
+		pm.P = p
+		s := Fig1Series{P: p}
+		for _, f := range fs {
+			s.F = append(s.F, f)
+			s.SG = append(s.SG, core.MaxGroupSize(f, m, pm))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// String renders the curves as aligned columns (one row per f).
+func (r *Fig1Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1(%s): maximum group size s_g vs maximum frequency f (m=%d, lambda=%.1f, delta=%.1f)\n",
+		r.Panel, r.M, DefaultParams.Lambda, DefaultParams.Delta)
+	t := &textTable{header: []string{"f"}}
+	for _, s := range r.Series {
+		t.header = append(t.header, fmt.Sprintf("sg(p=%.1f)", s.P))
+	}
+	for i := range r.Series[0].F {
+		row := []string{fmt.Sprintf("%.2f", r.Series[0].F[i])}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.0f", s.SG[i]))
+		}
+		t.addRow(row...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/dp"
+)
+
+// Table 2 grid: Laplace scales (with the ε implied by Δ = 2) × true answers.
+var (
+	Table2Scales  = []float64{10, 20, 40, 200}
+	Table2Answers = []float64{5000, 1000, 500, 200, 100}
+)
+
+// Table2Result reproduces Table 2: the disclosure indicator 2(b/x)² of
+// Corollary 2 over the grid of noise scales and query answers.
+type Table2Result struct {
+	Scales  []float64
+	Answers []float64
+	Values  [][]float64 // [scale][answer]
+}
+
+// RunTable2 evaluates the indicator grid. It is deterministic (a closed
+// form), which is the point: the disclosure condition can be read off
+// before issuing any query.
+func RunTable2() *Table2Result {
+	res := &Table2Result{Scales: Table2Scales, Answers: Table2Answers}
+	for _, b := range res.Scales {
+		row := make([]float64, len(res.Answers))
+		for i, x := range res.Answers {
+			row[i] = dp.Indicator(b, x)
+		}
+		res.Values = append(res.Values, row)
+	}
+	return res
+}
+
+// String renders the grid in the paper's layout.
+func (r *Table2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: disclosure indicator 2(b/x)^2 (bold in the paper where the ratio certifies disclosure)\n")
+	t := &textTable{header: []string{"b \\ x"}}
+	for _, x := range r.Answers {
+		t.header = append(t.header, fmt.Sprintf("%g", x))
+	}
+	for i, b := range r.Scales {
+		row := []string{fmt.Sprintf("b=%g (eps=%g)", b, Table1Sensitivity/b)}
+		for _, v := range r.Values[i] {
+			row = append(row, f6(v))
+		}
+		t.addRow(row...)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+)
+
+// SweepVar names the x-axis of a parameter sweep.
+type SweepVar string
+
+// Sweep variables of Figures 2–5.
+const (
+	SweepP      SweepVar = "p"
+	SweepLambda SweepVar = "lambda"
+	SweepDelta  SweepVar = "delta"
+	SweepSize   SweepVar = "size" // CENSUS only (Figures 4d and 5d)
+)
+
+// paramsAt returns the Table 6 defaults with the sweep variable replaced.
+func paramsAt(v SweepVar, x float64) core.Params {
+	pm := DefaultParams
+	switch v {
+	case SweepP:
+		pm.P = x
+	case SweepLambda:
+		pm.Lambda = x
+	case SweepDelta:
+		pm.Delta = x
+	}
+	return pm
+}
+
+// sweepValues returns the Table 6 grid for a sweep variable.
+func sweepValues(v SweepVar) ([]float64, error) {
+	switch v {
+	case SweepP:
+		return PSweep, nil
+	case SweepLambda:
+		return LambdaSweep, nil
+	case SweepDelta:
+		return DeltaSweep, nil
+	case SweepSize:
+		xs := make([]float64, len(CensusSizes))
+		for i, s := range CensusSizes {
+			xs[i] = float64(s)
+		}
+		return xs, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep variable %q", v)
+	}
+}
+
+// ViolationPoint is one x position of a violation-rate curve.
+type ViolationPoint struct {
+	X  float64
+	VG float64 // fraction of personal groups violating (v_g)
+	VR float64 // fraction of records covered by violating groups (v_r)
+}
+
+// ViolationSweep reproduces one panel of Figures 2 (ADULT) or 4 (CENSUS):
+// how much of the data set violates (λ, δ)-reconstruction privacy under
+// plain uniform perturbation, as one parameter sweeps its Table 6 grid.
+type ViolationSweep struct {
+	Dataset string
+	Var     SweepVar
+	Points  []ViolationPoint
+}
+
+// RunViolationSweep computes the sweep for a dataset. The violation test is
+// a property of the raw personal groups and the parameters (Corollary 4), so
+// no perturbation run is needed.
+func RunViolationSweep(adult bool, v SweepVar, censusSize int) (*ViolationSweep, error) {
+	if adult && v == SweepSize {
+		return nil, fmt.Errorf("experiments: the size sweep is CENSUS-only")
+	}
+	xs, err := sweepValues(v)
+	if err != nil {
+		return nil, err
+	}
+	sweep := &ViolationSweep{Var: v}
+	for _, x := range xs {
+		var ds *Dataset
+		if adult {
+			ds, err = AdultData()
+		} else if v == SweepSize {
+			ds, err = CensusData(int(x))
+		} else {
+			ds, err = CensusData(censusSize)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sweep.Dataset = ds.Name
+		rep := core.Violations(ds.Groups, paramsAt(v, x))
+		sweep.Points = append(sweep.Points, ViolationPoint{X: x, VG: rep.VG(), VR: rep.VR()})
+	}
+	if v == SweepSize {
+		sweep.Dataset = "CENSUS"
+	}
+	return sweep, nil
+}
+
+// String renders the sweep as the two series v_r and v_g.
+func (s *ViolationSweep) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s privacy violation vs %s (defaults p=%.1f lambda=%.1f delta=%.1f)\n",
+		s.Dataset, s.Var, DefaultParams.P, DefaultParams.Lambda, DefaultParams.Delta)
+	t := &textTable{header: []string{string(s.Var), "vr", "vg"}}
+	for _, pt := range s.Points {
+		x := fmt.Sprintf("%g", pt.X)
+		if s.Var == SweepSize {
+			x = fmt.Sprintf("%gK", pt.X/1000)
+		}
+		t.addRow(x, pct(pt.VR), pct(pt.VG))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

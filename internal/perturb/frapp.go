@@ -1,0 +1,56 @@
+package perturb
+
+import (
+	"fmt"
+	"math"
+)
+
+// FRAPP (Agrawal & Haritsa, ICDE 2005 — the paper's reference [25]) shows
+// that among all perturbation matrices with amplification γ, the
+// "gamma-diagonal" matrix maximizes utility:
+//
+//	P[j][i] = γ·x  if i == j,   x  otherwise,   x = 1/(γ + m − 1).
+//
+// Uniform perturbation with retention probability p is exactly the
+// gamma-diagonal matrix with γ = 1 + pm/(1−p) — the identity these helpers
+// expose (and the tests prove), which is why the paper can enforce ρ1-ρ2
+// privacy "through a proper choice of p" without leaving the uniform
+// operator.
+
+// GammaDiagonal returns the m×m gamma-diagonal matrix with amplification γ.
+// γ must exceed 1 (γ = 1 is the useless uniform-output matrix; γ → ∞ is the
+// identity).
+func GammaDiagonal(m int, gamma float64) ([][]float64, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("perturb: domain must have at least 2 values, got %d", m)
+	}
+	if gamma <= 1 || math.IsInf(gamma, 0) || math.IsNaN(gamma) {
+		return nil, fmt.Errorf("perturb: amplification must be a finite value > 1, got %v", gamma)
+	}
+	x := 1 / (gamma + float64(m) - 1)
+	P := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		P[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			if i == j {
+				P[j][i] = gamma * x
+			} else {
+				P[j][i] = x
+			}
+		}
+	}
+	return P, nil
+}
+
+// RetentionForGamma returns the retention probability whose uniform
+// perturbation matrix equals the gamma-diagonal matrix with amplification γ:
+// p = (γ−1)/(γ−1+m).
+func RetentionForGamma(gamma float64, m int) (float64, error) {
+	if m < 2 {
+		return 0, fmt.Errorf("perturb: domain must have at least 2 values, got %d", m)
+	}
+	if gamma <= 1 || math.IsInf(gamma, 0) || math.IsNaN(gamma) {
+		return 0, fmt.Errorf("perturb: amplification must be a finite value > 1, got %v", gamma)
+	}
+	return (gamma - 1) / (gamma - 1 + float64(m)), nil
+}

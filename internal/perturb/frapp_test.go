@@ -1,0 +1,90 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaDiagonalEqualsUniformMatrix(t *testing.T) {
+	// Property: Matrix(m, RetentionForGamma(γ)) == GammaDiagonal(m, γ).
+	prop := func(mRaw, gRaw uint8) bool {
+		m := 2 + int(mRaw%60)
+		gamma := 1.01 + float64(gRaw)/4
+		p, err := RetentionForGamma(gamma, m)
+		if err != nil {
+			return false
+		}
+		uniform := Matrix(m, p)
+		gd, err := GammaDiagonal(m, gamma)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < m; j++ {
+			for i := 0; i < m; i++ {
+				if math.Abs(uniform[j][i]-gd[j][i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaDiagonalColumnStochastic(t *testing.T) {
+	gd, err := GammaDiagonal(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for j := 0; j < 5; j++ {
+			sum += gd[j][i]
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("column %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestGammaDiagonalAmplification(t *testing.T) {
+	// The matrix's diagonal/off-diagonal ratio is exactly γ, and the
+	// round trip through p recovers γ via Amplification.
+	const m = 8
+	const gamma = 4.5
+	gd, err := GammaDiagonal(m, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := gd[0][0] / gd[1][0]; math.Abs(ratio-gamma) > 1e-12 {
+		t.Errorf("matrix ratio = %v, want %v", ratio, gamma)
+	}
+	p, err := RetentionForGamma(gamma, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Amplification(p, m); math.Abs(got-gamma) > 1e-9 {
+		t.Errorf("Amplification(RetentionForGamma(γ)) = %v, want %v", got, gamma)
+	}
+}
+
+func TestGammaDiagonalValidation(t *testing.T) {
+	if _, err := GammaDiagonal(1, 2); err == nil {
+		t.Error("m=1 should error")
+	}
+	if _, err := GammaDiagonal(5, 1); err == nil {
+		t.Error("gamma=1 should error")
+	}
+	if _, err := GammaDiagonal(5, math.Inf(1)); err == nil {
+		t.Error("infinite gamma should error")
+	}
+	if _, err := RetentionForGamma(0.5, 5); err == nil {
+		t.Error("gamma<1 should error")
+	}
+	if _, err := RetentionForGamma(2, 0); err == nil {
+		t.Error("m=0 should error")
+	}
+}

@@ -1,0 +1,132 @@
+// Package perturb implements uniform perturbation of the sensitive attribute
+// (the paper's Section 3.1): for each record, a biased coin with head
+// probability p (the retention probability) decides whether the SA value is
+// retained; on tails it is replaced by a value drawn uniformly from the full
+// SA domain. The induced perturbation matrix P (Eq. 3) has
+//
+//	P[j][i] = p + (1-p)/m  if j == i
+//	P[j][i] = (1-p)/m      otherwise.
+//
+// The package also provides the ρ1-ρ2 amplification analysis of Evfimievski
+// et al., which the paper points to as the way to choose p ("other privacy
+// criteria ... can be enforced through a proper choice of p").
+package perturb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+// ValidateP checks that a retention probability is in the open interval
+// (0, 1) required by the paper's problem statement.
+func ValidateP(p float64) error {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		return fmt.Errorf("perturb: retention probability must be in (0,1), got %v", p)
+	}
+	return nil
+}
+
+// Matrix returns the m×m perturbation matrix P of Eq. 3. Each column sums to
+// 1: column i is the distribution of the observed value given original value
+// i.
+func Matrix(m int, p float64) [][]float64 {
+	off := (1 - p) / float64(m)
+	P := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		P[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			if i == j {
+				P[j][i] = p + off
+			} else {
+				P[j][i] = off
+			}
+		}
+	}
+	return P
+}
+
+// Value perturbs a single SA value: retain with probability p, otherwise
+// replace with a uniform draw from the m-value domain (the replacement may
+// coincide with the original, exactly as in the paper's operator).
+func Value(rng *rand.Rand, v uint16, m int, p float64) uint16 {
+	if rng.Float64() < p {
+		return v
+	}
+	return uint16(rng.Intn(m))
+}
+
+// Table applies uniform perturbation to the sensitive attribute of every
+// record and returns the perturbed copy D*. The public attributes are left
+// untouched.
+func Table(rng *rand.Rand, t *dataset.Table, p float64) (*dataset.Table, error) {
+	if err := ValidateP(p); err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	m := t.Schema.SADomain()
+	n := out.NumRows()
+	for i := 0; i < n; i++ {
+		out.SetSA(i, Value(rng, out.SA(i), m, p))
+	}
+	return out, nil
+}
+
+// Counts perturbs a SA histogram: counts[i] records carrying value i are each
+// retained with probability p or rerouted to a uniform value. The output
+// histogram is distributed identically to perturbing the underlying records
+// one by one — groups are multisets, so histograms are a lossless
+// representation — but avoids materializing rows. This is the fast path used
+// by the group-level publishing pipeline.
+func Counts(rng *rand.Rand, counts []int, p float64) []int {
+	m := len(counts)
+	out := make([]int, m)
+	for v, c := range counts {
+		for k := 0; k < c; k++ {
+			if rng.Float64() < p {
+				out[v]++
+			} else {
+				out[rng.Intn(m)]++
+			}
+		}
+	}
+	return out
+}
+
+// Amplification returns the amplification factor γ of uniform perturbation:
+// the maximum ratio between any two entries of a column of P,
+// γ = (p + (1-p)/m) / ((1-p)/m) = 1 + pm/(1-p). Smaller γ means stronger
+// ρ1-ρ2 protection.
+func Amplification(p float64, m int) float64 {
+	return 1 + p*float64(m)/(1-p)
+}
+
+// BreachProbability returns the ρ1-ρ2 upper bound on the adversary's
+// posterior ρ2 given prior ρ1 under a γ-amplifying operator:
+// ρ2 ≤ γρ1 / (1 + (γ-1)ρ1).
+func BreachProbability(rho1, gamma float64) float64 {
+	return gamma * rho1 / (1 + (gamma-1)*rho1)
+}
+
+// RetentionForRho1Rho2 returns the largest retention probability p such that
+// uniform perturbation over an m-value domain upgrades any prior ≤ rho1 to a
+// posterior ≤ rho2 (ρ1-ρ2 privacy). It returns an error when even p→0
+// cannot achieve the requirement (rho2 <= rho1).
+func RetentionForRho1Rho2(rho1, rho2 float64, m int) (float64, error) {
+	if rho1 <= 0 || rho1 >= 1 || rho2 <= 0 || rho2 >= 1 {
+		return 0, fmt.Errorf("perturb: rho1 and rho2 must be in (0,1), got %v, %v", rho1, rho2)
+	}
+	if rho2 <= rho1 {
+		return 0, fmt.Errorf("perturb: rho2 (%v) must exceed rho1 (%v)", rho2, rho1)
+	}
+	// Posterior bound is monotone in γ and γ is monotone in p; solve
+	// γρ1/(1+(γ-1)ρ1) = ρ2 for γ, then γ = 1 + pm/(1-p) for p.
+	gamma := rho2 * (1 - rho1) / (rho1 * (1 - rho2))
+	p := (gamma - 1) / (gamma - 1 + float64(m))
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("perturb: no retention probability in (0,1) achieves (%v,%v)-privacy for m=%d", rho1, rho2, m)
+	}
+	return p, nil
+}

@@ -1,0 +1,227 @@
+package perturb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestValidateP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if ValidateP(p) == nil {
+			t.Errorf("ValidateP(%v) should error", p)
+		}
+	}
+	for _, p := range []float64{0.001, 0.5, 0.999} {
+		if err := ValidateP(p); err != nil {
+			t.Errorf("ValidateP(%v) = %v", p, err)
+		}
+	}
+}
+
+func TestMatrixIsColumnStochastic(t *testing.T) {
+	// Property: every column of P sums to 1 and entries follow Eq. 3.
+	prop := func(mRaw, pRaw uint8) bool {
+		m := 2 + int(mRaw%60)
+		p := 0.01 + 0.98*float64(pRaw)/255
+		P := Matrix(m, p)
+		off := (1 - p) / float64(m)
+		for i := 0; i < m; i++ {
+			var colSum float64
+			for j := 0; j < m; j++ {
+				colSum += P[j][i]
+				want := off
+				if i == j {
+					want += p
+				}
+				if math.Abs(P[j][i]-want) > 1e-12 {
+					return false
+				}
+			}
+			if math.Abs(colSum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueRetentionRate(t *testing.T) {
+	rng := stats.NewRand(1)
+	const m = 10
+	const p = 0.3
+	const trials = 200000
+	same := 0
+	for i := 0; i < trials; i++ {
+		if Value(rng, 4, m, p) == 4 {
+			same++
+		}
+	}
+	// P(observed == original) = p + (1-p)/m.
+	want := p + (1-p)/m
+	got := float64(same) / trials
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("retention rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestValueOffDiagonalUniform(t *testing.T) {
+	rng := stats.NewRand(2)
+	const m = 5
+	const p = 0.4
+	counts := make([]int, m)
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		counts[Value(rng, 0, m, p)]++
+	}
+	// Each non-original value should appear with probability (1-p)/m.
+	want := (1 - p) / m
+	for v := 1; v < m; v++ {
+		got := float64(counts[v]) / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("value %d rate = %v, want ~%v", v, got, want)
+		}
+	}
+}
+
+func buildTable(t *testing.T, n int) *dataset.Table {
+	t.Helper()
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"a", "b"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2", "s3"}},
+	}, "S")
+	tab := dataset.NewTable(s, n)
+	rng := stats.NewRand(3)
+	for i := 0; i < n; i++ {
+		tab.MustAppendRow(uint16(rng.Intn(2)), uint16(rng.Intn(4)))
+	}
+	return tab
+}
+
+func TestTablePreservesNA(t *testing.T) {
+	tab := buildTable(t, 1000)
+	out, err := Table(stats.NewRand(4), tab, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != tab.NumRows() {
+		t.Fatal("row count changed")
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if out.At(r, 0) != tab.At(r, 0) {
+			t.Fatal("public attribute changed")
+		}
+	}
+	// Input must be untouched.
+	if !tab.Equal(buildTable(t, 1000)) {
+		t.Error("input table was mutated")
+	}
+}
+
+func TestTableRejectsBadP(t *testing.T) {
+	tab := buildTable(t, 10)
+	if _, err := Table(stats.NewRand(1), tab, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := Table(stats.NewRand(1), tab, 1); err == nil {
+		t.Error("p=1 should error")
+	}
+}
+
+func TestCountsConservation(t *testing.T) {
+	// Property: Counts preserves the total and never goes negative.
+	rng := stats.NewRand(5)
+	prop := func(raw []uint8, pRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		counts := make([]int, len(raw))
+		total := 0
+		for i, c := range raw {
+			counts[i] = int(c % 50)
+			total += counts[i]
+		}
+		p := 0.01 + 0.98*float64(pRaw)/255
+		out := Counts(rng, counts, p)
+		outTotal := 0
+		for _, c := range out {
+			if c < 0 {
+				return false
+			}
+			outTotal += c
+		}
+		return outTotal == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsMatchesTableDistribution(t *testing.T) {
+	// The histogram path and the per-record path must produce statistically
+	// identical output: compare expected counts analytically.
+	const n = 60000
+	const p = 0.4
+	counts := []int{n / 2, n / 4, n / 8, n / 8}
+	rng := stats.NewRand(6)
+	out := Counts(rng, counts, p)
+	m := len(counts)
+	for v := range counts {
+		// E[out[v]] = p*counts[v] + (1-p)/m * n.
+		want := p*float64(counts[v]) + (1-p)/float64(m)*float64(n)
+		sd := math.Sqrt(float64(n)) // generous bound on the std deviation
+		if math.Abs(float64(out[v])-want) > 4*sd {
+			t.Errorf("value %d: observed %d, expected ~%.0f", v, out[v], want)
+		}
+	}
+}
+
+func TestAmplification(t *testing.T) {
+	// γ = 1 + pm/(1-p): spot values.
+	if got := Amplification(0.5, 10); math.Abs(got-11) > 1e-12 {
+		t.Errorf("Amplification(0.5, 10) = %v, want 11", got)
+	}
+	if got := Amplification(0.2, 4); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Amplification(0.2, 4) = %v, want 2", got)
+	}
+}
+
+func TestBreachProbabilityBounds(t *testing.T) {
+	// ρ2 bound grows with γ and stays in (ρ1, 1).
+	rho1 := 0.1
+	prev := rho1
+	for _, gamma := range []float64{1.5, 2, 5, 20} {
+		rho2 := BreachProbability(rho1, gamma)
+		if rho2 <= prev || rho2 >= 1 {
+			t.Errorf("BreachProbability(%v, %v) = %v out of order", rho1, gamma, rho2)
+		}
+		prev = rho2
+	}
+}
+
+func TestRetentionForRho1Rho2(t *testing.T) {
+	p, err := RetentionForRho1Rho2(0.1, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The returned p must achieve exactly the posterior bound rho2.
+	gamma := Amplification(p, 10)
+	if got := BreachProbability(0.1, gamma); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("posterior at returned p = %v, want 0.5", got)
+	}
+	if _, err := RetentionForRho1Rho2(0.5, 0.1, 10); err == nil {
+		t.Error("rho2 <= rho1 should error")
+	}
+	if _, err := RetentionForRho1Rho2(0, 0.5, 10); err == nil {
+		t.Error("rho1=0 should error")
+	}
+}

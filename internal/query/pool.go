@@ -1,0 +1,143 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// PoolOptions configure the random workload of Section 6.1.
+type PoolOptions struct {
+	Size           int     // number of queries; the paper uses 5,000
+	MaxDim         int     // maximum query dimensionality d; the paper uses 3
+	MinSelectivity float64 // ans/|D| acceptance threshold; the paper uses 0.001
+	MaxTries       int     // safety valve on rejection sampling (0 = 1000×Size)
+}
+
+// DefaultPoolOptions mirror the paper's workload.
+var DefaultPoolOptions = PoolOptions{Size: 5000, MaxDim: 3, MinSelectivity: 0.001}
+
+// Pool is a generated workload over the *generalized* schema, with the true
+// answers on the generalized raw data cached for error evaluation.
+type Pool struct {
+	Queries []Query
+	Answers []int // true answers ans on the generalized raw table
+}
+
+// GeneratePool draws the query pool. Mirroring the paper: queries are
+// generated over the ORIGINAL public-attribute values ("the query pool
+// simulates the set of possible queries generated from real life"), the
+// selectivity filter ans/|D| ≥ MinSelectivity is applied on the original
+// data, and accepted queries have their NA values replaced by the
+// generalized values before entering the pool.
+//
+// origMarg indexes the original table, genMarg the generalized table; merge
+// maps original value codes to generalized codes per attribute (nil entries
+// mean the attribute is unmapped).
+func GeneratePool(rng *rand.Rand, origMarg, genMarg *Marginals,
+	mappings []dataset.ValueMapping, opts PoolOptions) (*Pool, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("query: pool size must be positive, got %d", opts.Size)
+	}
+	if opts.MinSelectivity < 0 || opts.MinSelectivity >= 1 {
+		return nil, fmt.Errorf("query: selectivity threshold must be in [0,1), got %v", opts.MinSelectivity)
+	}
+	maxTries := opts.MaxTries
+	if maxTries == 0 {
+		maxTries = 1000 * opts.Size
+	}
+	schema := origMarg.Schema
+	na := schema.NAIndices()
+	maxDim := opts.MaxDim
+	if maxDim > len(na) || maxDim <= 0 {
+		maxDim = len(na)
+	}
+	if maxDim > origMarg.MaxDim {
+		return nil, fmt.Errorf("query: pool dimensionality %d exceeds indexed %d", maxDim, origMarg.MaxDim)
+	}
+	perAttr := make([]*dataset.ValueMapping, schema.NumAttrs())
+	for i := range mappings {
+		perAttr[mappings[i].Attr] = &mappings[i]
+	}
+	m := schema.SADomain()
+	total := float64(origMarg.Total())
+	pool := &Pool{}
+	for tries := 0; len(pool.Queries) < opts.Size; tries++ {
+		if tries >= maxTries {
+			return nil, fmt.Errorf("query: only %d of %d queries reached selectivity %v after %d tries",
+				len(pool.Queries), opts.Size, opts.MinSelectivity, maxTries)
+		}
+		// d ∈ {1..maxDim}, d attributes without replacement, uniform values.
+		d := 1 + rng.Intn(maxDim)
+		perm := rng.Perm(len(na))[:d]
+		q := Query{SA: uint16(rng.Intn(m))}
+		for _, pi := range perm {
+			attr := na[pi]
+			q.Conds = append(q.Conds, Cond{
+				Attr:  attr,
+				Value: uint16(rng.Intn(schema.Attrs[attr].Domain())),
+			})
+		}
+		ans, err := origMarg.Count(q)
+		if err != nil {
+			return nil, err
+		}
+		if float64(ans)/total < opts.MinSelectivity {
+			continue
+		}
+		// Replace original NA values with their generalized values.
+		gen := Query{SA: q.SA, Conds: make([]Cond, len(q.Conds))}
+		for i, c := range q.Conds {
+			gc := c
+			if mp := perAttr[c.Attr]; mp != nil {
+				gc.Value = mp.OldToNew[c.Value]
+			}
+			gen.Conds[i] = gc
+		}
+		genAns, err := genMarg.Count(gen)
+		if err != nil {
+			return nil, err
+		}
+		pool.Queries = append(pool.Queries, gen)
+		pool.Answers = append(pool.Answers, genAns)
+	}
+	return pool, nil
+}
+
+// ErrorReport summarizes a pool evaluation.
+type ErrorReport struct {
+	Queries  int
+	AvgError float64 // mean relative error over the pool
+	MaxError float64
+}
+
+// Evaluate computes the relative error |est − ans|/ans of every pool query
+// against published data and returns the average — the utility metric of
+// Figures 3 and 5. p is the retention probability the estimator inverts.
+func (pool *Pool) Evaluate(pubMarg *Marginals, p float64) (ErrorReport, error) {
+	if len(pool.Queries) == 0 {
+		return ErrorReport{}, fmt.Errorf("query: empty pool")
+	}
+	rep := ErrorReport{Queries: len(pool.Queries)}
+	var sum float64
+	for i, q := range pool.Queries {
+		ans := pool.Answers[i]
+		if ans == 0 {
+			// Cannot happen for pools built by GeneratePool (selectivity
+			// filter guarantees ans ≥ 1), but guard for hand-built pools.
+			return ErrorReport{}, fmt.Errorf("query: pool query %d has zero true answer", i)
+		}
+		est, err := pubMarg.Estimate(q, p)
+		if err != nil {
+			return ErrorReport{}, err
+		}
+		re := stats.RelativeError(est, float64(ans))
+		sum += re
+		rep.MaxError = math.Max(rep.MaxError, re)
+	}
+	rep.AvgError = sum / float64(len(pool.Queries))
+	return rep, nil
+}

@@ -1,0 +1,265 @@
+// Package query implements the count-query workload of the paper's Section
+// 6.1: conjunctive COUNT queries of the form
+//
+//	SELECT COUNT(*) FROM D WHERE A1=a1 ∧ … ∧ Ad=ad ∧ SA=sa
+//
+// with dimensionality d ∈ {1,2,3}, a random 5,000-query pool with
+// selectivity ≥ 0.1%, and the reconstruction-based estimator
+// est = |S*|·F' evaluated against perturbed data.
+//
+// Queries are answered from precomputed low-dimensional marginal cubes
+// (every ≤3-attribute NA subset × SA), so a full pool evaluation is O(1) per
+// query instead of a table scan — the trick that keeps the 500K-record
+// CENSUS sweeps tractable.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+)
+
+// Cond is one equality condition on a public attribute.
+type Cond struct {
+	Attr  int // schema attribute index
+	Value uint16
+}
+
+// Query is a conjunctive count query over public attributes plus one
+// sensitive value (Eq. 11).
+type Query struct {
+	Conds []Cond
+	SA    uint16
+}
+
+// String renders the query against a schema for diagnostics.
+func (q Query) Format(s *dataset.Schema) string {
+	out := ""
+	for i, c := range q.Conds {
+		if i > 0 {
+			out += " ∧ "
+		}
+		out += fmt.Sprintf("%s=%s", s.Attrs[c.Attr].Name, s.Attrs[c.Attr].Label(c.Value))
+	}
+	if len(q.Conds) > 0 {
+		out += " ∧ "
+	}
+	out += fmt.Sprintf("%s=%s", s.SAAttr().Name, s.SAAttr().Label(q.SA))
+	return out
+}
+
+// marginal is one cube: counts over the cross product of a sorted
+// public-attribute subset and SA.
+type marginal struct {
+	attrs  []int // sorted NA attribute indices
+	dims   []int // domain sizes aligned with attrs
+	counts []int // flat row-major over (attrs..., SA)
+}
+
+// Marginals answers conjunctive counts over a fixed schema from precomputed
+// cubes of every public-attribute subset up to MaxDim attributes.
+type Marginals struct {
+	Schema *dataset.Schema
+	MaxDim int
+	cubes  map[uint64]*marginal
+	total  int
+}
+
+// subsetKey packs a sorted attribute subset into a uint64 (attribute indices
+// are < 255; 0xFF pads unused slots).
+func subsetKey(attrs []int) uint64 {
+	var k uint64 = ^uint64(0)
+	for i, a := range attrs {
+		shift := uint(8 * i)
+		k = (k &^ (uint64(0xFF) << shift)) | uint64(a)<<shift
+	}
+	return k
+}
+
+// newMarginals allocates the cube structure for every NA subset of size 1..maxDim.
+func newMarginals(schema *dataset.Schema, maxDim int) (*Marginals, error) {
+	if maxDim < 1 {
+		return nil, fmt.Errorf("query: maxDim must be at least 1, got %d", maxDim)
+	}
+	na := schema.NAIndices()
+	if maxDim > len(na) {
+		maxDim = len(na)
+	}
+	mg := &Marginals{Schema: schema, MaxDim: maxDim, cubes: make(map[uint64]*marginal)}
+	m := schema.SADomain()
+	var build func(start int, cur []int)
+	build = func(start int, cur []int) {
+		if len(cur) > 0 {
+			attrs := append([]int(nil), cur...)
+			dims := make([]int, len(attrs))
+			size := m
+			for i, a := range attrs {
+				dims[i] = schema.Attrs[a].Domain()
+				size *= dims[i]
+			}
+			mg.cubes[subsetKey(attrs)] = &marginal{attrs: attrs, dims: dims, counts: make([]int, size)}
+		}
+		if len(cur) == maxDim {
+			return
+		}
+		for i := start; i < len(na); i++ {
+			build(i+1, append(cur, na[i]))
+		}
+	}
+	build(0, nil)
+	return mg, nil
+}
+
+// flatIndex computes the cube offset of (values..., sa).
+func (c *marginal) flatIndex(values []uint16, sa uint16, m int) int {
+	idx := 0
+	for i := range c.attrs {
+		idx = idx*c.dims[i] + int(values[i])
+	}
+	return idx*m + int(sa)
+}
+
+// BuildMarginals scans the table once per cube and returns the query engine.
+func BuildMarginals(t *dataset.Table, maxDim int) (*Marginals, error) {
+	mg, err := newMarginals(t.Schema, maxDim)
+	if err != nil {
+		return nil, err
+	}
+	m := t.Schema.SADomain()
+	n := t.NumRows()
+	mg.total = n
+	vals := make([]uint16, maxDim)
+	for _, cube := range mg.cubes {
+		for r := 0; r < n; r++ {
+			row := t.Row(r)
+			for i, a := range cube.attrs {
+				vals[i] = row[a]
+			}
+			cube.counts[cube.flatIndex(vals[:len(cube.attrs)], row[t.Schema.SA], m)]++
+		}
+	}
+	return mg, nil
+}
+
+// BuildMarginalsFromGroups builds the same cubes from a group set — far
+// cheaper than from rows when |G| ≪ |D|, which is how each published D* is
+// indexed inside the experiment loops.
+func BuildMarginalsFromGroups(gs *dataset.GroupSet, maxDim int) (*Marginals, error) {
+	mg, err := newMarginals(gs.Schema, maxDim)
+	if err != nil {
+		return nil, err
+	}
+	m := gs.Schema.SADomain()
+	na := gs.NAIndices()
+	pos := make(map[int]int, len(na)) // schema attr -> key position
+	for i, a := range na {
+		pos[a] = i
+	}
+	mg.total = gs.Total()
+	vals := make([]uint16, maxDim)
+	for _, cube := range mg.cubes {
+		for gi := range gs.Groups {
+			g := &gs.Groups[gi]
+			for i, a := range cube.attrs {
+				vals[i] = g.Key[pos[a]]
+			}
+			base := 0
+			for i := range cube.attrs {
+				base = base*cube.dims[i] + int(vals[i])
+			}
+			base *= m
+			for sa, c := range g.SACounts {
+				if c != 0 {
+					cube.counts[base+sa] += c
+				}
+			}
+		}
+	}
+	return mg, nil
+}
+
+// Total returns |D| for the indexed data.
+func (mg *Marginals) Total() int { return mg.total }
+
+// lookup returns the cube for the attribute set of conds and the condition
+// values aligned with the cube's sorted attribute order.
+func (mg *Marginals) lookup(conds []Cond) (*marginal, []uint16, error) {
+	if len(conds) == 0 {
+		return nil, nil, fmt.Errorf("query: at least one NA condition is required")
+	}
+	if len(conds) > mg.MaxDim {
+		return nil, nil, fmt.Errorf("query: %d conditions exceed the indexed maximum %d", len(conds), mg.MaxDim)
+	}
+	sorted := append([]Cond(nil), conds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Attr < sorted[j].Attr })
+	attrs := make([]int, len(sorted))
+	vals := make([]uint16, len(sorted))
+	for i, c := range sorted {
+		if i > 0 && c.Attr == sorted[i-1].Attr {
+			return nil, nil, fmt.Errorf("query: duplicate condition on attribute %d", c.Attr)
+		}
+		attrs[i] = c.Attr
+		vals[i] = c.Value
+	}
+	cube, ok := mg.cubes[subsetKey(attrs)]
+	if !ok {
+		return nil, nil, fmt.Errorf("query: no cube for attribute set %v", attrs)
+	}
+	for i, a := range cube.attrs {
+		if int(vals[i]) >= mg.Schema.Attrs[a].Domain() {
+			return nil, nil, fmt.Errorf("query: value %d out of domain for attribute %d", vals[i], a)
+		}
+	}
+	return cube, vals, nil
+}
+
+// Count answers the full query (NA conditions ∧ SA=sa).
+func (mg *Marginals) Count(q Query) (int, error) {
+	cube, vals, err := mg.lookup(q.Conds)
+	if err != nil {
+		return 0, err
+	}
+	m := mg.Schema.SADomain()
+	if int(q.SA) >= m {
+		return 0, fmt.Errorf("query: SA value %d out of domain", q.SA)
+	}
+	return cube.counts[cube.flatIndex(vals, q.SA, m)], nil
+}
+
+// CountNA answers the NA-only part of the query (the subset S the estimator
+// reconstructs over).
+func (mg *Marginals) CountNA(conds []Cond) (int, error) {
+	cube, vals, err := mg.lookup(conds)
+	if err != nil {
+		return 0, err
+	}
+	m := mg.Schema.SADomain()
+	base := cube.flatIndex(vals, 0, m)
+	total := 0
+	for sa := 0; sa < m; sa++ {
+		total += cube.counts[base+sa]
+	}
+	return total, nil
+}
+
+// Estimate computes est = |S*|·F' (Section 6.1) for the query against
+// published data indexed by mg, where F' is the Lemma 2(ii) MLE computed
+// from the observed count O* of sa within the matching subset S*.
+// A query matching no published records estimates 0.
+func (mg *Marginals) Estimate(q Query, p float64) (float64, error) {
+	size, err := mg.CountNA(q.Conds)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	obs, err := mg.Count(q)
+	if err != nil {
+		return 0, err
+	}
+	fPrime := reconstruct.MLEValue(obs, size, p, mg.Schema.SADomain())
+	return float64(size) * fPrime, nil
+}

@@ -1,0 +1,327 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// testTable builds a reproducible random 4-attribute table.
+func testTable(t *testing.T, seed int64, rows int) *dataset.Table {
+	t.Helper()
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"a0", "a1", "a2"}},
+		{Name: "B", Values: []string{"b0", "b1"}},
+		{Name: "C", Values: []string{"c0", "c1", "c2", "c3"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2", "s3", "s4"}},
+	}, "S")
+	tab := dataset.NewTable(s, rows)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		tab.MustAppendRow(uint16(rng.Intn(3)), uint16(rng.Intn(2)), uint16(rng.Intn(4)), uint16(rng.Intn(5)))
+	}
+	return tab
+}
+
+// bruteCount scans the table.
+func bruteCount(tab *dataset.Table, q Query, withSA bool) int {
+	n := 0
+	for r := 0; r < tab.NumRows(); r++ {
+		row := tab.Row(r)
+		ok := true
+		for _, c := range q.Conds {
+			if row[c.Attr] != c.Value {
+				ok = false
+				break
+			}
+		}
+		if ok && (!withSA || row[tab.Schema.SA] == q.SA) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMarginalsMatchBruteForce(t *testing.T) {
+	tab := testTable(t, 1, 2000)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Total() != 2000 {
+		t.Fatalf("Total = %d", mg.Total())
+	}
+	// Property: any valid query agrees with a table scan.
+	rng := rand.New(rand.NewSource(2))
+	prop := func(d8, a8, b8, c8, sa8 uint8) bool {
+		d := 1 + int(d8%3)
+		attrs := rng.Perm(3)[:d]
+		q := Query{SA: uint16(sa8 % 5)}
+		vals := []uint16{uint16(a8 % 3), uint16(b8 % 2), uint16(c8 % 4)}
+		for _, a := range attrs {
+			q.Conds = append(q.Conds, Cond{Attr: a, Value: vals[a]})
+		}
+		got, err := mg.Count(q)
+		if err != nil {
+			return false
+		}
+		if got != bruteCount(tab, q, true) {
+			return false
+		}
+		na, err := mg.CountNA(q.Conds)
+		if err != nil {
+			return false
+		}
+		return na == bruteCount(tab, q, false)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalsFromGroupsMatchTable(t *testing.T) {
+	tab := testTable(t, 3, 1500)
+	fromTable, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGroups, err := BuildMarginalsFromGroups(dataset.GroupsOf(tab), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Conds: []Cond{{Attr: 0, Value: 1}, {Attr: 2, Value: 3}}, SA: 2}
+	a, err1 := fromTable.Count(q)
+	b, err2 := fromGroups.Count(q)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Errorf("table-built %d != group-built %d", a, b)
+	}
+	if fromGroups.Total() != fromTable.Total() {
+		t.Error("totals differ")
+	}
+}
+
+func TestMarginalsErrors(t *testing.T) {
+	tab := testTable(t, 4, 100)
+	mg, err := BuildMarginals(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Count(Query{SA: 0}); err == nil {
+		t.Error("zero conditions should error")
+	}
+	threeConds := []Cond{{0, 0}, {1, 0}, {2, 0}}
+	if _, err := mg.CountNA(threeConds); err == nil {
+		t.Error("exceeding MaxDim should error")
+	}
+	if _, err := mg.Count(Query{Conds: []Cond{{0, 0}, {0, 1}}, SA: 0}); err == nil {
+		t.Error("duplicate attribute should error")
+	}
+	if _, err := mg.Count(Query{Conds: []Cond{{0, 99}}, SA: 0}); err == nil {
+		t.Error("out-of-domain value should error")
+	}
+	if _, err := mg.Count(Query{Conds: []Cond{{0, 0}}, SA: 99}); err == nil {
+		t.Error("out-of-domain SA should error")
+	}
+	if _, err := BuildMarginals(tab, 0); err == nil {
+		t.Error("maxDim 0 should error")
+	}
+}
+
+func TestEstimateMatchesManualMLE(t *testing.T) {
+	tab := testTable(t, 5, 3000)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Conds: []Cond{{Attr: 1, Value: 0}}, SA: 3}
+	p := 0.5
+	est, err := mg.Estimate(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := mg.CountNA(q.Conds)
+	obs, _ := mg.Count(q)
+	want := float64(size) * reconstruct.MLEValue(obs, size, p, 5)
+	if math.Abs(est-want) > 1e-9 {
+		t.Errorf("Estimate = %v, want %v", est, want)
+	}
+}
+
+func TestEstimateEmptySubset(t *testing.T) {
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "S", Values: []string{"s0", "s1"}},
+	}, "S")
+	tab := dataset.NewTable(s, 1)
+	tab.MustAppendRow(0, 0)
+	mg, err := BuildMarginals(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := mg.Estimate(Query{Conds: []Cond{{Attr: 0, Value: 1}}, SA: 0}, 0.5)
+	if err != nil || est != 0 {
+		t.Errorf("empty subset estimate = %v, %v; want 0, nil", est, err)
+	}
+}
+
+func TestQueryFormat(t *testing.T) {
+	tab := testTable(t, 6, 1)
+	q := Query{Conds: []Cond{{Attr: 0, Value: 1}}, SA: 2}
+	got := q.Format(tab.Schema)
+	want := "A=a1 ∧ S=s2"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
+
+func TestGeneratePoolRespectsConstraints(t *testing.T) {
+	tab := testTable(t, 7, 5000)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PoolOptions{Size: 300, MaxDim: 3, MinSelectivity: 0.002}
+	pool, err := GeneratePool(stats.NewRand(8), mg, mg, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Queries) != 300 || len(pool.Answers) != 300 {
+		t.Fatalf("pool size = %d", len(pool.Queries))
+	}
+	for i, q := range pool.Queries {
+		if len(q.Conds) < 1 || len(q.Conds) > 3 {
+			t.Fatalf("query %d has %d conditions", i, len(q.Conds))
+		}
+		ans, err := mg.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans != pool.Answers[i] {
+			t.Fatalf("cached answer %d != %d", pool.Answers[i], ans)
+		}
+		if float64(ans)/5000 < opts.MinSelectivity {
+			t.Fatalf("query %d selectivity below threshold", i)
+		}
+	}
+}
+
+func TestGeneratePoolTranslatesValues(t *testing.T) {
+	// Build a table, then a merged version where attribute A collapses to
+	// one value; pool queries must carry generalized codes valid for the
+	// merged schema.
+	tab := testTable(t, 9, 4000)
+	mapping := dataset.ValueMapping{
+		Attr:      0,
+		OldToNew:  []uint16{0, 0, 0},
+		NewValues: []string{"a0|a1|a2"},
+	}
+	merged, err := dataset.Remap(tab, []dataset.ValueMapping{mapping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMarg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genMarg, err := BuildMarginals(merged, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := GeneratePool(stats.NewRand(10), origMarg, genMarg,
+		[]dataset.ValueMapping{mapping}, PoolOptions{Size: 200, MaxDim: 3, MinSelectivity: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range pool.Queries {
+		for _, c := range q.Conds {
+			if c.Attr == 0 && c.Value != 0 {
+				t.Fatal("attribute A values must be translated to the merged code")
+			}
+		}
+		// Answers must be computed on the generalized data.
+		ans, err := genMarg.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ans
+	}
+}
+
+func TestGeneratePoolUnreachableSelectivity(t *testing.T) {
+	tab := testTable(t, 11, 100)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = GeneratePool(stats.NewRand(12), mg, mg, nil,
+		PoolOptions{Size: 50, MaxDim: 3, MinSelectivity: 0.9, MaxTries: 2000})
+	if err == nil {
+		t.Error("unreachable selectivity should exhaust MaxTries and error")
+	}
+}
+
+func TestPoolEvaluateNearZeroAtHighRetention(t *testing.T) {
+	// With p → 1 the estimator inverts almost nothing, so evaluating the
+	// pool against the raw data itself gives near-zero error.
+	tab := testTable(t, 13, 5000)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := GeneratePool(stats.NewRand(14), mg, mg, nil,
+		PoolOptions{Size: 100, MaxDim: 3, MinSelectivity: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pool.Evaluate(mg, 0.999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AvgError > 1e-3 {
+		t.Errorf("self-evaluation error = %v, want ~0", rep.AvgError)
+	}
+	if rep.Queries != 100 {
+		t.Errorf("Queries = %d", rep.Queries)
+	}
+}
+
+func TestPoolEvaluateErrors(t *testing.T) {
+	empty := &Pool{}
+	tab := testTable(t, 15, 10)
+	mg, err := BuildMarginals(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.Evaluate(mg, 0.5); err == nil {
+		t.Error("empty pool should error")
+	}
+	bad := &Pool{Queries: []Query{{Conds: []Cond{{0, 0}}, SA: 0}}, Answers: []int{0}}
+	if _, err := bad.Evaluate(mg, 0.5); err == nil {
+		t.Error("zero true answer should error")
+	}
+}
+
+func TestGeneratePoolOptionValidation(t *testing.T) {
+	tab := testTable(t, 16, 100)
+	mg, err := BuildMarginals(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GeneratePool(stats.NewRand(1), mg, mg, nil, PoolOptions{Size: 0}); err == nil {
+		t.Error("size 0 should error")
+	}
+	if _, err := GeneratePool(stats.NewRand(1), mg, mg, nil, PoolOptions{Size: 1, MinSelectivity: -0.1}); err == nil {
+		t.Error("negative selectivity should error")
+	}
+	if _, err := GeneratePool(stats.NewRand(1), mg, mg, nil, PoolOptions{Size: 1, MaxDim: 3}); err == nil {
+		t.Error("pool dim beyond indexed dim should error")
+	}
+}

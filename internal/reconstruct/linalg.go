@@ -1,0 +1,115 @@
+package reconstruct
+
+import (
+	"fmt"
+	"math"
+)
+
+// InvertUniformMatrix returns the closed-form inverse of the uniform
+// perturbation matrix P = pI + ((1−p)/m)J:
+//
+//	P⁻¹ = (1/p)·I − ((1−p)/(pm))·J
+//
+// (J is the all-ones matrix; the identity follows from P·P⁻¹ = I because
+// J·J = mJ and p + m(1−p)/m = 1).
+func InvertUniformMatrix(m int, p float64) [][]float64 {
+	diag := 1 / p
+	off := -(1 - p) / (p * float64(m))
+	inv := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		inv[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			inv[j][i] = off
+			if i == j {
+				inv[j][i] += diag
+			}
+		}
+	}
+	return inv
+}
+
+// Invert computes the inverse of a general square matrix by Gauss-Jordan
+// elimination with partial pivoting. It is used to cross-check the
+// closed-form inverse and to support non-uniform perturbation matrices.
+func Invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("reconstruct: cannot invert an empty matrix")
+	}
+	// Augmented matrix [A | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("reconstruct: matrix is not square (row %d has %d entries)", i, len(a[i]))
+		}
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(aug[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("reconstruct: matrix is singular at column %d", col)
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		pv := aug[col][col]
+		for c := 0; c < 2*n; c++ {
+			aug[col][c] /= pv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := aug[r][col]
+			if factor == 0 {
+				continue
+			}
+			for c := 0; c < 2*n; c++ {
+				aug[r][c] -= factor * aug[col][c]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}
+
+// MatVec returns a·x.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		var sum float64
+		for j, v := range a[i] {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// MatMul returns a·b for square matrices of equal size.
+func MatMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}

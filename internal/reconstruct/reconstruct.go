@@ -1,0 +1,157 @@
+// Package reconstruct estimates the original sensitive-value distribution of
+// a record subset from its perturbed counterpart.
+//
+// Three estimators are provided:
+//
+//   - MLE: the closed form of the paper's Lemma 2(ii),
+//     F'ᵢ = (O*ᵢ/|S| − (1−p)/m) / p, which is the maximum likelihood
+//     estimator under the sum-to-one constraint (Theorem 1) and the
+//     estimator reconstruction privacy is defined against.
+//   - MatrixMLE: the same quantity computed as P⁻¹·(O*/|S|) (Theorem 1's
+//     original form); it cross-validates the closed form in tests and
+//     exercises the general matrix-inversion path.
+//   - IterativeBayes: the EM-style estimator of Agrawal–Aggarwal, included
+//     as an extension; unlike the raw MLE it never leaves the simplex.
+package reconstruct
+
+import (
+	"fmt"
+	"math"
+)
+
+// MLE returns the maximum likelihood estimate of the SA frequency vector in
+// a subset S, given the observed counts in the perturbed S*, the retention
+// probability p, and |S| = Σ counts. The result sums to 1 exactly (up to
+// floating point), but individual entries may be negative for small subsets
+// — the raw MLE is unbiased, not truncated.
+func MLE(counts []int, p float64) ([]float64, error) {
+	m := len(counts)
+	if m < 2 {
+		return nil, fmt.Errorf("reconstruct: SA domain must have at least 2 values, got %d", m)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("reconstruct: retention probability must be in (0,1), got %v", p)
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("reconstruct: negative observed count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("reconstruct: empty subset")
+	}
+	off := (1 - p) / float64(m)
+	out := make([]float64, m)
+	for i, c := range counts {
+		out[i] = (float64(c)/float64(total) - off) / p
+	}
+	return out, nil
+}
+
+// MLEValue is the single-value form of Lemma 2(ii):
+// F' = (O*/|S| − (1−p)/m) / p.
+func MLEValue(observed, size int, p float64, m int) float64 {
+	return (float64(observed)/float64(size) - (1-p)/float64(m)) / p
+}
+
+// ExpectedObserved is Lemma 2(i): E[O*] = |S|(fp + (1-p)/m).
+func ExpectedObserved(size int, f, p float64, m int) float64 {
+	return float64(size) * (f*p + (1-p)/float64(m))
+}
+
+// MatrixMLE computes the estimate as P⁻¹ · (O*/|S|) using the closed-form
+// inverse of the uniform perturbation matrix,
+// P⁻¹ = (1/p)I − ((1−p)/(pm))J. It must agree with MLE to floating-point
+// accuracy; tests enforce this.
+func MatrixMLE(counts []int, p float64) ([]float64, error) {
+	m := len(counts)
+	if m < 2 {
+		return nil, fmt.Errorf("reconstruct: SA domain must have at least 2 values, got %d", m)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("reconstruct: retention probability must be in (0,1), got %v", p)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("reconstruct: empty subset")
+	}
+	obs := make([]float64, m)
+	for i, c := range counts {
+		obs[i] = float64(c) / float64(total)
+	}
+	inv := InvertUniformMatrix(m, p)
+	return MatVec(inv, obs), nil
+}
+
+// IterativeBayes runs the EM reconstruction: starting from the uniform
+// distribution, repeatedly apply
+//
+//	f'ᵢ ← Σⱼ (O*ⱼ/|S|) · P[j][i]·fᵢ / (P·f)ⱼ
+//
+// until the L1 change drops below tol or maxIter is reached. The fixed point
+// is the constrained MLE projected onto the probability simplex.
+func IterativeBayes(counts []int, p float64, maxIter int, tol float64) ([]float64, error) {
+	m := len(counts)
+	if m < 2 {
+		return nil, fmt.Errorf("reconstruct: SA domain must have at least 2 values, got %d", m)
+	}
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("reconstruct: retention probability must be in (0,1), got %v", p)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("reconstruct: empty subset")
+	}
+	obs := make([]float64, m)
+	for i, c := range counts {
+		obs[i] = float64(c) / float64(total)
+	}
+	off := (1 - p) / float64(m)
+	f := make([]float64, m)
+	for i := range f {
+		f[i] = 1 / float64(m)
+	}
+	next := make([]float64, m)
+	for iter := 0; iter < maxIter; iter++ {
+		// (P·f)ⱼ = p·fⱼ + (1-p)/m for the uniform matrix.
+		var delta float64
+		for i := 0; i < m; i++ {
+			var sum float64
+			for j := 0; j < m; j++ {
+				pji := off
+				if i == j {
+					pji += p
+				}
+				pf := p*f[j] + off
+				if pf > 0 {
+					sum += obs[j] * pji * f[i] / pf
+				}
+			}
+			next[i] = sum
+		}
+		// Normalize to absorb floating-point drift.
+		var tot float64
+		for _, v := range next {
+			tot += v
+		}
+		for i := range next {
+			if tot > 0 {
+				next[i] /= tot
+			}
+			delta += math.Abs(next[i] - f[i])
+		}
+		copy(f, next)
+		if delta < tol {
+			break
+		}
+	}
+	return f, nil
+}

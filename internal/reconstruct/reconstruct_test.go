@@ -1,0 +1,305 @@
+package reconstruct
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestMLESumsToOne(t *testing.T) {
+	// Property: the MLE sums to exactly 1 for any observed histogram
+	// (Theorem 1's constraint falls out of the closed form).
+	prop := func(raw []uint8, pRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		counts := make([]int, len(raw))
+		total := 0
+		for i, c := range raw {
+			counts[i] = int(c)
+			total += int(c)
+		}
+		if total == 0 {
+			counts[0] = 1
+		}
+		p := 0.01 + 0.98*float64(pRaw)/255
+		est, err := MLE(counts, p)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range est {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLEMatchesMatrixMLE(t *testing.T) {
+	// Property: the closed form and P⁻¹·(O*/|S|) are the same estimator.
+	prop := func(raw []uint8, pRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		counts := make([]int, len(raw))
+		total := 0
+		for i, c := range raw {
+			counts[i] = int(c)
+			total += int(c)
+		}
+		if total == 0 {
+			counts[0] = 1
+		}
+		p := 0.05 + 0.9*float64(pRaw)/255
+		a, err1 := MLE(counts, p)
+		b, err2 := MatrixMLE(counts, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLEInvertsExactExpectation(t *testing.T) {
+	// Feed the MLE the exact expected counts; it must recover f exactly.
+	const m = 4
+	const p = 0.3
+	f := []float64{0.5, 0.25, 0.15, 0.10}
+	const size = 100000
+	counts := make([]int, m)
+	for i := range counts {
+		counts[i] = int(math.Round(float64(size) * (f[i]*p + (1-p)/m)))
+	}
+	est, err := MLE(counts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if math.Abs(est[i]-f[i]) > 1e-4 {
+			t.Errorf("est[%d] = %v, want %v", i, est[i], f[i])
+		}
+	}
+}
+
+func TestMLEUnbiased(t *testing.T) {
+	// Lemma 2(iii): averaging the MLE over many perturbations approaches f.
+	const m = 5
+	const p = 0.4
+	const size = 1000
+	f := []float64{0.4, 0.3, 0.15, 0.1, 0.05}
+	rng := stats.NewRand(1)
+	sums := make([]float64, m)
+	const runs = 3000
+	for run := 0; run < runs; run++ {
+		counts := make([]int, m)
+		for v := 0; v < m; v++ {
+			c := int(f[v] * size)
+			for k := 0; k < c; k++ {
+				counts[perturb.Value(rng, uint16(v), m, p)]++
+			}
+		}
+		est, err := MLE(counts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range est {
+			sums[i] += v
+		}
+	}
+	for i := range f {
+		mean := sums[i] / runs
+		if math.Abs(mean-f[i]) > 0.01 {
+			t.Errorf("mean est[%d] = %v, want ~%v (unbiasedness)", i, mean, f[i])
+		}
+	}
+}
+
+func TestMLEErrors(t *testing.T) {
+	if _, err := MLE([]int{5}, 0.5); err == nil {
+		t.Error("m<2 should error")
+	}
+	if _, err := MLE([]int{1, 2}, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+	if _, err := MLE([]int{1, 2}, 1); err == nil {
+		t.Error("p=1 should error")
+	}
+	if _, err := MLE([]int{0, 0}, 0.5); err == nil {
+		t.Error("empty subset should error")
+	}
+	if _, err := MLE([]int{-1, 2}, 0.5); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestMLEValueMatchesVector(t *testing.T) {
+	counts := []int{30, 50, 20}
+	p := 0.6
+	est, err := MLE(counts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		single := MLEValue(c, 100, p, 3)
+		if math.Abs(single-est[i]) > 1e-12 {
+			t.Errorf("MLEValue[%d] = %v, vector = %v", i, single, est[i])
+		}
+	}
+}
+
+func TestExpectedObserved(t *testing.T) {
+	// Lemma 2(i): E[O*] = |S|(fp + (1-p)/m).
+	got := ExpectedObserved(1000, 0.3, 0.5, 10)
+	want := 1000 * (0.3*0.5 + 0.5/10)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedObserved = %v, want %v", got, want)
+	}
+}
+
+func TestIterativeBayesOnSimplex(t *testing.T) {
+	// Property: EM output is a probability vector (non-negative, sums to 1).
+	prop := func(raw []uint8, pRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 20 {
+			raw = raw[:20]
+		}
+		counts := make([]int, len(raw))
+		total := 0
+		for i, c := range raw {
+			counts[i] = int(c)
+			total += int(c)
+		}
+		if total == 0 {
+			counts[0] = 1
+		}
+		p := 0.05 + 0.9*float64(pRaw)/255
+		est, err := IterativeBayes(counts, p, 200, 1e-8)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range est {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterativeBayesAgreesWithMLEOnLargeSamples(t *testing.T) {
+	// On large samples the constrained MLE is interior, so EM converges to
+	// the same point as the closed form.
+	const m = 6
+	const p = 0.5
+	const size = 200000
+	f := []float64{0.3, 0.25, 0.2, 0.1, 0.1, 0.05}
+	counts := make([]int, m)
+	for i := range counts {
+		counts[i] = int(float64(size) * (f[i]*p + (1-p)/m))
+	}
+	mle, err := MLE(counts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := IterativeBayes(counts, p, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mle {
+		if math.Abs(mle[i]-em[i]) > 1e-3 {
+			t.Errorf("EM[%d] = %v, MLE = %v", i, em[i], mle[i])
+		}
+	}
+}
+
+func TestInvertUniformMatrixIsInverse(t *testing.T) {
+	// Property: P · P⁻¹ = I for the closed form.
+	prop := func(mRaw, pRaw uint8) bool {
+		m := 2 + int(mRaw%30)
+		p := 0.05 + 0.9*float64(pRaw)/255
+		P := perturb.Matrix(m, p)
+		inv := InvertUniformMatrix(m, p)
+		prod := MatMul(P, inv)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod[i][j]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertMatchesClosedForm(t *testing.T) {
+	const m = 8
+	const p = 0.35
+	P := perturb.Matrix(m, p)
+	inv1, err := Invert(P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv2 := InvertUniformMatrix(m, p)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if math.Abs(inv1[i][j]-inv2[i][j]) > 1e-9 {
+				t.Fatalf("Gauss-Jordan[%d][%d] = %v, closed form %v", i, j, inv1[i][j], inv2[i][j])
+			}
+		}
+	}
+}
+
+func TestInvertErrors(t *testing.T) {
+	if _, err := Invert(nil); err == nil {
+		t.Error("empty matrix should error")
+	}
+	if _, err := Invert([][]float64{{1, 2}}); err == nil {
+		t.Error("non-square matrix should error")
+	}
+	singular := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Invert(singular); err == nil {
+		t.Error("singular matrix should error")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}}
+	got := MatVec(a, []float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Errorf("MatVec = %v, want [17 39]", got)
+	}
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareCDF returns Pr[X <= x] for a chi-square random variable with df
+// degrees of freedom: P(df/2, x/2).
+func ChiSquareCDF(x float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square needs positive degrees of freedom, got %d", df)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegIncGammaP(float64(df)/2, x/2)
+}
+
+// ChiSquareSurvival returns the upper tail Pr[X > x] = Q(df/2, x/2); this is
+// the p-value of an observed chi-square statistic.
+func ChiSquareSurvival(x float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square needs positive degrees of freedom, got %d", df)
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	return RegIncGammaQ(float64(df)/2, x/2)
+}
+
+// ChiSquareQuantile returns the value x such that Pr[X <= x] = prob for a
+// chi-square variable with df degrees of freedom. The paper uses the 0.95
+// quantile ("expected value of chi-square" at significance 0.05) as the
+// critical value of its two-distribution test. The inverse is computed by
+// bisection on the CDF, which is monotone; 200 iterations give full float64
+// precision over the bracket.
+func ChiSquareQuantile(prob float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square needs positive degrees of freedom, got %d", df)
+	}
+	if prob < 0 || prob >= 1 {
+		return 0, fmt.Errorf("stats: chi-square quantile probability must be in [0,1), got %v", prob)
+	}
+	if prob == 0 {
+		return 0, nil
+	}
+	// Bracket the root: the mean of chi-square(df) is df and the variance is
+	// 2df, so df + 20*sqrt(2df) + 100 comfortably exceeds any quantile below
+	// 1-1e-12 for the df values used here.
+	lo, hi := 0.0, float64(df)+20*math.Sqrt(2*float64(df))+100
+	for {
+		cdf, err := ChiSquareCDF(hi, df)
+		if err != nil {
+			return 0, err
+		}
+		if cdf > prob {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("stats: chi-square quantile bracket failed (prob=%v, df=%d)", prob, df)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		cdf, err := ChiSquareCDF(mid, df)
+		if err != nil {
+			return 0, err
+		}
+		if cdf < prob {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,9 @@
+// Package stats provides the statistical substrate used throughout the
+// reconstruction-privacy library: seeded random samplers (Laplace, Gaussian,
+// binomial, multinomial), summary statistics (mean, variance, standard error),
+// and the gamma / chi-square special functions that the Go standard library
+// does not ship.
+//
+// Everything is deterministic given a *rand.Rand seed, which the experiment
+// harness relies on for reproducible tables and figures.
+package stats

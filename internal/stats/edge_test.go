@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareQuantileExtremes(t *testing.T) {
+	// A probability very close to 1 forces the bracket expansion loop.
+	x, err := ChiSquareQuantile(0.999999, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := ChiSquareCDF(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf-0.999999) > 1e-6 {
+		t.Errorf("round trip at extreme probability: %v", cdf)
+	}
+	// Very large degrees of freedom.
+	x, err = ChiSquareQuantile(0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wilson-Hilferty approximation: ~1074.68 for df=1000 at 0.95.
+	if math.Abs(x-1074.68) > 1 {
+		t.Errorf("quantile(0.95, 1000) = %v, want ≈ 1074.68", x)
+	}
+}
+
+func TestRegIncGammaLargeArguments(t *testing.T) {
+	// Far tails must saturate without convergence failures.
+	p, err := RegIncGammaP(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1-1e-12 {
+		t.Errorf("P(5, 200) = %v, want ~1", p)
+	}
+	q, err := RegIncGammaQ(200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 1-1e-12 {
+		t.Errorf("Q(200, 5) = %v, want ~1", q)
+	}
+}
+
+func TestMultinomialZeroTrials(t *testing.T) {
+	rng := NewRand(1)
+	counts := Multinomial(rng, 0, []float64{0.5, 0.5})
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("Multinomial(0) = %v", counts)
+	}
+}
+
+func TestMultinomialSingleCategory(t *testing.T) {
+	rng := NewRand(2)
+	counts := Multinomial(rng, 7, []float64{1})
+	if counts[0] != 7 {
+		t.Errorf("Multinomial single category = %v", counts)
+	}
+}
+
+func TestCategoricalDegenerateTail(t *testing.T) {
+	// A distribution whose entries sum slightly below 1 must still return a
+	// valid index (the final category absorbs the rounding).
+	rng := NewRand(3)
+	probs := []float64{0.3, 0.3, 0.3999999}
+	for i := 0; i < 1000; i++ {
+		if v := Categorical(rng, probs); v < 0 || v > 2 {
+			t.Fatalf("Categorical returned %d", v)
+		}
+	}
+}
+
+func TestLaplaceExtremeScales(t *testing.T) {
+	rng := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		if v := Laplace(rng, 1e-9); math.Abs(v) > 1e-6 {
+			t.Fatalf("tiny scale produced %v", v)
+		}
+	}
+	// Large scales stay finite.
+	for i := 0; i < 1000; i++ {
+		if v := Laplace(rng, 1e12); math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatal("large scale produced non-finite value")
+		}
+	}
+}
+
+func TestSummarizeMinMax(t *testing.T) {
+	s, err := Summarize([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != -1 || s.Max != 7 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncGammaComplement(t *testing.T) {
+	// Property: P(a,x) + Q(a,x) = 1.
+	prop := func(aRaw, xRaw uint16) bool {
+		a := 0.5 + float64(aRaw%1000)/10
+		x := float64(xRaw%2000) / 10
+		p, err1 := RegIncGammaP(a, x)
+		q, err2 := RegIncGammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p+q, 1, 1e-10)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x) (exponential CDF).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		p, err := RegIncGammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x)
+		if !almostEqual(p, want, 1e-12) {
+			t.Errorf("P(1, %v) = %v, want %v", x, p, want)
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		p, err := RegIncGammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Erf(math.Sqrt(x))
+		if !almostEqual(p, want, 1e-10) {
+			t.Errorf("P(1/2, %v) = %v, want %v", x, p, want)
+		}
+	}
+}
+
+func TestRegIncGammaMonotoneInX(t *testing.T) {
+	a := 3.0
+	prev := -1.0
+	for x := 0.0; x < 20; x += 0.25 {
+		p, err := RegIncGammaP(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("P(a,x) not monotone at x=%v", x)
+		}
+		prev = p
+	}
+}
+
+func TestRegIncGammaDomainErrors(t *testing.T) {
+	if _, err := RegIncGammaP(0, 1); err == nil {
+		t.Error("a=0 should error")
+	}
+	if _, err := RegIncGammaP(-1, 1); err == nil {
+		t.Error("a<0 should error")
+	}
+	if _, err := RegIncGammaP(1, -1); err == nil {
+		t.Error("x<0 should error")
+	}
+	if _, err := RegIncGammaQ(math.NaN(), 1); err == nil {
+		t.Error("NaN a should error")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with 2 degrees of freedom is Exp(1/2): CDF = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 1, 3, 5.991} {
+		got, err := ChiSquareCDF(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x/2)
+		if !almostEqual(got, want, 1e-10) {
+			t.Errorf("ChiSquareCDF(%v, 2) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	// Standard critical values at the 0.95 level.
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 3.841459},
+		{2, 5.991465},
+		{5, 11.0705},
+		{10, 18.30704},
+		{50, 67.50481},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareQuantile(0.95, c.df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-3) {
+			t.Errorf("ChiSquareQuantile(0.95, %d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	// Property: CDF(Quantile(p, df), df) = p.
+	prop := func(pRaw uint16, dfRaw uint8) bool {
+		p := 0.01 + 0.98*float64(pRaw)/math.MaxUint16
+		df := 1 + int(dfRaw%100)
+		x, err := ChiSquareQuantile(p, df)
+		if err != nil {
+			return false
+		}
+		back, err := ChiSquareCDF(x, df)
+		if err != nil {
+			return false
+		}
+		return almostEqual(back, p, 1e-8)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareEdgeCases(t *testing.T) {
+	if _, err := ChiSquareCDF(1, 0); err == nil {
+		t.Error("df=0 should error")
+	}
+	if got, err := ChiSquareCDF(-1, 3); err != nil || got != 0 {
+		t.Errorf("CDF(-1) = %v, %v; want 0, nil", got, err)
+	}
+	if got, err := ChiSquareSurvival(-1, 3); err != nil || got != 1 {
+		t.Errorf("Survival(-1) = %v, %v; want 1, nil", got, err)
+	}
+	if _, err := ChiSquareQuantile(1, 3); err == nil {
+		t.Error("prob=1 should error")
+	}
+	if got, err := ChiSquareQuantile(0, 3); err != nil || got != 0 {
+		t.Errorf("Quantile(0) = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestChiSquareSurvivalComplement(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 20, 50} {
+		for _, x := range []float64{0.5, 2, 10, 40} {
+			cdf, err1 := ChiSquareCDF(x, df)
+			sur, err2 := ChiSquareSurvival(x, df)
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			if !almostEqual(cdf+sur, 1, 1e-10) {
+				t.Errorf("CDF+Survival != 1 at x=%v df=%d", x, df)
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic pseudo-random source for the given seed.
+// All randomized operations in this library accept a *rand.Rand so that
+// experiments are reproducible run to run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Laplace draws one sample from the zero-mean Laplace distribution
+// Lap(b) = 1/(2b) exp(-|x|/b) with scale factor b > 0. The variance of
+// Lap(b) is 2b², the fixed variance the paper's Section 2 attack exploits.
+func Laplace(rng *rand.Rand, b float64) float64 {
+	// Inverse CDF method: u uniform on (-1/2, 1/2),
+	// x = -b * sign(u) * ln(1 - 2|u|).
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -b * math.Log(1-2*u)
+	}
+	return b * math.Log(1+2*u)
+}
+
+// Gaussian draws one sample from the zero-mean normal distribution with the
+// given standard deviation (the Gaussian mechanism of Dwork et al. 2006).
+func Gaussian(rng *rand.Rand, sigma float64) float64 {
+	return rng.NormFloat64() * sigma
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// Binomial draws a sample from Binomial(n, p) by direct simulation. The
+// library only ever calls it with n bounded by a personal-group size, and the
+// total work across a table is O(|D|), so the simple O(n) loop is adequate
+// and keeps the sampler exactly faithful to n independent coin tosses.
+func Binomial(rng *rand.Rand, n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
+// Multinomial distributes n trials over the categories of the probability
+// vector probs (which must sum to approximately 1) and returns the counts.
+func Multinomial(rng *rand.Rand, n int, probs []float64) []int {
+	counts := make([]int, len(probs))
+	remaining := n
+	rest := 1.0
+	for i := 0; i < len(probs)-1 && remaining > 0; i++ {
+		p := probs[i] / rest
+		if p > 1 {
+			p = 1
+		}
+		c := Binomial(rng, remaining, p)
+		counts[i] = c
+		remaining -= c
+		rest -= probs[i]
+		if rest <= 0 {
+			break
+		}
+	}
+	if len(probs) > 0 {
+		counts[len(probs)-1] += remaining
+	}
+	return counts
+}
+
+// Categorical draws one index from the discrete distribution probs, which
+// must sum to approximately 1.
+func Categorical(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// CategoricalCDF draws one index using a precomputed cumulative distribution
+// (cdf[i] = sum of probs[0..i]); it is the fast path for repeated draws from
+// the same distribution.
+func CategoricalCDF(rng *rand.Rand, cdf []float64) int {
+	u := rng.Float64()
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CDF converts a probability vector into its cumulative form for use with
+// CategoricalCDF.
+func CDF(probs []float64) []float64 {
+	cdf := make([]float64, len(probs))
+	var cum float64
+	for i, p := range probs {
+		cum += p
+		cdf[i] = cum
+	}
+	if len(cdf) > 0 {
+		cdf[len(cdf)-1] = 1 // guard against rounding drift
+	}
+	return cdf
+}
+
+// Normalize scales xs in place so it sums to 1 and returns it. A zero vector
+// is left unchanged.
+func Normalize(xs []float64) []float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if sum == 0 {
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+	return xs
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	// Lap(b) has mean 0 and variance 2b².
+	rng := NewRand(1)
+	const n = 200000
+	const b = 3.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-2*b*b)/(2*b*b) > 0.05 {
+		t.Errorf("Laplace variance = %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestLaplaceMedianZero(t *testing.T) {
+	rng := NewRand(2)
+	pos := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if Laplace(rng, 5) > 0 {
+			pos++
+		}
+	}
+	if frac := float64(pos) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("Laplace positive fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := NewRand(3)
+	const n = 200000
+	const sigma = 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(rng, sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-sigma*sigma)/(sigma*sigma) > 0.05 {
+		t.Errorf("Gaussian variance = %v, want ~%v", variance, sigma*sigma)
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	rng := NewRand(4)
+	if Binomial(rng, 0, 0.5) != 0 {
+		t.Error("Binomial(0, p) should be 0")
+	}
+	if Binomial(rng, 10, 0) != 0 {
+		t.Error("Binomial(n, 0) should be 0")
+	}
+	if Binomial(rng, 10, 1) != 10 {
+		t.Error("Binomial(n, 1) should be n")
+	}
+	if Binomial(rng, -5, 0.5) != 0 {
+		t.Error("Binomial(-5, p) should be 0")
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	rng := NewRand(5)
+	const trials = 20000
+	var sum int
+	for i := 0; i < trials; i++ {
+		sum += Binomial(rng, 40, 0.3)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-12) > 0.2 {
+		t.Errorf("Binomial(40, .3) mean = %v, want ~12", mean)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	// Property: 0 ≤ Binomial(n, p) ≤ n.
+	rng := NewRand(6)
+	prop := func(n uint8, pRaw uint16) bool {
+		p := float64(pRaw) / math.MaxUint16
+		k := Binomial(rng, int(n), p)
+		return k >= 0 && k <= int(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	// Property: counts sum to n and are non-negative.
+	rng := NewRand(7)
+	prop := func(n uint16, seedProbs []uint8) bool {
+		if len(seedProbs) == 0 {
+			seedProbs = []uint8{1}
+		}
+		if len(seedProbs) > 20 {
+			seedProbs = seedProbs[:20]
+		}
+		probs := make([]float64, len(seedProbs))
+		for i, s := range seedProbs {
+			probs[i] = float64(s) + 1
+		}
+		Normalize(probs)
+		counts := Multinomial(rng, int(n), probs)
+		total := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			total += c
+		}
+		return total == int(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultinomialMeans(t *testing.T) {
+	rng := NewRand(8)
+	probs := []float64{0.5, 0.3, 0.2}
+	sums := make([]float64, 3)
+	const trials = 2000
+	const n = 100
+	for i := 0; i < trials; i++ {
+		for j, c := range Multinomial(rng, n, probs) {
+			sums[j] += float64(c)
+		}
+	}
+	for j, p := range probs {
+		mean := sums[j] / trials
+		if math.Abs(mean-n*p) > 1.5 {
+			t.Errorf("category %d mean = %v, want ~%v", j, mean, n*p)
+		}
+	}
+}
+
+func TestCategoricalAgreesWithCDF(t *testing.T) {
+	probs := []float64{0.1, 0.4, 0.25, 0.25}
+	cdf := CDF(append([]float64(nil), probs...))
+	r1, r2 := NewRand(9), NewRand(9)
+	for i := 0; i < 10000; i++ {
+		a := Categorical(r1, probs)
+		b := CategoricalCDF(r2, cdf)
+		if a != b {
+			t.Fatalf("iteration %d: Categorical=%d CategoricalCDF=%d", i, a, b)
+		}
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	rng := NewRand(10)
+	probs := []float64{0.7, 0.2, 0.1}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Categorical(rng, probs)]++
+	}
+	for j, p := range probs {
+		frac := float64(counts[j]) / n
+		if math.Abs(frac-p) > 0.01 {
+			t.Errorf("category %d frequency = %v, want ~%v", j, frac, p)
+		}
+	}
+}
+
+func TestCDFLastEntryIsOne(t *testing.T) {
+	cdf := CDF([]float64{0.3, 0.3, 0.4000000001})
+	if cdf[len(cdf)-1] != 1 {
+		t.Errorf("CDF should clamp the final entry to 1, got %v", cdf[len(cdf)-1])
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := Normalize([]float64{2, 3, 5})
+	want := []float64{0.2, 0.3, 0.5}
+	for i := range xs {
+		if !almostEqual(xs[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Error("Normalize of a zero vector should be unchanged")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	rng := NewRand(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by summary statistics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs.
+// It returns NaN when fewer than two observations are supplied.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the sample mean, sd/sqrt(n). This is
+// the "SE" column reported alongside every mean in the paper's Table 1.
+func StdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary bundles the statistics the experiment harness reports for a set of
+// repeated trials.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	StdErr float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs. It returns ErrEmpty when xs is empty.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Min:  xs[0],
+		Max:  xs[0],
+	}
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	if len(xs) > 1 {
+		s.StdDev = StdDev(xs)
+		s.StdErr = s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	return s, nil
+}
+
+// MustSummarize is Summarize for callers that have already checked len(xs)>0;
+// it panics on empty input.
+func MustSummarize(xs []float64) Summary {
+	s, err := Summarize(xs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RelativeError returns |est-actual|/actual, the utility metric used in the
+// paper's Section 6 (a smaller relative error means better utility). The
+// actual value must be non-zero.
+func RelativeError(est, actual float64) float64 {
+	return math.Abs(est-actual) / math.Abs(actual)
+}

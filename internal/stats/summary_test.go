@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanKnownValues(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{[]float64{0.1, 0.2, 0.3, 0.4}, 0.25},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceKnownValues(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} is 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceNeedsTwoPoints(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of a single point should be NaN")
+	}
+}
+
+func TestStdErrMatchesDefinition(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	want := StdDev(xs) / math.Sqrt(6)
+	if got := StdErr(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdErr = %v, want %v", got, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSinglePoint(t *testing.T) {
+	s, err := Summarize([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if s.StdDev != 0 || s.StdErr != 0 {
+		t.Errorf("single point should have zero spread, got %+v", s)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	// Property: Min ≤ Mean ≤ Max and N = len(xs), for any non-empty input.
+	prop := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw)+1)
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		xs = append(xs, 1) // ensure non-empty
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.N == len(xs) && s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSummarize(nil) should panic")
+		}
+	}()
+	MustSummarize(nil)
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError(110,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(90, 100); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError(90,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(-50, 100); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("RelativeError(-50,100) = %v, want 1.5", got)
+	}
+}

@@ -1,0 +1,187 @@
+package reconpriv
+
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/chimerge"
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+)
+
+// AttributeMerge describes how generalization rewrote one public attribute.
+type AttributeMerge struct {
+	Attribute    string
+	DomainBefore int
+	DomainAfter  int
+	// Merged maps each generalized value label to its original member labels.
+	Merged map[string][]string
+}
+
+// PublishReport describes what a Publish call did.
+type PublishReport struct {
+	// Merges is the per-attribute generalization outcome (nil when
+	// Significance is 0).
+	Merges []AttributeMerge
+	// PersonalGroups is |G| after generalization.
+	PersonalGroups int
+	// ViolatingGroups and ViolatingRecords quantify how much of the input
+	// violated (λ, δ)-reconstruction privacy before enforcement (the v_g and
+	// v_r of the paper's Section 6).
+	ViolatingGroups  int
+	ViolatingRecords int
+	// SampledGroups counts groups the SPS algorithm down-sampled.
+	SampledGroups int
+	// RecordsIn and RecordsOut are the table sizes before and after
+	// publishing (they differ only by the ±1 rounding of SPS scaling).
+	RecordsIn, RecordsOut int
+}
+
+// Publish runs the full pipeline — generalize, test, enforce with SPS — and
+// returns the private publication D*₂ together with a report. The published
+// table satisfies (λ, δ)-reconstruction privacy in every personal group
+// (Theorem 4) while aggregate reconstruction stays unbiased (Theorem 5).
+func Publish(t *Table, opt Options) (*Table, *PublishReport, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	work, merge, err := generalizeOrClone(t, opt.Significance)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &PublishReport{RecordsIn: t.NumRows()}
+	if merge != nil {
+		rep.Merges = mergeReport(merge)
+	}
+	groups := dataset.GroupsOf(work)
+	rep.PersonalGroups = groups.NumGroups()
+	viol := core.Violations(groups, opt.params())
+	rep.ViolatingGroups = viol.ViolatingGroups
+	rep.ViolatingRecords = viol.ViolatingRecord
+	published, st, err := core.PublishSPS(rngFor(opt.Seed), groups, opt.params())
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.SampledGroups = st.SampledGroups
+	rep.RecordsOut = st.RecordsOut
+	return &Table{t: published.Table()}, rep, nil
+}
+
+// PublishUniform publishes with plain uniform perturbation (the UP baseline):
+// every record's sensitive value is perturbed with retention probability p,
+// with no privacy testing and no sampling. Generalization is still applied
+// so the output is comparable with Publish.
+func PublishUniform(t *Table, opt Options) (*Table, *PublishReport, error) {
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	work, merge, err := generalizeOrClone(t, opt.Significance)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &PublishReport{RecordsIn: t.NumRows(), RecordsOut: t.NumRows()}
+	if merge != nil {
+		rep.Merges = mergeReport(merge)
+	}
+	groups := dataset.GroupsOf(work)
+	rep.PersonalGroups = groups.NumGroups()
+	viol := core.Violations(groups, opt.params())
+	rep.ViolatingGroups = viol.ViolatingGroups
+	rep.ViolatingRecords = viol.ViolatingRecord
+	published, err := core.PublishUP(rngFor(opt.Seed), groups, opt.RetentionProbability)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Table{t: published.Table()}, rep, nil
+}
+
+// ViolationReport is the outcome of CheckViolations.
+type ViolationReport struct {
+	Groups           int
+	ViolatingGroups  int
+	Records          int
+	ViolatingRecords int
+}
+
+// VG returns the violating-group rate.
+func (r ViolationReport) VG() float64 {
+	if r.Groups == 0 {
+		return 0
+	}
+	return float64(r.ViolatingGroups) / float64(r.Groups)
+}
+
+// VR returns the fraction of records covered by violating groups.
+func (r ViolationReport) VR() float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.ViolatingRecords) / float64(r.Records)
+}
+
+// CheckViolations tests every personal group of the (generalized) table
+// against (λ, δ)-reconstruction privacy without publishing anything. The
+// test (Corollary 4) depends only on group sizes and frequencies, not on a
+// perturbation run.
+func CheckViolations(t *Table, opt Options) (*ViolationReport, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	work, _, err := generalizeOrClone(t, opt.Significance)
+	if err != nil {
+		return nil, err
+	}
+	groups := dataset.GroupsOf(work)
+	viol := core.Violations(groups, opt.params())
+	return &ViolationReport{
+		Groups:           viol.Groups,
+		ViolatingGroups:  viol.ViolatingGroups,
+		Records:          viol.Records,
+		ViolatingRecords: viol.ViolatingRecord,
+	}, nil
+}
+
+// Generalize applies only the chi-square value merging and returns the
+// generalized table (step 1 of the pipeline), for callers that want to
+// inspect or index it separately.
+func Generalize(t *Table, significance float64) (*Table, []AttributeMerge, error) {
+	if significance <= 0 || significance >= 1 {
+		return nil, nil, fmt.Errorf("reconpriv: significance must be in (0,1), got %v", significance)
+	}
+	work, merge, err := generalizeOrClone(t, significance)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Table{t: work}, mergeReport(merge), nil
+}
+
+// MaxGroupSize exposes s_g (Eq. 10): the largest personal-group size at
+// which a sensitive value of frequency f (domain size m) still satisfies
+// (λ, δ)-reconstruction privacy under the options' parameters.
+func MaxGroupSize(f float64, m int, opt Options) (float64, error) {
+	if err := opt.validate(); err != nil {
+		return 0, err
+	}
+	return core.MaxGroupSize(f, m, opt.params()), nil
+}
+
+func mergeReport(res *chimerge.Result) []AttributeMerge {
+	if res == nil {
+		return nil
+	}
+	out := make([]AttributeMerge, 0, len(res.Attrs))
+	for _, a := range res.Attrs {
+		am := AttributeMerge{
+			Attribute:    a.Name,
+			DomainBefore: a.DomainBefore,
+			DomainAfter:  a.DomainAfter,
+			Merged:       make(map[string][]string, a.DomainAfter),
+		}
+		mp := res.MappingFor(a.Attr)
+		for old, nw := range mp.OldToNew {
+			label := mp.NewValues[nw]
+			am.Merged[label] = append(am.Merged[label], a.OldLabels[old])
+		}
+		out = append(out, am)
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+// Package reconpriv implements reconstruction privacy (Wang, Han, Fu, Wong,
+// Yu — "Reconstruction Privacy: Enabling Statistical Learning", EDBT 2015):
+// a data-perturbation publishing pipeline that keeps aggregate statistical
+// relationships learnable while making per-individual frequency
+// reconstruction provably inaccurate.
+//
+// The pipeline publishes a categorical table with one sensitive attribute
+// (SA) and several public attributes (NA):
+//
+//  1. Generalize: public-attribute values with statistically
+//     indistinguishable SA-conditional distributions are merged via
+//     pairwise chi-square tests (Section 3.4 of the paper), so that every
+//     surviving value has a distinct impact on SA.
+//  2. Test: every personal group — the records identical on all public
+//     attributes — is checked against (λ, δ)-reconstruction privacy using
+//     the Chernoff-bound test of Corollary 4.
+//  3. Enforce: violating groups are published through
+//     Sampling-Perturbing-Scaling (SPS): a frequency-preserving sample of
+//     the admissible size s_g is perturbed with retention probability p and
+//     scaled back to the original size. Non-violating groups are perturbed
+//     verbatim.
+//
+// Consumers of the published table reconstruct SA distributions of record
+// subsets with the unbiased MLE of Lemma 2 (Reconstruct / EstimateCount);
+// reconstruction over large aggregates stays accurate (the law of large
+// numbers), while reconstruction aimed at one individual's personal group
+// carries relative error above λ with probability at least δ.
+//
+// The zero value of Options is not usable; start from DefaultOptions.
+package reconpriv
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/chimerge"
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// Table is a categorical data set with one designated sensitive attribute.
+// It is immutable through this API: every operation returns a new Table.
+type Table struct {
+	t *dataset.Table
+}
+
+// DefaultOptions are the paper's defaults (Table 6): retention probability
+// p = 0.5, λ = δ = 0.3, chi-square significance 0.05.
+var DefaultOptions = Options{
+	RetentionProbability: 0.5,
+	Lambda:               0.3,
+	Delta:                0.3,
+	Significance:         0.05,
+	Seed:                 1,
+}
+
+// Options configure the publishing pipeline.
+type Options struct {
+	// RetentionProbability is p: each record keeps its sensitive value with
+	// probability p and otherwise receives a uniform value. Must be in (0,1).
+	RetentionProbability float64
+	// Lambda is the relative-error radius λ of Definition 3.
+	Lambda float64
+	// Delta is the probability floor δ of Definition 3.
+	Delta float64
+	// Significance is the chi-square level for merging public-attribute
+	// values (0 disables generalization; the paper uses 0.05).
+	Significance float64
+	// Seed drives all randomness; equal seeds give identical publications.
+	Seed int64
+}
+
+func (o Options) params() core.Params {
+	return core.Params{P: o.RetentionProbability, Lambda: o.Lambda, Delta: o.Delta}
+}
+
+func (o Options) validate() error {
+	if err := o.params().Validate(); err != nil {
+		return err
+	}
+	if o.Significance < 0 || o.Significance >= 1 {
+		return fmt.Errorf("reconpriv: significance must be in [0,1), got %v", o.Significance)
+	}
+	return nil
+}
+
+// ReadCSV loads a table from CSV. The first row names the attributes;
+// sensitive designates the sensitive attribute (all others are public).
+// Attribute domains are collected from the data.
+func ReadCSV(r io.Reader, sensitive string) (*Table, error) {
+	t, err := dataset.ReadCSV(r, sensitive)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// WriteCSV writes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error { return dataset.WriteCSV(w, t.t) }
+
+// NumRows returns the number of records.
+func (t *Table) NumRows() int { return t.t.NumRows() }
+
+// Attributes returns the attribute names in schema order.
+func (t *Table) Attributes() []string {
+	names := make([]string, t.t.Schema.NumAttrs())
+	for i := range t.t.Schema.Attrs {
+		names[i] = t.t.Schema.Attrs[i].Name
+	}
+	return names
+}
+
+// SensitiveAttribute returns the name of the sensitive attribute.
+func (t *Table) SensitiveAttribute() string { return t.t.Schema.SAAttr().Name }
+
+// Domain returns the value labels of the named attribute.
+func (t *Table) Domain(attr string) ([]string, error) {
+	i, err := t.t.Schema.AttrIndex(attr)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), t.t.Schema.Attrs[i].Values...), nil
+}
+
+// Row returns the labels of record i in schema order.
+func (t *Table) Row(i int) []string {
+	row := t.t.Row(i)
+	out := make([]string, len(row))
+	for c, v := range row {
+		out[c] = t.t.Schema.Attrs[c].Label(v)
+	}
+	return out
+}
+
+// rngFor builds the deterministic random stream of an operation.
+func rngFor(seed int64) *rand.Rand { return stats.NewRand(seed) }
+
+// resolveConds translates attribute=value string conditions to codes.
+func (t *Table) resolveConds(conds map[string]string) ([]int, []uint16, error) {
+	attrs := make([]int, 0, len(conds))
+	vals := make([]uint16, 0, len(conds))
+	for name, label := range conds {
+		ai, err := t.t.Schema.AttrIndex(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ai == t.t.Schema.SA {
+			return nil, nil, fmt.Errorf("reconpriv: conditions may not reference the sensitive attribute %q", name)
+		}
+		code, err := t.t.Schema.Attrs[ai].Code(label)
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs = append(attrs, ai)
+		vals = append(vals, code)
+	}
+	return attrs, vals, nil
+}
+
+// generalizeOrClone applies the chi-square generalization when enabled.
+func generalizeOrClone(t *Table, significance float64) (*dataset.Table, *chimerge.Result, error) {
+	if significance == 0 {
+		return t.t, nil, nil
+	}
+	res, err := chimerge.Generalize(t.t, significance)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Table, res, nil
+}

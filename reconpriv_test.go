@@ -1,0 +1,340 @@
+package reconpriv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func medicalTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := SampleMedical(8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := medicalTable(t)
+	if tab.NumRows() != 8000 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	attrs := tab.Attributes()
+	if len(attrs) != 3 || attrs[0] != "Gender" || attrs[2] != "Disease" {
+		t.Errorf("attributes = %v", attrs)
+	}
+	if tab.SensitiveAttribute() != "Disease" {
+		t.Errorf("SA = %q", tab.SensitiveAttribute())
+	}
+	dom, err := tab.Domain("Job")
+	if err != nil || len(dom) != 5 {
+		t.Errorf("Job domain = %v, %v", dom, err)
+	}
+	if _, err := tab.Domain("Nope"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	row := tab.Row(0)
+	if len(row) != 3 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	tab := medicalTable(t)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Error("row count changed in CSV round trip")
+	}
+	if _, err := ReadCSV(strings.NewReader("bad"), "Disease"); err == nil {
+		t.Error("malformed CSV should error")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tab := medicalTable(t)
+	bad := DefaultOptions
+	bad.RetentionProbability = 0
+	if _, _, err := Publish(tab, bad); err == nil {
+		t.Error("p=0 should error")
+	}
+	bad = DefaultOptions
+	bad.Lambda = -1
+	if _, _, err := PublishUniform(tab, bad); err == nil {
+		t.Error("negative lambda should error")
+	}
+	bad = DefaultOptions
+	bad.Significance = 1.5
+	if _, err := CheckViolations(tab, bad); err == nil {
+		t.Error("significance > 1 should error")
+	}
+}
+
+func TestPublishReport(t *testing.T) {
+	tab := medicalTable(t)
+	pub, rep, err := Publish(tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecordsIn != 8000 {
+		t.Errorf("RecordsIn = %d", rep.RecordsIn)
+	}
+	if math.Abs(float64(rep.RecordsOut-8000)) > 200 {
+		t.Errorf("RecordsOut = %d, want ≈ 8000", rep.RecordsOut)
+	}
+	if pub.NumRows() != rep.RecordsOut {
+		t.Error("published rows should match the report")
+	}
+	if rep.PersonalGroups == 0 || len(rep.Merges) == 0 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+	for _, m := range rep.Merges {
+		if m.DomainAfter > m.DomainBefore {
+			t.Error("merging cannot grow a domain")
+		}
+		members := 0
+		for _, mem := range m.Merged {
+			members += len(mem)
+		}
+		if members != m.DomainBefore {
+			t.Errorf("%s: merged members = %d, want %d", m.Attribute, members, m.DomainBefore)
+		}
+	}
+}
+
+func TestPublishDeterministicInSeed(t *testing.T) {
+	tab := medicalTable(t)
+	a, _, err := Publish(tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Publish(tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() != bufB.String() {
+		t.Error("same seed must give the same publication")
+	}
+	opt := DefaultOptions
+	opt.Seed = 99
+	c, _, err := Publish(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := c.WriteCSV(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bufA.String() == bufC.String() {
+		t.Error("different seeds should give different publications")
+	}
+}
+
+func TestPublishKeepsPublicAttributes(t *testing.T) {
+	tab := medicalTable(t)
+	opt := DefaultOptions
+	opt.Significance = 0 // keep original values for comparability
+	pub, _, err := PublishUniform(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-group NA counts must be identical (only SA is perturbed).
+	for _, job := range []string{"Engineer", "Teacher", "Doctor"} {
+		raw, err := Count(tab, map[string]string{"Job": job}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Count(pub, map[string]string{"Job": job}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw != got {
+			t.Errorf("Job=%s count changed: %d -> %d", job, raw, got)
+		}
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	tab := medicalTable(t)
+	rep, err := CheckViolations(tab, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups == 0 || rep.Records != 8000 {
+		t.Errorf("unexpected report %+v", rep)
+	}
+	if rep.VG() < 0 || rep.VG() > 1 || rep.VR() < rep.VG() {
+		t.Errorf("rates out of range: vg=%v vr=%v", rep.VG(), rep.VR())
+	}
+	empty := ViolationReport{}
+	if empty.VG() != 0 || empty.VR() != 0 {
+		t.Error("empty report rates should be 0")
+	}
+}
+
+func TestReconstructAggregateAccuracy(t *testing.T) {
+	tab := medicalTable(t)
+	opt := DefaultOptions
+	opt.Significance = 0
+	pub, _, err := PublishUniform(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Reconstruct(pub, nil, opt.RetentionProbability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range dist {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("reconstruction sums to %v", sum)
+	}
+	// Compare a couple of diseases against the raw frequencies.
+	for _, d := range []string{"Flu", "CervicalSpondylosis"} {
+		exact, err := Count(tab, nil, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(exact) / 8000
+		if math.Abs(dist[d]-want) > 0.03 {
+			t.Errorf("%s: reconstructed %v, raw %v", d, dist[d], want)
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	tab := medicalTable(t)
+	if _, err := Reconstruct(tab, map[string]string{"Nope": "x"}, 0.5); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := Reconstruct(tab, map[string]string{"Disease": "Flu"}, 0.5); err == nil {
+		t.Error("condition on SA should error")
+	}
+	if _, err := Reconstruct(tab, map[string]string{"Job": "Astronaut"}, 0.5); err == nil {
+		t.Error("unknown value should error")
+	}
+	if _, err := Reconstruct(tab, nil, 0); err == nil {
+		t.Error("p=0 should error")
+	}
+}
+
+func TestCountAndEstimate(t *testing.T) {
+	tab := medicalTable(t)
+	total, err := Count(tab, nil, "")
+	if err != nil || total != 8000 {
+		t.Fatalf("Count(all) = %d, %v", total, err)
+	}
+	males, err := Count(tab, map[string]string{"Gender": "Male"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if males <= 0 || males >= total {
+		t.Errorf("males = %d", males)
+	}
+	// EstimateCount on an empty subset is 0.
+	opt := DefaultOptions
+	opt.Significance = 0
+	pub, _, err := PublishUniform(tab, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateCount(pub, map[string]string{"Job": "Engineer"}, "NotADisease", 0.5); err == nil {
+		t.Error("unknown sensitive value should error")
+	}
+	est, err := EstimateCount(pub, map[string]string{"Job": "Engineer"}, "Flu", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Count(tab, map[string]string{"Job": "Engineer"}, "Flu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-float64(exact)) > 0.5*float64(exact)+50 {
+		t.Errorf("estimate %v too far from exact %d", est, exact)
+	}
+}
+
+func TestGeneralizeFacade(t *testing.T) {
+	tab := medicalTable(t)
+	gen, merges, err := Generalize(tab, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumRows() != tab.NumRows() {
+		t.Error("generalization changed the record count")
+	}
+	if len(merges) != 2 {
+		t.Errorf("merges = %d, want one per public attribute", len(merges))
+	}
+	if _, _, err := Generalize(tab, 0); err == nil {
+		t.Error("significance 0 should error")
+	}
+}
+
+func TestMaxGroupSizeFacade(t *testing.T) {
+	sg, err := MaxGroupSize(0.75, 2, DefaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sg-119) > 2 {
+		t.Errorf("MaxGroupSize(0.75, 2) = %v, want ~119", sg)
+	}
+	bad := DefaultOptions
+	bad.Delta = 2
+	if _, err := MaxGroupSize(0.5, 2, bad); err == nil {
+		t.Error("invalid options should error")
+	}
+}
+
+func TestNIRAttackFacade(t *testing.T) {
+	res, err := NIRAttack(0.5, 2, 501, 420, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TrueConf-0.8383) > 0.001 {
+		t.Errorf("TrueConf = %v", res.TrueConf)
+	}
+	if math.Abs(res.ConfMean-res.TrueConf) > 0.05 {
+		t.Errorf("ConfMean = %v, want near truth at eps=0.5", res.ConfMean)
+	}
+	if res.Indicator <= 0 {
+		t.Error("indicator should be positive")
+	}
+	if _, err := NIRAttack(0, 2, 100, 50, 10, 1); err == nil {
+		t.Error("eps=0 should error")
+	}
+}
+
+func TestSampleGenerators(t *testing.T) {
+	adult := SampleAdult(1)
+	if adult.NumRows() != 45222 {
+		t.Errorf("adult rows = %d", adult.NumRows())
+	}
+	census, err := SampleCensus(10000, 1)
+	if err != nil || census.NumRows() != 10000 {
+		t.Errorf("census rows = %d, %v", census.NumRows(), err)
+	}
+	if _, err := SampleCensus(0, 1); err == nil {
+		t.Error("census size 0 should error")
+	}
+	if _, err := SampleMedical(0, 1); err == nil {
+		t.Error("medical size 0 should error")
+	}
+}

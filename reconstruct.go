@@ -1,0 +1,107 @@
+package reconpriv
+
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+)
+
+// Reconstruct estimates the sensitive-value distribution of the record
+// subset matching the given public-attribute conditions, from a *published*
+// table. It inverts the perturbation with the maximum likelihood estimator
+// of the paper's Lemma 2:
+//
+//	F'ᵢ = (O*ᵢ/|S*| − (1−p)/m) / p.
+//
+// conds maps attribute names to value labels; an empty map reconstructs over
+// the whole table. p must be the retention probability the data was
+// published with. The estimate is unbiased and sums to one, but entries may
+// be slightly negative on small subsets — that inaccuracy on personal groups
+// is exactly what reconstruction privacy guarantees.
+//
+// The returned map is keyed by sensitive-value label.
+func Reconstruct(published *Table, conds map[string]string, p float64) (map[string]float64, error) {
+	counts, size, err := observedCounts(published, conds)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("reconpriv: no records match the conditions")
+	}
+	est, err := reconstruct.MLE(counts, p)
+	if err != nil {
+		return nil, err
+	}
+	sa := published.t.Schema.SAAttr()
+	out := make(map[string]float64, len(est))
+	for i, v := range est {
+		out[sa.Label(uint16(i))] = v
+	}
+	return out, nil
+}
+
+// EstimateCount estimates the number of records satisfying the conditions
+// AND carrying the given sensitive value, from a published table — the
+// count-query estimator est = |S*|·F' of the paper's Section 6.1.
+func EstimateCount(published *Table, conds map[string]string, sensitiveValue string, p float64) (float64, error) {
+	counts, size, err := observedCounts(published, conds)
+	if err != nil {
+		return 0, err
+	}
+	if size == 0 {
+		return 0, nil
+	}
+	sa := published.t.Schema.SAAttr()
+	code, err := sa.Code(sensitiveValue)
+	if err != nil {
+		return 0, err
+	}
+	fPrime := reconstruct.MLEValue(counts[code], size, p, sa.Domain())
+	return float64(size) * fPrime, nil
+}
+
+// Count returns the exact number of records satisfying the conditions (and,
+// when sensitiveValue is non-empty, carrying that sensitive value). Intended
+// for raw tables — on published data it counts perturbed values.
+func Count(t *Table, conds map[string]string, sensitiveValue string) (int, error) {
+	counts, size, err := observedCounts(t, conds)
+	if err != nil {
+		return 0, err
+	}
+	if sensitiveValue == "" {
+		return size, nil
+	}
+	code, err := t.t.Schema.SAAttr().Code(sensitiveValue)
+	if err != nil {
+		return 0, err
+	}
+	return counts[code], nil
+}
+
+// observedCounts scans the table once, returning the SA histogram and size
+// of the subset matching conds.
+func observedCounts(t *Table, conds map[string]string) ([]int, int, error) {
+	attrs, vals, err := t.resolveConds(conds)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := t.t.Schema.SADomain()
+	counts := make([]int, m)
+	size := 0
+	n := t.t.NumRows()
+	for r := 0; r < n; r++ {
+		row := t.t.Row(r)
+		match := true
+		for i, a := range attrs {
+			if row[a] != vals[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			counts[row[t.t.Schema.SA]]++
+			size++
+		}
+	}
+	return counts, size, nil
+}
