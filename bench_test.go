@@ -216,6 +216,54 @@ func BenchmarkAblationPerturbModes(b *testing.B) {
 	})
 }
 
+// BenchmarkPerturbCounts compares the two implementations of histogram
+// perturbation on one large personal group: the O(n) per-record reference
+// loop and the O(m) binomial fast path. They draw from the same
+// distribution (see TestCountsChiSquareMatchesPerRecord); only the cost
+// differs, and the gap is the heart of the sublinear publishing claim.
+func BenchmarkPerturbCounts(b *testing.B) {
+	// A 100K-record group over a 50-value SA domain with a skewed histogram.
+	const m = 50
+	counts := make([]int, m)
+	total := 0
+	for v := 0; v < m; v++ {
+		counts[v] = (m - v) * 80
+		total += counts[v]
+	}
+	b.Run("loop", func(b *testing.B) {
+		rng := stats.NewRand(1)
+		for i := 0; i < b.N; i++ {
+			perturb.CountsPerRecord(rng, counts, 0.5)
+		}
+		b.ReportMetric(float64(total), "records")
+	})
+	b.Run("binomial", func(b *testing.B) {
+		rng := stats.NewRand(1)
+		for i := 0; i < b.N; i++ {
+			perturb.Counts(rng, counts, 0.5)
+		}
+		b.ReportMetric(float64(total), "records")
+	})
+}
+
+// BenchmarkGroupFind times key lookups against the CENSUS group set; the
+// binary search runs over the cached encoded keys, so a lookup costs one
+// probe encoding plus ~log|G| integer compares.
+func BenchmarkGroupFind(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := ds.Groups
+	n := gs.NumGroups()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gs.Find(gs.Groups[i%n].Key) == nil {
+			b.Fatal("existing key not found")
+		}
+	}
+}
+
 // BenchmarkOutputVsData compares ε-DP Laplace answers against UP and SPS on
 // the shared query pool (the Introduction's output- vs data-perturbation
 // contrast).

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -27,8 +29,15 @@ func main() {
 		trials     = flag.Int("trials", 10, "noise trials for Table 1")
 		censusSize = flag.Int("census-size", experiments.DefaultCensusSize, "default CENSUS sample size")
 		seed       = flag.Int64("seed", experiments.RunSeed, "seed for randomized experiments")
+		jsonDir    = flag.String("json", "", "also write each result as BENCH_<name>.json in this directory")
 	)
 	flag.Parse()
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rpbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -64,6 +73,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%.2fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		if *jsonDir != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rpbench: %s: marshal: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.name+".json")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rpbench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "rpbench: no experiment matched %q\n", *exp)

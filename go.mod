@@ -1,0 +1,3 @@
+module github.com/reconpriv/reconpriv
+
+go 1.22

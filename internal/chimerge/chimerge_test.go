@@ -112,7 +112,7 @@ func mergeTable(t *testing.T, n int) *dataset.Table {
 		{Name: "S", Values: []string{"s0", "s1", "s2"}},
 	}, "S")
 	tab := dataset.NewTable(s, n)
-	rng := stats.NewRand(42)
+	rng := stats.NewLegacyRand(42)
 	lowRisk := []float64{0.7, 0.2, 0.1}
 	highRisk := []float64{0.2, 0.3, 0.5}
 	for i := 0; i < n; i++ {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"github.com/reconpriv/reconpriv/internal/stats"
 	"sort"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
@@ -56,7 +56,7 @@ func (r *AuditReport) BoundViolations(tolerance float64) int {
 //
 // maxGroups caps the number of audited groups (largest first, since those
 // are the interesting ones); 0 audits everything.
-func Audit(rng *rand.Rand, gs *dataset.GroupSet, pm Params, sps bool, trials, maxGroups int) (*AuditReport, error) {
+func Audit(rng *stats.Rand, gs *dataset.GroupSet, pm Params, sps bool, trials, maxGroups int) (*AuditReport, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, err
 	}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"github.com/reconpriv/reconpriv/internal/stats"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/perturb"
@@ -32,7 +32,7 @@ import (
 type Incremental struct {
 	schema *dataset.Schema
 	params Params
-	rng    *rand.Rand
+	rng    *stats.Rand
 	m      int
 
 	groups map[uint64]*incGroup
@@ -56,7 +56,7 @@ type incGroup struct {
 }
 
 // NewIncremental creates an empty incremental publisher for the schema.
-func NewIncremental(schema *dataset.Schema, pm Params, rng *rand.Rand) (*Incremental, error) {
+func NewIncremental(schema *dataset.Schema, pm Params, rng *stats.Rand) (*Incremental, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, err
 	}

@@ -143,9 +143,12 @@ func TestIncrementalMatchesBatchStatistically(t *testing.T) {
 	for sa := 0; sa < 5; sa++ {
 		fPrime := (float64(pubHist[sa])/float64(total) - (1-pm.P)/5) / pm.P
 		f := float64(rawHist[sa]) / n
-		// Duplication inflates variance relative to batch UP, so the band
-		// is loose — but the estimate must remain in the neighborhood.
-		if math.Abs(fPrime-f) > 0.08 {
+		// Duplication inflates variance relative to batch UP: only the
+		// ~s_g budgeted trials per group carry information, putting the
+		// estimator's standard error near 0.07. The band must cover ~2σ of
+		// that so it is robust to the RNG stream, not tuned to one lucky
+		// seed.
+		if math.Abs(fPrime-f) > 0.15 {
 			t.Errorf("sa=%d: reconstructed %v, raw %v", sa, fPrime, f)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"unsafe"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/perturb"
@@ -25,36 +26,53 @@ func groupSeed(seed int64, group int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// parallelOver runs fn over every group index on up to `workers` goroutines
-// (0 = GOMAXPROCS).
-func parallelOver(n, workers int, fn func(i int)) {
+// clampWorkers resolves a requested worker count (0 = GOMAXPROCS) against
+// the number of work items.
+func clampWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelOver runs fn(worker, i) over every group index on `workers`
+// goroutines (as returned by clampWorkers). Group indices are dealt out in
+// contiguous stripes so neighboring groups — which share cache lines in the
+// output slice — stay on one worker, and each worker's id lets callers keep
+// private accumulators that are merged once at the end instead of
+// synchronizing per group.
+func parallelOver(n, workers int, fn func(worker, i int)) {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	stripe := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
 		wg.Add(1)
-		go func() {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			for i := lo; i < hi; i++ {
+				fn(w, i)
 			}
-		}()
+		}(w, lo, hi)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 
@@ -64,50 +82,61 @@ func PublishUPParallel(seed int64, gs *dataset.GroupSet, p float64, workers int)
 		return nil, err
 	}
 	out := gs.CloneShape()
-	parallelOver(gs.NumGroups(), workers, func(i int) {
+	parallelOver(gs.NumGroups(), clampWorkers(gs.NumGroups(), workers), func(_, i int) {
 		rng := stats.NewRand(groupSeed(seed, i))
 		g := &gs.Groups[i]
-		out.Groups[i].SACounts = perturb.Counts(rng, g.SACounts, p)
+		perturb.CountsInto(rng, g.SACounts, p, out.Groups[i].SACounts)
 		out.Groups[i].Size = g.Size
 	})
 	return out, nil
 }
 
-// PublishSPSParallel is PublishSPS sharded across workers. Statistics are
-// aggregated with a mutex; the per-group work is identical to the
-// sequential algorithm.
+// PublishSPSParallel is PublishSPS sharded across workers. Each worker
+// accumulates statistics privately and the per-worker totals are merged
+// once after the join — no lock is touched on the per-group path. The
+// per-group work is identical to the sequential algorithm.
 func PublishSPSParallel(seed int64, gs *dataset.GroupSet, pm Params, workers int) (*dataset.GroupSet, *SPSStats, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, nil, err
 	}
 	m := gs.Schema.SADomain()
 	out := gs.CloneShape()
-	st := &SPSStats{Groups: gs.NumGroups()}
-	var mu sync.Mutex
-	parallelOver(gs.NumGroups(), workers, func(i int) {
+	n := gs.NumGroups()
+	workers = clampWorkers(n, workers)
+	// Pad each worker's accumulator to its own cache line so the hot
+	// per-group increments never contend (false sharing would serialize
+	// the workers almost as effectively as the mutex this replaces).
+	type paddedStats struct {
+		SPSStats
+		_ [64 - unsafe.Sizeof(SPSStats{})%64]byte
+	}
+	locals := make([]paddedStats, workers)
+	parallelOver(n, workers, func(w, i int) {
 		rng := stats.NewRand(groupSeed(seed, i))
 		g := &gs.Groups[i]
-		local := &SPSStats{}
+		local := &locals[w].SPSStats
 		sg := MaxGroupSize(g.MaxFreq(), m, pm)
-		var counts []int
+		counts := out.Groups[i].SACounts
 		if float64(g.Size) <= sg {
-			counts = perturb.Counts(rng, g.SACounts, pm.P)
+			perturb.CountsInto(rng, g.SACounts, pm.P, counts)
 		} else {
-			local.SampledGroups = 1
-			counts = spsGroup(rng, g, sg, pm.P, local)
+			local.SampledGroups++
+			spsGroupInto(rng, g, sg, pm.P, local, counts)
 		}
 		total := 0
 		for _, c := range counts {
 			total += c
 		}
-		out.Groups[i].SACounts = counts
 		out.Groups[i].Size = total
-		mu.Lock()
-		st.RecordsIn += g.Size
-		st.RecordsOut += total
-		st.SampledGroups += local.SampledGroups
-		st.SampledAway += local.SampledAway
-		mu.Unlock()
+		local.RecordsIn += g.Size
+		local.RecordsOut += total
 	})
+	st := &SPSStats{Groups: n}
+	for w := range locals {
+		st.RecordsIn += locals[w].RecordsIn
+		st.RecordsOut += locals[w].RecordsOut
+		st.SampledGroups += locals[w].SampledGroups
+		st.SampledAway += locals[w].SampledAway
+	}
 	return out, st, nil
 }

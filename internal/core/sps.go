@@ -3,10 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // SPSStats reports what the SPS algorithm did to a data set.
@@ -20,7 +20,7 @@ type SPSStats struct {
 
 // PublishUP publishes the group set with plain uniform perturbation (the UP
 // baseline of Section 6): every record's SA value is perturbed, no sampling.
-func PublishUP(rng *rand.Rand, gs *dataset.GroupSet, p float64) (*dataset.GroupSet, error) {
+func PublishUP(rng *stats.Rand, gs *dataset.GroupSet, p float64) (*dataset.GroupSet, error) {
 	if err := perturb.ValidateP(p); err != nil {
 		return nil, err
 	}
@@ -28,7 +28,7 @@ func PublishUP(rng *rand.Rand, gs *dataset.GroupSet, p float64) (*dataset.GroupS
 	for i := range gs.Groups {
 		g := &gs.Groups[i]
 		pg := &out.Groups[i]
-		pg.SACounts = perturb.Counts(rng, g.SACounts, p)
+		perturb.CountsInto(rng, g.SACounts, p, pg.SACounts)
 		pg.Size = g.Size
 	}
 	return out, nil
@@ -48,7 +48,7 @@ func PublishUP(rng *rand.Rand, gs *dataset.GroupSet, p float64) (*dataset.GroupS
 // Groups are multisets over SA (records in a group are identical on NA), so
 // the implementation operates on SA histograms; every coin toss matches the
 // per-record description in the paper exactly.
-func PublishSPS(rng *rand.Rand, gs *dataset.GroupSet, pm Params) (*dataset.GroupSet, *SPSStats, error) {
+func PublishSPS(rng *stats.Rand, gs *dataset.GroupSet, pm Params) (*dataset.GroupSet, *SPSStats, error) {
 	if err := pm.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -61,18 +61,17 @@ func PublishSPS(rng *rand.Rand, gs *dataset.GroupSet, pm Params) (*dataset.Group
 		sg := MaxGroupSize(g.MaxFreq(), m, pm)
 		if float64(g.Size) <= sg {
 			// Already private: plain perturbation, no sampling.
-			out.Groups[i].SACounts = perturb.Counts(rng, g.SACounts, pm.P)
+			perturb.CountsInto(rng, g.SACounts, pm.P, out.Groups[i].SACounts)
 			out.Groups[i].Size = g.Size
 			st.RecordsOut += g.Size
 			continue
 		}
 		st.SampledGroups++
-		counts2 := spsGroup(rng, g, sg, pm.P, st)
+		spsGroupInto(rng, g, sg, pm.P, st, out.Groups[i].SACounts)
 		total := 0
-		for _, c := range counts2 {
+		for _, c := range out.Groups[i].SACounts {
 			total += c
 		}
-		out.Groups[i].SACounts = counts2
 		out.Groups[i].Size = total
 		st.RecordsOut += total
 	}
@@ -81,7 +80,15 @@ func PublishSPS(rng *rand.Rand, gs *dataset.GroupSet, pm Params) (*dataset.Group
 
 // spsGroup applies the three steps to one violating group and returns the
 // published histogram g*₂.
-func spsGroup(rng *rand.Rand, g *dataset.Group, sg float64, p float64, st *SPSStats) []int {
+func spsGroup(rng *stats.Rand, g *dataset.Group, sg float64, p float64, st *SPSStats) []int {
+	out := make([]int, len(g.SACounts))
+	spsGroupInto(rng, g, sg, p, st, out)
+	return out
+}
+
+// spsGroupInto is spsGroup writing the published histogram into dst, so the
+// publishers can fill the cloned group set without a per-group allocation.
+func spsGroupInto(rng *stats.Rand, g *dataset.Group, sg float64, p float64, st *SPSStats, dst []int) {
 	m := len(g.SACounts)
 	tau := sg / float64(g.Size)
 
@@ -120,30 +127,25 @@ func spsGroup(rng *rand.Rand, g *dataset.Group, sg float64, p float64, st *SPSSt
 	}
 	st.SampledAway += g.Size - sampleSize
 
-	// Step 2: Perturbing(g₁, p, m) — uniform perturbation of the sample.
-	perturbed := perturb.Counts(rng, sample, p)
+	// Step 2: Perturbing(g₁, p, m) — uniform perturbation of the sample,
+	// written straight into dst.
+	perturb.CountsInto(rng, sample, p, dst)
 
 	// Step 3: Scaling(g*₁, |g|) — duplicate each perturbed record ⌊τ'⌋ times
 	// plus once with probability frac(τ'). Duplication happens after the
 	// perturbation, so it adds no independent trials (the privacy argument
-	// of Theorem 4 rests on g*₁ alone).
+	// of Theorem 4 rests on g*₁ alone). The c independent frac-coins per
+	// value collapse into one Binomial(c, frac) draw; scaling is
+	// element-wise, so it runs in place over dst.
 	tauPrime := float64(g.Size) / float64(sampleSize)
 	whole := int(math.Floor(tauPrime))
 	frac := tauPrime - float64(whole)
-	out := make([]int, m)
-	for sa, c := range perturbed {
+	for sa, c := range dst {
 		if c == 0 {
 			continue
 		}
-		n := c * whole
-		for k := 0; k < c; k++ {
-			if rng.Float64() < frac {
-				n++
-			}
-		}
-		out[sa] = n
+		dst[sa] = c*whole + stats.Binomial(rng, c, frac)
 	}
-	return out
 }
 
 // RetentionForNoViolation is the alternative route to privacy that Section 5

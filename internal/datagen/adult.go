@@ -186,7 +186,9 @@ func adultCalibrateBase() float64 {
 //  3. the remainder drawn from the marginal model, rejecting the
 //     Example-1 cell so its count stays pinned.
 func Adult(seed int64) *dataset.Table {
-	rng := stats.NewRand(seed)
+	// Legacy stream on purpose: the generated records are calibrated
+	// against it (see stats.NewLegacyRand).
+	rng := stats.NewLegacyRand(seed)
 	schema := AdultSchema()
 	t := dataset.NewTable(schema, AdultSize)
 	base := adultCalibrateBase()

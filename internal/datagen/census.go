@@ -148,7 +148,9 @@ func Census(n int, seed int64) (*dataset.Table, error) {
 	if n <= 0 || n > CensusMaxSize {
 		return nil, fmt.Errorf("datagen: census size must be in 1..%d, got %d", CensusMaxSize, n)
 	}
-	rng := stats.NewRand(seed)
+	// Legacy stream on purpose: the generated records are calibrated
+	// against it (see stats.NewLegacyRand).
+	rng := stats.NewLegacyRand(seed)
 	schema := CensusSchema()
 	t := dataset.NewTable(schema, n)
 	cdfs := censusOccDistributions()

@@ -84,7 +84,9 @@ func MedicalWithColor(n int, seed int64) (*dataset.Table, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("datagen: medical size must be positive, got %d", n)
 	}
-	rng := stats.NewRand(seed)
+	// Legacy stream on purpose: the generated records are calibrated
+	// against it (see stats.NewLegacyRand).
+	rng := stats.NewLegacyRand(seed)
 	schema := MedicalWithColorSchema()
 	t := dataset.NewTable(schema, n)
 	genCDF := stats.CDF(append([]float64(nil), medicalGenderMarginal...))
@@ -110,7 +112,9 @@ func Medical(n int, seed int64) (*dataset.Table, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("datagen: medical size must be positive, got %d", n)
 	}
-	rng := stats.NewRand(seed)
+	// Legacy stream on purpose: the generated records are calibrated
+	// against it (see stats.NewLegacyRand).
+	rng := stats.NewLegacyRand(seed)
 	schema := MedicalSchema()
 	t := dataset.NewTable(schema, n)
 	genCDF := stats.CDF(append([]float64(nil), medicalGenderMarginal...))

@@ -13,18 +13,29 @@ type Group struct {
 	Key      []uint16 // public-attribute values, in NAIndices order
 	SACounts []int    // histogram of sensitive values within the group
 	Size     int      // total records = sum of SACounts
+
+	// maxCount caches max(SACounts) when the group was built by GroupsOf,
+	// whose counting pass maintains it for free. Zero means "not cached"
+	// (any non-empty histogram has maxCount ≥ 1), so group literals built
+	// elsewhere — and published clones, whose histograms change after
+	// construction — transparently fall back to a scan in MaxFreq.
+	maxCount int
 }
 
 // MaxFreq returns f, the maximum relative frequency of any sensitive value in
 // the group — the quantity that drives the maximum group size s_g (Eq. 10).
+// Publishers evaluate it for every group on every publication, so GroupsOf
+// caches the maximum count up front.
 func (g *Group) MaxFreq() float64 {
 	if g.Size == 0 {
 		return 0
 	}
-	max := 0
-	for _, c := range g.SACounts {
-		if c > max {
-			max = c
+	max := g.maxCount
+	if max == 0 {
+		for _, c := range g.SACounts {
+			if c > max {
+				max = c
+			}
 		}
 	}
 	return float64(max) / float64(g.Size)
@@ -44,8 +55,9 @@ type GroupSet struct {
 	Schema *Schema
 	Groups []Group
 
-	naIdx []int // cached NAIndices
-	radix []int // domain sizes of the NA attributes, aligned with naIdx
+	naIdx []int    // cached NAIndices
+	radix []int    // domain sizes of the NA attributes, aligned with naIdx
+	keys  []uint64 // encoded mixed-radix key of Groups[i], aligned with Groups
 }
 
 // GroupsOf partitions the table into personal groups with a single linear
@@ -78,21 +90,30 @@ func GroupsOf(t *Table) *GroupSet {
 			order = append(order, key)
 		}
 		g := &gs.Groups[gi]
-		g.SACounts[row[t.Schema.SA]]++
+		sa := row[t.Schema.SA]
+		g.SACounts[sa]++
+		if g.SACounts[sa] > g.maxCount {
+			g.maxCount = g.SACounts[sa]
+		}
 		g.Size++
 	}
-	// Deterministic order: sort groups by their encoded key.
-	perm := make([]int, len(gs.Groups))
-	for i := range perm {
-		perm[i] = i
-	}
-	sort.Slice(perm, func(a, b int) bool { return order[perm[a]] < order[perm[b]] })
-	sorted := make([]Group, len(gs.Groups))
-	for out, in := range perm {
-		sorted[out] = gs.Groups[in]
-	}
-	gs.Groups = sorted
+	// Deterministic order: sort groups by their encoded key. The keys were
+	// computed once during the scan, so the sort swaps groups and keys in
+	// lockstep instead of re-encoding (or permuting through an index slice)
+	// and the encoded keys stay cached for Find's binary search.
+	gs.keys = order
+	sort.Sort(groupsByKey{gs})
 	return gs
+}
+
+// groupsByKey sorts a GroupSet's Groups and key cache together.
+type groupsByKey struct{ gs *GroupSet }
+
+func (s groupsByKey) Len() int           { return len(s.gs.Groups) }
+func (s groupsByKey) Less(a, b int) bool { return s.gs.keys[a] < s.gs.keys[b] }
+func (s groupsByKey) Swap(a, b int) {
+	s.gs.Groups[a], s.gs.Groups[b] = s.gs.Groups[b], s.gs.Groups[a]
+	s.gs.keys[a], s.gs.keys[b] = s.gs.keys[b], s.gs.keys[a]
 }
 
 // encodeRow packs the NA values of a full row into one mixed-radix uint64.
@@ -137,16 +158,34 @@ func (gs *GroupSet) AvgGroupSize() float64 {
 // NAIndices returns the public-attribute indices aligned with group keys.
 func (gs *GroupSet) NAIndices() []int { return gs.naIdx }
 
-// Find returns the group with the given NA key, or nil if absent.
-// The lookup is a binary search over the deterministic key order.
+// Find returns the group with the given NA key, or nil if absent. The
+// lookup is a binary search over the cached encoded keys, so the probe key
+// is encoded exactly once per call instead of once per comparison. Find
+// never mutates the GroupSet, so concurrent lookups are safe; a GroupSet
+// assembled without the cache (a hand-built literal) falls back to encoding
+// per comparison rather than lazily building the cache under the reader.
 func (gs *GroupSet) Find(key []uint16) *Group {
 	if len(key) != len(gs.naIdx) {
 		return nil
 	}
 	want := gs.EncodeKey(key)
 	lo, hi := 0, len(gs.Groups)
+	if keys := gs.keys; len(keys) == len(gs.Groups) {
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keys[mid] < want {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(keys) && keys[lo] == want {
+			return &gs.Groups[lo]
+		}
+		return nil
+	}
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if gs.EncodeKey(gs.Groups[mid].Key) < want {
 			lo = mid + 1
 		} else {
@@ -157,6 +196,21 @@ func (gs *GroupSet) Find(key []uint16) *Group {
 		return &gs.Groups[lo]
 	}
 	return nil
+}
+
+// encodedKeys returns the cached encoded keys, rebuilding the cache first if
+// the GroupSet was assembled without one (e.g. a zero-value literal in a
+// test). It mutates the receiver, so it may only run in single-threaded
+// construction contexts — concurrent readers go through Find.
+func (gs *GroupSet) encodedKeys() []uint64 {
+	if len(gs.keys) != len(gs.Groups) {
+		keys := make([]uint64, len(gs.Groups))
+		for i := range gs.Groups {
+			keys[i] = gs.EncodeKey(gs.Groups[i].Key)
+		}
+		gs.keys = keys
+	}
+	return gs.keys
 }
 
 // Table materializes the group set back into a table: for every group, one
@@ -185,16 +239,32 @@ func (gs *GroupSet) Table() *Table {
 // zeroed histograms and sizes; publishing algorithms fill in the perturbed
 // histograms group by group.
 func (gs *GroupSet) CloneShape() *GroupSet {
+	// The key cache is shared when present (keys are immutable after
+	// construction) and built fresh for the clone otherwise — never stored
+	// back onto the receiver, so CloneShape stays read-only on gs and safe
+	// under concurrent callers.
+	keys := gs.keys
+	if len(keys) != len(gs.Groups) {
+		keys = make([]uint64, len(gs.Groups))
+		for i := range gs.Groups {
+			keys[i] = gs.EncodeKey(gs.Groups[i].Key)
+		}
+	}
 	out := &GroupSet{
 		Schema: gs.Schema,
 		Groups: make([]Group, len(gs.Groups)),
 		naIdx:  gs.naIdx,
 		radix:  gs.radix,
+		keys:   keys,
 	}
+	// One backing array for every histogram: publishing clones the shape
+	// once per publication, and |G| separate make calls dominate the clone
+	// cost on datasets with many small groups.
 	m := gs.Schema.SADomain()
+	backing := make([]int, m*len(gs.Groups))
 	for i := range gs.Groups {
 		out.Groups[i].Key = gs.Groups[i].Key
-		out.Groups[i].SACounts = make([]int, m)
+		out.Groups[i].SACounts = backing[i*m : (i+1)*m : (i+1)*m]
 	}
 	return out
 }

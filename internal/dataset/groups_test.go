@@ -92,6 +92,31 @@ func TestGroupFind(t *testing.T) {
 	}
 }
 
+func TestGroupKeyCacheConsistent(t *testing.T) {
+	// The cached encoded keys must agree with re-encoding every group's
+	// key, on both GroupsOf output and CloneShape copies, and Find must
+	// also work on a GroupSet assembled without a cache.
+	tab := randomTable(t, 3, 200)
+	gs := GroupsOf(tab)
+	for _, set := range []*GroupSet{gs, gs.CloneShape()} {
+		keys := set.encodedKeys()
+		if len(keys) != len(set.Groups) {
+			t.Fatalf("cache has %d keys for %d groups", len(keys), len(set.Groups))
+		}
+		for i := range set.Groups {
+			if keys[i] != set.EncodeKey(set.Groups[i].Key) {
+				t.Fatalf("cached key %d = %d, want %d", i, keys[i], set.EncodeKey(set.Groups[i].Key))
+			}
+		}
+	}
+	bare := &GroupSet{Schema: gs.Schema, Groups: gs.Groups, naIdx: gs.naIdx, radix: gs.radix}
+	for i := range gs.Groups {
+		if bare.Find(gs.Groups[i].Key) != &bare.Groups[i] {
+			t.Fatalf("cache-less Find failed for group %d", i)
+		}
+	}
+}
+
 func TestGroupMaxFreqAndFreq(t *testing.T) {
 	g := Group{Key: []uint16{0}, SACounts: []int{2, 6, 2}, Size: 10}
 	if g.MaxFreq() != 0.6 {

@@ -8,7 +8,6 @@ package dp
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
@@ -38,7 +37,7 @@ func (m LaplaceMechanism) Scale() float64 { return m.Sensitivity / m.Epsilon }
 func (m LaplaceMechanism) Variance() float64 { b := m.Scale(); return 2 * b * b }
 
 // Answer returns the noisy answer a + Lap(b).
-func (m LaplaceMechanism) Answer(rng *rand.Rand, trueAnswer float64) float64 {
+func (m LaplaceMechanism) Answer(rng *stats.Rand, trueAnswer float64) float64 {
 	return trueAnswer + stats.Laplace(rng, m.Scale())
 }
 
@@ -74,7 +73,7 @@ func (m GaussianMechanism) Sigma() float64 {
 func (m GaussianMechanism) Variance() float64 { s := m.Sigma(); return s * s }
 
 // Answer returns the noisy answer a + N(0, σ²).
-func (m GaussianMechanism) Answer(rng *rand.Rand, trueAnswer float64) float64 {
+func (m GaussianMechanism) Answer(rng *stats.Rand, trueAnswer float64) float64 {
 	return trueAnswer + stats.Gaussian(rng, m.Sigma())
 }
 
@@ -139,7 +138,7 @@ type AttackResult struct {
 // match count) against the mechanism `trials` times, and summarize the
 // attacker's confidence estimate Y/X together with the per-answer relative
 // errors — the disclosure and utility columns of Table 1.
-func RatioAttack(rng *rand.Rand, mech LaplaceMechanism, x, y float64, trials int) (AttackResult, error) {
+func RatioAttack(rng *stats.Rand, mech LaplaceMechanism, x, y float64, trials int) (AttackResult, error) {
 	if err := mech.Validate(); err != nil {
 		return AttackResult{}, err
 	}

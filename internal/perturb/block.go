@@ -2,7 +2,8 @@ package perturb
 
 import (
 	"fmt"
-	"math/rand"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // Block perturbation is a utility-oriented variant of uniform perturbation
@@ -97,7 +98,7 @@ func (pt *Partition) BlockOf(v int) int { return pt.blockOf[v] }
 
 // BlockValue perturbs one value within its block: retain with probability
 // p, otherwise replace with a uniform draw from the block.
-func BlockValue(rng *rand.Rand, v uint16, pt *Partition, p float64) uint16 {
+func BlockValue(rng *stats.Rand, v uint16, pt *Partition, p float64) uint16 {
 	if rng.Float64() < p {
 		return v
 	}
@@ -107,8 +108,11 @@ func BlockValue(rng *rand.Rand, v uint16, pt *Partition, p float64) uint16 {
 
 // BlockCounts perturbs a SA histogram under block perturbation. Block
 // totals are invariant (randomization never crosses blocks); the tests rely
-// on this property.
-func BlockCounts(rng *rand.Rand, counts []int, pt *Partition, p float64) ([]int, error) {
+// on this property. Like Counts, the per-record coins collapse to a
+// Binomial(c, p) retention draw per value plus one uniform multinomial
+// redistribution per block, so the cost is O(m) binomial draws rather than
+// O(Σcounts).
+func BlockCounts(rng *stats.Rand, counts []int, pt *Partition, p float64) ([]int, error) {
 	if len(counts) != len(pt.blockOf) {
 		return nil, fmt.Errorf("perturb: histogram has %d values, partition covers %d", len(counts), len(pt.blockOf))
 	}
@@ -116,14 +120,33 @@ func BlockCounts(rng *rand.Rand, counts []int, pt *Partition, p float64) ([]int,
 		return nil, err
 	}
 	out := make([]int, len(counts))
+	displaced := make([]int, len(pt.blocks))
 	for v, c := range counts {
-		members := pt.blocks[pt.blockOf[v]]
-		for k := 0; k < c; k++ {
-			if rng.Float64() < p {
-				out[v]++
-			} else {
-				out[members[rng.Intn(len(members))]]++
-			}
+		if c <= 0 {
+			continue
+		}
+		kept := stats.Binomial(rng, c, p)
+		out[v] = kept
+		displaced[pt.blockOf[v]] += c - kept
+	}
+	// One multinomial redistribution per block, through the same
+	// implementation the full-domain path uses: draw over a dense
+	// per-block scratch histogram, then scatter onto the block's members.
+	var scratch []int
+	for b, members := range pt.blocks {
+		if displaced[b] == 0 {
+			continue
+		}
+		if cap(scratch) < len(members) {
+			scratch = make([]int, len(members))
+		}
+		scratch = scratch[:len(members)]
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		uniformRedistribute(rng, scratch, displaced[b])
+		for i, v := range members {
+			out[v] += scratch[i]
 		}
 	}
 	return out, nil

@@ -15,9 +15,10 @@ package perturb
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/bits"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // ValidateP checks that a retention probability is in the open interval
@@ -51,7 +52,7 @@ func Matrix(m int, p float64) [][]float64 {
 // Value perturbs a single SA value: retain with probability p, otherwise
 // replace with a uniform draw from the m-value domain (the replacement may
 // coincide with the original, exactly as in the paper's operator).
-func Value(rng *rand.Rand, v uint16, m int, p float64) uint16 {
+func Value(rng *stats.Rand, v uint16, m int, p float64) uint16 {
 	if rng.Float64() < p {
 		return v
 	}
@@ -61,7 +62,7 @@ func Value(rng *rand.Rand, v uint16, m int, p float64) uint16 {
 // Table applies uniform perturbation to the sensitive attribute of every
 // record and returns the perturbed copy D*. The public attributes are left
 // untouched.
-func Table(rng *rand.Rand, t *dataset.Table, p float64) (*dataset.Table, error) {
+func Table(rng *stats.Rand, t *dataset.Table, p float64) (*dataset.Table, error) {
 	if err := ValidateP(p); err != nil {
 		return nil, err
 	}
@@ -75,12 +76,143 @@ func Table(rng *rand.Rand, t *dataset.Table, p float64) (*dataset.Table, error) 
 }
 
 // Counts perturbs a SA histogram: counts[i] records carrying value i are each
-// retained with probability p or rerouted to a uniform value. The output
-// histogram is distributed identically to perturbing the underlying records
-// one by one — groups are multisets, so histograms are a lossless
-// representation — but avoids materializing rows. This is the fast path used
-// by the group-level publishing pipeline.
-func Counts(rng *rand.Rand, counts []int, p float64) []int {
+// retained with probability p or rerouted to a uniform value. Groups are
+// multisets, so histograms are a lossless representation, and the per-record
+// coin flips collapse into closed-form draws: the number of retained records
+// per value is Binomial(counts[v], p), and the displaced mass is rerouted by
+// one uniform multinomial over the m values (each displaced record picks its
+// replacement independently and uniformly, so the joint replacement vector
+// is exactly Multinomial(displaced, uniform)). The output histogram is
+// distributed identically to perturbing the underlying records one by one —
+// CountsPerRecord below is that reference implementation — but costs O(m)
+// binomial draws instead of O(Σcounts) coin flips. This is the fast path
+// used by the group-level publishing pipeline; it is what lets a publication
+// run in O(|G|·m) rather than O(|D|).
+func Counts(rng *stats.Rand, counts []int, p float64) []int {
+	out := make([]int, len(counts))
+	CountsInto(rng, counts, p, out)
+	return out
+}
+
+// CountsInto is Counts writing into a caller-provided histogram (len(out)
+// must equal len(counts); counts and out may not alias). Publishers clone
+// the group-set shape once and fill the cloned histograms in place, so the
+// per-group allocation disappears from the hot path.
+func CountsInto(rng *stats.Rand, counts []int, p float64, out []int) {
+	displaced := 0
+	if p == 0.5 {
+		// Fair-coin retention — the paper's default — needs exactly one
+		// random bit per record, so draw the bits 64 at a time and keep
+		// the popcount of each cell's slice of the bit stream. Cells
+		// share the buffered word across boundaries; nothing is wasted
+		// and every record still gets its own independent fair bit.
+		var buf uint64
+		avail := 0
+		for v, c := range counts {
+			if c <= 0 {
+				out[v] = 0
+				continue
+			}
+			var kept int
+			if c < avail {
+				// Common case (groups average a handful of records per
+				// cell): the cell fits in the buffered word, one mask +
+				// popcount. c < avail ≤ 64 keeps the mask shift in range.
+				kept = bits.OnesCount64(buf & (1<<uint(c) - 1))
+				buf >>= uint(c)
+				avail -= c
+			} else if c <= 4096 {
+				for need := c; need > 0; {
+					if avail == 0 {
+						buf = rng.Uint64()
+						avail = 64
+					}
+					take := need
+					if take > avail {
+						take = avail
+					}
+					kept += bits.OnesCount64(buf << (64 - uint(take)) >> (64 - uint(take)))
+					buf >>= uint(take)
+					avail -= take
+					need -= take
+				}
+			} else {
+				// Beyond ~4K records the O(1) BTRS draw beats popcounting
+				// c/64 words.
+				kept = stats.Binomial(rng, c, 0.5)
+			}
+			out[v] = kept
+			displaced += c - kept
+		}
+		uniformRedistribute(rng, out, displaced)
+		return
+	}
+	for v, c := range counts {
+		if c <= 0 {
+			out[v] = 0
+			continue
+		}
+		kept := stats.Binomial(rng, c, p)
+		out[v] = kept
+		displaced += c - kept
+	}
+	uniformRedistribute(rng, out, displaced)
+}
+
+// uniformRedistribute adds `displaced` records to out, each landing on an
+// independent uniform value — i.e. it draws Multinomial(displaced, uniform)
+// and adds it to out. Sparse mass (fewer records than values, the common
+// case on datasets whose groups hold a handful of records) places each
+// record directly in O(displaced); dense mass walks the domain once with
+// chained conditional binomials in O(m). Both are the exact multinomial.
+func uniformRedistribute(rng *stats.Rand, out []int, displaced int) {
+	m := len(out)
+	if m == 0 || displaced <= 0 {
+		return
+	}
+	// Direct placement costs half a Uint64 per record (~2.5 ns); the
+	// chained binomial walk costs one inversion draw per domain value
+	// (~70 ns with its exp/log setup), putting the crossover near
+	// displaced ≈ 28m.
+	if displaced < 32*m {
+		// SA domains are uint16-indexed (m ≤ 65536 « 2³²), so a 32-bit
+		// Lemire draw is exact and each Uint64 serves two placements.
+		bound := uint32(m)
+		threshold := -bound % bound
+		var buf uint64
+		lanes := 0
+		for k := 0; k < displaced; {
+			if lanes == 0 {
+				buf = rng.Uint64()
+				lanes = 2
+			}
+			lane := uint32(buf)
+			buf >>= 32
+			lanes--
+			prod := uint64(lane) * uint64(bound)
+			if low := uint32(prod); low < bound && low < threshold {
+				continue // rejected lane: redraw for the same record
+			}
+			out[int(prod>>32)]++
+			k++
+		}
+		return
+	}
+	remaining := displaced
+	for v := 0; v < m-1 && remaining > 0; v++ {
+		k := stats.Binomial(rng, remaining, 1/float64(m-v))
+		out[v] += k
+		remaining -= k
+	}
+	out[m-1] += remaining
+}
+
+// CountsPerRecord is the per-record reference implementation of Counts: one
+// biased coin and (on tails) one uniform draw per record, exactly as the
+// paper's Section 3.1 operator is stated. It is retained as the
+// distributional oracle for equivalence tests and benchmarks; production
+// paths should call Counts.
+func CountsPerRecord(rng *stats.Rand, counts []int, p float64) []int {
 	m := len(counts)
 	out := make([]int, m)
 	for v, c := range counts {

@@ -185,6 +185,83 @@ func TestCountsMatchesTableDistribution(t *testing.T) {
 	}
 }
 
+func TestCountsPerRecordConservation(t *testing.T) {
+	// The reference path obeys the same invariants as the fast path.
+	rng := stats.NewRand(12)
+	counts := []int{100, 0, 37, 5}
+	total := 142
+	for i := 0; i < 50; i++ {
+		out := CountsPerRecord(rng, counts, 0.3)
+		got := 0
+		for _, c := range out {
+			if c < 0 {
+				t.Fatal("negative count")
+			}
+			got += c
+		}
+		if got != total {
+			t.Fatalf("total %d, want %d", got, total)
+		}
+	}
+}
+
+func TestCountsChiSquareMatchesPerRecord(t *testing.T) {
+	// Distributional equivalence of the O(m) binomial fast path and the
+	// O(n) per-record reference path. Every record is published
+	// independently with P(out = v | in = i) under both paths, so the
+	// per-value totals aggregated over many rounds are Multinomial(R·n, q)
+	// for the same q, and a 2×m homogeneity chi-square applies. Seeds are
+	// fixed, so the test is deterministic.
+	counts := []int{400, 250, 120, 30, 0, 200}
+	const p = 0.35
+	const rounds = 3000
+	m := len(counts)
+	fast := make([]float64, m)
+	ref := make([]float64, m)
+	rngFast := stats.NewRand(101)
+	rngRef := stats.NewRand(202)
+	for r := 0; r < rounds; r++ {
+		for v, c := range Counts(rngFast, counts, p) {
+			fast[v] += float64(c)
+		}
+		for v, c := range CountsPerRecord(rngRef, counts, p) {
+			ref[v] += float64(c)
+		}
+	}
+	// 2×m contingency table with equal row totals (Counts conserves the
+	// record count): expected cell is the column mean, df = m-1.
+	var chi2 float64
+	for v := 0; v < m; v++ {
+		e := (fast[v] + ref[v]) / 2
+		if e == 0 {
+			t.Fatalf("value %d never published under either path", v)
+		}
+		d := fast[v] - e
+		chi2 += 2 * d * d / e
+	}
+	pval, err := stats.ChiSquareSurvival(chi2, m-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pval < 1e-4 {
+		t.Errorf("chi2 = %v (df %d), p-value %v: histogram fast path and per-record path differ", chi2, m-1, pval)
+	}
+	// The marginals must also agree with the analytic expectation
+	// E[out[v]] = p·c_v + (1-p)/m · n for both paths.
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	for v, c := range counts {
+		want := float64(rounds) * (p*float64(c) + (1-p)/float64(m)*float64(n))
+		for path, got := range map[string]float64{"fast": fast[v], "per-record": ref[v]} {
+			if math.Abs(got-want) > 6*math.Sqrt(float64(rounds)*float64(n)) {
+				t.Errorf("%s path, value %d: total %v, want ~%v", path, v, got, want)
+			}
+		}
+	}
+}
+
 func TestAmplification(t *testing.T) {
 	// γ = 1 + pm/(1-p): spot values.
 	if got := Amplification(0.5, 10); math.Abs(got-11) > 1e-12 {

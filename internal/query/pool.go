@@ -3,7 +3,6 @@ package query
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/stats"
@@ -37,7 +36,7 @@ type Pool struct {
 // origMarg indexes the original table, genMarg the generalized table; merge
 // maps original value codes to generalized codes per attribute (nil entries
 // mean the attribute is unmapped).
-func GeneratePool(rng *rand.Rand, origMarg, genMarg *Marginals,
+func GeneratePool(rng *stats.Rand, origMarg, genMarg *Marginals,
 	mappings []dataset.ValueMapping, opts PoolOptions) (*Pool, error) {
 	if opts.Size <= 0 {
 		return nil, fmt.Errorf("query: pool size must be positive, got %d", opts.Size)

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Binomial draws an exact sample from Binomial(n, p). Two regimes keep the
+// expected cost O(1)-ish in n: below btrsCutoff expected successes the
+// sampler inverts the CDF with the standard pmf recurrence (expected np+1
+// iterations); above it, Hörmann's BTRS transformed-rejection sampler draws
+// in O(1) expected trials. Both regimes sample the exact binomial law — BTRS
+// evaluates the true pmf through Stirling tail corrections, it is not a
+// normal approximation — so histogram-level perturbation (perturb.Counts)
+// is distributed identically to flipping one coin per record, at a cost of
+// O(|G|·m) instead of O(|D|) per publication.
+func Binomial(rng *Rand, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p == 0.5 && n <= 64 {
+		// Fair coins — the paper's default retention probability — are a
+		// popcount: n random bits hold n independent Bernoulli(1/2) draws.
+		// One Uint64 replaces up to 64 Float64 comparisons. This is the
+		// single hottest case in publication (retention draws per SA cell
+		// at P = 0.5).
+		return bits.OnesCount64(rng.Uint64() >> (64 - uint(n)))
+	}
+	if n == 1 {
+		if rng.Float64() < p {
+			return 1
+		}
+		return 0
+	}
+	if p > 0.5 {
+		// Sample the complement so both regimes only see p ≤ 1/2.
+		return n - Binomial(rng, n, 1-p)
+	}
+	if float64(n)*p < btrsCutoff {
+		return binomialInversion(rng, n, p)
+	}
+	return binomialBTRS(rng, n, p)
+}
+
+// btrsCutoff is the expected-successes threshold between CDF inversion and
+// BTRS. Hörmann's rejection constants are tuned for n·p ≥ 10.
+const btrsCutoff = 10
+
+// binomialInversion samples Binomial(n, p) for p ≤ 1/2 and n·p < btrsCutoff
+// by sequential search of the CDF from k = 0, advancing the pmf with the
+// recurrence f(k+1) = f(k)·(n-k)/(k+1)·(p/q). With n·p < 10 and q ≥ 1/2 the
+// starting mass q^n ≥ e^(-2np) never underflows.
+func binomialInversion(rng *Rand, n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	// q^n: a multiply loop for small n and exp(n·ln q) otherwise — both
+	// several times cheaper than math.Pow, and this setup cost dominates
+	// the sampler for the small group cells that publication spends most
+	// of its draws on.
+	var f float64
+	if n < 32 {
+		f = 1
+		for i := 0; i < n; i++ {
+			f *= q
+		}
+	} else {
+		f = math.Exp(float64(n) * math.Log(q))
+	}
+	u := rng.Float64()
+	cum := f
+	k := 0
+	for u > cum && k < n {
+		k++
+		f *= s * float64(n-k+1) / float64(k)
+		cum += f
+	}
+	return k
+}
+
+// binomialBTRS samples Binomial(n, p) for p ≤ 1/2 and n·p ≥ btrsCutoff with
+// the transformed-rejection scheme of Hörmann ("The generation of binomial
+// random variates", J. Stat. Comput. Simul. 46, 1993). A triangular
+// transformation of a uniform pair proposes k; most proposals are accepted
+// by the cheap squeeze, and the rest are resolved against the exact log-pmf
+// ratio log f(k)/f(mode) written with Stirling tail corrections, so the
+// accepted variates follow the exact binomial distribution.
+func binomialBTRS(rng *Rand, n int, p float64) int {
+	nf := float64(n)
+	q := 1 - p
+	spq := math.Sqrt(nf * p * q)
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	r := p / q
+	alpha := (2.83 + 5.1/b) * spq
+	m := math.Floor((nf + 1) * p)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + c)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || k > nf {
+			continue
+		}
+		v = math.Log(v * alpha / (a/(us*us) + b))
+		bound := (m+0.5)*math.Log((m+1)/(r*(nf-m+1))) +
+			(nf+1)*math.Log((nf-m+1)/(nf-k+1)) +
+			(k+0.5)*math.Log(r*(nf-k+1)/(k+1)) +
+			stirlingTail(m) + stirlingTail(nf-m) -
+			stirlingTail(k) - stirlingTail(nf-k)
+		if v <= bound {
+			return int(k)
+		}
+	}
+}
+
+// stirlingTailTable holds δ(k+1), where δ(x) = ln x! - (x+½)ln x + x - ½ln 2π
+// is the Stirling series remainder, for small k where the asymptotic series
+// converges too slowly. The one-shift matches the (k+1)-shifted factorial
+// terms in the BTRS acceptance bound.
+var stirlingTailTable = [...]float64{
+	0.08106146679532726,
+	0.04134069595540929,
+	0.02767792568499834,
+	0.02079067210376509,
+	0.01664469118982119,
+	0.01387612882307075,
+	0.01189670994589177,
+	0.01041126526197209,
+	0.009255462182712733,
+	0.008330563433362871,
+}
+
+// stirlingTail returns the Stirling series correction δ(k+1); together with
+// the closed-form terms it reproduces ln (k+1)! to float64 precision.
+func stirlingTail(k float64) float64 {
+	if k < float64(len(stirlingTailTable)) {
+		return stirlingTailTable[int(k)]
+	}
+	kp1sq := (k + 1) * (k + 1)
+	return (1.0/12 - (1.0/360-1.0/1260/kp1sq)/kp1sq) / (k + 1)
+}

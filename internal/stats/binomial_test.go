@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialExactEdgeCases(t *testing.T) {
+	rng := NewRand(41)
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 0.5, 0},
+		{-5, 0.5, 0},
+		{10, 0, 0},
+		{10, -0.2, 0},
+		{10, 1, 10},
+		{10, 1.5, 10},
+		{1000000, 0, 0},
+		{1000000, 1, 1000000},
+	}
+	for _, c := range cases {
+		for i := 0; i < 100; i++ {
+			if got := Binomial(rng, c.n, c.p); got != c.want {
+				t.Fatalf("Binomial(%d, %v) = %d, want %d", c.n, c.p, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBinomialRangeProperty(t *testing.T) {
+	// Property: 0 ≤ Binomial(n, p) ≤ n across both sampling regimes.
+	rng := NewRand(42)
+	prop := func(nRaw uint32, pRaw uint16) bool {
+		n := int(nRaw % 2000000)
+		p := float64(pRaw) / math.MaxUint16
+		k := Binomial(rng, n, p)
+		return k >= 0 && k <= n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// momentCheck draws `trials` samples of Binomial(n, p) and verifies the
+// sample mean and variance against np and npq within z standard errors.
+func momentCheck(t *testing.T, seed int64, n int, p float64, trials int) {
+	t.Helper()
+	rng := NewRand(seed)
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		k := float64(Binomial(rng, n, p))
+		sum += k
+		sumSq += k * k
+	}
+	mean := sum / float64(trials)
+	variance := sumSq/float64(trials) - mean*mean
+	wantMean := float64(n) * p
+	wantVar := float64(n) * p * (1 - p)
+	// Standard error of the mean is sqrt(npq/trials); allow 5σ.
+	seMean := math.Sqrt(wantVar / float64(trials))
+	if math.Abs(mean-wantMean) > 5*seMean+1e-9 {
+		t.Errorf("Binomial(%d, %v): mean %v, want %v ± %v", n, p, mean, wantMean, 5*seMean)
+	}
+	// The variance of the sample variance is ≈ 2·Var²/trials for light
+	// tails; 6σ with a kurtosis cushion.
+	seVar := wantVar * math.Sqrt(3/float64(trials))
+	if math.Abs(variance-wantVar) > 6*seVar+1e-9 {
+		t.Errorf("Binomial(%d, %v): variance %v, want %v ± %v", n, p, variance, wantVar, 6*seVar)
+	}
+}
+
+func TestBinomialMomentsAcrossRegimes(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{5, 0.5},        // inversion, tiny n
+		{40, 0.1},       // inversion, np = 4
+		{199, 0.049},    // inversion, just under the cutoff
+		{20, 0.5},       // BTRS boundary, np = 10
+		{1000, 0.02},    // BTRS, small p
+		{1000, 0.5},     // BTRS, symmetric
+		{100000, 0.001}, // BTRS, np = 100 at tiny p
+		{100000, 0.999}, // complement path into BTRS
+		{300000, 0.25},  // CENSUS-group scale
+		{64, 0.9},       // complement path into inversion
+	}
+	for i, c := range cases {
+		momentCheck(t, int64(100+i), c.n, c.p, 20000)
+	}
+}
+
+func TestBinomialChiSquareGOF(t *testing.T) {
+	// Goodness of fit of the sampler against the exact pmf, in both
+	// regimes. Bins with expected count < 5 are pooled into the tails.
+	cases := []struct {
+		seed   int64
+		n      int
+		p      float64
+		trials int
+	}{
+		{7, 25, 0.2, 50000},  // inversion (np = 5)
+		{8, 60, 0.4, 50000},  // BTRS (np = 24)
+		{9, 500, 0.1, 50000}, // BTRS, larger n
+	}
+	for _, c := range cases {
+		rng := NewRand(c.seed)
+		obs := make([]int, c.n+1)
+		for i := 0; i < c.trials; i++ {
+			obs[Binomial(rng, c.n, c.p)]++
+		}
+		// Exact pmf via the recurrence.
+		pmf := make([]float64, c.n+1)
+		q := 1 - c.p
+		pmf[0] = math.Pow(q, float64(c.n))
+		for k := 1; k <= c.n; k++ {
+			pmf[k] = pmf[k-1] * (c.p / q) * float64(c.n-k+1) / float64(k)
+		}
+		var chi2 float64
+		df := -1 // total is fixed, so categories-1
+		var poolObs, poolExp float64
+		for k := 0; k <= c.n; k++ {
+			exp := pmf[k] * float64(c.trials)
+			poolObs += float64(obs[k])
+			poolExp += exp
+			if poolExp >= 5 {
+				d := poolObs - poolExp
+				chi2 += d * d / poolExp
+				df++
+				poolObs, poolExp = 0, 0
+			}
+		}
+		if poolExp > 0 {
+			d := poolObs - poolExp
+			chi2 += d * d / poolExp
+		}
+		pval, err := ChiSquareSurvival(chi2, df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pval < 1e-4 {
+			t.Errorf("Binomial(%d, %v): chi2 = %v (df %d), p-value %v — sampler does not match the exact pmf", c.n, c.p, chi2, df, pval)
+		}
+	}
+}
+
+func TestBinomialDeterministicPerSeed(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		p float64
+	}{{30, 0.3}, {100000, 0.4}} {
+		a, b := NewRand(77), NewRand(77)
+		for i := 0; i < 1000; i++ {
+			x, y := Binomial(a, c.n, c.p), Binomial(b, c.n, c.p)
+			if x != y {
+				t.Fatalf("Binomial(%d, %v) not deterministic: %d vs %d at draw %d", c.n, c.p, x, y, i)
+			}
+		}
+	}
+}
+
+func TestStirlingTailMatchesLgamma(t *testing.T) {
+	// stirlingTail(k) is δ(k+1), so it must reproduce
+	// ln (k+1)! = (k+1+½)ln(k+1) − (k+1) + ½ln 2π + stirlingTail(k)
+	// across the table and the asymptotic series.
+	for k := 0; k <= 200; k++ {
+		want, _ := math.Lgamma(float64(k) + 2)
+		x := float64(k) + 1
+		got := (x+0.5)*math.Log(x) - x + 0.5*math.Log(2*math.Pi) + stirlingTail(float64(k))
+		// The truncated series is worst at k = 10 (first non-table point),
+		// where its remainder is ~1/(1680·11⁷) ≈ 3e-11 — far below anything
+		// a rejection test could distinguish statistically.
+		if math.Abs(got-want) > 1e-10*(1+math.Abs(want)) {
+			t.Fatalf("stirlingTail(%d): ln (k+1)! = %v, want %v", k, got, want)
+		}
+	}
+}

@@ -2,20 +2,12 @@ package stats
 
 import (
 	"math"
-	"math/rand"
 )
-
-// NewRand returns a deterministic pseudo-random source for the given seed.
-// All randomized operations in this library accept a *rand.Rand so that
-// experiments are reproducible run to run.
-func NewRand(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
-}
 
 // Laplace draws one sample from the zero-mean Laplace distribution
 // Lap(b) = 1/(2b) exp(-|x|/b) with scale factor b > 0. The variance of
 // Lap(b) is 2b², the fixed variance the paper's Section 2 attack exploits.
-func Laplace(rng *rand.Rand, b float64) float64 {
+func Laplace(rng *Rand, b float64) float64 {
 	// Inverse CDF method: u uniform on (-1/2, 1/2),
 	// x = -b * sign(u) * ln(1 - 2|u|).
 	u := rng.Float64() - 0.5
@@ -27,41 +19,21 @@ func Laplace(rng *rand.Rand, b float64) float64 {
 
 // Gaussian draws one sample from the zero-mean normal distribution with the
 // given standard deviation (the Gaussian mechanism of Dwork et al. 2006).
-func Gaussian(rng *rand.Rand, sigma float64) float64 {
+func Gaussian(rng *Rand, sigma float64) float64 {
 	return rng.NormFloat64() * sigma
 }
 
 // Bernoulli returns true with probability p.
-func Bernoulli(rng *rand.Rand, p float64) bool {
+func Bernoulli(rng *Rand, p float64) bool {
 	return rng.Float64() < p
-}
-
-// Binomial draws a sample from Binomial(n, p) by direct simulation. The
-// library only ever calls it with n bounded by a personal-group size, and the
-// total work across a table is O(|D|), so the simple O(n) loop is adequate
-// and keeps the sampler exactly faithful to n independent coin tosses.
-func Binomial(rng *rand.Rand, n int, p float64) int {
-	if n <= 0 {
-		return 0
-	}
-	if p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return n
-	}
-	k := 0
-	for i := 0; i < n; i++ {
-		if rng.Float64() < p {
-			k++
-		}
-	}
-	return k
 }
 
 // Multinomial distributes n trials over the categories of the probability
 // vector probs (which must sum to approximately 1) and returns the counts.
-func Multinomial(rng *rand.Rand, n int, probs []float64) []int {
+// It draws one conditional Binomial per category (counts[i] ~ B(remaining,
+// probs[i]/rest)), so with the sublinear sampler in binomial.go the cost is
+// O(len(probs)) binomial draws regardless of n.
+func Multinomial(rng *Rand, n int, probs []float64) []int {
 	counts := make([]int, len(probs))
 	remaining := n
 	rest := 1.0
@@ -86,7 +58,7 @@ func Multinomial(rng *rand.Rand, n int, probs []float64) []int {
 
 // Categorical draws one index from the discrete distribution probs, which
 // must sum to approximately 1.
-func Categorical(rng *rand.Rand, probs []float64) int {
+func Categorical(rng Float64Source, probs []float64) int {
 	u := rng.Float64()
 	var cum float64
 	for i, p := range probs {
@@ -101,7 +73,7 @@ func Categorical(rng *rand.Rand, probs []float64) int {
 // CategoricalCDF draws one index using a precomputed cumulative distribution
 // (cdf[i] = sum of probs[0..i]); it is the fast path for repeated draws from
 // the same distribution.
-func CategoricalCDF(rng *rand.Rand, cdf []float64) int {
+func CategoricalCDF(rng Float64Source, cdf []float64) int {
 	u := rng.Float64()
 	lo, hi := 0, len(cdf)-1
 	for lo < hi {

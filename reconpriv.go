@@ -32,7 +32,6 @@ package reconpriv
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"github.com/reconpriv/reconpriv/internal/chimerge"
 	"github.com/reconpriv/reconpriv/internal/core"
@@ -135,7 +134,7 @@ func (t *Table) Row(i int) []string {
 }
 
 // rngFor builds the deterministic random stream of an operation.
-func rngFor(seed int64) *rand.Rand { return stats.NewRand(seed) }
+func rngFor(seed int64) *stats.Rand { return stats.NewRand(seed) }
 
 // resolveConds translates attribute=value string conditions to codes.
 func (t *Table) resolveConds(conds map[string]string) ([]int, []uint16, error) {
