@@ -11,6 +11,10 @@ package reconpriv
 // to keep `go test -bench=.` minutes-scale; cmd/rpbench defaults to 10.
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"github.com/reconpriv/reconpriv/internal/core"
@@ -19,6 +23,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/experiments"
 	"github.com/reconpriv/reconpriv/internal/perturb"
 	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
@@ -360,6 +365,127 @@ func BenchmarkQueryPoolEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serveWorkload translates the cached Section 6.1 query pool (generalized
+// value codes) back into the wire vocabulary of the publication server
+// (original attribute labels): for each generalized code, any original
+// value that maps to it names the same cube cell.
+func serveWorkload(b *testing.B, ds *experiments.Dataset) []serve.QueryJSON {
+	b.Helper()
+	orig := ds.Raw.Schema
+	rev := make([]map[uint16]uint16, orig.NumAttrs()) // attr -> new code -> an old code
+	for i := range ds.Merge.Mappings {
+		mp := &ds.Merge.Mappings[i]
+		r := make(map[uint16]uint16, len(mp.NewValues))
+		for old, nw := range mp.OldToNew {
+			if _, ok := r[nw]; !ok {
+				r[nw] = uint16(old)
+			}
+		}
+		rev[mp.Attr] = r
+	}
+	out := make([]serve.QueryJSON, len(ds.Pool.Queries))
+	for i, q := range ds.Pool.Queries {
+		wq := serve.QueryJSON{SA: orig.SAAttr().Label(q.SA)}
+		for _, c := range q.Conds {
+			code := c.Value
+			if r := rev[c.Attr]; r != nil {
+				code = r[c.Value]
+			}
+			wq.Conds = append(wq.Conds, serve.CondJSON{
+				Attr:  orig.Attrs[c.Attr].Name,
+				Value: orig.Attrs[c.Attr].Label(code),
+			})
+		}
+		out[i] = wq
+	}
+	return out
+}
+
+// BenchmarkServeQueryBatch answers the paper's full 5,000-query workload
+// (Section 6.1) as one HTTP batch against a served CENSUS 300K publication:
+// JSON decode → label resolution → pooled marginal lookups → JSON encode,
+// end to end. The publication is built once outside the timed loop; no
+// per-query table scan happens anywhere on the path.
+func BenchmarkServeQueryBatch(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: benchCensusSize}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Publication(); err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"id": e.ID(), "client": "bench", "queries": serveWorkload(b, ds),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := len(ds.Pool.Queries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out struct {
+			Answers []struct {
+				Error string `json:"error"`
+			} `json:"answers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(out.Answers) != queries {
+			b.Fatalf("%d answers", len(out.Answers))
+		}
+		for _, a := range out.Answers {
+			if a.Error != "" {
+				b.Fatal(a.Error)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkAnswerBatch isolates the in-process batch evaluator from the
+// HTTP layer: the same 5,000 queries against the same publication's
+// marginal index, with the default worker pool.
+func BenchmarkAnswerBatch(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	published, _, err := core.PublishSPSParallel(1, ds.Groups, core.DefaultParams, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	marg, err := query.BuildMarginalsFromGroups(published, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := len(ds.Pool.Queries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answers := marg.AnswerBatch(ds.Pool.Queries, 0.5, 0)
+		for j := range answers {
+			if answers[j].Err != nil {
+				b.Fatal(answers[j].Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 // BenchmarkChiMergeCensus times the Section 3.4 generalization alone on the

@@ -1,0 +1,127 @@
+// Command rpserve is the long-running reconstruction-privacy publication
+// server: it builds publications once per (dataset, parameters) key, caches
+// them with prebuilt marginal indexes, and answers batched count queries
+// over HTTP/JSON (see internal/serve for the endpoint reference).
+//
+// Usage:
+//
+//	rpserve [-addr :8080] [-shards 16] [-query-workers N] [-publish-workers N]
+//	        [-max-batch 100000] [-exposure-warn 50000] [-allow-csv]
+//	        [-preload census:300000,adult]
+//
+// -preload publishes the named datasets with default parameters before the
+// server starts accepting traffic, so the first query never pays a build.
+// Each preload entry is dataset[:size].
+//
+// A minimal session:
+//
+//	rpserve -preload medical:5000 &
+//	curl -s localhost:8080/publications
+//	curl -s -X POST localhost:8080/query -d '{
+//	  "id": "<id from /publications>",
+//	  "queries": [{"conds": [{"attr": "Job", "value": "Engineer"}], "sa": "Flu"}]
+//	}'
+//	curl -s localhost:8080/statsz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		shards       = flag.Int("shards", 16, "publication registry shards")
+		queryWorkers = flag.Int("query-workers", 0, "batch evaluation workers (0 = GOMAXPROCS)")
+		pubWorkers   = flag.Int("publish-workers", 0, "parallel publisher workers (0 = GOMAXPROCS)")
+		maxBatch     = flag.Int("max-batch", 0, "max queries per /query request (0 = 100000)")
+		maxInsert    = flag.Int("max-insert", 0, "max records per /insert request (0 = 100000)")
+		exposure     = flag.Int64("exposure-warn", 0, "per-client query count that trips exposure_warning (0 = 50000, -1 disables)")
+		maxPubs      = flag.Int("max-publications", 0, "max distinct publication keys held in memory (0 = 1024)")
+		allowCSV     = flag.Bool("allow-csv", false, "allow publishing server-local CSV files")
+		preload      = flag.String("preload", "", "comma-separated dataset[:size] list to publish before serving")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Shards:          *shards,
+		QueryWorkers:    *queryWorkers,
+		PublishWorkers:  *pubWorkers,
+		MaxBatch:        *maxBatch,
+		MaxInsert:       *maxInsert,
+		ExposureWarn:    *exposure,
+		MaxPublications: *maxPubs,
+		AllowCSV:        *allowCSV,
+	})
+
+	if *preload != "" {
+		for _, spec := range strings.Split(*preload, ",") {
+			req, err := parsePreload(strings.TrimSpace(spec))
+			if err != nil {
+				log.Fatalf("rpserve: -preload %q: %v", spec, err)
+			}
+			start := time.Now()
+			e, _, err := srv.Publish(req, true)
+			if err != nil {
+				log.Fatalf("rpserve: preload %q: %v", spec, err)
+			}
+			pub, err := e.Publication()
+			if err != nil {
+				log.Fatalf("rpserve: preload %q: %v", spec, err)
+			}
+			log.Printf("rpserve: preloaded %s as %s in %v (|G| = %d)",
+				spec, pub.ID, time.Since(start).Round(time.Millisecond), pub.Meta.Groups)
+		}
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	log.Printf("rpserve: serving on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("rpserve: %v", err)
+	case sig := <-sigc:
+		log.Printf("rpserve: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("rpserve: shutdown: %v", err)
+		}
+	}
+}
+
+// parsePreload turns "census:300000" into a publish request with default
+// parameters.
+func parsePreload(spec string) (serve.PublishRequest, error) {
+	name, sizeStr, hasSize := strings.Cut(spec, ":")
+	req := serve.PublishRequest{Dataset: name}
+	if hasSize {
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return req, fmt.Errorf("bad size %q", sizeStr)
+		}
+		req.Size = n
+	}
+	return req, nil
+}

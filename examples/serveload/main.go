@@ -1,0 +1,189 @@
+// Command serveload drives load against a running rpserve instance: it
+// publishes a dataset (deduplicated server-side if it already exists),
+// fetches the publication's attribute domains, generates a random
+// conjunctive count-query workload in the shape of the paper's Section 6.1
+// (dimensionality d ∈ {1..3}, uniform values), and fires it as concurrent
+// batches, reporting client-side throughput next to the server's /statsz
+// view.
+//
+// Usage:
+//
+//	rpserve -preload census:300000 &
+//	go run ./examples/serveload -addr http://localhost:8080 \
+//	    -dataset census -size 300000 -batch 5000 -clients 4 -rounds 10
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type cond struct {
+	Attr  string `json:"attr"`
+	Value string `json:"value"`
+}
+
+type wireQuery struct {
+	Conds []cond `json:"conds"`
+	SA    string `json:"sa"`
+}
+
+type attrInfo struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+type pubInfo struct {
+	ID        string     `json:"id"`
+	Status    string     `json:"status"`
+	Error     string     `json:"error"`
+	Attrs     []attrInfo `json:"attrs"`
+	Sensitive *attrInfo  `json:"sensitive"`
+	Meta      *struct {
+		Records int `json:"records"`
+		Groups  int `json:"groups"`
+	} `json:"meta"`
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "rpserve base URL")
+		dataset = flag.String("dataset", "census", "dataset to publish and query")
+		size    = flag.Int("size", 300000, "dataset size (census/medical)")
+		maxDim  = flag.Int("maxdim", 3, "maximum query dimensionality")
+		batch   = flag.Int("batch", 5000, "queries per /query request (the paper's workload size)")
+		clients = flag.Int("clients", 4, "concurrent client goroutines")
+		rounds  = flag.Int("rounds", 10, "batches per client")
+		seed    = flag.Int64("seed", 7, "workload generator seed")
+	)
+	flag.Parse()
+
+	// Publish (or hit the cache) and wait for readiness.
+	pub := postJSON[pubInfo](*addr+"/publish", map[string]any{
+		"dataset": *dataset, "size": *size, "wait": true,
+	})
+	if pub.Status != "ready" {
+		log.Fatalf("serveload: publication %s is %s: %s", pub.ID, pub.Status, pub.Error)
+	}
+
+	// Fetch the queryable vocabulary.
+	info := getJSON[pubInfo](fmt.Sprintf("%s/publications?id=%s&domains=1", *addr, pub.ID))
+	if info.Sensitive == nil || len(info.Attrs) == 0 {
+		log.Fatalf("serveload: publication %s has no domain info", pub.ID)
+	}
+	fmt.Printf("publication %s: %d records, %d personal groups\n",
+		info.ID, info.Meta.Records, info.Meta.Groups)
+
+	// Generate the workload: random conjunctions over original labels.
+	dmax := *maxDim
+	if dmax > len(info.Attrs) {
+		dmax = len(info.Attrs)
+	}
+	makeBatch := func(rng *rand.Rand) []wireQuery {
+		qs := make([]wireQuery, *batch)
+		for i := range qs {
+			d := 1 + rng.Intn(dmax)
+			perm := rng.Perm(len(info.Attrs))[:d]
+			q := wireQuery{SA: info.Sensitive.Values[rng.Intn(len(info.Sensitive.Values))]}
+			for _, ai := range perm {
+				a := info.Attrs[ai]
+				q.Conds = append(q.Conds, cond{Attr: a.Name, Value: a.Values[rng.Intn(len(a.Values))]})
+			}
+			qs[i] = q
+		}
+		return qs
+	}
+
+	var sent, answered, errored atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			crng := rand.New(rand.NewSource(*seed + int64(c)*1000))
+			client := fmt.Sprintf("serveload-%d", c)
+			for r := 0; r < *rounds; r++ {
+				body := map[string]any{"id": pub.ID, "client": client, "queries": makeBatch(crng)}
+				resp := postJSON[struct {
+					Answers []struct {
+						Error string `json:"error"`
+					} `json:"answers"`
+					ClientQueries   int64 `json:"client_queries"`
+					ExposureWarning bool  `json:"exposure_warning"`
+					ServeMicros     int64 `json:"serve_us"`
+				}](*addr+"/query", body)
+				sent.Add(int64(*batch))
+				for _, a := range resp.Answers {
+					if a.Error == "" {
+						answered.Add(1)
+					} else {
+						errored.Add(1)
+					}
+				}
+				if resp.ExposureWarning {
+					fmt.Printf("client %s crossed the exposure threshold at %d cumulative queries\n",
+						client, resp.ClientQueries)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("sent %d queries in %v (%.0f queries/s client-side; %d answered, %d per-query errors)\n",
+		sent.Load(), elapsed.Round(time.Millisecond),
+		float64(sent.Load())/elapsed.Seconds(), answered.Load(), errored.Load())
+
+	var stats map[string]any
+	statsRaw := getJSON[json.RawMessage](*addr + "/statsz")
+	if err := json.Unmarshal(statsRaw, &stats); err == nil {
+		out, _ := json.MarshalIndent(stats, "", "  ")
+		fmt.Printf("server /statsz:\n%s\n", out)
+	}
+}
+
+func postJSON[T any](url string, body any) T {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatalf("serveload: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatalf("serveload: POST %s: %v", url, err)
+	}
+	return decodeBody[T](url, resp)
+}
+
+func getJSON[T any](url string) T {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("serveload: GET %s: %v", url, err)
+	}
+	return decodeBody[T](url, resp)
+}
+
+func decodeBody[T any](url string, resp *http.Response) T {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("serveload: reading %s: %v", url, err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("serveload: %s returned %d: %s", url, resp.StatusCode, data)
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		log.Fatalf("serveload: decoding %s: %v (%s)", url, err, data)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package reconpriv
+
+// Documentation hygiene, enforced at test time (and by the CI docs job):
+// every package under internal/ and cmd/, plus this root package, must have
+// a package (or command) doc comment. The check parses package clauses only,
+// so it stays fast regardless of repository size.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// packageDirs lists every directory under the roots that contains at least
+// one non-test Go file.
+func packageDirs(t *testing.T, roots ...string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs
+}
+
+// TestEveryPackageHasDocComment fails for any package lacking a package
+// comment on one of its files.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	for _, dir := range append(packageDirs(t, "internal", "cmd", "examples"), ".") {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		documented := false
+		checked := 0
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			checked++
+			f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(dir, name), nil,
+				parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s/%s: %v", dir, name, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if checked > 0 && !documented {
+			t.Errorf("package %s has no package doc comment (add one, conventionally in doc.go)", dir)
+		}
+	}
+}

@@ -1,13 +1,3 @@
-// Package bounds implements tail bounds on Poisson trials and the paper's
-// Theorem 2 conversion between bounds on the observed count O* and bounds on
-// the reconstructed frequency F'.
-//
-// The bound actually used by the privacy criterion is the Chernoff bound
-// (Theorem 3), but the conversion "does not hinge on the particular form of
-// the bound functions" — any TailBound can be plugged in, which is exactly
-// the escape hatch the paper reserves for future, tighter bounds. Chebyshev
-// and Hoeffding are provided as plug-in alternatives and as ablation
-// baselines.
 package bounds
 
 import (

@@ -1,0 +1,13 @@
+// Package bounds implements tail bounds on Poisson trials and the paper's
+// Theorem 2 conversion between bounds on the observed count O* and bounds on
+// the reconstructed frequency F'.
+//
+// The bound actually used by the privacy criterion is the Chernoff bound
+// (Theorem 3, giving the closed-form s_g of Eq. 10), but the conversion
+// "does not hinge on the particular form of the bound functions" — any
+// TailBound can be plugged in, which is exactly the escape hatch the paper
+// reserves for future, tighter bounds. Chebyshev, Hoeffding, Markov
+// (bounds.go) and Bernstein (bernstein.go) are provided as plug-in
+// alternatives and as ablation baselines; internal/experiments compares the
+// s_g thresholds they induce.
+package bounds

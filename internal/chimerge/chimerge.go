@@ -1,12 +1,3 @@
-// Package chimerge implements the public-attribute generalization of the
-// paper's Section 3.4. For each public attribute, every pair of domain
-// values is tested with the chi-square test for two binned distributions
-// with unequal totals (Eq. 4, Numerical Recipes form, degrees of freedom m);
-// pairs the test fails to distinguish are connected in a graph, and each
-// connected component is merged into one generalized value. After merging,
-// any two surviving values have a statistically different impact on SA, so
-// aggregate groups genuinely mix different sub-populations — the property
-// the Split Role Principle relies on.
 package chimerge
 
 import (

@@ -1,0 +1,19 @@
+// Package chimerge implements the public-attribute generalization of the
+// paper's Section 3.4. For each public attribute, every pair of domain
+// values is tested with the chi-square test for two binned distributions
+// with unequal totals (Eq. 4, Numerical Recipes form, degrees of freedom m);
+// pairs the test fails to distinguish are connected in a graph (a union-find
+// over value codes, see unionfind.go), and each connected component is
+// merged into one generalized value. After merging, any two surviving values
+// have a statistically different impact on SA, so aggregate groups genuinely
+// mix different sub-populations — the property the Split Role Principle
+// (Definition 2) relies on, and the defense against the
+// irrelevant-attribute aggregation attack of Section 3.4.
+//
+// Generalize is the entry point; its Result carries the rewritten table and
+// the per-attribute dataset.ValueMapping that downstream layers (the query
+// pool of internal/query, the serving layer's label resolution) use to
+// translate original values into generalized ones. The paper's measured
+// merge outcomes are pinned by tests: ADULT 16/14/5/2 → 7/4/2/2 (Table 4)
+// and CENSUS Age 77 → 1 (Table 5).
+package chimerge

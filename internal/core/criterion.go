@@ -1,15 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// (λ, δ)-reconstruction-privacy criterion (Definition 3), the efficient
-// Chernoff-based test (Corollary 4, Eq. 9/10), and the
-// Sampling-Perturbing-Scaling (SPS) enforcement algorithm of Section 5.
-//
-// Reconstruction privacy requires that in every personal group g the best
-// upper bound on Pr[(F'−f)/f > λ] (and the symmetric lower tail) is at least
-// δ: an adversary reconstructing the sensitive-value distribution of the
-// records that exactly match a target's public attributes cannot certify a
-// small relative error. Aggregate groups — unions of personal groups — are
-// deliberately left unconstrained; they carry the statistical utility
-// (the Split Role Principle, Definition 2).
 package core
 
 import (

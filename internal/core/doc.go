@@ -1,0 +1,33 @@
+// Package core implements the paper's primary contribution: the
+// (λ, δ)-reconstruction-privacy criterion (Definition 3), the efficient
+// Chernoff-based test (Corollary 4, Eq. 9/10), and the
+// Sampling-Perturbing-Scaling (SPS) enforcement algorithm of Section 5.
+//
+// Reconstruction privacy requires that in every personal group g the best
+// upper bound on Pr[(F'−f)/f > λ] (and the symmetric lower tail) is at least
+// δ: an adversary reconstructing the sensitive-value distribution of the
+// records that exactly match a target's public attributes cannot certify a
+// small relative error. Aggregate groups — unions of personal groups — are
+// deliberately left unconstrained; they carry the statistical utility
+// (the Split Role Principle, Definition 2).
+//
+// The package's layout follows the paper:
+//
+//   - criterion.go — Params, s_g = MaxGroupSize (Eq. 10), the per-value and
+//     per-group tests of Corollary 4, the data-set-wide ViolationReport
+//     (v_g and v_r of Figures 2 and 4), and the bound-agnostic
+//     MaxGroupSizeForBound behind the Theorem 2 extension point.
+//   - sps.go — PublishSPS (Section 5) and the PublishUP baseline, operating
+//     on SA histograms so each publication costs O(|G|·m) random draws.
+//   - parallel.go — deterministic sharded publishers: group i draws from a
+//     stream seeded by (seed, i), so output is bit-identical for any worker
+//     count.
+//   - incremental.go — the streaming publisher motivated by Section 3.1's
+//     remark that data perturbation is "more amendable to record
+//     insertion"; it preserves the invariant that a group's publication
+//     derives from at most s_g independent trials.
+//   - audit.go — the Monte-Carlo audit checking empirical reconstruction
+//     tails against the Chernoff bounds of Corollary 3.
+//   - publication.go — Meta/ExtractMeta, the metadata a serving layer
+//     (internal/serve) caches next to a publication.
+package core

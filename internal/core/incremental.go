@@ -193,6 +193,27 @@ func (inc *Incremental) Stats() IncrementalStats {
 	}
 }
 
+// RawGroups materializes the current raw (unperturbed) SA histograms as a
+// group set — the data the Corollary 4 violation test applies to. Callers
+// that report publication metadata (core.ExtractMeta) use it so the
+// reported violation profile tracks the stream instead of the initial
+// batch.
+func (inc *Incremental) RawGroups() *dataset.GroupSet {
+	gs := &dataset.GroupSet{Schema: inc.schema}
+	for _, k := range inc.order {
+		g := inc.groups[k]
+		if g.size == 0 {
+			continue
+		}
+		gs.Groups = append(gs.Groups, dataset.Group{
+			Key:      append([]uint16(nil), g.key...),
+			SACounts: append([]int(nil), g.raw...),
+			Size:     g.size,
+		})
+	}
+	return gs
+}
+
 // Snapshot materializes the current publication as a group set. The
 // publication has exactly one record per ingested record.
 func (inc *Incremental) Snapshot() *dataset.GroupSet {

@@ -1,0 +1,62 @@
+package core
+
+import "github.com/reconpriv/reconpriv/internal/dataset"
+
+// Meta is the metadata a long-lived service keeps next to a cached
+// publication: how much of the raw data violated the Corollary 4 criterion,
+// what SPS did about it, and the group-size profile that determines both.
+// Everything in it derives from the raw group set and the publishing
+// parameters, so it can be extracted once at publish time and served
+// read-only forever after — the publication handle the serving layer caches
+// is (published groups, Params, Meta).
+type Meta struct {
+	Records          int     // |D|: records in the raw (generalized) data
+	Groups           int     // |G|: personal groups
+	ViolatingGroups  int     // groups failing Corollary 4 before enforcement
+	ViolatingRecords int     // records covered by violating groups
+	SampledGroups    int     // groups SPS down-sampled (0 for UP)
+	SampledAway      int     // records removed by Sampling before Scaling (0 for UP)
+	RecordsOut       int     // records in the publication (≈ Records, Fact 2)
+	MinGroupSize     int     // smallest personal group
+	MaxGroupSize     int     // largest personal group
+	AvgGroupSize     float64 // |D|/|G| (Tables 4 and 5)
+}
+
+// VG returns the violating-group rate v_g (Figures 2 and 4).
+func (m Meta) VG() float64 {
+	if m.Groups == 0 {
+		return 0
+	}
+	return float64(m.ViolatingGroups) / float64(m.Groups)
+}
+
+// VR returns the violating-record coverage v_r (Figures 2 and 4).
+func (m Meta) VR() float64 {
+	if m.Records == 0 {
+		return 0
+	}
+	return float64(m.ViolatingRecords) / float64(m.Records)
+}
+
+// ExtractMeta derives the publication metadata from the raw group set the
+// publication was produced from. st carries the SPS sampling statistics and
+// may be nil for publishers without a sampling step (UP, incremental).
+func ExtractMeta(raw *dataset.GroupSet, pm Params, st *SPSStats) Meta {
+	viol := Violations(raw, pm)
+	meta := Meta{
+		Records:          viol.Records,
+		Groups:           viol.Groups,
+		ViolatingGroups:  viol.ViolatingGroups,
+		ViolatingRecords: viol.ViolatingRecord,
+		MinGroupSize:     viol.MinGroupSize,
+		MaxGroupSize:     viol.MaxGroupSize,
+		AvgGroupSize:     raw.AvgGroupSize(),
+		RecordsOut:       viol.Records,
+	}
+	if st != nil {
+		meta.SampledGroups = st.SampledGroups
+		meta.SampledAway = st.SampledAway
+		meta.RecordsOut = st.RecordsOut
+	}
+	return meta
+}

@@ -1,12 +1,3 @@
-// Package datagen synthesizes the three data sets the experiments run on.
-//
-// The paper evaluates on the UCI ADULT data set and the 500K-record CENSUS
-// data set of Xiao & Tao. Neither file is available in this offline build,
-// so the package generates statistical stand-ins that preserve every
-// property the experiments depend on (see DESIGN.md §4): record counts,
-// attribute domains, the Example-1 rule cell, the chi-square merge structure
-// of Tables 4 and 5, and the group-size × max-frequency profiles that drive
-// Figures 2–5. All generation is deterministic given the seed.
 package datagen
 
 import (

@@ -1,0 +1,18 @@
+// Package datagen synthesizes the three data sets the experiments run on.
+//
+// The paper evaluates on the UCI ADULT data set and the 500K-record CENSUS
+// data set of Xiao & Tao. Neither file is available in this offline build,
+// so the package generates statistical stand-ins that preserve every
+// property the experiments depend on (see DESIGN.md §4): record counts,
+// attribute domains, the Example-1 rule cell (501 records matching
+// {Prof-school, Prof-specialty, White, Male}, 420 of them >50K), the
+// chi-square merge structure of Tables 4 and 5, and the group-size ×
+// max-frequency profiles that drive Figures 2–5. The medical table is the
+// running Example-2 schema D(Gender, Job, Disease), optionally extended
+// with the SA-irrelevant FavoriteColor attribute of the Section 3.4
+// aggregation-attack discussion.
+//
+// All generation is deterministic given the seed, and datagen deliberately
+// stays on the frozen legacy RNG stream so paper-matching artifacts are
+// stable across library-wide RNG changes.
+package datagen

@@ -114,6 +114,20 @@ func (s *Schema) AttrIndex(name string) (int, error) {
 	return 0, fmt.Errorf("dataset: attribute %q not found", name)
 }
 
+// PrimeIndexes eagerly builds every attribute's label → code index. Code
+// builds its index lazily on first use, which mutates the Attribute; a
+// schema about to be shared by concurrent readers (e.g. a served
+// publication resolving query labels) must be primed once, single-threaded
+// — afterwards Code only reads and is safe for concurrent use.
+func (s *Schema) PrimeIndexes() {
+	for i := range s.Attrs {
+		a := &s.Attrs[i]
+		if len(a.Values) > 0 {
+			a.Code(a.Values[0])
+		}
+	}
+}
+
 // GroupSpace returns the size of the cross product of the public-attribute
 // domains — the maximum possible number of personal groups.
 func (s *Schema) GroupSpace() int {

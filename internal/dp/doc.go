@@ -1,0 +1,12 @@
+// Package dp implements the output-perturbation substrate the paper attacks
+// in Section 2: the ε-differential-privacy Laplace and Gaussian mechanisms
+// for count queries, the Taylor-expansion moments of the ratio of two noisy
+// answers (Lemma 1), and the closed-form disclosure indicator 2(b/x)²
+// (Corollary 2) that predicts when the ratio Y/X pins down y/x.
+//
+// It exists as the contrast class: Table 1 mounts the
+// non-independent-reasoning ratio attack on the Example-1 rule through
+// ε-DP answers, and internal/experiments.RunOutputVsData measures Laplace
+// utility against the data-perturbation publishers of internal/core on the
+// shared Section 6.1 query pool.
+package dp

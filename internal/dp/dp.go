@@ -1,8 +1,3 @@
-// Package dp implements the output-perturbation substrate the paper attacks
-// in Section 2: the ε-differential-privacy Laplace and Gaussian mechanisms
-// for count queries, the Taylor-expansion moments of the ratio of two noisy
-// answers (Lemma 1), and the closed-form disclosure indicator 2(b/x)²
-// (Corollary 2) that predicts when the ratio Y/X pins down y/x.
 package dp
 
 import (

@@ -1,0 +1,22 @@
+// Package perturb implements uniform perturbation of the sensitive attribute
+// (the paper's Section 3.1): for each record, a biased coin with head
+// probability p (the retention probability) decides whether the SA value is
+// retained; on tails it is replaced by a value drawn uniformly from the full
+// SA domain. The induced perturbation matrix P (Eq. 3) has
+//
+//	P[j][i] = p + (1-p)/m  if j == i
+//	P[j][i] = (1-p)/m      otherwise.
+//
+// Two distribution-identical implementations coexist, and keeping both is
+// deliberate: CountsPerRecord flips the paper's coin once per record (the
+// reference semantics), while Counts collapses a personal group's SA
+// histogram into one Binomial(c, p) retention draw per value plus a uniform
+// multinomial for the displaced mass — O(m) random draws per group instead
+// of O(|g|), the heart of the repo's sublinear-publishing claim. A
+// chi-square homogeneity test pins the two paths to the same distribution.
+// Value perturbs one record (the streaming publisher's path), block.go
+// extends perturbation to multi-attribute blocks, and frapp.go provides the
+// ρ1-ρ2 amplification analysis of Evfimievski et al., which the paper
+// points to as the way to choose p ("other privacy criteria ... can be
+// enforced through a proper choice of p").
+package perturb

@@ -1,15 +1,3 @@
-// Package perturb implements uniform perturbation of the sensitive attribute
-// (the paper's Section 3.1): for each record, a biased coin with head
-// probability p (the retention probability) decides whether the SA value is
-// retained; on tails it is replaced by a value drawn uniformly from the full
-// SA domain. The induced perturbation matrix P (Eq. 3) has
-//
-//	P[j][i] = p + (1-p)/m  if j == i
-//	P[j][i] = (1-p)/m      otherwise.
-//
-// The package also provides the ρ1-ρ2 amplification analysis of Evfimievski
-// et al., which the paper points to as the way to choose p ("other privacy
-// criteria ... can be enforced through a proper choice of p").
 package perturb
 
 import (

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// TestAnswerBatchMatchesSequential checks that the pooled batch evaluator
+// returns exactly what per-query Count/Estimate return, for every worker
+// count.
+func TestAnswerBatchMatchesSequential(t *testing.T) {
+	tab := testTable(t, 3, 3000)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs []Query
+	for a := uint16(0); a < 3; a++ {
+		for b := uint16(0); b < 2; b++ {
+			for sa := uint16(0); sa < 5; sa++ {
+				qs = append(qs, Query{Conds: []Cond{{Attr: 0, Value: a}, {Attr: 1, Value: b}}, SA: sa})
+			}
+		}
+	}
+	// A per-query failure must not poison the batch.
+	qs = append(qs, Query{Conds: []Cond{{Attr: 0, Value: 99}}, SA: 0})
+	qs = append(qs, Query{SA: 0}) // no conditions
+
+	const p = 0.5
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got := mg.AnswerBatch(qs, p, workers)
+		if len(got) != len(qs) {
+			t.Fatalf("workers=%d: %d answers for %d queries", workers, len(got), len(qs))
+		}
+		for i, q := range qs {
+			count, err := mg.Count(q)
+			if err != nil {
+				if got[i].Err == nil {
+					t.Fatalf("workers=%d query %d: expected error, got none", workers, i)
+				}
+				continue
+			}
+			if got[i].Err != nil {
+				t.Fatalf("workers=%d query %d: unexpected error %v", workers, i, got[i].Err)
+			}
+			if got[i].Count != count {
+				t.Fatalf("workers=%d query %d: count %d, want %d", workers, i, got[i].Count, count)
+			}
+			est, err := mg.Estimate(q, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i].Estimate != est {
+				t.Fatalf("workers=%d query %d: estimate %v, want %v", workers, i, got[i].Estimate, est)
+			}
+		}
+	}
+}
+
+// TestAnswerBatchExactData checks the p = 1 fast path: the estimate equals
+// the count when nothing was perturbed.
+func TestAnswerBatchExactData(t *testing.T) {
+	tab := testTable(t, 4, 1000)
+	mg, err := BuildMarginals(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Query{{Conds: []Cond{{Attr: 0, Value: 1}}, SA: 2}}
+	got := mg.AnswerBatch(qs, 1, 0)
+	if got[0].Err != nil {
+		t.Fatal(got[0].Err)
+	}
+	if got[0].Estimate != float64(got[0].Count) {
+		t.Fatalf("p=1 estimate %v != count %d", got[0].Estimate, got[0].Count)
+	}
+}
+
+// TestAnswerBatchEmpty covers the trivial batch.
+func TestAnswerBatchEmpty(t *testing.T) {
+	tab := testTable(t, 5, 100)
+	mg, err := BuildMarginals(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mg.AnswerBatch(nil, 0.5, 4); len(got) != 0 {
+		t.Fatalf("empty batch returned %d answers", len(got))
+	}
+}
+
+// TestGeneratePoolExhaustedTyped checks that rejection-sampling exhaustion
+// surfaces as *PoolExhaustedError with the accepted count filled in.
+func TestGeneratePoolExhaustedTyped(t *testing.T) {
+	tab := testTable(t, 6, 200)
+	mg, err := BuildMarginals(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unreachable selectivity threshold: no conjunction covers 90% of a
+	// table with three values on attribute A alone.
+	_, err = GeneratePool(stats.NewRand(1), mg, mg, nil,
+		PoolOptions{Size: 10, MaxDim: 3, MinSelectivity: 0.9, MaxTries: 500})
+	if err == nil {
+		t.Fatal("expected pool exhaustion")
+	}
+	var pe *PoolExhaustedError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *PoolExhaustedError", err, err)
+	}
+	if pe.Want != 10 || pe.Tries != 500 || pe.MinSelectivity != 0.9 {
+		t.Fatalf("unexpected fields: %+v", pe)
+	}
+	if pe.Accepted < 0 || pe.Accepted >= pe.Want {
+		t.Fatalf("accepted %d out of range [0,%d)", pe.Accepted, pe.Want)
+	}
+}

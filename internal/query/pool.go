@@ -26,12 +26,39 @@ type Pool struct {
 	Answers []int // true answers ans on the generalized raw table
 }
 
+// PoolExhaustedError reports that GeneratePool's rejection sampling ran out
+// of tries before filling the pool: fewer than Want random queries reached
+// the selectivity threshold within Tries draws. It usually means
+// MinSelectivity is too high for the data's density (e.g. a tiny table, or
+// a domain so large that random conjunctions are almost always empty);
+// callers can retry with a lower threshold, a smaller pool, or a larger
+// MaxTries, and Accepted tells them how close the run came.
+type PoolExhaustedError struct {
+	Accepted       int     // queries that passed the selectivity filter
+	Want           int     // requested pool size
+	Tries          int     // random queries drawn before giving up
+	MinSelectivity float64 // the threshold in force
+}
+
+func (e *PoolExhaustedError) Error() string {
+	return fmt.Sprintf("query: only %d of %d queries reached selectivity %v after %d tries",
+		e.Accepted, e.Want, e.MinSelectivity, e.Tries)
+}
+
 // GeneratePool draws the query pool. Mirroring the paper: queries are
 // generated over the ORIGINAL public-attribute values ("the query pool
 // simulates the set of possible queries generated from real life"), the
 // selectivity filter ans/|D| ≥ MinSelectivity is applied on the original
 // data, and accepted queries have their NA values replaced by the
 // generalized values before entering the pool.
+//
+// The pool is built by rejection sampling: random queries (uniform
+// dimensionality d ∈ {1..MaxDim}, attributes without replacement, uniform
+// values) are drawn until Size of them pass the selectivity filter. Draws
+// that fail the filter are discarded and do not enter the pool; if
+// opts.MaxTries total draws (default 1000×Size) pass without filling the
+// pool, GeneratePool gives up and returns a *PoolExhaustedError carrying the
+// number of queries accepted so far.
 //
 // origMarg indexes the original table, genMarg the generalized table; merge
 // maps original value codes to generalized codes per attribute (nil entries
@@ -66,8 +93,12 @@ func GeneratePool(rng *stats.Rand, origMarg, genMarg *Marginals,
 	pool := &Pool{}
 	for tries := 0; len(pool.Queries) < opts.Size; tries++ {
 		if tries >= maxTries {
-			return nil, fmt.Errorf("query: only %d of %d queries reached selectivity %v after %d tries",
-				len(pool.Queries), opts.Size, opts.MinSelectivity, maxTries)
+			return nil, &PoolExhaustedError{
+				Accepted:       len(pool.Queries),
+				Want:           opts.Size,
+				Tries:          maxTries,
+				MinSelectivity: opts.MinSelectivity,
+			}
 		}
 		// d ∈ {1..maxDim}, d attributes without replacement, uniform values.
 		d := 1 + rng.Intn(maxDim)

@@ -1,16 +1,3 @@
-// Package query implements the count-query workload of the paper's Section
-// 6.1: conjunctive COUNT queries of the form
-//
-//	SELECT COUNT(*) FROM D WHERE A1=a1 ∧ … ∧ Ad=ad ∧ SA=sa
-//
-// with dimensionality d ∈ {1,2,3}, a random 5,000-query pool with
-// selectivity ≥ 0.1%, and the reconstruction-based estimator
-// est = |S*|·F' evaluated against perturbed data.
-//
-// Queries are answered from precomputed low-dimensional marginal cubes
-// (every ≤3-attribute NA subset × SA), so a full pool evaluation is O(1) per
-// query instead of a table scan — the trick that keeps the 500K-record
-// CENSUS sweeps tractable.
 package query
 
 import (

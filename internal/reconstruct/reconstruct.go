@@ -1,17 +1,3 @@
-// Package reconstruct estimates the original sensitive-value distribution of
-// a record subset from its perturbed counterpart.
-//
-// Three estimators are provided:
-//
-//   - MLE: the closed form of the paper's Lemma 2(ii),
-//     F'ᵢ = (O*ᵢ/|S| − (1−p)/m) / p, which is the maximum likelihood
-//     estimator under the sum-to-one constraint (Theorem 1) and the
-//     estimator reconstruction privacy is defined against.
-//   - MatrixMLE: the same quantity computed as P⁻¹·(O*/|S|) (Theorem 1's
-//     original form); it cross-validates the closed form in tests and
-//     exercises the general matrix-inversion path.
-//   - IterativeBayes: the EM-style estimator of Agrawal–Aggarwal, included
-//     as an extension; unlike the raw MLE it never leaves the simplex.
 package reconstruct
 
 import (

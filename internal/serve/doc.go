@@ -1,0 +1,45 @@
+// Package serve is the long-running publication server behind cmd/rpserve:
+// it holds reconstruction-private publications in memory and answers count
+// queries against them at scale.
+//
+// The paper (Wang, Han, Fu, Wong, Yu — EDBT 2015) publishes a perturbed
+// table precisely so it can be queried afterwards; Section 6.1 evaluates
+// 5,000-query workloads against each publication. This package turns the
+// one-shot pipeline (generalize → Corollary 4 test → SPS/UP publish, see
+// internal/chimerge and internal/core) into a service:
+//
+//   - A publication is built once per (dataset, parameters) key and cached
+//     together with its prebuilt query.Marginals index in a sharded registry
+//     (one RWMutex per shard). Publications are immutable after they are
+//     built, so query traffic takes only shard read-locks and one atomic
+//     pointer load, and never contends with concurrent publishes.
+//   - Concurrent identical publish requests are deduplicated: the registry
+//     hands every caller the same pending entry, and the pipeline behind it
+//     runs once (see singleflight.go for the primitive that also guards
+//     dataset loading and marginal rebuilds).
+//   - Queries arrive in batches and are answered from the cached marginal
+//     cubes by a bounded worker pool — O(1) per query, no table scan
+//     (query.Marginals.AnswerBatch).
+//   - Streamed records are absorbed into a served publication through
+//     core.Incremental without republishing; the marginal index is rebuilt
+//     lazily, at most once per dirty window, when the next query arrives.
+//   - The server tracks per-client cumulative query counts. Linear
+//     reconstruction attacks (Kasiviswanathan, Rudelson, Smith et al.) grow
+//     stronger with every answered query, so operators get a per-client
+//     exposure counter and a configurable warning threshold in every query
+//     response.
+//
+// Observability is served from /healthz and /statsz: publication and cache
+// counters, query throughput, and p50/p99 request latency from a lock-free
+// histogram (latency.go).
+//
+// HTTP surface (all bodies JSON):
+//
+//	POST /publish       build-or-get a publication (async; id returned at once)
+//	GET  /publications  list cached publications and their metadata
+//	POST /query         answer a batch of count queries against one publication
+//	POST /refresh       republish the same key with a fresh RNG stream
+//	POST /insert        stream records into an incremental publication
+//	GET  /healthz       liveness
+//	GET  /statsz        counters, throughput, latency quantiles
+package serve

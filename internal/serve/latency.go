@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log-linear latency histogram in the style of
+// HDR histograms: durations land in one of 256 atomic buckets — 16 exact
+// one-nanosecond buckets followed by 4 linear sub-buckets per power of two —
+// so Observe is two atomic adds on the query hot path and quantiles are
+// accurate to within 25% of the true value at any magnitude. Writers never
+// block; Quantile takes a best-effort snapshot, which is the usual contract
+// for monitoring counters.
+type latencyHist struct {
+	buckets [256]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(ns uint64) int {
+	if ns < 16 {
+		return int(ns)
+	}
+	o := bits.Len64(ns)             // o ≥ 5 since ns ≥ 16
+	sub := int((ns >> (o - 3)) & 3) // the two bits after the leading one
+	i := 16 + (o-5)*4 + sub
+	if i > 255 {
+		return 255
+	}
+	return i
+}
+
+// bucketValue returns a representative (midpoint) nanosecond value of bucket i.
+func bucketValue(i int) uint64 {
+	if i < 16 {
+		return uint64(i)
+	}
+	o := 5 + (i-16)/4
+	sub := uint64((i - 16) % 4)
+	lo := uint64(1)<<(o-1) + sub<<(o-3)
+	return lo + uint64(1)<<(o-4) // midpoint of a 2^(o-3)-wide bucket
+}
+
+// Observe records one duration.
+func (h *latencyHist) Observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *latencyHist) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *latencyHist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the observed
+// durations, or 0 when the histogram is empty.
+func (h *latencyHist) Quantile(q float64) time.Duration {
+	var counts [256]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is 1-based: the ⌈q·total⌉-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i := range counts {
+		seen += counts[i]
+		if seen >= rank {
+			return time.Duration(bucketValue(i))
+		}
+	}
+	return time.Duration(bucketValue(255))
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip checks the log-linear bucketing error bound: the
+// representative value of any duration's bucket is within 25% of it.
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10000; trial++ {
+		ns := uint64(rng.Int63n(int64(10 * time.Minute)))
+		i := bucketIndex(ns)
+		if i < 0 || i > 255 {
+			t.Fatalf("ns=%d: bucket %d out of range", ns, i)
+		}
+		v := bucketValue(i)
+		if ns < 16 {
+			if v != ns {
+				t.Fatalf("small value %d mapped to %d", ns, v)
+			}
+			continue
+		}
+		lo, hi := float64(ns)*0.75, float64(ns)*1.25
+		if float64(v) < lo || float64(v) > hi {
+			t.Fatalf("ns=%d: representative %d outside ±25%%", ns, v)
+		}
+	}
+	// Bucket indexes are monotone in the value.
+	prev := 0
+	for ns := uint64(1); ns < 1<<40; ns *= 3 {
+		i := bucketIndex(ns)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", ns)
+		}
+		prev = i
+	}
+}
+
+// TestLatencyQuantiles checks quantile extraction on a known distribution.
+func TestLatencyQuantiles(t *testing.T) {
+	var h latencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	// 90 observations at ~1ms, 10 at ~100ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 750*time.Microsecond || p50 > 1250*time.Microsecond {
+		t.Fatalf("p50 = %v, want ≈1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 75*time.Millisecond || p99 > 125*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≈100ms", p99)
+	}
+	if p50 > p99 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v", p50, p99)
+	}
+	mean := h.Mean()
+	if mean < 8*time.Millisecond || mean > 13*time.Millisecond {
+		t.Fatalf("mean = %v, want ≈10.9ms", mean)
+	}
+}
+
+// TestLatencyConcurrentObserve checks the lock-free writer path under the
+// race detector.
+func TestLatencyConcurrentObserve(t *testing.T) {
+	var h latencyHist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*1000+i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Quantile(0.99) // readers race writers by design
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,817 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+)
+
+// Config tunes the server; the zero value is fully usable.
+type Config struct {
+	// Shards is the registry shard count (default 16, rounded up to a power
+	// of two).
+	Shards int
+	// QueryWorkers bounds the per-batch evaluation pool (default GOMAXPROCS).
+	QueryWorkers int
+	// PublishWorkers bounds the parallel publisher (default GOMAXPROCS).
+	PublishWorkers int
+	// MaxBatch caps the queries accepted per /query request (default 100,000).
+	MaxBatch int
+	// MaxInsert caps the records accepted per /insert request (default 100,000).
+	MaxInsert int
+	// ExposureWarn is the per-client cumulative answered-query count above
+	// which query responses set exposure_warning — the operator's signal
+	// that one client has gathered enough answers for a linear
+	// reconstruction attack to start paying off. Default 50,000 (10× the
+	// paper's 5,000-query workload); 0 keeps the default, -1 disables.
+	ExposureWarn int64
+	// MaxPublications caps the number of distinct publication keys the
+	// registry will hold (default 1024). Publish requests arrive
+	// unauthenticated and entries (tables, group sets, marginal cubes) are
+	// never evicted, so without a cap a sweep of distinct data_seed/size
+	// values could grow server memory without bound.
+	MaxPublications int
+	// AllowCSV permits the csv dataset source (reading server-local files
+	// on behalf of clients); off by default.
+	AllowCSV bool
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.QueryWorkers <= 0 {
+		c.QueryWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PublishWorkers <= 0 {
+		c.PublishWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 100000
+	}
+	if c.MaxInsert <= 0 {
+		c.MaxInsert = 100000
+	}
+	if c.ExposureWarn == 0 {
+		c.ExposureWarn = 50000
+	}
+	if c.MaxPublications <= 0 {
+		c.MaxPublications = 1024
+	}
+	return c
+}
+
+// Server holds the publication registry and all serving state. Create with
+// New, mount Handler on an http.Server. All methods are safe for concurrent
+// use.
+type Server struct {
+	cfg   Config
+	reg   *registry
+	sf    singleflight
+	start time.Time
+
+	tables struct {
+		mu sync.RWMutex
+		m  map[string]*dataset.Table
+	}
+
+	clients struct {
+		mu sync.RWMutex
+		m  map[string]*atomic.Int64
+	}
+
+	// Counters surfaced by /statsz. publishRuns counts actual pipeline
+	// executions; publishRequests − publishRuns − refreshes = cacheHits.
+	publishRequests atomic.Uint64
+	publishRuns     atomic.Uint64
+	cacheHits       atomic.Uint64
+	refreshes       atomic.Uint64
+	refreshFailures atomic.Uint64
+	queryBatches    atomic.Uint64
+	queriesAnswered atomic.Uint64
+	queryErrors     atomic.Uint64
+	inserts         atomic.Uint64
+	absorbed        atomic.Uint64
+
+	lat latencyHist // /query request latency
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
+	s.reg = newRegistry(s.cfg.Shards)
+	s.tables.m = make(map[string]*dataset.Table)
+	s.clients.m = make(map[string]*atomic.Int64)
+	return s
+}
+
+// Handler returns the HTTP surface documented in the package comment.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/publish", s.handlePublish)
+	mux.HandleFunc("/publications", s.handlePublications)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/refresh", s.handleRefresh)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// Publish runs the publish path programmatically (the HTTP handler and
+// tests share it): normalize, dedupe against the registry, build if new.
+// A key whose previous build failed is retried — a transient failure (a
+// CSV file that appears later, say) must not poison the key forever;
+// buildMu ensures exactly one caller restarts the build and later callers
+// join its completion channel. started reports whether this call kicked
+// off a build (fresh or retry); !started is a cache hit. With wait,
+// Publish blocks until the build it observed settles.
+func (s *Server) Publish(req PublishRequest, wait bool) (e *Entry, started bool, err error) {
+	if err := req.Normalize(); err != nil {
+		return nil, false, err
+	}
+	if req.Dataset == DatasetCSV && !s.cfg.AllowCSV {
+		return nil, false, fmt.Errorf("serve: csv sources are disabled (enable with -allow-csv)")
+	}
+	s.publishRequests.Add(1)
+	key := req.Key()
+	e, created, err := s.reg.getOrCreate(IDForKey(key), key, req, s.cfg.MaxPublications)
+	if err != nil {
+		return nil, false, err
+	}
+	if created {
+		s.publishRuns.Add(1)
+		go func() {
+			pub, err := s.buildPublication(e, 0)
+			e.settle(pub, err)
+		}()
+		if wait {
+			<-e.done
+		}
+		return e, true, nil
+	}
+
+	// Existing entry: start a retry if its build failed, and pick the
+	// channel that tracks the build this caller observed (the first build's
+	// done, or the in-flight retry's channel — done is already closed once
+	// the first build settles, so it cannot signal retries).
+	waitCh, retried := s.retryOrJoin(e)
+	if waitCh == nil {
+		waitCh = e.done
+	}
+	if !retried {
+		s.cacheHits.Add(1)
+	}
+	if wait {
+		<-waitCh
+	}
+	return e, retried, nil
+}
+
+// retryOrJoin inspects an existing entry under buildMu: if its build
+// failed, it starts a fresh generation-0 build and returns its completion
+// channel (started = true); if a retry is already in flight, it returns
+// that retry's channel; otherwise it returns nil. All restarts of a failed
+// build go through here — Publish and /refresh included — so two rebuilds
+// of one entry can never interleave their stores.
+func (s *Server) retryOrJoin(e *Entry) (ch chan struct{}, started bool) {
+	e.buildMu.Lock()
+	defer e.buildMu.Unlock()
+	if e.retryDone != nil {
+		return e.retryDone, false
+	}
+	if e.state.Load() != stateFailed {
+		return nil, false
+	}
+	s.publishRuns.Add(1)
+	c := make(chan struct{})
+	e.retryDone = c
+	e.state.Store(statePending)
+	go func() {
+		pub, err := s.buildPublication(e, 0)
+		e.settle(pub, err)
+		e.buildMu.Lock()
+		e.retryDone = nil
+		e.buildMu.Unlock()
+		close(c)
+	}()
+	return c, true
+}
+
+// --- wire types ---
+
+// publicationJSON is the /publications and /publish view of an entry.
+type publicationJSON struct {
+	ID           string     `json:"id"`
+	Status       string     `json:"status"`
+	Error        string     `json:"error,omitempty"`
+	Dataset      string     `json:"dataset"`
+	Size         int        `json:"size,omitempty"`
+	Method       string     `json:"method"`
+	P            float64    `json:"p"`
+	Lambda       float64    `json:"lambda"`
+	Delta        float64    `json:"delta"`
+	Significance float64    `json:"significance"`
+	Seed         int64      `json:"seed"`
+	MaxDim       int        `json:"max_dim"`
+	Generation   int        `json:"generation"`
+	CreatedAt    time.Time  `json:"created_at"`
+	BuildMS      float64    `json:"build_ms,omitempty"`
+	Meta         *metaJSON  `json:"meta,omitempty"`
+	Attrs        []attrJSON `json:"attrs,omitempty"`
+	SAttr        *attrJSON  `json:"sensitive,omitempty"`
+	Cached       bool       `json:"cached,omitempty"`
+}
+
+type metaJSON struct {
+	Records          int     `json:"records"`
+	RecordsOut       int     `json:"records_out"`
+	Groups           int     `json:"groups"`
+	ViolatingGroups  int     `json:"violating_groups"`
+	ViolatingRecords int     `json:"violating_records"`
+	SampledGroups    int     `json:"sampled_groups"`
+	MaxGroupSize     int     `json:"max_group_size"`
+	AvgGroupSize     float64 `json:"avg_group_size"`
+}
+
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Domain int      `json:"domain"`
+	Values []string `json:"values,omitempty"`
+}
+
+// entryJSON renders an entry; withDomains adds the original value labels
+// clients may use in query conditions.
+func entryJSON(e *Entry, withDomains bool) publicationJSON {
+	req := &e.reqCopy
+	out := publicationJSON{
+		ID:           e.id,
+		Status:       stateName(e.state.Load()),
+		Dataset:      req.Dataset,
+		Size:         req.Size,
+		Method:       req.Method,
+		P:            req.P,
+		Lambda:       req.Lambda,
+		Delta:        req.Delta,
+		Significance: *req.Significance,
+		Seed:         req.Seed,
+		MaxDim:       req.MaxDim,
+		CreatedAt:    e.created,
+	}
+	if msg := e.failure.Load(); msg != nil {
+		out.Error = *msg
+	}
+	if pub := e.pub.Load(); pub != nil {
+		out.Generation = pub.Generation
+		out.BuildMS = float64(pub.BuildTime.Microseconds()) / 1000
+		out.Meta = &metaJSON{
+			Records:          pub.Meta.Records,
+			RecordsOut:       pub.Meta.RecordsOut,
+			Groups:           pub.Meta.Groups,
+			ViolatingGroups:  pub.Meta.ViolatingGroups,
+			ViolatingRecords: pub.Meta.ViolatingRecords,
+			SampledGroups:    pub.Meta.SampledGroups,
+			MaxGroupSize:     pub.Meta.MaxGroupSize,
+			AvgGroupSize:     pub.Meta.AvgGroupSize,
+		}
+		if withDomains {
+			for i := range pub.Orig.Attrs {
+				a := &pub.Orig.Attrs[i]
+				aj := attrJSON{Name: a.Name, Domain: a.Domain(), Values: append([]string(nil), a.Values...)}
+				if i == pub.Orig.SA {
+					out.SAttr = &aj
+				} else {
+					out.Attrs = append(out.Attrs, aj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// --- handlers ---
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e, started, err := s.Publish(req, req.Wait)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := entryJSON(e, false)
+	out.Cached = !started
+	code := http.StatusOK
+	if e.state.Load() == statePending {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, out)
+}
+
+func (s *Server) handlePublications(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	withDomains := r.URL.Query().Get("domains") != ""
+	if id := r.URL.Query().Get("id"); id != "" {
+		e := s.reg.get(id)
+		if e == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, entryJSON(e, withDomains))
+		return
+	}
+	entries := s.reg.list()
+	out := make([]publicationJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, entryJSON(e, withDomains))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the body of POST /query.
+type queryRequest struct {
+	ID string `json:"id"`
+	// Client identifies the querying party for exposure accounting;
+	// the X-Client-ID header takes precedence, the remote IP is the
+	// fallback.
+	Client  string      `json:"client,omitempty"`
+	Queries []QueryJSON `json:"queries"`
+	// Wait blocks until a pending publication is ready instead of failing
+	// with 409.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// answerJSON is one query's served answer.
+type answerJSON struct {
+	Count    int     `json:"count"`
+	Estimate float64 `json:"estimate"`
+	Error    string  `json:"error,omitempty"`
+}
+
+type queryResponse struct {
+	ID              string       `json:"id"`
+	Answers         []answerJSON `json:"answers"`
+	Client          string       `json:"client"`
+	ClientQueries   int64        `json:"client_queries"`
+	ExposureWarning bool         `json:"exposure_warning,omitempty"`
+	ServeMicros     int64        `json:"serve_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty query batch"))
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the limit %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+	pub, ok := s.resolvePublication(w, req.ID, req.Wait, true)
+	if !ok {
+		return
+	}
+
+	// Resolution is striped across the same worker width as evaluation: on
+	// large batches the label→code translation costs as much as the cube
+	// lookups, so it must not run single-threaded in front of the pool.
+	qs := make([]query.Query, len(req.Queries))
+	resolveErr := make([]error, len(req.Queries))
+	query.StripedOver(len(req.Queries), s.cfg.QueryWorkers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qs[i], resolveErr[i] = pub.Resolve(req.Queries[i])
+		}
+	})
+	answers := pub.Marg.AnswerBatch(qs, pub.Req.P, s.cfg.QueryWorkers)
+
+	out := queryResponse{ID: pub.ID, Answers: make([]answerJSON, len(answers))}
+	var errs uint64
+	for i, a := range answers {
+		aj := answerJSON{Count: a.Count, Estimate: a.Estimate}
+		if resolveErr[i] != nil {
+			aj = answerJSON{Error: resolveErr[i].Error()}
+		} else if a.Err != nil {
+			aj = answerJSON{Error: a.Err.Error()}
+		}
+		if aj.Error != "" {
+			errs++
+		}
+		out.Answers[i] = aj
+	}
+
+	out.Client = clientID(r, req.Client)
+	out.ClientQueries = s.addExposure(out.Client, int64(len(req.Queries)))
+	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
+
+	s.queryBatches.Add(1)
+	s.queriesAnswered.Add(uint64(len(req.Queries)))
+	s.queryErrors.Add(errs)
+	elapsed := time.Since(start)
+	s.lat.Observe(elapsed)
+	out.ServeMicros = elapsed.Microseconds()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// resolvePublication loads the ready publication behind id, handling the
+// pending/failed states and — when reindex is set — the lazy rebuild of a
+// dirty incremental entry's marginal index. Readers that only need the
+// schema and entry state (the insert path, which would invalidate a fresh
+// index immediately anyway) pass reindex = false.
+func (s *Server) resolvePublication(w http.ResponseWriter, id string, wait, reindex bool) (*Publication, bool) {
+	e := s.reg.get(id)
+	if e == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", id))
+		return nil, false
+	}
+	if e.state.Load() == statePending {
+		if !wait {
+			httpError(w, http.StatusConflict, fmt.Errorf("publication %q is still building (retry, or set wait)", id))
+			return nil, false
+		}
+		<-e.done
+	}
+	if e.state.Load() == stateFailed {
+		msg := "publication failed"
+		if m := e.failure.Load(); m != nil {
+			msg = *m
+		}
+		httpError(w, http.StatusBadGateway, fmt.Errorf("publication %q: %s", id, msg))
+		return nil, false
+	}
+	if e.pub.Load() == nil {
+		// A retry of a failed first build is in flight: done is already
+		// closed but no publication exists yet.
+		httpError(w, http.StatusConflict, fmt.Errorf("publication %q is rebuilding (retry shortly)", id))
+		return nil, false
+	}
+	if reindex && e.inc != nil && e.dirty.Load() {
+		pub, err := s.reindexIncremental(e)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return nil, false
+		}
+		return pub, true
+	}
+	return e.pub.Load(), true
+}
+
+// refreshRequest is the body of POST /refresh.
+type refreshRequest struct {
+	ID   string `json:"id"`
+	Wait bool   `json:"wait,omitempty"`
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	var req refreshRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	e := s.reg.get(req.ID)
+	if e == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", req.ID))
+		return
+	}
+	s.refreshes.Add(1)
+	run := func() (any, error) {
+		<-e.done // a refresh of a still-building publication waits for it
+		// Refreshing an entry whose build failed (or is being retried) IS
+		// the retry; routing it through the shared buildMu path keeps two
+		// rebuilds of one entry from ever interleaving their stores.
+		if ch, _ := s.retryOrJoin(e); ch != nil {
+			<-ch
+			if e.state.Load() != stateReady {
+				msg := "build failed"
+				if m := e.failure.Load(); m != nil {
+					msg = *m
+				}
+				s.refreshFailures.Add(1)
+				return nil, fmt.Errorf("publication %q: %s", req.ID, msg)
+			}
+			return e.pub.Load(), nil
+		}
+		// The entry is ready and cannot become failed while we rebuild
+		// (only first-build/retry settles set that state, and none can be
+		// in flight here), so the publication swap below is safe.
+		old := e.pub.Load()
+		pub, err := s.buildPublication(e, old.Generation+1)
+		if err != nil {
+			// The old publication keeps serving; surface the failure on the
+			// entry (visible in /publications) and in /statsz rather than
+			// dropping it.
+			s.refreshFailures.Add(1)
+			msg := "refresh: " + err.Error()
+			e.failure.Store(&msg)
+			return nil, err
+		}
+		e.pub.Store(pub)
+		e.state.Store(stateReady)
+		e.failure.Store(nil)
+		if e.inc != nil {
+			// Inserts may have landed between this refresh's snapshot and
+			// the store (including a reindex swap the store just replaced).
+			// Record counts only grow, so a mismatch against the snapshot
+			// total means the index is stale: flag it so the next query
+			// re-indexes on top of the refreshed publication.
+			e.incMu.Lock()
+			stale := e.inc.Stats().Records != pub.Meta.RecordsOut
+			e.incMu.Unlock()
+			if stale {
+				e.dirty.Store(true)
+			}
+		}
+		return pub, nil
+	}
+	if req.Wait {
+		// Concurrent refreshes of one id collapse into one rebuild.
+		if _, err, _ := s.sf.Do("refresh:"+req.ID, run); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, entryJSON(e, false))
+		return
+	}
+	go s.sf.Do("refresh:"+req.ID, run)
+	writeJSON(w, http.StatusAccepted, entryJSON(e, false))
+}
+
+// insertRequest is the body of POST /insert: records as attribute → value
+// label objects over the publication's original schema (all public
+// attributes plus the sensitive attribute are required).
+type insertRequest struct {
+	ID      string              `json:"id"`
+	Records []map[string]string `json:"records"`
+	Wait    bool                `json:"wait,omitempty"`
+}
+
+type insertResponse struct {
+	ID       string `json:"id"`
+	Inserted int    `json:"inserted"`
+	// Trials counts records published by spending a fresh perturbation
+	// trial; Absorbed counts records folded in by duplicating an existing
+	// perturbed record — no new trial, the streaming analogue of Scaling.
+	Trials       int `json:"trials"`
+	Absorbed     int `json:"absorbed"`
+	TotalRecords int `json:"total_records"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req insertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no records"))
+		return
+	}
+	if len(req.Records) > s.cfg.MaxInsert {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("insert of %d exceeds the limit %d", len(req.Records), s.cfg.MaxInsert))
+		return
+	}
+	pub, ok := s.resolvePublication(w, req.ID, req.Wait, false)
+	if !ok {
+		return
+	}
+	e := s.reg.get(req.ID)
+	if e.inc == nil {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("publication %q was published with method %q; only incremental publications accept inserts", req.ID, pub.Req.Method))
+		return
+	}
+	schema := pub.Orig
+	naIdx := schema.NAIndices()
+	keys := make([][]uint16, 0, len(req.Records))
+	sas := make([]uint16, 0, len(req.Records))
+	for ri, rec := range req.Records {
+		key := make([]uint16, len(naIdx))
+		for ki, ai := range naIdx {
+			label, ok := rec[schema.Attrs[ai].Name]
+			if !ok {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: missing attribute %q", ri, schema.Attrs[ai].Name))
+				return
+			}
+			code, err := schema.Attrs[ai].Code(label)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: %v", ri, err))
+				return
+			}
+			key[ki] = code
+		}
+		label, ok := rec[schema.SAAttr().Name]
+		if !ok {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: missing sensitive attribute %q", ri, schema.SAAttr().Name))
+			return
+		}
+		sa, err := schema.SAAttr().Code(label)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("record %d: %v", ri, err))
+			return
+		}
+		keys = append(keys, key)
+		sas = append(sas, sa)
+	}
+
+	resp := insertResponse{ID: req.ID, Inserted: len(keys)}
+	e.incMu.Lock()
+	for i := range keys {
+		fresh, err := e.inc.Add(keys[i], sas[i])
+		if err != nil {
+			e.dirty.Store(true)
+			e.incMu.Unlock()
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if fresh {
+			resp.Trials++
+		} else {
+			resp.Absorbed++
+		}
+	}
+	resp.TotalRecords = e.inc.Stats().Records
+	e.dirty.Store(true)
+	e.incMu.Unlock()
+
+	s.inserts.Add(uint64(resp.Inserted))
+	s.absorbed.Add(uint64(resp.Absorbed))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// statszResponse is the /statsz body.
+type statszResponse struct {
+	Publications    int    `json:"publications"`
+	Pending         int    `json:"pending"`
+	PublishRequests uint64 `json:"publish_requests"`
+	PublishRuns     uint64 `json:"publish_runs"`
+	CacheHits       uint64 `json:"cache_hits"`
+	Refreshes       uint64 `json:"refreshes"`
+	RefreshFailures uint64 `json:"refresh_failures"`
+	QueryBatches    uint64 `json:"query_batches"`
+	QueriesAnswered uint64 `json:"queries_answered"`
+	QueryErrors     uint64 `json:"query_errors"`
+	Inserts         uint64 `json:"inserts"`
+	InsertsAbsorbed uint64 `json:"inserts_absorbed"`
+	Clients         int    `json:"clients"`
+	// MaxClientQueries is the largest per-client cumulative answered-query
+	// count — the most exposed client's total, the number the exposure
+	// warning compares against.
+	MaxClientQueries int64   `json:"max_client_queries"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	QueriesPerSec    float64 `json:"queries_per_second"`
+	LatencyUS        struct {
+		Mean float64 `json:"mean"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+	} `json:"query_latency_us"`
+}
+
+// Stats snapshots the serving counters (also used by tests).
+func (s *Server) Stats() statszResponse {
+	var out statszResponse
+	out.Publications, out.Pending = s.reg.counts()
+	out.PublishRequests = s.publishRequests.Load()
+	out.PublishRuns = s.publishRuns.Load()
+	out.CacheHits = s.cacheHits.Load()
+	out.Refreshes = s.refreshes.Load()
+	out.RefreshFailures = s.refreshFailures.Load()
+	out.QueryBatches = s.queryBatches.Load()
+	out.QueriesAnswered = s.queriesAnswered.Load()
+	out.QueryErrors = s.queryErrors.Load()
+	out.Inserts = s.inserts.Load()
+	out.InsertsAbsorbed = s.absorbed.Load()
+	s.clients.mu.RLock()
+	out.Clients = len(s.clients.m)
+	for _, c := range s.clients.m {
+		if n := c.Load(); n > out.MaxClientQueries {
+			out.MaxClientQueries = n
+		}
+	}
+	s.clients.mu.RUnlock()
+	up := time.Since(s.start).Seconds()
+	out.UptimeSeconds = up
+	if up > 0 {
+		out.QueriesPerSec = float64(out.QueriesAnswered) / up
+	}
+	out.LatencyUS.Mean = float64(s.lat.Mean().Nanoseconds()) / 1000
+	out.LatencyUS.P50 = float64(s.lat.Quantile(0.50).Nanoseconds()) / 1000
+	out.LatencyUS.P90 = float64(s.lat.Quantile(0.90).Nanoseconds()) / 1000
+	out.LatencyUS.P99 = float64(s.lat.Quantile(0.99).Nanoseconds()) / 1000
+	return out
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// --- exposure accounting ---
+
+// clientID picks the exposure-accounting identity: explicit header, then
+// request body, then the remote IP.
+func clientID(r *http.Request, bodyClient string) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if bodyClient != "" {
+		return bodyClient
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// maxTrackedClients bounds the exposure map: client identifiers arrive
+// unauthenticated (header/body/IP), so an adversary could mint a fresh id
+// per request and grow the map forever. Beyond the cap, unknown clients
+// share one overflow bucket — their counts aggregate, which errs on the
+// side of warning earlier, never later. (Identifier rotation can still
+// reset an individual counter; real per-client guarantees need
+// authenticated identities, which is out of scope here — the counter is an
+// operator signal, not an enforcement mechanism.)
+const maxTrackedClients = 1 << 16
+
+// overflowClient is the shared bucket for clients beyond the cap.
+const overflowClient = "(overflow)"
+
+// addExposure bumps a client's cumulative answered-query count.
+func (s *Server) addExposure(client string, n int64) int64 {
+	s.clients.mu.RLock()
+	c := s.clients.m[client]
+	s.clients.mu.RUnlock()
+	if c == nil {
+		s.clients.mu.Lock()
+		c = s.clients.m[client]
+		if c == nil {
+			if len(s.clients.m) >= maxTrackedClients {
+				c = s.clients.m[overflowClient]
+				if c == nil {
+					c = &atomic.Int64{}
+					s.clients.m[overflowClient] = c
+				}
+			} else {
+				c = &atomic.Int64{}
+				s.clients.m[client] = c
+			}
+		}
+		s.clients.mu.Unlock()
+	}
+	return c.Add(n)
+}
+
+// --- JSON plumbing ---
+
+// maxBodyBytes bounds request bodies (a 100K-record insert of wide labels
+// fits comfortably).
+const maxBodyBytes = 64 << 20
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,48 @@
+package serve
+
+import "sync"
+
+// singleflight collapses concurrent calls with the same key into one
+// execution whose result every caller shares — the classic
+// golang.org/x/sync/singleflight contract, reimplemented here because the
+// module is dependency-free. The server uses it wherever a cache miss is
+// expensive and stampedes are likely: loading a raw dataset, running the
+// publish pipeline, and rebuilding a marginal index after inserts.
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*sfCall
+}
+
+// sfCall is one in-flight execution.
+type sfCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do runs fn once per key at a time: the first caller executes it, later
+// callers with the same key block until that execution finishes and receive
+// its result. shared reports whether the result came from another caller's
+// execution.
+func (sf *singleflight) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	sf.mu.Lock()
+	if sf.calls == nil {
+		sf.calls = make(map[string]*sfCall)
+	}
+	if c, ok := sf.calls[key]; ok {
+		sf.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &sfCall{done: make(chan struct{})}
+	sf.calls[key] = c
+	sf.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	sf.mu.Lock()
+	delete(sf.calls, key)
+	sf.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

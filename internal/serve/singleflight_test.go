@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightCollapses checks that callers arriving while a flight is
+// open join it instead of re-executing. The leader's fn blocks on a gate
+// until every follower has had ample time to reach Do; a follower that
+// nevertheless missed the flight would run its own fn, which the test
+// counts.
+func TestSingleflightCollapses(t *testing.T) {
+	var sf singleflight
+	var leaderRuns, followerRuns atomic.Int32
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := sf.Do("k", func() (any, error) {
+			leaderRuns.Add(1)
+			close(entered)
+			<-gate
+			return "value", nil
+		})
+		if err != nil || v != "value" {
+			t.Errorf("leader got %v, %v", v, err)
+		}
+	}()
+	<-entered // the flight is now provably open
+
+	const followers = 32
+	results := make([]any, followers)
+	sharedCount := atomic.Int32{}
+	var started sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			v, err, shared := sf.Do("k", func() (any, error) {
+				followerRuns.Add(1)
+				return "follower", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(100 * time.Millisecond) // let every follower reach Do
+	close(gate)
+	wg.Wait()
+
+	if leaderRuns.Load() != 1 || followerRuns.Load() != 0 {
+		t.Fatalf("leader fn ran %d times, follower fns %d times", leaderRuns.Load(), followerRuns.Load())
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Fatalf("follower %d got %v instead of the shared result", i, v)
+		}
+	}
+	if sharedCount.Load() != followers {
+		t.Fatalf("shared for %d of %d followers", sharedCount.Load(), followers)
+	}
+}
+
+// TestSingleflightKeysIndependent checks that distinct keys do not serialize.
+func TestSingleflightKeysIndependent(t *testing.T) {
+	var sf singleflight
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := sf.Do(fmt.Sprintf("k%d", i), func() (any, error) { return i, nil })
+			if err != nil || v != i {
+				t.Errorf("key k%d: got %v, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSingleflightErrorShared checks that an error result is delivered to
+// every waiter and that the key is released for the next call.
+func TestSingleflightErrorShared(t *testing.T) {
+	var sf singleflight
+	wantErr := fmt.Errorf("boom")
+	_, err, _ := sf.Do("k", func() (any, error) { return nil, wantErr })
+	if err != wantErr {
+		t.Fatalf("got %v", err)
+	}
+	v, err, _ := sf.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("key not released: %v, %v", v, err)
+	}
+}

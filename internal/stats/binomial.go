@@ -15,7 +15,11 @@ import (
 // is distributed identically to flipping one coin per record, at a cost of
 // O(|G|·m) instead of O(|D|) per publication.
 func Binomial(rng *Rand, n int, p float64) int {
-	if n <= 0 || p <= 0 {
+	if n <= 0 || p <= 0 || math.IsNaN(p) {
+		// NaN fails every comparison below; without this guard it would fall
+		// through to BTRS and spin in the rejection loop forever. Treat it
+		// like the p ≤ 0 degenerate case (no successes), matching the
+		// per-record reference path, whose `Float64() < NaN` coin never hits.
 		return 0
 	}
 	if p >= 1 {
