@@ -17,6 +17,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"github.com/reconpriv/reconpriv/internal/chimerge"
 	"github.com/reconpriv/reconpriv/internal/core"
 	"github.com/reconpriv/reconpriv/internal/datagen"
 	"github.com/reconpriv/reconpriv/internal/dataset"
@@ -501,4 +502,58 @@ func BenchmarkChiMergeCensus(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkColdPublish measures the end-to-end request-to-queryable cold
+// path on CENSUS 300K — exactly what a cache-missing /publish or a /refresh
+// pays after the raw table is loaded: chi-square generalization, grouping,
+// SPS perturbation, and marginal indexing. Data generation is excluded (the
+// server caches raw tables per source).
+//
+// "sequential" is the pre-fusion pipeline shape: materialize the
+// generalized table, then group, publish, and index single-threaded.
+// "parallel" is the fused cold path at GOMAXPROCS: one analysis scan, no
+// materialized table (grouping maps values on the fly), sharded grouping,
+// concurrent cube fill. Both produce bit-identical publications
+// (TestPipelineWorkersBitIdentical, RunColdPublish's cross-check).
+func BenchmarkColdPublish(b *testing.B) {
+	raw, err := datagen.Census(benchCensusSize, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := chimerge.Generalize(raw, chimerge.DefaultSignificance)
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups := dataset.GroupsOf(res.Table)
+			pub, _, err := core.PublishSPSParallel(1, groups, core.DefaultParams, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := query.BuildMarginalsFromGroups(pub, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := chimerge.Analyze(raw, chimerge.DefaultSignificance, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups, err := dataset.GroupsOfMapped(raw, res.Mappings, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pub, _, err := core.PublishSPSParallel(1, groups, core.DefaultParams, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := query.BuildMarginalsFromGroupsParallel(pub, 3, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	rpserve [-addr :8080] [-shards 16] [-query-workers N] [-publish-workers N]
-//	        [-max-batch 100000] [-exposure-warn 50000] [-allow-csv]
-//	        [-preload census:300000,adult]
+//	        [-pipeline-workers N] [-max-batch 100000] [-exposure-warn 50000]
+//	        [-allow-csv] [-preload census:300000,adult]
 //
 // -preload publishes the named datasets with default parameters before the
 // server starts accepting traffic, so the first query never pays a build.
@@ -46,6 +46,7 @@ func main() {
 		shards       = flag.Int("shards", 16, "publication registry shards")
 		queryWorkers = flag.Int("query-workers", 0, "batch evaluation workers (0 = GOMAXPROCS)")
 		pubWorkers   = flag.Int("publish-workers", 0, "parallel publisher workers (0 = GOMAXPROCS)")
+		pipeWorkers  = flag.Int("pipeline-workers", 0, "cold-path preprocessing workers: generalize, group, index (0 = GOMAXPROCS)")
 		maxBatch     = flag.Int("max-batch", 0, "max queries per /query request (0 = 100000)")
 		maxInsert    = flag.Int("max-insert", 0, "max records per /insert request (0 = 100000)")
 		exposure     = flag.Int64("exposure-warn", 0, "per-client query count that trips exposure_warning (0 = 50000, -1 disables)")
@@ -59,6 +60,7 @@ func main() {
 		Shards:          *shards,
 		QueryWorkers:    *queryWorkers,
 		PublishWorkers:  *pubWorkers,
+		PipelineWorkers: *pipeWorkers,
 		MaxBatch:        *maxBatch,
 		MaxInsert:       *maxInsert,
 		ExposureWarn:    *exposure,

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
@@ -74,14 +75,28 @@ type AttrResult struct {
 
 // Result is the outcome of generalizing a table.
 type Result struct {
-	Table    *dataset.Table         // remapped table over generalized values
+	Table    *dataset.Table         // remapped table (nil for Analyze results)
 	Mappings []dataset.ValueMapping // one per public attribute
 	Attrs    []AttrResult           // per-attribute domain impact (Tables 4/5)
+
+	// byAttr indexes Mappings by original attribute (-1: no mapping). It is
+	// built by Generalize/Analyze; hand-assembled Results leave it nil and
+	// MappingFor falls back to a linear scan.
+	byAttr []int
 }
 
 // MappingFor returns the value mapping of the given original attribute
-// index, or nil if the attribute was not remapped (the SA attribute).
+// index, or nil if the attribute was not remapped (the SA attribute). For
+// Results built by Generalize or Analyze the lookup is one slice index —
+// it runs per condition in served-query label translation, so it must not
+// rescan Mappings.
 func (r *Result) MappingFor(attr int) *dataset.ValueMapping {
+	if r.byAttr != nil {
+		if attr < 0 || attr >= len(r.byAttr) || r.byAttr[attr] < 0 {
+			return nil
+		}
+		return &r.Mappings[r.byAttr[attr]]
+	}
 	for i := range r.Mappings {
 		if r.Mappings[i].Attr == attr {
 			return &r.Mappings[i]
@@ -94,6 +109,33 @@ func (r *Result) MappingFor(attr int) *dataset.ValueMapping {
 // test cannot distinguish (connected components of the failed-to-disprove
 // graph) and returns the remapped table plus the mapping bookkeeping.
 func Generalize(t *dataset.Table, significance float64) (*Result, error) {
+	return GeneralizeParallel(t, significance, 1)
+}
+
+// GeneralizeParallel is Generalize with the histogram scan, the chi-square
+// merge analysis, and the table rewrite striped across up to `workers`
+// goroutines (0 = GOMAXPROCS). The result is bit-identical to Generalize at
+// any worker count: the fused scan accumulates integer-valued counts whose
+// merge order cannot change their sums, and each attribute's merge analysis
+// is independent.
+func GeneralizeParallel(t *dataset.Table, significance float64, workers int) (*Result, error) {
+	res, err := Analyze(t, significance, workers)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dataset.RemapWorkers(t, res.Mappings, workers)
+	if err != nil {
+		return nil, err
+	}
+	res.Table = out
+	return res, nil
+}
+
+// Analyze runs the chi-square merge analysis without materializing the
+// remapped table: Result.Table is nil, everything else matches Generalize.
+// Callers that only need the personal groups of the generalized data pair
+// Analyze with dataset.GroupsOfMapped and skip the rewrite entirely.
+func Analyze(t *dataset.Table, significance float64, workers int) (*Result, error) {
 	if significance <= 0 || significance >= 1 {
 		return nil, fmt.Errorf("chimerge: significance must be in (0,1), got %v", significance)
 	}
@@ -102,68 +144,145 @@ func Generalize(t *dataset.Table, significance float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	na := t.Schema.NAIndices()
+	hists := fusedHistograms(t, na, m, workers)
+
+	res := &Result{
+		Mappings: make([]dataset.ValueMapping, len(na)),
+		Attrs:    make([]AttrResult, len(na)),
+	}
+	attrErrs := make([]error, len(na))
+	par.Striped(len(na), workers, func(_, lo, hi int) {
+		for ai := lo; ai < hi; ai++ {
+			attrErrs[ai] = mergeAttr(t.Schema, na[ai], hists[ai], crit, &res.Mappings[ai], &res.Attrs[ai])
+		}
+	})
+	for _, err := range attrErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.byAttr = make([]int, t.Schema.NumAttrs())
+	for i := range res.byAttr {
+		res.byAttr[i] = -1
+	}
+	for i := range res.Mappings {
+		res.byAttr[res.Mappings[i].Attr] = i
+	}
+	return res, nil
+}
+
+// fusedHistograms accumulates the conditional SA histogram of every public
+// attribute in ONE pass over the table — the fused scan that replaces the
+// per-attribute pass of the original implementation. Rows are striped
+// across workers; each worker owns a private flat accumulator (one block
+// per attribute) and the per-worker blocks are summed after the join.
+// Counts are integers, so the merge is exact and order-free.
+func fusedHistograms(t *dataset.Table, na []int, m, workers int) [][][]float64 {
+	// Flat layout: attribute ai's block starts at off[ai] and holds
+	// Domain(ai)·m counts, row-major by value code.
+	off := make([]int, len(na)+1)
+	for i, a := range na {
+		off[i+1] = off[i] + t.Schema.Attrs[a].Domain()*m
+	}
+	total := off[len(na)]
 	n := t.NumRows()
-	for _, attr := range t.Schema.NAIndices() {
-		dom := t.Schema.Attrs[attr].Domain()
-		// Conditional SA histogram per attribute value, one table pass.
-		hist := make([][]float64, dom)
-		for v := range hist {
-			hist[v] = make([]float64, m)
-		}
-		for r := 0; r < n; r++ {
-			hist[t.At(r, attr)][t.SA(r)]++
-		}
-		uf := newUnionFind(dom)
-		for a := 0; a < dom; a++ {
-			if isEmpty(hist[a]) {
-				continue
+	workers = par.Clamp(n, workers)
+	locals := make([][]float64, workers)
+	par.Striped(n, workers, func(w, lo, hi int) {
+		buf := make([]float64, total)
+		locals[w] = buf
+		sa := t.Schema.SA
+		for r := lo; r < hi; r++ {
+			row := t.Row(r)
+			s := int(row[sa])
+			for i, a := range na {
+				buf[off[i]+int(row[a])*m+s]++
 			}
-			for b := a + 1; b < dom; b++ {
-				if isEmpty(hist[b]) {
+		}
+	})
+	merged := locals[0]
+	if merged == nil {
+		merged = make([]float64, total)
+	}
+	if len(locals) > 1 {
+		// Sum the worker blocks in parallel over disjoint index ranges;
+		// float64 additions of integer counts below 2^53 are exact, so the
+		// reduction order cannot affect the result.
+		par.Striped(total, workers, func(_, lo, hi int) {
+			for _, buf := range locals[1:] {
+				if buf == nil {
 					continue
 				}
-				chi2, err := ChiSquare(hist[a], hist[b])
-				if err != nil {
-					return nil, fmt.Errorf("chimerge: attribute %q values %d,%d: %w",
-						t.Schema.Attrs[attr].Name, a, b, err)
-				}
-				if chi2 <= crit {
-					uf.union(a, b)
+				for j := lo; j < hi; j++ {
+					merged[j] += buf[j]
 				}
 			}
-		}
-		comps, numComps := uf.components()
-		mapping := dataset.ValueMapping{
-			Attr:      attr,
-			OldToNew:  make([]uint16, dom),
-			NewValues: make([]string, numComps),
-		}
-		members := make([][]string, numComps)
-		for v := 0; v < dom; v++ {
-			c := comps[v]
-			mapping.OldToNew[v] = uint16(c)
-			members[c] = append(members[c], t.Schema.Attrs[attr].Label(uint16(v)))
-		}
-		for c := range members {
-			mapping.NewValues[c] = strings.Join(members[c], "|")
-		}
-		res.Mappings = append(res.Mappings, mapping)
-		res.Attrs = append(res.Attrs, AttrResult{
-			Attr:         attr,
-			Name:         t.Schema.Attrs[attr].Name,
-			DomainBefore: dom,
-			DomainAfter:  numComps,
-			Components:   comps,
-			OldLabels:    append([]string(nil), t.Schema.Attrs[attr].Values...),
 		})
 	}
-	out, err := dataset.Remap(t, res.Mappings)
-	if err != nil {
-		return nil, err
+	out := make([][][]float64, len(na))
+	for i, a := range na {
+		dom := t.Schema.Attrs[a].Domain()
+		block := merged[off[i]:off[i+1]]
+		hist := make([][]float64, dom)
+		for v := 0; v < dom; v++ {
+			hist[v] = block[v*m : (v+1)*m : (v+1)*m]
+		}
+		out[i] = hist
 	}
-	res.Table = out
-	return res, nil
+	return out
+}
+
+// mergeAttr runs the pairwise chi-square merge of one attribute's values and
+// fills in its mapping and impact record. A nonzero-value prefilter skips
+// the empty bins of the O(dom²) pair loop up front, so attributes whose
+// observed domain is much smaller than their declared one (sparse CSV
+// dictionaries) do not pay for values that never occur.
+func mergeAttr(schema *dataset.Schema, attr int, hist [][]float64, crit float64, mapping *dataset.ValueMapping, impact *AttrResult) error {
+	dom := len(hist)
+	nz := make([]int, 0, dom)
+	for v := 0; v < dom; v++ {
+		if !isEmpty(hist[v]) {
+			nz = append(nz, v)
+		}
+	}
+	uf := newUnionFind(dom)
+	for i, a := range nz {
+		for _, b := range nz[i+1:] {
+			chi2, err := ChiSquare(hist[a], hist[b])
+			if err != nil {
+				return fmt.Errorf("chimerge: attribute %q values %d,%d: %w",
+					schema.Attrs[attr].Name, a, b, err)
+			}
+			if chi2 <= crit {
+				uf.union(a, b)
+			}
+		}
+	}
+	comps, numComps := uf.components()
+	*mapping = dataset.ValueMapping{
+		Attr:      attr,
+		OldToNew:  make([]uint16, dom),
+		NewValues: make([]string, numComps),
+	}
+	members := make([][]string, numComps)
+	for v := 0; v < dom; v++ {
+		c := comps[v]
+		mapping.OldToNew[v] = uint16(c)
+		members[c] = append(members[c], schema.Attrs[attr].Label(uint16(v)))
+	}
+	for c := range members {
+		mapping.NewValues[c] = strings.Join(members[c], "|")
+	}
+	*impact = AttrResult{
+		Attr:         attr,
+		Name:         schema.Attrs[attr].Name,
+		DomainBefore: dom,
+		DomainAfter:  numComps,
+		Components:   comps,
+		OldLabels:    append([]string(nil), schema.Attrs[attr].Values...),
+	}
+	return nil
 }
 
 func isEmpty(h []float64) bool {

@@ -1,0 +1,84 @@
+package chimerge
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// The parallel generalization must be bit-identical to the sequential one
+// at every worker count: the fused histogram scan accumulates integer
+// counts (exact in float64), and each attribute's merge analysis is
+// independent of the others.
+
+func TestGeneralizeParallelMatchesSequential(t *testing.T) {
+	tab := mergeTable(t, 20000)
+	base, err := Generalize(tab, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0), 0} {
+		got, err := GeneralizeParallel(tab, 0.05, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Mappings, got.Mappings) {
+			t.Fatalf("workers=%d: mappings differ", workers)
+		}
+		if !reflect.DeepEqual(base.Attrs, got.Attrs) {
+			t.Fatalf("workers=%d: attr results differ", workers)
+		}
+		if !base.Table.Equal(got.Table) {
+			t.Fatalf("workers=%d: remapped table differs", workers)
+		}
+	}
+}
+
+func TestAnalyzeMatchesGeneralizeWithoutTable(t *testing.T) {
+	tab := mergeTable(t, 20000)
+	base, err := Generalize(tab, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 0} {
+		got, err := Analyze(tab, 0.05, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Table != nil {
+			t.Fatalf("workers=%d: Analyze must not materialize the table", workers)
+		}
+		if !reflect.DeepEqual(base.Mappings, got.Mappings) {
+			t.Fatalf("workers=%d: mappings differ", workers)
+		}
+		if !reflect.DeepEqual(base.Attrs, got.Attrs) {
+			t.Fatalf("workers=%d: attr results differ", workers)
+		}
+	}
+}
+
+func TestMappingForIndexedLookup(t *testing.T) {
+	tab := mergeTable(t, 5000)
+	res, err := Analyze(tab, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indexed lookups must agree with a linear scan for every attribute,
+	// including out-of-range probes and the SA attribute.
+	linear := &Result{Mappings: res.Mappings}
+	for attr := -1; attr <= tab.Schema.NumAttrs(); attr++ {
+		if got, want := res.MappingFor(attr), linear.MappingFor(attr); got != want {
+			t.Errorf("MappingFor(%d) = %p, linear scan = %p", attr, got, want)
+		}
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	tab := mergeTable(t, 100)
+	if _, err := Analyze(tab, 0, 0); err == nil {
+		t.Error("significance 0 should error")
+	}
+	if _, err := Analyze(tab, 1, 0); err == nil {
+		t.Error("significance 1 should error")
+	}
+}

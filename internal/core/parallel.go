@@ -1,11 +1,10 @@
 package core
 
 import (
-	"runtime"
-	"sync"
 	"unsafe"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/perturb"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
@@ -28,52 +27,20 @@ func groupSeed(seed int64, group int) int64 {
 
 // clampWorkers resolves a requested worker count (0 = GOMAXPROCS) against
 // the number of work items.
-func clampWorkers(n, workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+func clampWorkers(n, workers int) int { return par.Clamp(n, workers) }
 
 // parallelOver runs fn(worker, i) over every group index on `workers`
 // goroutines (as returned by clampWorkers). Group indices are dealt out in
-// contiguous stripes so neighboring groups — which share cache lines in the
-// output slice — stay on one worker, and each worker's id lets callers keep
-// private accumulators that are merged once at the end instead of
-// synchronizing per group.
+// contiguous stripes (par.Striped) so neighboring groups — which share
+// cache lines in the output slice — stay on one worker, and each worker's
+// id lets callers keep private accumulators that are merged once at the end
+// instead of synchronizing per group.
 func parallelOver(n, workers int, fn func(worker, i int)) {
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
+	par.Striped(n, workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	stripe := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * stripe
-		hi := lo + stripe
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(w, i)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // PublishUPParallel is PublishUP sharded across workers.

@@ -7,7 +7,12 @@
 // attribute; it is the unit at which reconstruction privacy is defined and
 // enforced. Grouping uses a mixed-radix encoding of the NA tuple, which is
 // equivalent to (and faster than) the sort-then-scan pass described in the
-// paper's Section 5 complexity analysis.
+// paper's Section 5 complexity analysis. On large tables the scan shards
+// across workers by key ownership (GroupsOfParallel) — every worker owns a
+// disjoint slice of the key space, so shard maps merge by concatenation and
+// one deterministic key sort — and GroupsOfMapped fuses the generalization
+// rewrite into the same pass, building the generalized groups without ever
+// materializing the remapped table. All paths are bit-identical.
 //
 // Values are stored as uint16 codes into per-attribute dictionaries, so a
 // 500K-record, 6-attribute table occupies ~6 MB and group extraction is a

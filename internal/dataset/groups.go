@@ -2,7 +2,9 @@ package dataset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+
+	"github.com/reconpriv/reconpriv/internal/par"
 )
 
 // Group is one personal group: the multiset of records that agree on every
@@ -65,64 +67,245 @@ type GroupSet struct {
 // moral equivalent of the sort-then-scan pass in the paper's Section 5,
 // at O(|D| + |G| log |G|) instead of O(|D| log |D|).
 func GroupsOf(t *Table) *GroupSet {
+	return GroupsOfParallel(t, 1)
+}
+
+// GroupsOfParallel is GroupsOf sharded across up to `workers` goroutines
+// (0 = GOMAXPROCS). Records are partitioned into per-worker shards by their
+// mixed-radix key — every worker owns a disjoint slice of the key space and
+// builds its shard's groups privately, so no histogram is ever shared — and
+// the shard maps are merged by a deterministic key sort. The result is
+// bit-identical to GroupsOf at any worker count.
+func GroupsOfParallel(t *Table, workers int) *GroupSet {
 	gs := &GroupSet{Schema: t.Schema}
-	gs.naIdx = t.Schema.NAIndices()
-	gs.radix = make([]int, len(gs.naIdx))
-	for i, a := range gs.naIdx {
-		gs.radix[i] = t.Schema.Attrs[a].Domain()
-	}
-	m := t.Schema.SADomain()
-	byKey := make(map[uint64]int) // encoded NA key -> index into Groups
-	n := t.NumRows()
-	order := make([]uint64, 0, 64)
-	for r := 0; r < n; r++ {
-		row := t.Row(r)
-		key := gs.encodeRow(row)
-		gi, ok := byKey[key]
-		if !ok {
-			gi = len(gs.Groups)
-			byKey[key] = gi
-			kv := make([]uint16, len(gs.naIdx))
-			for i, a := range gs.naIdx {
-				kv[i] = row[a]
-			}
-			gs.Groups = append(gs.Groups, Group{Key: kv, SACounts: make([]int, m)})
-			order = append(order, key)
-		}
-		g := &gs.Groups[gi]
-		sa := row[t.Schema.SA]
-		g.SACounts[sa]++
-		if g.SACounts[sa] > g.maxCount {
-			g.maxCount = g.SACounts[sa]
-		}
-		g.Size++
-	}
-	// Deterministic order: sort groups by their encoded key. The keys were
-	// computed once during the scan, so the sort swaps groups and keys in
-	// lockstep instead of re-encoding (or permuting through an index slice)
-	// and the encoded keys stay cached for Find's binary search.
-	gs.keys = order
-	sort.Sort(groupsByKey{gs})
+	gs.fill(t, nil, workers)
 	return gs
 }
 
-// groupsByKey sorts a GroupSet's Groups and key cache together.
-type groupsByKey struct{ gs *GroupSet }
-
-func (s groupsByKey) Len() int           { return len(s.gs.Groups) }
-func (s groupsByKey) Less(a, b int) bool { return s.gs.keys[a] < s.gs.keys[b] }
-func (s groupsByKey) Swap(a, b int) {
-	s.gs.Groups[a], s.gs.Groups[b] = s.gs.Groups[b], s.gs.Groups[a]
-	s.gs.keys[a], s.gs.keys[b] = s.gs.keys[b], s.gs.keys[a]
+// GroupsOfMapped builds the personal groups of the table as rewritten under
+// the given value mappings — the fusion of Remap and GroupsOf. The
+// generalized table is never materialized: each record's NA values are
+// mapped on the fly while its mixed-radix key is computed, and the returned
+// GroupSet carries the remapped schema. The output is identical to
+// GroupsOf(Remap(t, mappings)) at any worker count (0 = GOMAXPROCS).
+func GroupsOfMapped(t *Table, mappings []ValueMapping, workers int) (*GroupSet, error) {
+	perAttr, err := validateMappings(t.Schema, mappings)
+	if err != nil {
+		return nil, err
+	}
+	gs := &GroupSet{Schema: remappedSchema(t.Schema, perAttr)}
+	gs.fill(t, perAttr, workers)
+	return gs, nil
 }
 
-// encodeRow packs the NA values of a full row into one mixed-radix uint64.
-func (gs *GroupSet) encodeRow(row []uint16) uint64 {
+// keyedGroup pairs a group with its encoded key for the merge sort.
+type keyedGroup struct {
+	key uint64
+	g   Group
+}
+
+// groupArena hands out SA histograms and key vectors from chunked backing
+// arrays, so building |G| groups costs O(|G|/chunk) allocations instead of
+// 2·|G|. Each worker owns a private arena.
+type groupArena struct {
+	m, k  int
+	hists []int
+	keys  []uint16
+}
+
+const arenaChunk = 256 // groups per backing chunk
+
+func (a *groupArena) hist() []int {
+	if len(a.hists) < a.m {
+		a.hists = make([]int, a.m*arenaChunk)
+	}
+	h := a.hists[:a.m:a.m]
+	a.hists = a.hists[a.m:]
+	return h
+}
+
+func (a *groupArena) key() []uint16 {
+	if len(a.keys) < a.k {
+		a.keys = make([]uint16, a.k*arenaChunk)
+	}
+	h := a.keys[:a.k:a.k]
+	a.keys = a.keys[a.k:]
+	return h
+}
+
+// parallelGroupsMin is the row count below which the sharded path is not
+// worth its key-materialization pass.
+const parallelGroupsMin = 4096
+
+// maxGroupShards caps the phase-2 shard count so shard ids fit one byte.
+const maxGroupShards = 255
+
+// fill populates the GroupSet from the table, applying the optional
+// per-attribute mappings on the fly. gs.Schema must already be the (possibly
+// remapped) schema the groups are defined over.
+func (gs *GroupSet) fill(t *Table, perAttr []*ValueMapping, workers int) {
+	gs.naIdx = gs.Schema.NAIndices()
+	gs.radix = make([]int, len(gs.naIdx))
+	for i, a := range gs.naIdx {
+		gs.radix[i] = gs.Schema.Attrs[a].Domain()
+	}
+	m := gs.Schema.SADomain()
+	n := t.NumRows()
+	workers = par.Clamp(n, workers)
+	if n < parallelGroupsMin {
+		workers = 1
+	}
+
+	var pairs []keyedGroup
+	if workers == 1 {
+		pairs = gs.scanDirect(t, perAttr, m)
+	} else {
+		pairs = gs.scanSharded(t, perAttr, m, workers)
+	}
+
+	// Deterministic order: a direct pdqsort over the (key, group) pairs.
+	// Keys are unique, so the order is total and identical however the
+	// shards were dealt out.
+	slices.SortFunc(pairs, func(a, b keyedGroup) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+	gs.Groups = make([]Group, len(pairs))
+	gs.keys = make([]uint64, len(pairs))
+	for i := range pairs {
+		gs.Groups[i] = pairs[i].g
+		gs.keys[i] = pairs[i].key
+	}
+}
+
+// scanDirect is the single-threaded grouping scan: one pass, one map.
+func (gs *GroupSet) scanDirect(t *Table, perAttr []*ValueMapping, m int) []keyedGroup {
+	sa := gs.Schema.SA
+	byKey := make(map[uint64]int) // encoded NA key -> index into pairs
+	pairs := make([]keyedGroup, 0, 64)
+	arena := groupArena{m: m, k: len(gs.naIdx)}
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		row := t.Row(r)
+		key := gs.encodeMapped(row, perAttr)
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(pairs)
+			byKey[key] = gi
+			pairs = append(pairs, keyedGroup{key: key, g: Group{Key: gs.decodeKey(key, arena.key()), SACounts: arena.hist()}})
+		}
+		g := &pairs[gi].g
+		v := row[sa]
+		g.SACounts[v]++
+		if g.SACounts[v] > g.maxCount {
+			g.maxCount = g.SACounts[v]
+		}
+		g.Size++
+	}
+	return pairs
+}
+
+// scanSharded is the two-phase parallel grouping scan. Phase 1 stripes the
+// table across workers and materializes each record's (encoded key, SA,
+// owning shard) triple — the shard is a SplitMix64 mix of the key modulo
+// the worker count, computed once here so phase 2 never re-hashes. Phase 2
+// gives every worker one shard of the key space: each worker scans the
+// compact key column — 11 bytes per record, not the table — and accumulates
+// only the groups it owns, so the shards are disjoint and merge by
+// concatenation. Ownership affects only which worker builds a group, never
+// the result (the merge sorts by key).
+func (gs *GroupSet) scanSharded(t *Table, perAttr []*ValueMapping, m, workers int) []keyedGroup {
+	if workers > maxGroupShards {
+		workers = maxGroupShards
+	}
+	saAttr := gs.Schema.SA
+	n := t.NumRows()
+	keys := make([]uint64, n)
+	sas := make([]uint16, n)
+	owner := make([]uint8, n)
+	mod := uint64(workers)
+	par.Striped(n, workers, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := t.Row(r)
+			key := gs.encodeMapped(row, perAttr)
+			keys[r] = key
+			sas[r] = row[saAttr]
+			owner[r] = uint8(par.Mix64(key) % mod)
+		}
+	})
+
+	shards := make([][]keyedGroup, workers)
+	par.Striped(workers, workers, func(_, wlo, whi int) {
+		for w := wlo; w < whi; w++ {
+			own := uint8(w)
+			byKey := make(map[uint64]int)
+			pairs := make([]keyedGroup, 0, 64)
+			arena := groupArena{m: m, k: len(gs.naIdx)}
+			for r := 0; r < n; r++ {
+				if owner[r] != own {
+					continue
+				}
+				key := keys[r]
+				gi, ok := byKey[key]
+				if !ok {
+					gi = len(pairs)
+					byKey[key] = gi
+					pairs = append(pairs, keyedGroup{key: key, g: Group{Key: gs.decodeKey(key, arena.key()), SACounts: arena.hist()}})
+				}
+				g := &pairs[gi].g
+				v := sas[r]
+				g.SACounts[v]++
+				if g.SACounts[v] > g.maxCount {
+					g.maxCount = g.SACounts[v]
+				}
+				g.Size++
+			}
+			shards[w] = pairs
+		}
+	})
+
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	pairs := make([]keyedGroup, 0, total)
+	for _, s := range shards {
+		pairs = append(pairs, s...)
+	}
+	return pairs
+}
+
+// encodeMapped packs the NA values of a full row — rewritten under perAttr
+// when present — into one mixed-radix uint64.
+func (gs *GroupSet) encodeMapped(row []uint16, perAttr []*ValueMapping) uint64 {
 	var key uint64
 	for i, a := range gs.naIdx {
-		key = key*uint64(gs.radix[i]) + uint64(row[a])
+		v := row[a]
+		if perAttr != nil {
+			if mp := perAttr[a]; mp != nil {
+				v = mp.OldToNew[v]
+			}
+		}
+		key = key*uint64(gs.radix[i]) + uint64(v)
 	}
 	return key
+}
+
+// decodeKey unpacks a mixed-radix key into the given NA value vector (the
+// inverse of encodeMapped, used to materialize group keys without touching
+// the table again).
+func (gs *GroupSet) decodeKey(key uint64, kv []uint16) []uint16 {
+	for i := len(gs.radix) - 1; i >= 0; i-- {
+		r := uint64(gs.radix[i])
+		kv[i] = uint16(key % r)
+		key /= r
+	}
+	return kv
 }
 
 // EncodeKey packs a group key (NA values in NAIndices order) into the same

@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// workerSweep is the worker-count grid every parallel-vs-sequential
+// equivalence test runs (mirrors internal/core's parallel_test.go). 0 means
+// GOMAXPROCS.
+func workerSweep() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0), 0}
+}
+
+// wideRandomTable builds a table large enough to cross the sharded-grouping
+// threshold, over a schema wide enough for interesting keys.
+func wideRandomTable(t *testing.T, seed int64, rows int) *Table {
+	t.Helper()
+	s := MustSchema([]Attribute{
+		{Name: "A", Values: []string{"a0", "a1", "a2", "a3", "a4", "a5", "a6"}},
+		{Name: "B", Values: []string{"b0", "b1", "b2"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2", "s3"}},
+		{Name: "C", Values: []string{"c0", "c1", "c2", "c3", "c4"}},
+	}, "S")
+	rng := rand.New(rand.NewSource(seed))
+	tab := NewTable(s, rows)
+	for i := 0; i < rows; i++ {
+		// Skew the draws so group sizes vary by orders of magnitude.
+		a := uint16(rng.Intn(rng.Intn(7) + 1))
+		tab.MustAppendRow(a, uint16(rng.Intn(3)), uint16(rng.Intn(4)), uint16(rng.Intn(5)))
+	}
+	return tab
+}
+
+// requireSameGroups asserts two GroupSets are bit-identical, including the
+// cached keys and max counts.
+func requireSameGroups(t *testing.T, want, got *GroupSet, label string) {
+	t.Helper()
+	if got.NumGroups() != want.NumGroups() {
+		t.Fatalf("%s: |G| = %d, want %d", label, got.NumGroups(), want.NumGroups())
+	}
+	for i := range want.Groups {
+		w, g := &want.Groups[i], &got.Groups[i]
+		if !reflect.DeepEqual(w.Key, g.Key) {
+			t.Fatalf("%s: group %d key %v, want %v", label, i, g.Key, w.Key)
+		}
+		if !reflect.DeepEqual(w.SACounts, g.SACounts) {
+			t.Fatalf("%s: group %d histogram %v, want %v", label, i, g.SACounts, w.SACounts)
+		}
+		if w.Size != g.Size || w.maxCount != g.maxCount {
+			t.Fatalf("%s: group %d size/max = %d/%d, want %d/%d", label, i, g.Size, g.maxCount, w.Size, w.maxCount)
+		}
+	}
+	if !reflect.DeepEqual(want.keys, got.keys) {
+		t.Fatalf("%s: cached key order differs", label)
+	}
+}
+
+func TestGroupsOfParallelMatchesSequential(t *testing.T) {
+	// Large enough that the sharded path actually runs (> parallelGroupsMin).
+	tab := wideRandomTable(t, 7, 3*parallelGroupsMin)
+	want := GroupsOf(tab)
+	if err := want.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerSweep() {
+		got := GroupsOfParallel(tab, workers)
+		requireSameGroups(t, want, got, "workers="+strconv.Itoa(workers))
+		if err := got.Validate(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+func TestGroupsOfParallelSmallTableStaysSequential(t *testing.T) {
+	// Below the threshold the parallel entry must fall back to the direct
+	// scan (and still be identical).
+	tab := randomTable(t, 3, 500)
+	want := GroupsOf(tab)
+	for _, workers := range workerSweep() {
+		requireSameGroups(t, want, GroupsOfParallel(tab, workers), "small")
+	}
+}
+
+// testMappings merges A's seven values into three and leaves B and C alone —
+// a realistic generalization shape (C omitted entirely to exercise unmapped
+// attributes).
+func testMappings() []ValueMapping {
+	return []ValueMapping{
+		{
+			Attr:      0,
+			OldToNew:  []uint16{0, 0, 1, 1, 1, 2, 2},
+			NewValues: []string{"a0|a1", "a2|a3|a4", "a5|a6"},
+		},
+		{
+			Attr:      1,
+			OldToNew:  []uint16{0, 0, 0},
+			NewValues: []string{"b0|b1|b2"},
+		},
+	}
+}
+
+func TestGroupsOfMappedMatchesRemapThenGroup(t *testing.T) {
+	tab := wideRandomTable(t, 11, 3*parallelGroupsMin)
+	mappings := testMappings()
+	remapped, err := Remap(tab, mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GroupsOf(remapped)
+	for _, workers := range workerSweep() {
+		got, err := GroupsOfMapped(tab, mappings, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGroups(t, want, got, "mapped")
+		// The fused GroupSet must carry the remapped schema, not the raw one.
+		if got.Schema.Attrs[0].Domain() != 3 || got.Schema.Attrs[1].Domain() != 1 {
+			t.Fatalf("workers=%d: schema not remapped: %+v", workers, got.Schema.Attrs)
+		}
+		if tab.Schema.Attrs[0].Domain() != 7 {
+			t.Fatal("source schema was mutated")
+		}
+	}
+}
+
+func TestGroupsOfMappedRejectsBadMappings(t *testing.T) {
+	tab := randomTable(t, 1, 100)
+	if _, err := GroupsOfMapped(tab, []ValueMapping{{Attr: 2, OldToNew: make([]uint16, 4), NewValues: []string{"x"}}}, 0); err == nil {
+		t.Error("remapping the SA attribute should error")
+	}
+	if _, err := GroupsOfMapped(tab, []ValueMapping{{Attr: 0, OldToNew: []uint16{0}, NewValues: []string{"x"}}}, 0); err == nil {
+		t.Error("short mapping should error")
+	}
+}
+
+func TestRemapWorkersMatchesSequential(t *testing.T) {
+	tab := wideRandomTable(t, 13, 3*parallelGroupsMin)
+	mappings := testMappings()
+	want, err := Remap(tab, mappings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerSweep() {
+		got, err := RemapWorkers(tab, mappings, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("workers=%d: remapped table differs", workers)
+		}
+	}
+}

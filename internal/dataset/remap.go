@@ -1,6 +1,10 @@
 package dataset
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/par"
+)
 
 // ValueMapping records how one attribute's domain was rewritten — e.g. by the
 // chi-square generalization of Section 3.4, which merges values with the same
@@ -11,12 +15,11 @@ type ValueMapping struct {
 	NewValues []string // labels of the new (generalized) domain
 }
 
-// Remap rewrites the table under the given per-attribute mappings (attributes
-// without a mapping are kept verbatim) and returns a new table with a new
-// schema. The sensitive attribute may not be remapped: the paper perturbs SA
-// but never generalizes it.
-func Remap(t *Table, mappings []ValueMapping) (*Table, error) {
-	schema := t.Schema.Clone()
+// validateMappings checks the mappings against the schema and returns them
+// indexed by attribute (nil entries: attribute unmapped). The sensitive
+// attribute may not be remapped: the paper perturbs SA but never
+// generalizes it.
+func validateMappings(schema *Schema, mappings []ValueMapping) ([]*ValueMapping, error) {
 	perAttr := make([]*ValueMapping, schema.NumAttrs())
 	for i := range mappings {
 		m := &mappings[i]
@@ -26,9 +29,9 @@ func Remap(t *Table, mappings []ValueMapping) (*Table, error) {
 		if m.Attr == schema.SA {
 			return nil, fmt.Errorf("dataset: the sensitive attribute cannot be generalized")
 		}
-		if len(m.OldToNew) != t.Schema.Attrs[m.Attr].Domain() {
+		if len(m.OldToNew) != schema.Attrs[m.Attr].Domain() {
 			return nil, fmt.Errorf("dataset: mapping for %q covers %d of %d values",
-				schema.Attrs[m.Attr].Name, len(m.OldToNew), t.Schema.Attrs[m.Attr].Domain())
+				schema.Attrs[m.Attr].Name, len(m.OldToNew), schema.Attrs[m.Attr].Domain())
 		}
 		for old, nw := range m.OldToNew {
 			if int(nw) >= len(m.NewValues) {
@@ -37,23 +40,56 @@ func Remap(t *Table, mappings []ValueMapping) (*Table, error) {
 			}
 		}
 		perAttr[m.Attr] = m
-		schema.Attrs[m.Attr].Values = append([]string(nil), m.NewValues...)
-		schema.Attrs[m.Attr].index = nil
 	}
-	out := NewTable(schema, t.NumRows())
+	return perAttr, nil
+}
+
+// remappedSchema clones the schema with each mapped attribute's dictionary
+// replaced by the generalized one. The clone is private to the caller.
+func remappedSchema(schema *Schema, perAttr []*ValueMapping) *Schema {
+	out := schema.Clone()
+	for a, m := range perAttr {
+		if m == nil {
+			continue
+		}
+		out.Attrs[a].Values = append([]string(nil), m.NewValues...)
+		out.Attrs[a].index = nil
+	}
+	return out
+}
+
+// Remap rewrites the table under the given per-attribute mappings (attributes
+// without a mapping are kept verbatim) and returns a new table with a new
+// schema. Callers that only need the personal groups of the remapped table
+// should use GroupsOfMapped instead, which never materializes it.
+func Remap(t *Table, mappings []ValueMapping) (*Table, error) {
+	return RemapWorkers(t, mappings, 1)
+}
+
+// RemapWorkers is Remap with the row rewrite striped across up to `workers`
+// goroutines (0 = GOMAXPROCS). Rows are independent, so the output is
+// identical at any worker count.
+func RemapWorkers(t *Table, mappings []ValueMapping, workers int) (*Table, error) {
+	perAttr, err := validateMappings(t.Schema, mappings)
+	if err != nil {
+		return nil, err
+	}
+	schema := remappedSchema(t.Schema, perAttr)
 	stride := schema.NumAttrs()
 	n := t.NumRows()
-	row := make([]uint16, stride)
-	for r := 0; r < n; r++ {
-		src := t.Row(r)
-		for c := 0; c < stride; c++ {
-			if m := perAttr[c]; m != nil {
-				row[c] = m.OldToNew[src[c]]
-			} else {
-				row[c] = src[c]
+	out := &Table{Schema: schema, data: make([]uint16, n*stride)}
+	par.Striped(n, workers, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			src := t.Row(r)
+			dst := out.data[r*stride : (r+1)*stride]
+			for c := 0; c < stride; c++ {
+				if m := perAttr[c]; m != nil {
+					dst[c] = m.OldToNew[src[c]]
+				} else {
+					dst[c] = src[c]
+				}
 			}
 		}
-		out.appendRaw(row)
-	}
+	})
 	return out, nil
 }

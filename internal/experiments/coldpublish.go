@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/chimerge"
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/datagen"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+)
+
+// ColdStage is one cold-path stage's latency under both pipelines.
+type ColdStage struct {
+	Name         string  `json:"name"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+}
+
+// ColdPublishResult measures the request-to-queryable cold path — the
+// chi-square generalization, the grouping pass, the SPS perturbation, and
+// the marginal-cube indexing — on CENSUS, comparing the sequential
+// (materialize-the-table, one core) chain against the fused parallel one
+// (GOMAXPROCS wide). Data generation is excluded: the server caches raw
+// tables per source, so a cold publish never regenerates them.
+type ColdPublishResult struct {
+	Dataset      string      `json:"dataset"`
+	Records      int         `json:"records"`
+	Workers      int         `json:"workers"` // GOMAXPROCS of the run
+	Runs         int         `json:"runs"`    // timing runs; best-of is kept
+	Stages       []ColdStage `json:"stages"`
+	SequentialMS float64     `json:"sequential_ms"`
+	ParallelMS   float64     `json:"parallel_ms"`
+	Speedup      float64     `json:"speedup"`
+}
+
+// RunColdPublish times the cold publishing path on a CENSUS sample of the
+// given size, keeping the best of `runs` runs per pipeline (0 means 5).
+// Both chains produce bit-identical publications — RunColdPublish verifies
+// that on every run and fails loudly if they ever diverge.
+func RunColdPublish(size, runs int) (*ColdPublishResult, error) {
+	if runs <= 0 {
+		runs = 5
+	}
+	raw, err := datagen.Census(size, DataSeed)
+	if err != nil {
+		return nil, err
+	}
+	res := &ColdPublishResult{
+		Dataset: fmt.Sprintf("CENSUS-%dK", size/1000),
+		Records: raw.NumRows(),
+		Workers: runtime.GOMAXPROCS(0),
+		Runs:    runs,
+		Stages: []ColdStage{
+			{Name: "generalize"},
+			{Name: "group"},
+			{Name: "publish"},
+			{Name: "index"},
+		},
+	}
+
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	for run := 0; run < runs; run++ {
+		// Sequential chain: the pre-fusion pipeline shape — materialize the
+		// generalized table, single-threaded grouping and indexing, one
+		// publish worker.
+		t0 := time.Now()
+		merge, err := chimerge.Generalize(raw, DefaultSignificance)
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+		groups := dataset.GroupsOf(merge.Table)
+		t2 := time.Now()
+		seqPub, _, err := core.PublishSPSParallel(RunSeed, groups, DefaultParams, 1)
+		if err != nil {
+			return nil, err
+		}
+		t3 := time.Now()
+		seqMarg, err := query.BuildMarginalsFromGroups(seqPub, 3)
+		if err != nil {
+			return nil, err
+		}
+		t4 := time.Now()
+		res.Stages[0].SequentialMS = best(res.Stages[0].SequentialMS, ms(t1.Sub(t0)))
+		res.Stages[1].SequentialMS = best(res.Stages[1].SequentialMS, ms(t2.Sub(t1)))
+		res.Stages[2].SequentialMS = best(res.Stages[2].SequentialMS, ms(t3.Sub(t2)))
+		res.Stages[3].SequentialMS = best(res.Stages[3].SequentialMS, ms(t4.Sub(t3)))
+		res.SequentialMS = best(res.SequentialMS, ms(t4.Sub(t0)))
+
+		// Fused parallel chain: one analysis scan, grouping straight off the
+		// raw table through the value mappings, concurrent cube fill.
+		p0 := time.Now()
+		analysis, err := chimerge.Analyze(raw, DefaultSignificance, 0)
+		if err != nil {
+			return nil, err
+		}
+		p1 := time.Now()
+		parGroups, err := dataset.GroupsOfMapped(raw, analysis.Mappings, 0)
+		if err != nil {
+			return nil, err
+		}
+		p2 := time.Now()
+		parPub, _, err := core.PublishSPSParallel(RunSeed, parGroups, DefaultParams, 0)
+		if err != nil {
+			return nil, err
+		}
+		p3 := time.Now()
+		parMarg, err := query.BuildMarginalsFromGroupsParallel(parPub, 3, 0)
+		if err != nil {
+			return nil, err
+		}
+		p4 := time.Now()
+		res.Stages[0].ParallelMS = best(res.Stages[0].ParallelMS, ms(p1.Sub(p0)))
+		res.Stages[1].ParallelMS = best(res.Stages[1].ParallelMS, ms(p2.Sub(p1)))
+		res.Stages[2].ParallelMS = best(res.Stages[2].ParallelMS, ms(p3.Sub(p2)))
+		res.Stages[3].ParallelMS = best(res.Stages[3].ParallelMS, ms(p4.Sub(p3)))
+		res.ParallelMS = best(res.ParallelMS, ms(p4.Sub(p0)))
+
+		// Determinism cross-check: both chains must publish the same groups
+		// and answer every total identically.
+		if err := sameColdOutput(seqPub, parPub, seqMarg, parMarg); err != nil {
+			return nil, err
+		}
+	}
+	if res.ParallelMS > 0 {
+		res.Speedup = res.SequentialMS / res.ParallelMS
+	}
+	return res, nil
+}
+
+// sameColdOutput asserts the sequential and fused chains produced the same
+// publication (group histograms) and the same index totals.
+func sameColdOutput(seq, par *dataset.GroupSet, seqMarg, parMarg *query.Marginals) error {
+	if seq.NumGroups() != par.NumGroups() {
+		return fmt.Errorf("experiments: cold chains disagree: |G| %d vs %d", seq.NumGroups(), par.NumGroups())
+	}
+	for i := range seq.Groups {
+		a, b := &seq.Groups[i], &par.Groups[i]
+		if a.Size != b.Size {
+			return fmt.Errorf("experiments: cold chains disagree at group %d: size %d vs %d", i, a.Size, b.Size)
+		}
+		for sa := range a.SACounts {
+			if a.SACounts[sa] != b.SACounts[sa] {
+				return fmt.Errorf("experiments: cold chains disagree at group %d, sa %d", i, sa)
+			}
+		}
+	}
+	if seqMarg.Total() != parMarg.Total() {
+		return fmt.Errorf("experiments: cold chains disagree on indexed totals: %d vs %d", seqMarg.Total(), parMarg.Total())
+	}
+	return nil
+}
+
+// String renders the latency table.
+func (r *ColdPublishResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cold publish latency on %s (|D| = %d, GOMAXPROCS = %d, best of %d)\n",
+		r.Dataset, r.Records, r.Workers, r.Runs)
+	t := &textTable{header: []string{"stage", "sequential ms", "parallel ms", "speedup"}}
+	ratio := func(s, p float64) string {
+		if p <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", s/p)
+	}
+	for _, st := range r.Stages {
+		t.addRow(st.Name, f3(st.SequentialMS), f3(st.ParallelMS), ratio(st.SequentialMS, st.ParallelMS))
+	}
+	t.addRow("total", f3(r.SequentialMS), f3(r.ParallelMS), ratio(r.SequentialMS, r.ParallelMS))
+	sb.WriteString(t.String())
+	return sb.String()
+}

@@ -48,7 +48,7 @@ func RunTable5(size int) (*AggregationImpact, error) {
 }
 
 func aggregationImpact(ds *Dataset) *AggregationImpact {
-	before := dataset.GroupsOf(ds.Raw)
+	before := dataset.GroupsOfParallel(ds.Raw, 0)
 	imp := &AggregationImpact{
 		Dataset:      ds.Name,
 		GroupsBefore: before.NumGroups(),

@@ -1,0 +1,78 @@
+// Package par holds the one concurrency primitive the data pipeline shares:
+// striped fan-out over an index range. The cold publishing path (fused
+// generalization in internal/chimerge, sharded grouping in internal/dataset,
+// concurrent marginal indexing in internal/query) and the publishers in
+// internal/core all shard work the same way — contiguous stripes of [0, n)
+// dealt to at most `workers` goroutines, each identified by a worker id so
+// callers can keep private accumulators and merge them once after the join.
+//
+// Everything built on Striped is required to be bit-identical across worker
+// counts: stripes only decide *which goroutine* computes an index, never
+// *what* is computed, and accumulator merges are restricted to order-free
+// operations (integer sums, integer-valued float sums below 2^53, max).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Mix64 is the SplitMix64 finalizer (the same mixer internal/stats uses as
+// its PRNG core): a bijective avalanche of the input, cheap enough to run
+// per record. Sharded passes use it to spread structured keys — mixed-radix
+// encodings, sequential ids — evenly over a worker modulus.
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Clamp resolves a requested worker count against n work items: zero or
+// negative means GOMAXPROCS, and the result never exceeds n (nor drops
+// below 1).
+func Clamp(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Striped runs fn(worker, lo, hi) over contiguous stripes of [0, n) on up
+// to `workers` goroutines (pass the result of Clamp, or any positive count —
+// values ≤ 0 mean GOMAXPROCS). workers == 1 runs inline with no goroutine.
+// Stripes never overlap, so per-index writes into shared output need no
+// locks; the worker id indexes per-worker accumulators.
+func Striped(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Clamp(n, workers)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	stripe := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(10, 0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Clamp(10, 0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Clamp(3, 8); got != 3 {
+		t.Errorf("Clamp(3, 8) = %d, want 3", got)
+	}
+	if got := Clamp(0, 8); got != 1 {
+		t.Errorf("Clamp(0, 8) = %d, want 1", got)
+	}
+	if got := Clamp(100, 4); got != 4 {
+		t.Errorf("Clamp(100, 4) = %d, want 4", got)
+	}
+}
+
+func TestStripedCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 5, 16, 97} {
+			seen := make([]atomic.Int32, n)
+			Striped(n, workers, func(w, lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad stripe [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := range seen {
+				if c := seen[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestStripedWorkerIDsAreDistinct(t *testing.T) {
+	const n, workers = 64, 8
+	var used [workers]atomic.Int32
+	Striped(n, workers, func(w, lo, hi int) {
+		used[w].Add(1)
+	})
+	for w := range used {
+		if c := used[w].Load(); c > 1 {
+			t.Errorf("worker id %d handed to %d stripes", w, c)
+		}
+	}
+}

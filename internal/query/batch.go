@@ -2,9 +2,8 @@ package query
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
 )
 
@@ -43,53 +42,12 @@ func (mg *Marginals) AnswerBatch(qs []Query, p float64, workers int) []Answer {
 	if len(qs) == 0 {
 		return out
 	}
-	StripedOver(len(qs), workers, func(lo, hi int) {
+	par.Striped(len(qs), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = mg.answerOne(qs[i], p)
 		}
 	})
 	return out
-}
-
-// StripedOver runs fn over contiguous stripes of [0, n) on up to `workers`
-// goroutines (0 means GOMAXPROCS; n ≤ 0 is a no-op, workers clamped to n
-// runs inline when 1). It is the batch-serving concurrency primitive:
-// AnswerBatch evaluates with it, and the serving layer stripes its label
-// resolution over the same shape so the two pipeline stages share one
-// worker-width configuration. fn must not retain lo/hi slices beyond the
-// call; stripes never overlap, so per-index output writes need no locks.
-func StripedOver(n, workers int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	stripe := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * stripe
-		hi := lo + stripe
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // answerOne computes a query's count and estimate from a single cube

@@ -18,4 +18,12 @@
 // (BuildMarginalsFromGroups); the result is immutable and safe to share
 // across any number of concurrent readers. AnswerBatch is the pooled batch
 // entry point the serving layer uses.
+//
+// The *Parallel build variants distribute whole cubes — and, when workers
+// outnumber cubes, per-cube row shards with privately accumulated partial
+// counts — across a worker pool; counts are integer sums, so the index is
+// bit-identical at any width. Cube keys pack attribute subsets into one
+// uint64 (at most 8 conditions over at most 254 attributes); schemas or
+// depths beyond that fail construction with a typed *IndexLimitError
+// instead of silently aliasing cubes.
 package query

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
 )
 
@@ -54,8 +55,10 @@ type Marginals struct {
 	total  int
 }
 
-// subsetKey packs a sorted attribute subset into a uint64 (attribute indices
-// are < 255; 0xFF pads unused slots).
+// subsetKey packs a sorted attribute subset into a uint64: one byte per
+// attribute index, 0xFF padding unused slots. The packing holds at most 8
+// indices of at most 254 each — newMarginals rejects schemas or depths
+// beyond that with an *IndexLimitError* instead of silently aliasing keys.
 func subsetKey(attrs []int) uint64 {
 	var k uint64 = ^uint64(0)
 	for i, a := range attrs {
@@ -65,14 +68,42 @@ func subsetKey(attrs []int) uint64 {
 	return k
 }
 
+// subsetKeyMaxAttrs and subsetKeyMaxDim are the packing limits of subsetKey:
+// 8 one-byte slots, with 0xFF reserved as the empty-slot marker.
+const (
+	subsetKeyMaxAttrs = 255
+	subsetKeyMaxDim   = 8
+)
+
+// IndexLimitError reports a schema or index depth that cannot be represented
+// by the packed cube keys: more attributes than fit a byte slot, or more
+// conditions per query than there are slots.
+type IndexLimitError struct {
+	Attrs  int // schema attribute count (0 if the limit hit was MaxDim)
+	MaxDim int // effective index depth (0 if the limit hit was Attrs)
+}
+
+func (e *IndexLimitError) Error() string {
+	if e.Attrs != 0 {
+		return fmt.Sprintf("query: schema has %d attributes; the marginal index supports at most %d", e.Attrs, subsetKeyMaxAttrs-1)
+	}
+	return fmt.Sprintf("query: index depth %d exceeds the maximum %d", e.MaxDim, subsetKeyMaxDim)
+}
+
 // newMarginals allocates the cube structure for every NA subset of size 1..maxDim.
 func newMarginals(schema *dataset.Schema, maxDim int) (*Marginals, error) {
 	if maxDim < 1 {
 		return nil, fmt.Errorf("query: maxDim must be at least 1, got %d", maxDim)
 	}
+	if schema.NumAttrs() >= subsetKeyMaxAttrs {
+		return nil, &IndexLimitError{Attrs: schema.NumAttrs()}
+	}
 	na := schema.NAIndices()
 	if maxDim > len(na) {
 		maxDim = len(na)
+	}
+	if maxDim > subsetKeyMaxDim {
+		return nil, &IndexLimitError{MaxDim: maxDim}
 	}
 	mg := &Marginals{Schema: schema, MaxDim: maxDim, cubes: make(map[uint64]*marginal)}
 	m := schema.SADomain()
@@ -110,6 +141,15 @@ func (c *marginal) flatIndex(values []uint16, sa uint16, m int) int {
 
 // BuildMarginals scans the table once per cube and returns the query engine.
 func BuildMarginals(t *dataset.Table, maxDim int) (*Marginals, error) {
+	return BuildMarginalsParallel(t, maxDim, 1)
+}
+
+// BuildMarginalsParallel is BuildMarginals with the cube fill distributed
+// across up to `workers` goroutines (0 = GOMAXPROCS): whole cubes are dealt
+// to workers first and, when there are more workers than cubes, each cube's
+// row range is sharded into per-shard partial counts summed after the join.
+// Counts are integer sums, so the result is identical at any worker count.
+func BuildMarginalsParallel(t *dataset.Table, maxDim, workers int) (*Marginals, error) {
 	mg, err := newMarginals(t.Schema, maxDim)
 	if err != nil {
 		return nil, err
@@ -117,54 +157,149 @@ func BuildMarginals(t *dataset.Table, maxDim int) (*Marginals, error) {
 	m := t.Schema.SADomain()
 	n := t.NumRows()
 	mg.total = n
-	vals := make([]uint16, maxDim)
-	for _, cube := range mg.cubes {
-		for r := 0; r < n; r++ {
+	sa := t.Schema.SA
+	fillCubes(mg.cubeList(), n, workers, func(cube *marginal, counts []int, lo, hi int) {
+		for r := lo; r < hi; r++ {
 			row := t.Row(r)
+			idx := 0
 			for i, a := range cube.attrs {
-				vals[i] = row[a]
+				idx = idx*cube.dims[i] + int(row[a])
 			}
-			cube.counts[cube.flatIndex(vals[:len(cube.attrs)], row[t.Schema.SA], m)]++
+			counts[idx*m+int(row[sa])]++
 		}
-	}
+	})
 	return mg, nil
 }
 
 // BuildMarginalsFromGroups builds the same cubes from a group set — far
 // cheaper than from rows when |G| ≪ |D|, which is how each published D* is
-// indexed inside the experiment loops.
+// indexed inside the experiment loops and the publication server.
 func BuildMarginalsFromGroups(gs *dataset.GroupSet, maxDim int) (*Marginals, error) {
+	return BuildMarginalsFromGroupsParallel(gs, maxDim, 1)
+}
+
+// BuildMarginalsFromGroupsParallel is BuildMarginalsFromGroups with the
+// cube fill distributed across up to `workers` goroutines; the work unit is
+// a (cube, group-range) shard exactly as in BuildMarginalsParallel, filling
+// from the |G| group histograms instead of |D| rows.
+func BuildMarginalsFromGroupsParallel(gs *dataset.GroupSet, maxDim, workers int) (*Marginals, error) {
 	mg, err := newMarginals(gs.Schema, maxDim)
 	if err != nil {
 		return nil, err
 	}
 	m := gs.Schema.SADomain()
 	na := gs.NAIndices()
-	pos := make(map[int]int, len(na)) // schema attr -> key position
+	pos := make([]int, gs.Schema.NumAttrs()) // schema attr -> key position
 	for i, a := range na {
 		pos[a] = i
 	}
 	mg.total = gs.Total()
-	vals := make([]uint16, maxDim)
-	for _, cube := range mg.cubes {
-		for gi := range gs.Groups {
+	fillCubes(mg.cubeList(), gs.NumGroups(), workers, func(cube *marginal, counts []int, lo, hi int) {
+		for gi := lo; gi < hi; gi++ {
 			g := &gs.Groups[gi]
-			for i, a := range cube.attrs {
-				vals[i] = g.Key[pos[a]]
-			}
 			base := 0
-			for i := range cube.attrs {
-				base = base*cube.dims[i] + int(vals[i])
+			for i, a := range cube.attrs {
+				base = base*cube.dims[i] + int(g.Key[pos[a]])
 			}
 			base *= m
 			for sa, c := range g.SACounts {
 				if c != 0 {
-					cube.counts[base+sa] += c
+					counts[base+sa] += c
 				}
 			}
 		}
-	}
+	})
 	return mg, nil
+}
+
+// cubeList returns the cubes in a deterministic order (sorted by packed
+// subset key) so the parallel fill deals out the same work items however
+// the map iterates.
+func (mg *Marginals) cubeList() []*marginal {
+	keys := make([]uint64, 0, len(mg.cubes))
+	for k := range mg.cubes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*marginal, len(keys))
+	for i, k := range keys {
+		out[i] = mg.cubes[k]
+	}
+	return out
+}
+
+// fillCubes distributes the cube fill across workers. fill must accumulate
+// source items [lo, hi) into counts (either a cube's own counts or a
+// private partial). With workers ≤ cubes, each cube is filled whole by one
+// worker; with more workers than cubes, every cube's item range is split
+// into shards with private partial counts that are summed — in shard order,
+// though integer sums make any order equivalent — after the join.
+func fillCubes(cubes []*marginal, n, workers int, fill func(cube *marginal, counts []int, lo, hi int)) {
+	if len(cubes) == 0 {
+		return
+	}
+	workers = par.Clamp(len(cubes)*max(n, 1), workers)
+	if workers <= 1 {
+		for _, cube := range cubes {
+			fill(cube, cube.counts, 0, n)
+		}
+		return
+	}
+	shards := 1
+	if len(cubes) < workers {
+		shards = (workers + len(cubes) - 1) / len(cubes)
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	type item struct {
+		cube    *marginal
+		lo, hi  int
+		partial []int // nil: fill the cube's counts directly
+	}
+	items := make([]item, 0, len(cubes)*shards)
+	stripe := (n + shards - 1) / shards
+	for _, cube := range cubes {
+		for s := 0; s < shards; s++ {
+			lo := s * stripe
+			hi := min(lo+stripe, n)
+			if lo >= hi && !(s == 0 && n == 0) {
+				break
+			}
+			it := item{cube: cube, lo: lo, hi: hi}
+			if shards > 1 {
+				it.partial = make([]int, len(cube.counts))
+			}
+			items = append(items, it)
+		}
+	}
+	par.Striped(len(items), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			it := &items[i]
+			counts := it.partial
+			if counts == nil {
+				counts = it.cube.counts
+			}
+			fill(it.cube, counts, it.lo, it.hi)
+		}
+	})
+	if shards > 1 {
+		par.Striped(len(cubes), workers, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				cube := cubes[c]
+				for i := range items {
+					if items[i].cube != cube || items[i].partial == nil {
+						continue
+					}
+					for j, v := range items[i].partial {
+						if v != 0 {
+							cube.counts[j] += v
+						}
+					}
+				}
+			}
+		})
+	}
 }
 
 // Total returns |D| for the indexed data.

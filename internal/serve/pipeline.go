@@ -93,6 +93,13 @@ func generateTable(req *PublishRequest) (*dataset.Table, error) {
 // requested method, and index the result for answering. It is the only
 // expensive path in the server and runs outside all registry locks; its
 // output is immutable.
+//
+// The cold path is fused and parallel (Config.PipelineWorkers wide): the
+// chi-square analysis is one sharded scan (chimerge.Analyze), the
+// generalized table is never materialized — grouping applies the value
+// mappings on the fly (dataset.GroupsOfMapped) — and the marginal cubes
+// fill concurrently. Every stage is bit-identical at any worker count, so
+// a publication is still reproducible from its seed alone.
 func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error) {
 	req := &e.reqCopy
 	start := time.Now()
@@ -101,21 +108,23 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 		return nil, err
 	}
 
-	work := raw
-	var mapping []*dataset.ValueMapping
+	workers := s.cfg.PipelineWorkers
+	var merge *chimerge.Result
+	mapping := make([]*dataset.ValueMapping, raw.Schema.NumAttrs())
 	if sig := *req.Significance; sig > 0 {
-		res, err := chimerge.Generalize(raw, sig)
+		merge, err = chimerge.Analyze(raw, sig, workers)
 		if err != nil {
 			return nil, err
 		}
-		work = res.Table
-		mapping = make([]*dataset.ValueMapping, raw.Schema.NumAttrs())
-		for i := range res.Mappings {
-			mapping[res.Mappings[i].Attr] = &res.Mappings[i]
+		for i := range merge.Mappings {
+			mapping[merge.Mappings[i].Attr] = &merge.Mappings[i]
 		}
 	}
-	if mapping == nil {
-		mapping = make([]*dataset.ValueMapping, raw.Schema.NumAttrs())
+	groupsOf := func() (*dataset.GroupSet, error) {
+		if merge != nil {
+			return dataset.GroupsOfMapped(raw, merge.Mappings, workers)
+		}
+		return dataset.GroupsOfParallel(raw, workers), nil
 	}
 
 	pm := req.Params()
@@ -124,21 +133,29 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 	var meta core.Meta
 	switch req.Method {
 	case MethodSPS:
-		groups := dataset.GroupsOf(work)
+		groups, err := groupsOf()
+		if err != nil {
+			return nil, err
+		}
 		out, st, err := core.PublishSPSParallel(seed, groups, pm, s.cfg.PublishWorkers)
 		if err != nil {
 			return nil, err
 		}
 		published, meta = out, core.ExtractMeta(groups, pm, st)
 	case MethodUP:
-		groups := dataset.GroupsOf(work)
+		groups, err := groupsOf()
+		if err != nil {
+			return nil, err
+		}
 		out, err := core.PublishUPParallel(seed, groups, pm.P, s.cfg.PublishWorkers)
 		if err != nil {
 			return nil, err
 		}
 		published, meta = out, core.ExtractMeta(groups, pm, nil)
 	case MethodIncremental:
-		published, meta, err = s.buildIncremental(e, work, pm, seed, generation)
+		// Incremental publications never generalize, so raw is the working
+		// table (Normalize forces Significance to 0).
+		published, meta, err = s.buildIncremental(e, raw, pm, seed, generation)
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +163,7 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 		return nil, fmt.Errorf("serve: unknown method %q", req.Method)
 	}
 
-	marg, err := query.BuildMarginalsFromGroups(published, req.MaxDim)
+	marg, err := query.BuildMarginalsFromGroupsParallel(published, req.MaxDim, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +235,7 @@ func (s *Server) reindexIncremental(e *Entry) (*Publication, error) {
 		meta := core.ExtractMeta(e.inc.RawGroups(), old.Req.Params(), nil)
 		e.incMu.Unlock()
 		meta.RecordsOut = snap.Total()
-		marg, err := query.BuildMarginalsFromGroups(snap, old.Req.MaxDim)
+		marg, err := query.BuildMarginalsFromGroupsParallel(snap, old.Req.MaxDim, s.cfg.PipelineWorkers)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/query"
+)
+
+// TestPipelineWorkersBitIdentical pins the cold-path determinism contract at
+// the serving layer: the same publish request built under different
+// PipelineWorkers widths must produce identical metadata and identical
+// answers for every query — the fused generalization scan, the sharded
+// grouping, and the concurrent marginal fill may differ only in wall-clock.
+func TestPipelineWorkersBitIdentical(t *testing.T) {
+	queries := func(pub *Publication) []query.Query {
+		schema := pub.Marg.Schema
+		var qs []query.Query
+		for _, a := range schema.NAIndices() {
+			for v := 0; v < schema.Attrs[a].Domain(); v++ {
+				for sa := 0; sa < schema.SADomain(); sa++ {
+					qs = append(qs, query.Query{
+						Conds: []query.Cond{{Attr: a, Value: uint16(v)}},
+						SA:    uint16(sa),
+					})
+				}
+			}
+		}
+		return qs
+	}
+
+	build := func(workers int) (*Publication, []query.Answer) {
+		s := New(Config{PipelineWorkers: workers})
+		e, _, err := s.Publish(medicalRequest(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := e.Publication()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pub, pub.Marg.AnswerBatch(queries(pub), pub.Req.P, 1)
+	}
+
+	basePub, baseAnswers := build(1)
+	for _, workers := range []int{2, 7, 0} {
+		pub, answers := build(workers)
+		if !reflect.DeepEqual(basePub.Meta, pub.Meta) {
+			t.Fatalf("workers=%d: metadata differs: %+v vs %+v", workers, pub.Meta, basePub.Meta)
+		}
+		if !reflect.DeepEqual(baseAnswers, answers) {
+			t.Fatalf("workers=%d: served answers differ", workers)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/query"
 )
 
@@ -23,6 +24,12 @@ type Config struct {
 	QueryWorkers int
 	// PublishWorkers bounds the parallel publisher (default GOMAXPROCS).
 	PublishWorkers int
+	// PipelineWorkers bounds the cold-path preprocessing parallelism — the
+	// fused chi-square generalization scan, the sharded grouping pass, and
+	// the concurrent marginal-cube fill of every build and re-index
+	// (default GOMAXPROCS). Results are bit-identical at any width; the
+	// knob only trades build latency against CPU available for queries.
+	PipelineWorkers int
 	// MaxBatch caps the queries accepted per /query request (default 100,000).
 	MaxBatch int
 	// MaxInsert caps the records accepted per /insert request (default 100,000).
@@ -54,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PublishWorkers <= 0 {
 		c.PublishWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.PipelineWorkers <= 0 {
+		c.PipelineWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 100000
@@ -396,7 +406,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// lookups, so it must not run single-threaded in front of the pool.
 	qs := make([]query.Query, len(req.Queries))
 	resolveErr := make([]error, len(req.Queries))
-	query.StripedOver(len(req.Queries), s.cfg.QueryWorkers, func(lo, hi int) {
+	par.Striped(len(req.Queries), s.cfg.QueryWorkers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			qs[i], resolveErr[i] = pub.Resolve(req.Queries[i])
 		}
