@@ -38,3 +38,69 @@ func NIRAttack(epsilon, sensitivity, x, y float64, trials int, seed int64) (*NIR
 		Indicator:   dp.Indicator(mech.Scale(), x),
 	}, nil
 }
+
+// CountPair is one (x, y) pair of count answers for the NIR attack sweep:
+// x the public-attribute match count, y the match count with the sensitive
+// value. Pairs typically come from Adversary.CountPairs against a
+// publication, closing the loop between the reconstruction engine and the
+// DP disclosure experiment.
+type CountPair struct {
+	X, Y float64
+}
+
+// NIRSweepCell is one (ε, pair) cell of a sweep: the NIRAttackResult for
+// that privacy budget and query pair.
+type NIRSweepCell struct {
+	Epsilon float64
+	X, Y    float64
+	NIRAttackResult
+}
+
+// NIRSweepResult is the vectorized NIR attack over a grid of privacy
+// budgets and count pairs.
+type NIRSweepResult struct {
+	Sensitivity float64
+	Trials      int
+	// Cells is row-major over (epsilon, pair): the cell for epsilons[i] and
+	// pairs[j] is Cells[i*len(pairs)+j].
+	Cells []NIRSweepCell
+}
+
+// NIRAttackSweep is the vectorized form of NIRAttack: it evaluates the
+// two-query ratio attack for every privacy budget in epsilons crossed with
+// every count pair, fanning the grid out over all cores. Every cell draws a
+// private RNG stream derived from (seed, cell position), so the sweep is
+// deterministic for a seed and identical however it is scheduled. This is
+// the paper's Table 1 as a reusable measurement: pass the ε grid and the
+// (x, y) pairs of the rules under attack — typically straight from
+// Adversary.CountPairs — and read off which cells disclose (small
+// Indicator, tight Conf) despite each answer being ε-differentially
+// private.
+func NIRAttackSweep(epsilons []float64, pairs []CountPair, sensitivity float64, trials int, seed int64) (*NIRSweepResult, error) {
+	dpairs := make([]dp.CountPair, len(pairs))
+	for i, pr := range pairs {
+		dpairs[i] = dp.CountPair{X: pr.X, Y: pr.Y}
+	}
+	sweep, err := dp.RatioAttackSweep(seed, sensitivity, epsilons, dpairs, trials, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := &NIRSweepResult{Sensitivity: sensitivity, Trials: trials, Cells: make([]NIRSweepCell, len(sweep.Cells))}
+	for i := range sweep.Cells {
+		c := &sweep.Cells[i]
+		out.Cells[i] = NIRSweepCell{
+			Epsilon: c.Epsilon,
+			X:       c.X,
+			Y:       c.Y,
+			NIRAttackResult: NIRAttackResult{
+				TrueConf:    c.TrueConf,
+				ConfMean:    c.Conf.Mean,
+				ConfStdErr:  c.Conf.StdErr,
+				RelErr1Mean: c.RelErr1.Mean,
+				RelErr2Mean: c.RelErr2.Mean,
+				Indicator:   c.Indicator,
+			},
+		}
+	}
+	return out, nil
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/experiments"
 	"github.com/reconpriv/reconpriv/internal/perturb"
 	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
@@ -294,6 +295,69 @@ func BenchmarkAuditAdult(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.UP.BoundViolations(0.02)), "bound-violations")
 	}
+}
+
+// BenchmarkAuditSweep times the parallel per-group audit engine sweeping
+// every personal group of CENSUS 300K (the /audit workload). The sweep is
+// bit-identical at any worker count; the benchmark runs it at GOMAXPROCS.
+func BenchmarkAuditSweep(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.AuditSweep(1, ds.Groups, core.DefaultParams, true, 200, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rep.Groups)), "groups")
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ds.Groups.NumGroups())*float64(b.N)/b.Elapsed().Seconds(), "groups/s")
+}
+
+// BenchmarkReconstructBatch times the index-backed adversary engine
+// answering a 1,000-condition reconstruction batch against an SPS
+// publication of CENSUS 300K, next to the per-call scan reference
+// (RunAdversaryBench measures the same workload with the built-in 1e-12
+// equivalence check; the acceptance speedup comes from rpbench -exp
+// adversary).
+func BenchmarkReconstructBatch(b *testing.B) {
+	res, err := experiments.RunAdversaryBench(benchCensusSize, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Speedup, "scan-speedup")
+	b.ReportMetric(res.BatchMS, "batch-ms")
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	published, _, err := core.PublishSPSParallel(1, ds.Groups, core.DefaultParams, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	marg, err := query.BuildMarginalsFromGroups(published, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := reconstruct.NewEngine(marg, core.DefaultParams.P)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := experiments.RandomConditionSets(published.Schema, 1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := eng.ReconstructBatch(sets, reconstruct.BatchOptions{})
+		for j := range recs {
+			if recs[j].Err != nil {
+				b.Fatal(recs[j].Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(sets))*float64(b.N)/b.Elapsed().Seconds(), "reconstructions/s")
 }
 
 // BenchmarkIncrementalPublish times streaming publication of the ADULT

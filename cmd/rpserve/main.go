@@ -21,6 +21,11 @@
 //	  "id": "<id from /publications>",
 //	  "queries": [{"conds": [{"attr": "Job", "value": "Engineer"}], "sa": "Flu"}]
 //	}'
+//	curl -s -X POST localhost:8080/reconstruct -d '{
+//	  "id": "<id>",
+//	  "subsets": [[{"attr": "Job", "value": "Engineer"}]]
+//	}'
+//	curl -s -X POST localhost:8080/audit -d '{"id": "<id>", "trials": 1000}'
 //	curl -s localhost:8080/statsz
 package main
 

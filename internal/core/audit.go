@@ -2,11 +2,12 @@ package core
 
 import (
 	"fmt"
-	"github.com/reconpriv/reconpriv/internal/stats"
 	"sort"
 
 	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // GroupAudit is the Monte-Carlo audit of one personal group: the empirical
@@ -68,65 +69,142 @@ func Audit(rng *stats.Rand, gs *dataset.GroupSet, pm Params, sps bool, trials, m
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return gs.Groups[order[a]].Size > gs.Groups[order[b]].Size })
+	// Size-descending with an index tie-break, matching AuditSweep: with
+	// tied sizes (ubiquitous among small personal groups) the selection at
+	// a maxGroups cutoff and the report order must not depend on sort
+	// internals, and the two engines must audit the same groups in the
+	// same order.
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := gs.Groups[order[a]].Size, gs.Groups[order[b]].Size
+		if ga != gb {
+			return ga > gb
+		}
+		return order[a] < order[b]
+	})
 	if maxGroups > 0 && maxGroups < len(order) {
 		order = order[:maxGroups]
 	}
 	rep := &AuditReport{Trials: trials}
 	st := &SPSStats{}
 	for _, gi := range order {
-		g := &gs.Groups[gi]
-		if g.Size == 0 {
+		if audit, ok := auditGroup(rng, &gs.Groups[gi], m, pm, sps, trials, st); ok {
+			rep.Groups = append(rep.Groups, audit)
+		}
+	}
+	return rep, nil
+}
+
+// auditGroup runs the Monte-Carlo trials for one group, drawing every
+// publication simulation from rng. ok is false for degenerate groups (empty,
+// or an all-zero histogram) that the audit skips.
+func auditGroup(rng *stats.Rand, g *dataset.Group, m int, pm Params, sps bool, trials int, st *SPSStats) (GroupAudit, bool) {
+	if g.Size == 0 {
+		return GroupAudit{}, false
+	}
+	topSA := 0
+	for sa, c := range g.SACounts {
+		if c > g.SACounts[topSA] {
+			topSA = sa
+		}
+	}
+	f := g.Freq(uint16(topSA))
+	if f == 0 {
+		return GroupAudit{}, false
+	}
+	sg := MaxGroupSize(g.MaxFreq(), m, pm)
+	u, l := GroupTails(g.Size, f, m, pm)
+	audit := GroupAudit{
+		Key:        g.Key,
+		Size:       g.Size,
+		F:          f,
+		SG:         sg,
+		Violating:  float64(g.Size) > sg,
+		UpperBound: u,
+		LowerBound: l,
+	}
+	over, under := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		var counts []int
+		if sps && audit.Violating {
+			counts = spsGroup(rng, g, sg, pm.P, st)
+		} else {
+			counts = perturb.Counts(rng, g.SACounts, pm.P)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
 			continue
 		}
-		topSA := 0
-		for sa, c := range g.SACounts {
-			if c > g.SACounts[topSA] {
-				topSA = sa
-			}
+		fPrime := (float64(counts[topSA])/float64(total) - (1-pm.P)/float64(m)) / pm.P
+		rel := (fPrime - f) / f
+		if rel > pm.Lambda {
+			over++
 		}
-		f := g.Freq(uint16(topSA))
-		if f == 0 {
-			continue
+		if rel < -pm.Lambda {
+			under++
 		}
-		sg := MaxGroupSize(g.MaxFreq(), m, pm)
-		u, l := GroupTails(g.Size, f, m, pm)
-		audit := GroupAudit{
-			Key:        g.Key,
-			Size:       g.Size,
-			F:          f,
-			SG:         sg,
-			Violating:  float64(g.Size) > sg,
-			UpperBound: u,
-			LowerBound: l,
+	}
+	audit.UpperEmp = float64(over) / float64(trials)
+	audit.LowerEmp = float64(under) / float64(trials)
+	return audit, true
+}
+
+// AuditSweep is the index-era audit engine: it sweeps the personal groups
+// in parallel through internal/par, auditing each group with its own
+// deterministic RNG stream derived from (seed, position) — the same
+// per-group stream construction as PublishSPSParallel. Because every
+// group's trials are independent of which worker runs them, the output is
+// bit-identical at any worker count (workers 0 = GOMAXPROCS); tests pin
+// this at 1, 2, 7 and GOMAXPROCS.
+//
+// AuditSweep and Audit draw different streams for the same seed (Audit
+// threads one stream through every group in order), so their empirical
+// tails agree only statistically. Audit remains the sequential reference;
+// AuditSweep is what the server's /audit endpoint and the experiment
+// harness run.
+//
+// maxGroups caps the number of audited groups (largest first); 0 sweeps
+// every personal group.
+func AuditSweep(seed int64, gs *dataset.GroupSet, pm Params, sps bool, trials, maxGroups, workers int) (*AuditReport, error) {
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("core: audit needs at least one trial")
+	}
+	m := gs.Schema.SADomain()
+	order := make([]int, gs.NumGroups())
+	for i := range order {
+		order[i] = i
+	}
+	// Size-descending with an index tie-break: the cutoff below and the
+	// output order must not depend on sort internals.
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := gs.Groups[order[a]].Size, gs.Groups[order[b]].Size
+		if ga != gb {
+			return ga > gb
 		}
-		over, under := 0, 0
-		for trial := 0; trial < trials; trial++ {
-			var counts []int
-			if sps && audit.Violating {
-				counts = spsGroup(rng, g, sg, pm.P, st)
-			} else {
-				counts = perturb.Counts(rng, g.SACounts, pm.P)
-			}
-			total := 0
-			for _, c := range counts {
-				total += c
-			}
-			if total == 0 {
-				continue
-			}
-			fPrime := (float64(counts[topSA])/float64(total) - (1-pm.P)/float64(m)) / pm.P
-			rel := (fPrime - f) / f
-			if rel > pm.Lambda {
-				over++
-			}
-			if rel < -pm.Lambda {
-				under++
-			}
+		return order[a] < order[b]
+	})
+	if maxGroups > 0 && maxGroups < len(order) {
+		order = order[:maxGroups]
+	}
+	rep := &AuditReport{Trials: trials}
+	audits := make([]GroupAudit, len(order))
+	kept := make([]bool, len(order))
+	par.Striped(len(order), workers, func(_, lo, hi int) {
+		st := &SPSStats{} // per-worker; the sweep reports tails, not stats
+		for i := lo; i < hi; i++ {
+			rng := stats.NewRand(groupSeed(seed, i))
+			audits[i], kept[i] = auditGroup(rng, &gs.Groups[order[i]], m, pm, sps, trials, st)
 		}
-		audit.UpperEmp = float64(over) / float64(trials)
-		audit.LowerEmp = float64(under) / float64(trials)
-		rep.Groups = append(rep.Groups, audit)
+	})
+	for i := range audits {
+		if kept[i] {
+			rep.Groups = append(rep.Groups, audits[i])
+		}
 	}
 	return rep, nil
 }

@@ -2,8 +2,11 @@ package core
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
+	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
@@ -73,6 +76,122 @@ func TestAuditValidation(t *testing.T) {
 		t.Error("invalid params should error")
 	}
 	if _, err := Audit(stats.NewRand(1), gs, DefaultParams, false, 0, 0); err == nil {
+		t.Error("0 trials should error")
+	}
+}
+
+func TestAuditSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	// The PR-3 contract extended to the audit engine: worker count decides
+	// only which goroutine audits a group, never what is computed, so the
+	// full report must be bit-identical at any width.
+	gs := spsTestGroups(t)
+	for _, sps := range []bool{false, true} {
+		base, err := AuditSweep(11, gs, DefaultParams, sps, 400, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 7, runtime.GOMAXPROCS(0)} {
+			got, err := AuditSweep(11, gs, DefaultParams, sps, 400, 0, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("sps=%v: sweep differs between 1 and %d workers", sps, w)
+			}
+		}
+	}
+}
+
+func TestAuditSweepSeedDeterminism(t *testing.T) {
+	gs := spsTestGroups(t)
+	a, err := AuditSweep(5, gs, DefaultParams, false, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AuditSweep(5, gs, DefaultParams, false, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("equal seeds should reproduce the sweep exactly")
+	}
+	c, err := AuditSweep(6, gs, DefaultParams, false, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Groups, c.Groups) {
+		t.Error("different seeds should draw different trials")
+	}
+}
+
+// tiedTestGroups is a fixture with equal-size groups (three tied at 80),
+// so ordering tests exercise the tie-break both audit engines share.
+func tiedTestGroups(t *testing.T) *dataset.GroupSet {
+	t.Helper()
+	s := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"v", "w", "x", "y", "z"}},
+		{Name: "S", Values: []string{"s0", "s1", "s2"}},
+	}, "S")
+	tab := dataset.NewTable(s, 1640)
+	for a, size := range []int{1000, 400, 80, 80, 80} {
+		for i := 0; i < size; i++ {
+			var sa uint16
+			if i >= size*7/10 {
+				sa = uint16(1 + i%2)
+			}
+			tab.MustAppendRow(uint16(a), sa)
+		}
+	}
+	return dataset.GroupsOf(tab)
+}
+
+func TestAuditSweepMatchesAuditStructure(t *testing.T) {
+	// The sweep draws different streams than the sequential Audit, but the
+	// analytic per-group columns (size, f, s_g, verdict, Chernoff bounds)
+	// and the group ordering must match exactly — including on tied group
+	// sizes, where both engines share the same index tie-break.
+	gs := tiedTestGroups(t)
+	seq, err := Audit(stats.NewRand(1), gs, DefaultParams, false, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := AuditSweep(1, gs, DefaultParams, false, 50, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Groups) != len(sweep.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(seq.Groups), len(sweep.Groups))
+	}
+	for i := range seq.Groups {
+		a, b := seq.Groups[i], sweep.Groups[i]
+		if !reflect.DeepEqual(a.Key, b.Key) || a.Size != b.Size || a.F != b.F ||
+			a.SG != b.SG || a.Violating != b.Violating ||
+			a.UpperBound != b.UpperBound || a.LowerBound != b.LowerBound {
+			t.Fatalf("group %d analytic columns differ: %+v vs %+v", i, a, b)
+		}
+	}
+	// And the empirical tails must respect the same Chernoff bounds.
+	if v := sweep.BoundViolations(0.05); v != 0 {
+		t.Errorf("%d sweep groups exceeded their Chernoff bounds", v)
+	}
+}
+
+func TestAuditSweepCapAndValidation(t *testing.T) {
+	gs := spsTestGroups(t)
+	rep, err := AuditSweep(1, gs, DefaultParams, false, 100, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("cap ignored: %d groups", len(rep.Groups))
+	}
+	if rep.Groups[0].Size < rep.Groups[1].Size {
+		t.Error("sweep should process largest groups first")
+	}
+	if _, err := AuditSweep(1, gs, Params{}, false, 10, 0, 0); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, err := AuditSweep(1, gs, DefaultParams, false, 0, 0, 0); err == nil {
 		t.Error("0 trials should error")
 	}
 }

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -178,6 +179,66 @@ func lessRow(a, b []uint16) bool {
 		}
 	}
 	return false
+}
+
+func TestTableEqualDifferentSA(t *testing.T) {
+	// Same attribute names, domains, and codes — but a different attribute
+	// designated sensitive. The tables describe different data sets (their
+	// personal groups and publications differ), so Equal must say no.
+	attrs := func() []Attribute {
+		return []Attribute{
+			{Name: "A", Values: []string{"x", "y"}},
+			{Name: "B", Values: []string{"u", "v"}},
+		}
+	}
+	s1, err := NewSchema(attrs(), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSchema(attrs(), "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := NewTable(s1, 2), NewTable(s2, 2)
+	for _, tab := range []*Table{t1, t2} {
+		tab.MustAppendRow(0, 1)
+		tab.MustAppendRow(1, 0)
+	}
+	if t1.Equal(t2) {
+		t.Error("tables differing only in the sensitive attribute should not be equal")
+	}
+	if !t1.Equal(t1.Clone()) {
+		t.Error("a table should equal its clone")
+	}
+}
+
+func TestGroupSetClone(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s, 4)
+	tab.MustAppendRow(0, 0, 0)
+	tab.MustAppendRow(0, 0, 1)
+	tab.MustAppendRow(1, 1, 2)
+	tab.MustAppendRow(1, 1, 2)
+	gs := GroupsOf(tab)
+	cp := gs.Clone()
+	if cp.NumGroups() != gs.NumGroups() || cp.Total() != gs.Total() {
+		t.Fatalf("clone shape differs: %d/%d groups, %d/%d records",
+			cp.NumGroups(), gs.NumGroups(), cp.Total(), gs.Total())
+	}
+	for i := range gs.Groups {
+		if !reflect.DeepEqual(cp.Groups[i].SACounts, gs.Groups[i].SACounts) ||
+			cp.Groups[i].Size != gs.Groups[i].Size {
+			t.Fatalf("group %d differs after clone", i)
+		}
+	}
+	// Deep: mutating the clone must not touch the original.
+	cp.Groups[0].SACounts[0] += 5
+	if gs.Groups[0].SACounts[0] == cp.Groups[0].SACounts[0] {
+		t.Error("clone shares histogram storage with the original")
+	}
+	if err := gs.Validate(); err != nil {
+		t.Errorf("original corrupted: %v", err)
+	}
 }
 
 func TestTableEqualDifferentSchemas(t *testing.T) {

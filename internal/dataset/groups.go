@@ -452,6 +452,19 @@ func (gs *GroupSet) CloneShape() *GroupSet {
 	return out
 }
 
+// Clone returns a deep copy of the group set: CloneShape plus the SA
+// histograms and sizes. Callers that must audit or re-publish a snapshot of
+// mutable grouped state (the incremental publisher's raw histograms, say)
+// clone it once and work on the copy.
+func (gs *GroupSet) Clone() *GroupSet {
+	out := gs.CloneShape()
+	for i := range gs.Groups {
+		copy(out.Groups[i].SACounts, gs.Groups[i].SACounts)
+		out.Groups[i].Size = gs.Groups[i].Size
+	}
+	return out
+}
+
 // Validate checks internal consistency (sizes match histograms, keys are in
 // domain); it is used by tests and by the CLI after loading foreign data.
 func (gs *GroupSet) Validate() error {

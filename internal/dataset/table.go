@@ -120,9 +120,18 @@ func (t *Table) SortByNAThenSA() {
 }
 
 // Equal reports whether two tables have identical contents. Schemas are
-// compared by attribute names and domains, not pointer identity.
+// compared by attribute names, domains, and the sensitive-attribute
+// designation, not pointer identity: two tables that hold the same codes
+// but disagree on which attribute is sensitive describe different data sets
+// (their personal groups, violation profiles, and publications all differ),
+// so they are not equal. Comparing SA also fixes the NA ordering — with
+// equal attribute names in equal order, the public attributes are the
+// non-SA attributes in schema order on both sides.
 func (t *Table) Equal(o *Table) bool {
 	if t.NumRows() != o.NumRows() || t.Schema.NumAttrs() != o.Schema.NumAttrs() {
+		return false
+	}
+	if t.Schema.SA != o.Schema.SA {
 		return false
 	}
 	for i := range t.Schema.Attrs {

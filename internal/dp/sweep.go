@@ -1,0 +1,110 @@
+package dp
+
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/par"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// CountPair is one (x, y) pair of true count answers the ratio attack runs
+// against: x the public-attribute match count, y the match count with the
+// sensitive value. Pairs typically come from the adversary engine's batched
+// count estimates against a publication.
+type CountPair struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// SweepCell is one (ε, pair) cell of an attack sweep: the RatioAttack
+// summaries without the per-trial detail, plus the Corollary 2 indicator.
+type SweepCell struct {
+	Epsilon   float64       `json:"epsilon"`
+	Scale     float64       `json:"scale"` // b = Δ/ε
+	X         float64       `json:"x"`
+	Y         float64       `json:"y"`
+	TrueConf  float64       `json:"true_conf"`
+	Conf      stats.Summary `json:"conf"`
+	RelErr1   stats.Summary `json:"rel_err1"`
+	RelErr2   stats.Summary `json:"rel_err2"`
+	Indicator float64       `json:"indicator"` // 2(b/x)²
+}
+
+// AttackSweep is the vectorized NIR attack: every ε of a grid crossed with
+// every count pair, each cell an independent RatioAttack run.
+type AttackSweep struct {
+	Sensitivity float64     `json:"sensitivity"`
+	Trials      int         `json:"trials"`
+	Epsilons    []float64   `json:"epsilons"`
+	Pairs       []CountPair `json:"pairs"`
+	// Cells is row-major over (epsilon, pair): cell (i, j) of the grid is
+	// Cells[i*len(Pairs)+j].
+	Cells []SweepCell `json:"cells"`
+}
+
+// Cell returns the (epsilon index, pair index) cell.
+func (s *AttackSweep) Cell(ei, pi int) *SweepCell { return &s.Cells[ei*len(s.Pairs)+pi] }
+
+// cellSeed derives the deterministic RNG seed of one sweep cell: a
+// SplitMix64 avalanche of the base seed and the cell's grid position, so
+// every cell draws a private well-separated stream regardless of which
+// worker evaluates it.
+func cellSeed(seed int64, cell int) int64 {
+	return int64(par.Mix64(uint64(seed) ^ par.Mix64(uint64(cell)+0x9e3779b97f4a7c15)))
+}
+
+// RatioAttackSweep runs the Section 2 ratio attack over the full (ε, pair)
+// grid, fanning cells out across up to `workers` goroutines (0 =
+// GOMAXPROCS). Each cell is an exact RatioAttack run on its own derived
+// stream — cell (i, j) equals RatioAttack(stats.NewRand(cellSeed(seed,
+// i*len(pairs)+j)), ...) minus the per-trial detail — so results are
+// bit-identical at any worker count and reproducible from the seed alone.
+func RatioAttackSweep(seed int64, sensitivity float64, epsilons []float64, pairs []CountPair, trials, workers int) (*AttackSweep, error) {
+	if len(epsilons) == 0 || len(pairs) == 0 {
+		return nil, fmt.Errorf("dp: sweep needs at least one epsilon and one count pair")
+	}
+	if trials < 1 {
+		return nil, fmt.Errorf("dp: need at least one trial")
+	}
+	for _, eps := range epsilons {
+		if err := (LaplaceMechanism{Epsilon: eps, Sensitivity: sensitivity}).Validate(); err != nil {
+			return nil, err
+		}
+	}
+	for _, pr := range pairs {
+		if pr.X <= 0 || pr.Y < 0 {
+			return nil, fmt.Errorf("dp: attack requires x > 0 and y >= 0, got x=%v y=%v", pr.X, pr.Y)
+		}
+	}
+	sweep := &AttackSweep{
+		Sensitivity: sensitivity,
+		Trials:      trials,
+		Epsilons:    append([]float64(nil), epsilons...),
+		Pairs:       append([]CountPair(nil), pairs...),
+		Cells:       make([]SweepCell, len(epsilons)*len(pairs)),
+	}
+	par.Striped(len(sweep.Cells), workers, func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			ei, pi := c/len(pairs), c%len(pairs)
+			mech := LaplaceMechanism{Epsilon: epsilons[ei], Sensitivity: sensitivity}
+			res, err := RatioAttack(stats.NewRand(cellSeed(seed, c)), mech, pairs[pi].X, pairs[pi].Y, trials)
+			if err != nil {
+				// Inputs were validated above; a failure here is a
+				// programming error, not an input error.
+				panic(err)
+			}
+			sweep.Cells[c] = SweepCell{
+				Epsilon:   epsilons[ei],
+				Scale:     mech.Scale(),
+				X:         pairs[pi].X,
+				Y:         pairs[pi].Y,
+				TrueConf:  res.TrueConf,
+				Conf:      res.Conf,
+				RelErr1:   res.RelErr1,
+				RelErr2:   res.RelErr2,
+				Indicator: Indicator(mech.Scale(), pairs[pi].X),
+			}
+		}
+	})
+	return sweep, nil
+}

@@ -1,0 +1,74 @@
+package dp
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+func TestRatioAttackSweepMatchesRatioAttack(t *testing.T) {
+	// Each sweep cell must be an exact RatioAttack run on its derived
+	// stream: the sweep is a scheduler, not a different experiment.
+	epsilons := []float64{0.01, 0.1, 0.5}
+	pairs := []CountPair{{X: 423, Y: 354}, {X: 1000, Y: 100}}
+	sweep, err := RatioAttackSweep(7, 2, epsilons, pairs, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Cells) != len(epsilons)*len(pairs) {
+		t.Fatalf("cells = %d", len(sweep.Cells))
+	}
+	for c := range sweep.Cells {
+		ei, pi := c/len(pairs), c%len(pairs)
+		mech := LaplaceMechanism{Epsilon: epsilons[ei], Sensitivity: 2}
+		want, err := RatioAttack(stats.NewRand(cellSeed(7, c)), mech, pairs[pi].X, pairs[pi].Y, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sweep.Cell(ei, pi)
+		if got.Conf != want.Conf || got.RelErr1 != want.RelErr1 || got.RelErr2 != want.RelErr2 {
+			t.Fatalf("cell (%d,%d) diverges from its reference RatioAttack", ei, pi)
+		}
+		if got.TrueConf != want.TrueConf || got.Indicator != Indicator(mech.Scale(), pairs[pi].X) {
+			t.Fatalf("cell (%d,%d) analytic columns wrong", ei, pi)
+		}
+	}
+}
+
+func TestRatioAttackSweepWorkerIndependent(t *testing.T) {
+	epsilons := []float64{0.01, 0.1, 0.5, 1}
+	pairs := []CountPair{{X: 423, Y: 354}, {X: 50, Y: 25}, {X: 9, Y: 3}}
+	base, err := RatioAttackSweep(3, 2, epsilons, pairs, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 7} {
+		got, err := RatioAttackSweep(3, 2, epsilons, pairs, 40, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("sweep differs between 1 and %d workers", w)
+		}
+	}
+}
+
+func TestRatioAttackSweepValidation(t *testing.T) {
+	good := []CountPair{{X: 10, Y: 5}}
+	if _, err := RatioAttackSweep(1, 2, nil, good, 10, 0); err == nil {
+		t.Error("no epsilons should error")
+	}
+	if _, err := RatioAttackSweep(1, 2, []float64{0.1}, nil, 10, 0); err == nil {
+		t.Error("no pairs should error")
+	}
+	if _, err := RatioAttackSweep(1, 2, []float64{0.1}, good, 0, 0); err == nil {
+		t.Error("0 trials should error")
+	}
+	if _, err := RatioAttackSweep(1, 2, []float64{-1}, good, 10, 0); err == nil {
+		t.Error("bad epsilon should error")
+	}
+	if _, err := RatioAttackSweep(1, 2, []float64{0.1}, []CountPair{{X: 0, Y: 1}}, 10, 0); err == nil {
+		t.Error("x = 0 should error")
+	}
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// AdversarySeed drives the randomized condition sets of the adversary
+// bench.
+const AdversarySeed = 7
+
+// AdversaryBenchResult measures the index-backed adversary engine against
+// the reference scan path on one SPS publication: the same batch of random
+// condition sets answered by reconstruct.Engine (one cube lookup per set)
+// and by per-call table scans (the public Reconstruct's observed-counts
+// loop), with the numerical agreement of every estimate verified to 1e-12.
+type AdversaryBenchResult struct {
+	Dataset      string  `json:"dataset"`
+	Records      int     `json:"records"`
+	Conditions   int     `json:"conditions"` // condition sets in the batch
+	Workers      int     `json:"workers"`    // GOMAXPROCS of the run
+	IndexMS      float64 `json:"index_ms"`   // marginal-cube build (paid once per publication)
+	ScanMS       float64 `json:"scan_ms"`    // per-call scans, sequential (the old adversary path)
+	BatchMS      float64 `json:"batch_ms"`   // ReconstructBatch over the same sets
+	Speedup      float64 `json:"speedup"`    // ScanMS / BatchMS
+	MaxAbsDiff   float64 `json:"max_abs_diff"`
+	EmptySubsets int     `json:"empty_subsets"`
+}
+
+// RunAdversaryBench publishes a CENSUS sample with SPS, draws nConds random
+// condition sets (1–3 public attributes, uniform in-domain values), and
+// answers the batch both ways. It fails loudly if any reconstruction
+// disagrees beyond 1e-12 — the equivalence is an acceptance criterion, not
+// a best-effort comparison.
+func RunAdversaryBench(censusSize, nConds int) (*AdversaryBenchResult, error) {
+	if nConds <= 0 {
+		nConds = 1000
+	}
+	ds, err := CensusData(censusSize)
+	if err != nil {
+		return nil, err
+	}
+	pub, _, err := core.PublishSPSParallel(RunSeed, ds.Groups, DefaultParams, 0)
+	if err != nil {
+		return nil, err
+	}
+	table := pub.Table()
+	res := &AdversaryBenchResult{
+		Dataset:    ds.Name,
+		Records:    table.NumRows(),
+		Conditions: nConds,
+		Workers:    runtime.GOMAXPROCS(0),
+	}
+
+	t0 := time.Now()
+	marg, err := query.BuildMarginalsFromGroupsParallel(pub, 3, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.IndexMS = float64(time.Since(t0).Microseconds()) / 1000
+	eng, err := reconstruct.NewEngine(marg, DefaultParams.P)
+	if err != nil {
+		return nil, err
+	}
+
+	sets := randomConditionSets(stats.NewRand(AdversarySeed), pub.Schema, nConds, 3)
+
+	// Reference path: one full table scan per condition set, exactly what
+	// the public Reconstruct does per call.
+	scanFreqs := make([][]float64, nConds)
+	t1 := time.Now()
+	for i, set := range sets {
+		counts, size := scanSubsetCounts(table, set)
+		if size == 0 {
+			res.EmptySubsets++
+			continue
+		}
+		f, err := reconstruct.MLE(counts, DefaultParams.P)
+		if err != nil {
+			return nil, err
+		}
+		scanFreqs[i] = f
+	}
+	res.ScanMS = float64(time.Since(t1).Microseconds()) / 1000
+
+	t2 := time.Now()
+	batch := eng.ReconstructBatch(sets, reconstruct.BatchOptions{})
+	res.BatchMS = float64(time.Since(t2).Microseconds()) / 1000
+	if res.BatchMS > 0 {
+		res.Speedup = res.ScanMS / res.BatchMS
+	}
+
+	for i := range sets {
+		b := batch[i]
+		if b.Err != nil {
+			return nil, fmt.Errorf("experiments: batch set %d failed: %w", i, b.Err)
+		}
+		if (scanFreqs[i] == nil) != (b.Freqs == nil) {
+			return nil, fmt.Errorf("experiments: set %d: scan and batch disagree on emptiness", i)
+		}
+		for j := range b.Freqs {
+			if d := math.Abs(b.Freqs[j] - scanFreqs[i][j]); d > res.MaxAbsDiff {
+				res.MaxAbsDiff = d
+			}
+		}
+	}
+	if res.MaxAbsDiff > 1e-12 {
+		return nil, fmt.Errorf("experiments: adversary paths diverge: max |Δ| = %g > 1e-12", res.MaxAbsDiff)
+	}
+	return res, nil
+}
+
+// RandomConditionSets draws n deterministic condition sets from the
+// AdversarySeed stream — the workload shared by the adversary bench and the
+// top-level BenchmarkReconstructBatch.
+func RandomConditionSets(schema *dataset.Schema, n, maxDim int) [][]reconstruct.Condition {
+	return randomConditionSets(stats.NewRand(AdversarySeed), schema, n, maxDim)
+}
+
+// randomConditionSets draws n condition sets of 1..maxDim distinct public
+// attributes with uniform in-domain values.
+func randomConditionSets(rng *stats.Rand, schema *dataset.Schema, n, maxDim int) [][]reconstruct.Condition {
+	na := schema.NAIndices()
+	if maxDim > len(na) {
+		maxDim = len(na)
+	}
+	sets := make([][]reconstruct.Condition, n)
+	for i := range sets {
+		dim := 1 + rng.Intn(maxDim)
+		attrs := rng.Perm(len(na))[:dim]
+		set := make([]reconstruct.Condition, dim)
+		for j, ai := range attrs {
+			a := na[ai]
+			set[j] = reconstruct.Condition{Attr: a, Value: uint16(rng.Intn(schema.Attrs[a].Domain()))}
+		}
+		sets[i] = set
+	}
+	return sets
+}
+
+// scanSubsetCounts is the reference observed-counts scan: the SA histogram
+// and size of the subset matching the condition set.
+func scanSubsetCounts(t *dataset.Table, set []reconstruct.Condition) ([]int, int) {
+	counts := make([]int, t.Schema.SADomain())
+	size := 0
+	n := t.NumRows()
+	for r := 0; r < n; r++ {
+		row := t.Row(r)
+		match := true
+		for _, c := range set {
+			if row[c.Attr] != c.Value {
+				match = false
+				break
+			}
+		}
+		if match {
+			counts[row[t.Schema.SA]]++
+			size++
+		}
+	}
+	return counts, size
+}
+
+// String renders the bench summary.
+func (r *AdversaryBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Adversary engine on %s (|D*| = %d, %d condition sets, GOMAXPROCS = %d)\n",
+		r.Dataset, r.Records, r.Conditions, r.Workers)
+	t := &textTable{header: []string{"path", "ms", "per set"}}
+	perSet := func(ms float64) string {
+		return fmt.Sprintf("%.1f us", ms*1000/float64(r.Conditions))
+	}
+	t.addRow("per-call scans", f3(r.ScanMS), perSet(r.ScanMS))
+	t.addRow("ReconstructBatch", f3(r.BatchMS), perSet(r.BatchMS))
+	t.addRow("index build (once)", f3(r.IndexMS), "-")
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "speedup %.1fx, max |Δ| = %.2g, %d empty subsets\n",
+		r.Speedup, r.MaxAbsDiff, r.EmptySubsets)
+	return sb.String()
+}

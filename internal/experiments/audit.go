@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"github.com/reconpriv/reconpriv/internal/core"
-	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // AuditResult is the Monte-Carlo verification of Corollary 3 on a real
@@ -13,16 +14,22 @@ import (
 // probabilities of the personal-reconstruction error under the UP process
 // and under the SPS process, next to the Chernoff bounds.
 type AuditResult struct {
-	Dataset string
-	Trials  int
-	UP      *core.AuditReport
-	SPS     *core.AuditReport
+	Dataset string            `json:"dataset"`
+	Trials  int               `json:"trials"`
+	Groups  int               `json:"groups"`  // personal groups swept per report
+	Workers int               `json:"workers"` // GOMAXPROCS of the run
+	SweepMS float64           `json:"sweep_ms"`
+	UP      *core.AuditReport `json:"up"`
+	SPS     *core.AuditReport `json:"sps"`
 }
 
 // RunAudit audits the top maxGroups groups of a dataset with the default
-// parameters. It is the experiment the paper's analytical Sections 4–5
-// imply but never runs: bounds must dominate UP tails, and SPS must lift
-// the tails of violating groups far above their UP level.
+// parameters (0 sweeps every personal group). It is the experiment the
+// paper's analytical Sections 4–5 imply but never run: bounds must dominate
+// UP tails, and SPS must lift the tails of violating groups far above their
+// UP level. Both reports run through the parallel core.AuditSweep, so the
+// result is bit-identical at any GOMAXPROCS; SweepMS times the two sweeps
+// together.
 func RunAudit(adult bool, censusSize, trials, maxGroups int, seed int64) (*AuditResult, error) {
 	var ds *Dataset
 	var err error
@@ -34,22 +41,31 @@ func RunAudit(adult bool, censusSize, trials, maxGroups int, seed int64) (*Audit
 	if err != nil {
 		return nil, err
 	}
-	up, err := core.Audit(stats.NewRand(seed), ds.Groups, DefaultParams, false, trials, maxGroups)
+	start := time.Now()
+	up, err := core.AuditSweep(seed, ds.Groups, DefaultParams, false, trials, maxGroups, 0)
 	if err != nil {
 		return nil, err
 	}
-	sps, err := core.Audit(stats.NewRand(seed+1), ds.Groups, DefaultParams, true, trials, maxGroups)
+	sps, err := core.AuditSweep(seed+1, ds.Groups, DefaultParams, true, trials, maxGroups, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &AuditResult{Dataset: ds.Name, Trials: trials, UP: up, SPS: sps}, nil
+	return &AuditResult{
+		Dataset: ds.Name,
+		Trials:  trials,
+		Groups:  len(up.Groups),
+		Workers: runtime.GOMAXPROCS(0),
+		SweepMS: float64(time.Since(start).Microseconds()) / 1000,
+		UP:      up,
+		SPS:     sps,
+	}, nil
 }
 
 // String renders the audit as a per-group table.
 func (r *AuditResult) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Monte-Carlo audit of %s (top %d groups, %d trials, defaults)\n",
-		r.Dataset, len(r.UP.Groups), r.Trials)
+	fmt.Fprintf(&sb, "Monte-Carlo audit of %s (top %d groups, %d trials, defaults; swept in %.1f ms on %d workers)\n",
+		r.Dataset, len(r.UP.Groups), r.Trials, r.SweepMS, r.Workers)
 	t := &textTable{header: []string{
 		"size", "f", "s_g", "violates",
 		"UP tail", "Chernoff U+L", "SPS tail",

@@ -9,11 +9,11 @@ import (
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
 )
 
-// Cond is one equality condition on a public attribute.
-type Cond struct {
-	Attr  int // schema attribute index
-	Value uint16
-}
+// Cond is one equality condition on a public attribute. It is an alias of
+// reconstruct.Condition so Marginals satisfies reconstruct.Counter directly:
+// the adversary engine consumes condition sets built for this index without
+// any conversion, and vice versa.
+type Cond = reconstruct.Condition
 
 // Query is a conjunctive count query over public attributes plus one
 // sensitive value (Eq. 11).
@@ -335,6 +335,34 @@ func (mg *Marginals) lookup(conds []Cond) (*marginal, []uint16, error) {
 		}
 	}
 	return cube, vals, nil
+}
+
+// SADomain returns m, the sensitive-attribute domain size of the indexed
+// schema (part of the reconstruct.Counter contract).
+func (mg *Marginals) SADomain() int { return mg.Schema.SADomain() }
+
+// SubsetCountsInto fills dst (length SADomain) with the SA histogram of the
+// subset matching conds and returns the subset size — one cube lookup, the
+// indexed replacement for the O(n) observed-counts table scan. It completes
+// the reconstruct.Counter contract, making every Marginals an adversary
+// engine source.
+func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
+	cube, vals, err := mg.lookup(conds)
+	if err != nil {
+		return 0, err
+	}
+	m := mg.Schema.SADomain()
+	if len(dst) < m {
+		return 0, fmt.Errorf("query: subset histogram needs %d slots, got %d", m, len(dst))
+	}
+	base := cube.flatIndex(vals, 0, m)
+	size := 0
+	for sa := 0; sa < m; sa++ {
+		c := cube.counts[base+sa]
+		dst[sa] = c
+		size += c
+	}
+	return size, nil
 }
 
 // Count answers the full query (NA conditions ∧ SA=sa).

@@ -117,17 +117,17 @@ func TestMarginalsErrors(t *testing.T) {
 	if _, err := mg.Count(Query{SA: 0}); err == nil {
 		t.Error("zero conditions should error")
 	}
-	threeConds := []Cond{{0, 0}, {1, 0}, {2, 0}}
+	threeConds := []Cond{{Attr: 0, Value: 0}, {Attr: 1, Value: 0}, {Attr: 2, Value: 0}}
 	if _, err := mg.CountNA(threeConds); err == nil {
 		t.Error("exceeding MaxDim should error")
 	}
-	if _, err := mg.Count(Query{Conds: []Cond{{0, 0}, {0, 1}}, SA: 0}); err == nil {
+	if _, err := mg.Count(Query{Conds: []Cond{{Attr: 0, Value: 0}, {Attr: 0, Value: 1}}, SA: 0}); err == nil {
 		t.Error("duplicate attribute should error")
 	}
-	if _, err := mg.Count(Query{Conds: []Cond{{0, 99}}, SA: 0}); err == nil {
+	if _, err := mg.Count(Query{Conds: []Cond{{Attr: 0, Value: 99}}, SA: 0}); err == nil {
 		t.Error("out-of-domain value should error")
 	}
-	if _, err := mg.Count(Query{Conds: []Cond{{0, 0}}, SA: 99}); err == nil {
+	if _, err := mg.Count(Query{Conds: []Cond{{Attr: 0, Value: 0}}, SA: 99}); err == nil {
 		t.Error("out-of-domain SA should error")
 	}
 	if _, err := BuildMarginals(tab, 0); err == nil {
@@ -303,7 +303,7 @@ func TestPoolEvaluateErrors(t *testing.T) {
 	if _, err := empty.Evaluate(mg, 0.5); err == nil {
 		t.Error("empty pool should error")
 	}
-	bad := &Pool{Queries: []Query{{Conds: []Cond{{0, 0}}, SA: 0}}, Answers: []int{0}}
+	bad := &Pool{Queries: []Query{{Conds: []Cond{{Attr: 0, Value: 0}}, SA: 0}}, Answers: []int{0}}
 	if _, err := bad.Evaluate(mg, 0.5); err == nil {
 		t.Error("zero true answer should error")
 	}

@@ -36,6 +36,45 @@ func MLE(counts []int, p float64) ([]float64, error) {
 	return out, nil
 }
 
+// ClampSimplex projects an MLE estimate onto the probability simplex in
+// place: negative entries are floored at 0 and the remainder renormalized
+// to sum to 1. Clamping trades the raw MLE's unbiasedness for feasibility —
+// useful when an estimate feeds code that requires a genuine distribution
+// (visualization, KL divergences, downstream samplers). If everything is
+// clamped away (possible only for degenerate inputs), the result is the
+// uniform distribution.
+func ClampSimplex(f []float64) {
+	total := 0.0
+	for i, v := range f {
+		if v < 0 || math.IsNaN(v) {
+			f[i] = 0
+			continue
+		}
+		total += v
+	}
+	if total <= 0 {
+		for i := range f {
+			f[i] = 1 / float64(len(f))
+		}
+		return
+	}
+	for i := range f {
+		f[i] /= total
+	}
+}
+
+// MLEClamped is MLE followed by ClampSimplex: the Lemma 2 estimate
+// projected onto the simplex. The unbiased raw MLE stays the default
+// estimator everywhere; callers opt into clamping explicitly.
+func MLEClamped(counts []int, p float64) ([]float64, error) {
+	out, err := MLE(counts, p)
+	if err != nil {
+		return nil, err
+	}
+	ClampSimplex(out)
+	return out, nil
+}
+
 // MLEValue is the single-value form of Lemma 2(ii):
 // F' = (O*/|S| − (1−p)/m) / p.
 func MLEValue(observed, size int, p float64, m int) float64 {

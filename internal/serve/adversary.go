@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/par"
+	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+)
+
+// This file is the served adversary surface: POST /reconstruct answers
+// batched full-distribution reconstructions through the publication's
+// engine, and POST /audit runs the parallel per-group privacy audit the
+// paper's criterion is defined against. Both read only immutable
+// publication state, so they never contend with queries or publishes.
+
+// reconstructRequest is the body of POST /reconstruct.
+type reconstructRequest struct {
+	ID string `json:"id"`
+	// Client identifies the reconstructing party for exposure accounting
+	// (X-Client-ID header takes precedence, remote IP is the fallback).
+	Client string `json:"client,omitempty"`
+	// Subsets are the condition sets to reconstruct over, one result each.
+	Subsets [][]CondJSON `json:"subsets"`
+	// Clamp projects every estimate onto the probability simplex (negative
+	// entries floored at 0, renormalized); the raw unbiased MLE is the
+	// default.
+	Clamp bool `json:"clamp,omitempty"`
+	// Wait blocks until a pending publication is ready instead of failing
+	// with 409.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// reconstructionJSON is one subset's served reconstruction.
+type reconstructionJSON struct {
+	// Size is the observed subset size |S*|; 0 with no freqs means the
+	// subset is empty.
+	Size int `json:"size"`
+	// Freqs is the estimated sensitive-value distribution keyed by label.
+	Freqs map[string]float64 `json:"freqs,omitempty"`
+	Error string             `json:"error,omitempty"`
+}
+
+type reconstructResponse struct {
+	ID      string               `json:"id"`
+	Results []reconstructionJSON `json:"results"`
+	Client  string               `json:"client"`
+	// ClientQueries is the client's cumulative exposure after this batch:
+	// every reconstruction reveals the subset's full m-value histogram, so
+	// it is charged as m count queries.
+	ClientQueries   int64 `json:"client_queries"`
+	ExposureWarning bool  `json:"exposure_warning,omitempty"`
+	ServeMicros     int64 `json:"serve_us"`
+}
+
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req reconstructRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Subsets) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("empty subset batch"))
+		return
+	}
+	if len(req.Subsets) > s.cfg.MaxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the limit %d", len(req.Subsets), s.cfg.MaxBatch))
+		return
+	}
+	pub, ok := s.resolvePublication(w, req.ID, req.Wait, true)
+	if !ok {
+		return
+	}
+
+	// Label resolution is striped across the evaluation width, mirroring
+	// the /query path: on large batches it costs as much as the engine
+	// lookups.
+	sets := make([][]query.Cond, len(req.Subsets))
+	resolveErr := make([]error, len(req.Subsets))
+	par.Striped(len(req.Subsets), s.cfg.QueryWorkers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sets[i], resolveErr[i] = pub.ResolveConds(req.Subsets[i])
+		}
+	})
+	recs := pub.Eng.ReconstructBatch(sets, reconstruct.BatchOptions{
+		Workers: s.cfg.QueryWorkers,
+		Clamp:   req.Clamp,
+	})
+
+	sa := pub.Orig.SAAttr()
+	out := reconstructResponse{ID: pub.ID, Results: make([]reconstructionJSON, len(recs))}
+	var errs uint64
+	for i, rec := range recs {
+		rj := reconstructionJSON{Size: rec.Size}
+		switch {
+		case resolveErr[i] != nil:
+			rj = reconstructionJSON{Error: resolveErr[i].Error()}
+		case rec.Err != nil:
+			rj = reconstructionJSON{Error: rec.Err.Error()}
+		case rec.Freqs != nil:
+			rj.Freqs = make(map[string]float64, len(rec.Freqs))
+			for v, f := range rec.Freqs {
+				rj.Freqs[sa.Label(uint16(v))] = f
+			}
+		}
+		if rj.Error != "" {
+			errs++
+		}
+		out.Results[i] = rj
+	}
+
+	out.Client = clientID(r, req.Client)
+	out.ClientQueries = s.addExposure(out.Client, int64(len(req.Subsets))*int64(pub.Marg.SADomain()))
+	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
+
+	s.reconstructBatches.Add(1)
+	s.reconstructions.Add(uint64(len(req.Subsets)))
+	s.queryErrors.Add(errs)
+	elapsed := time.Since(start)
+	s.lat.Observe(elapsed)
+	out.ServeMicros = elapsed.Microseconds()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Audit endpoint defaults and caps.
+const (
+	defaultAuditTrials = 500
+	maxAuditTrials     = 20000
+	defaultAuditTop    = 20
+	maxAuditTop        = 1000
+	// maxCachedAudits bounds the audit result cache; beyond it an arbitrary
+	// entry is dropped (audits are cheap to recompute and keyed
+	// deterministically, so eviction policy hardly matters).
+	maxCachedAudits = 256
+	// auditTolerance is the Monte-Carlo slack when comparing empirical
+	// tails against their Chernoff bounds.
+	auditTolerance = 0.02
+)
+
+// auditRequest is the body of POST /audit.
+type auditRequest struct {
+	ID string `json:"id"`
+	// Trials is the Monte-Carlo trial count per group (default 500, max
+	// 20000).
+	Trials int `json:"trials,omitempty"`
+	// MaxGroups caps the audited groups, largest first; 0 sweeps every
+	// personal group.
+	MaxGroups int `json:"max_groups,omitempty"`
+	// Top is how many per-group rows to return, largest groups first
+	// (default 20, max 1000). Summary counters always cover every audited
+	// group.
+	Top int `json:"top,omitempty"`
+	// Seed drives the audit's simulation randomness (default 1). Equal
+	// (publication generation, trials, max_groups, seed) requests are
+	// answered from cache.
+	Seed int64 `json:"seed,omitempty"`
+	// Wait blocks until a pending publication is ready instead of failing
+	// with 409.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// auditGroupJSON is one personal group's audit row.
+type auditGroupJSON struct {
+	Key        string  `json:"key"`
+	Size       int     `json:"size"`
+	F          float64 `json:"f"`           // frequency of the audited (most frequent) value
+	SG         float64 `json:"sg"`          // Eq. 10 threshold
+	Violating  bool    `json:"violating"`   // Corollary 4 verdict on the raw group
+	UpperEmp   float64 `json:"upper_emp"`   // empirical Pr[(F'-f)/f > λ]
+	LowerEmp   float64 `json:"lower_emp"`   // empirical Pr[(F'-f)/f < -λ]
+	UpperBound float64 `json:"upper_bound"` // Chernoff U (Corollary 3)
+	LowerBound float64 `json:"lower_bound"` // Chernoff L (Corollary 3)
+}
+
+type auditResponse struct {
+	ID         string `json:"id"`
+	Generation int    `json:"generation"`
+	Method     string `json:"method"`
+	// SPS reports whether violating groups were simulated through the SPS
+	// process (true for sps publications) or plain uniform perturbation.
+	SPS       bool  `json:"sps"`
+	Trials    int   `json:"trials"`
+	Seed      int64 `json:"seed"`
+	MaxGroups int   `json:"max_groups,omitempty"`
+	// GroupsAudited counts the swept personal groups; Violating those
+	// failing the Corollary 4 test on the raw data.
+	GroupsAudited int `json:"groups_audited"`
+	Violating     int `json:"violating_groups"`
+	// BoundViolations counts plain-perturbed groups whose empirical tail
+	// exceeded its Chernoff bound beyond the Monte-Carlo tolerance — zero
+	// in a correct implementation. Under SPS, violating groups are
+	// deliberately pushed past their raw-size bounds, so only
+	// non-violating (plain-perturbed) groups are counted there.
+	BoundViolations int              `json:"bound_violations"`
+	AuditMS         float64          `json:"audit_ms"`
+	Cached          bool             `json:"cached,omitempty"`
+	Top             []auditGroupJSON `json:"top"`
+}
+
+// auditCacheKey identifies one audit result: everything that changes the
+// output, including the publication generation (a refresh invalidates).
+func auditCacheKey(pub *Publication, trials, maxGroups int, seed int64) string {
+	return fmt.Sprintf("%s/g%d/t%d/m%d/s%d", pub.ID, pub.Generation, trials, maxGroups, seed)
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req auditRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Trials == 0 {
+		req.Trials = defaultAuditTrials
+	}
+	if req.Trials < 1 || req.Trials > maxAuditTrials {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("trials must be in [1,%d], got %d", maxAuditTrials, req.Trials))
+		return
+	}
+	if req.MaxGroups < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("max_groups must be non-negative"))
+		return
+	}
+	if req.Top == 0 {
+		req.Top = defaultAuditTop
+	}
+	if req.Top < 0 || req.Top > maxAuditTop {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("top must be in [0,%d], got %d", maxAuditTop, req.Top))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	pub, ok := s.resolvePublication(w, req.ID, req.Wait, true)
+	if !ok {
+		return
+	}
+	if pub.Groups == nil {
+		httpError(w, http.StatusConflict, fmt.Errorf("publication %q has no raw group snapshot to audit", req.ID))
+		return
+	}
+
+	key := auditCacheKey(pub, req.Trials, req.MaxGroups, req.Seed)
+	if res := s.cachedAudit(key); res != nil {
+		s.auditCacheHits.Add(1)
+		writeAudit(w, res, true, req.Top)
+		return
+	}
+	// Concurrent identical audits collapse into one sweep; the winner
+	// populates the cache. auditRun distinguishes a run that executed the
+	// sweep from one resolved by the inner cache double-check, and the
+	// singleflight shared flag marks joiners — both are cache hits from the
+	// caller's point of view.
+	type auditRun struct {
+		res       *auditResponse
+		fromCache bool
+	}
+	v, err, shared := s.sf.Do("audit:"+key, func() (any, error) {
+		if res := s.cachedAudit(key); res != nil {
+			return &auditRun{res: res, fromCache: true}, nil
+		}
+		res, err := s.runAudit(pub, req)
+		if err != nil {
+			return nil, err
+		}
+		s.storeAudit(key, res)
+		s.audits.Add(1)
+		return &auditRun{res: res}, nil
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	run := v.(*auditRun)
+	cached := shared || run.fromCache
+	if cached {
+		s.auditCacheHits.Add(1)
+	}
+	writeAudit(w, run.res, cached, req.Top)
+}
+
+// writeAudit renders a cached-or-fresh audit result for one request: the
+// shared result always carries the full maxAuditTop rows, and each response
+// cuts its own Top — the row count is a presentation knob, not part of the
+// cache identity.
+func writeAudit(w http.ResponseWriter, res *auditResponse, cached bool, top int) {
+	out := *res
+	out.Cached = cached
+	if top < len(out.Top) {
+		out.Top = out.Top[:top]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runAudit executes the parallel group sweep for one publication.
+func (s *Server) runAudit(pub *Publication, req auditRequest) (*auditResponse, error) {
+	sps := pub.Req.Method == MethodSPS
+	start := time.Now()
+	rep, err := core.AuditSweep(req.Seed, pub.Groups, pub.Req.Params(), sps, req.Trials, req.MaxGroups, s.cfg.QueryWorkers)
+	if err != nil {
+		return nil, err
+	}
+	res := &auditResponse{
+		ID:         pub.ID,
+		Generation: pub.Generation,
+		Method:     pub.Req.Method,
+		SPS:        sps,
+		Trials:     req.Trials,
+		Seed:       req.Seed,
+		MaxGroups:  req.MaxGroups,
+		AuditMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	res.GroupsAudited = len(rep.Groups)
+	for _, g := range rep.Groups {
+		if g.Violating {
+			res.Violating++
+		}
+		plainPerturbed := !sps || !g.Violating
+		if plainPerturbed && (g.UpperEmp > g.UpperBound+auditTolerance || g.LowerEmp > g.LowerBound+auditTolerance) {
+			res.BoundViolations++
+		}
+	}
+	// Materialize rows to the cache-wide maximum; writeAudit cuts each
+	// response down to its request's Top.
+	top := maxAuditTop
+	if top > len(rep.Groups) {
+		top = len(rep.Groups)
+	}
+	res.Top = make([]auditGroupJSON, top)
+	for i := 0; i < top; i++ {
+		g := rep.Groups[i]
+		res.Top[i] = auditGroupJSON{
+			Key:        formatGroupKey(pub.Groups.Schema, g.Key),
+			Size:       g.Size,
+			F:          g.F,
+			SG:         g.SG,
+			Violating:  g.Violating,
+			UpperEmp:   g.UpperEmp,
+			LowerEmp:   g.LowerEmp,
+			UpperBound: g.UpperBound,
+			LowerBound: g.LowerBound,
+		}
+	}
+	return res, nil
+}
+
+// formatGroupKey renders a group key with the schema's labels. Unlike
+// core.FormatKey it derives the NA order from the schema rather than the
+// group set's internal cache, which group sets materialized outside
+// GroupsOf (the incremental publisher's raw snapshot) do not carry.
+func formatGroupKey(schema *dataset.Schema, key []uint16) string {
+	var b strings.Builder
+	for i, a := range schema.NAIndices() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(schema.Attrs[a].Name)
+		b.WriteByte('=')
+		if i < len(key) {
+			b.WriteString(schema.Attrs[a].Label(key[i]))
+		}
+	}
+	return b.String()
+}
+
+// cachedAudit returns the cached result for a key, or nil.
+func (s *Server) cachedAudit(key string) *auditResponse {
+	s.auditCache.mu.Lock()
+	defer s.auditCache.mu.Unlock()
+	return s.auditCache.m[key]
+}
+
+// storeAudit caches a result, evicting an arbitrary entry beyond the cap.
+func (s *Server) storeAudit(key string, res *auditResponse) {
+	s.auditCache.mu.Lock()
+	defer s.auditCache.mu.Unlock()
+	if s.auditCache.m == nil {
+		s.auditCache.m = make(map[string]*auditResponse)
+	}
+	if len(s.auditCache.m) >= maxCachedAudits {
+		for k := range s.auditCache.m {
+			delete(s.auditCache.m, k)
+			break
+		}
+	}
+	s.auditCache.m[key] = res
+}

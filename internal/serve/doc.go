@@ -28,6 +28,13 @@
 //     stronger with every answered query, so operators get a per-client
 //     exposure counter and a configurable warning threshold in every query
 //     response.
+//   - The adversary side of the paper is served too (adversary.go): POST
+//     /reconstruct answers batched full-distribution reconstructions
+//     through the publication's reconstruct.Engine (each subset charged as
+//     m count queries against the exposure counter), and POST /audit runs
+//     the parallel per-group (λ, δ) tail audit (core.AuditSweep) on the
+//     publication's raw group snapshot — singleflight-deduped and cached
+//     by (publication, generation, parameters).
 //
 // Observability is served from /healthz and /statsz: publication and cache
 // counters, query throughput, and p50/p99 request latency from a lock-free
@@ -38,6 +45,8 @@
 //	POST /publish       build-or-get a publication (async; id returned at once)
 //	GET  /publications  list cached publications and their metadata
 //	POST /query         answer a batch of count queries against one publication
+//	POST /reconstruct   batched SA-distribution reconstructions over condition sets
+//	POST /audit         parallel per-group privacy audit of a publication (cached)
 //	POST /refresh       republish the same key with a fresh RNG stream
 //	POST /insert        stream records into an incremental publication
 //	GET  /healthz       liveness

@@ -10,6 +10,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/datagen"
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
@@ -129,7 +130,7 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 
 	pm := req.Params()
 	seed := publishSeed(req.Seed, generation)
-	var published *dataset.GroupSet
+	var published, rawGroups *dataset.GroupSet
 	var meta core.Meta
 	switch req.Method {
 	case MethodSPS:
@@ -141,7 +142,7 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 		if err != nil {
 			return nil, err
 		}
-		published, meta = out, core.ExtractMeta(groups, pm, st)
+		published, rawGroups, meta = out, groups, core.ExtractMeta(groups, pm, st)
 	case MethodUP:
 		groups, err := groupsOf()
 		if err != nil {
@@ -151,11 +152,11 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 		if err != nil {
 			return nil, err
 		}
-		published, meta = out, core.ExtractMeta(groups, pm, nil)
+		published, rawGroups, meta = out, groups, core.ExtractMeta(groups, pm, nil)
 	case MethodIncremental:
 		// Incremental publications never generalize, so raw is the working
 		// table (Normalize forces Significance to 0).
-		published, meta, err = s.buildIncremental(e, raw, pm, seed, generation)
+		published, rawGroups, meta, err = s.buildIncremental(e, raw, pm, seed, generation)
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +165,10 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 	}
 
 	marg, err := query.BuildMarginalsFromGroupsParallel(published, req.MaxDim, workers)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := reconstruct.NewEngine(marg, pm.P)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +188,8 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 		BuildTime:  time.Since(start),
 		Meta:       meta,
 		Marg:       marg,
+		Eng:        eng,
+		Groups:     rawGroups,
 		Orig:       raw.Schema,
 		mapping:    mapping,
 	}, nil
@@ -190,21 +197,24 @@ func (s *Server) buildPublication(e *Entry, generation int) (*Publication, error
 
 // buildIncremental creates (generation 0) or rebuilds (refresh) the
 // streaming publisher behind an incremental publication and snapshots it.
-func (s *Server) buildIncremental(e *Entry, work *dataset.Table, pm core.Params, seed int64, generation int) (*dataset.GroupSet, core.Meta, error) {
+// The raw-group snapshot rides along for the audit endpoint (RawGroups
+// materializes fresh slices, so the snapshot never aliases the live
+// publisher state).
+func (s *Server) buildIncremental(e *Entry, work *dataset.Table, pm core.Params, seed int64, generation int) (*dataset.GroupSet, *dataset.GroupSet, core.Meta, error) {
 	e.incMu.Lock()
 	defer e.incMu.Unlock()
 	if e.inc == nil {
 		inc, err := core.NewIncremental(work.Schema, pm, stats.NewRand(seed))
 		if err != nil {
-			return nil, core.Meta{}, err
+			return nil, nil, core.Meta{}, err
 		}
 		if err := inc.AddTable(work); err != nil {
-			return nil, core.Meta{}, err
+			return nil, nil, core.Meta{}, err
 		}
 		e.inc = inc
 	} else if generation > 0 {
 		if err := e.inc.Rebuild(); err != nil {
-			return nil, core.Meta{}, err
+			return nil, nil, core.Meta{}, err
 		}
 	}
 	e.dirty.Store(false)
@@ -212,9 +222,10 @@ func (s *Server) buildIncremental(e *Entry, work *dataset.Table, pm core.Params,
 	// Metadata derives from the publisher's current raw histograms, not the
 	// generation-0 table: after inserts, a refresh must report the stream's
 	// violation profile, not the initial batch's.
-	meta := core.ExtractMeta(e.inc.RawGroups(), pm, nil)
+	raw := e.inc.RawGroups()
+	meta := core.ExtractMeta(raw, pm, nil)
 	meta.RecordsOut = snap.Total()
-	return snap, meta, nil
+	return snap, raw, meta, nil
 }
 
 // reindexIncremental rebuilds the marginal index of a dirty incremental
@@ -232,15 +243,22 @@ func (s *Server) reindexIncremental(e *Entry) (*Publication, error) {
 		e.incMu.Lock()
 		e.dirty.Store(false)
 		snap := e.inc.Snapshot()
-		meta := core.ExtractMeta(e.inc.RawGroups(), old.Req.Params(), nil)
+		raw := e.inc.RawGroups()
 		e.incMu.Unlock()
+		meta := core.ExtractMeta(raw, old.Req.Params(), nil)
 		meta.RecordsOut = snap.Total()
 		marg, err := query.BuildMarginalsFromGroupsParallel(snap, old.Req.MaxDim, s.cfg.PipelineWorkers)
 		if err != nil {
 			return nil, err
 		}
+		eng, err := reconstruct.NewEngine(marg, old.Req.P)
+		if err != nil {
+			return nil, err
+		}
 		pub := *old // shallow copy: shared fields are immutable
 		pub.Marg = marg
+		pub.Eng = eng
+		pub.Groups = raw
 		pub.Meta = meta
 		if !e.pub.CompareAndSwap(old, &pub) {
 			// A concurrent /refresh swapped in a new generation while we

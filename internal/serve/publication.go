@@ -11,6 +11,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/datagen"
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
 )
 
 // Publishing methods.
@@ -205,6 +206,18 @@ type Publication struct {
 	// immutable and safe for concurrent readers (see query.AnswerBatch).
 	Marg *query.Marginals
 
+	// Eng is the adversary engine over Marg: batched reconstructions and
+	// count estimates for POST /reconstruct. Like Marg it is immutable and
+	// shared by concurrent batches.
+	Eng *reconstruct.Engine
+
+	// Groups is the raw (pre-perturbation) personal groups of the
+	// generalized data — the input of the Corollary 4 test, which POST
+	// /audit sweeps to measure per-group tail probabilities. For
+	// incremental publications it is a snapshot of the stream's raw
+	// histograms at build/re-index time.
+	Groups *dataset.GroupSet
+
 	// Orig is the pre-generalization schema — the vocabulary clients speak —
 	// and mapping translates original value codes to generalized codes
 	// (nil entries: attribute unchanged).
@@ -232,14 +245,30 @@ type QueryJSON struct {
 // label like "Edu-01+Edu-02") are accepted as written. The sensitive value
 // is never generalized, so it resolves against the original SA domain.
 func (p *Publication) Resolve(q QueryJSON) (query.Query, error) {
-	out := query.Query{Conds: make([]query.Cond, 0, len(q.Conds))}
-	for _, c := range q.Conds {
+	conds, err := p.ResolveConds(q.Conds)
+	if err != nil {
+		return query.Query{}, err
+	}
+	sa, err := p.Orig.SAAttr().Code(q.SA)
+	if err != nil {
+		return query.Query{}, err
+	}
+	return query.Query{Conds: conds, SA: sa}, nil
+}
+
+// ResolveConds translates a wire condition set into engine codes — the
+// condition half of Resolve, shared with the /reconstruct path, which has
+// no sensitive value to resolve (it reconstructs the whole SA
+// distribution).
+func (p *Publication) ResolveConds(cs []CondJSON) ([]query.Cond, error) {
+	out := make([]query.Cond, 0, len(cs))
+	for _, c := range cs {
 		ai, err := p.Orig.AttrIndex(c.Attr)
 		if err != nil {
-			return query.Query{}, err
+			return nil, err
 		}
 		if ai == p.Orig.SA {
-			return query.Query{}, fmt.Errorf("serve: conditions may not reference the sensitive attribute %q", c.Attr)
+			return nil, fmt.Errorf("serve: conditions may not reference the sensitive attribute %q", c.Attr)
 		}
 		code, err := p.Orig.Attrs[ai].Code(c.Value)
 		if err == nil {
@@ -249,14 +278,9 @@ func (p *Publication) Resolve(q QueryJSON) (query.Query, error) {
 		} else if gc, gerr := p.Marg.Schema.Attrs[ai].Code(c.Value); gerr == nil {
 			code = gc
 		} else {
-			return query.Query{}, err
+			return nil, err
 		}
-		out.Conds = append(out.Conds, query.Cond{Attr: ai, Value: code})
+		out = append(out, query.Cond{Attr: ai, Value: code})
 	}
-	sa, err := p.Orig.SAAttr().Code(q.SA)
-	if err != nil {
-		return query.Query{}, err
-	}
-	out.SA = sa
 	return out, nil
 }

@@ -101,18 +101,29 @@ type Server struct {
 
 	// Counters surfaced by /statsz. publishRuns counts actual pipeline
 	// executions; publishRequests − publishRuns − refreshes = cacheHits.
-	publishRequests atomic.Uint64
-	publishRuns     atomic.Uint64
-	cacheHits       atomic.Uint64
-	refreshes       atomic.Uint64
-	refreshFailures atomic.Uint64
-	queryBatches    atomic.Uint64
-	queriesAnswered atomic.Uint64
-	queryErrors     atomic.Uint64
-	inserts         atomic.Uint64
-	absorbed        atomic.Uint64
+	publishRequests    atomic.Uint64
+	publishRuns        atomic.Uint64
+	cacheHits          atomic.Uint64
+	refreshes          atomic.Uint64
+	refreshFailures    atomic.Uint64
+	queryBatches       atomic.Uint64
+	queriesAnswered    atomic.Uint64
+	queryErrors        atomic.Uint64
+	inserts            atomic.Uint64
+	absorbed           atomic.Uint64
+	reconstructBatches atomic.Uint64
+	reconstructions    atomic.Uint64
+	audits             atomic.Uint64
+	auditCacheHits     atomic.Uint64
 
-	lat latencyHist // /query request latency
+	// auditCache holds completed audit sweeps keyed by (publication,
+	// generation, parameters); see adversary.go.
+	auditCache struct {
+		mu sync.Mutex
+		m  map[string]*auditResponse
+	}
+
+	lat latencyHist // /query and /reconstruct request latency
 }
 
 // New builds a Server.
@@ -130,6 +141,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/publish", s.handlePublish)
 	mux.HandleFunc("/publications", s.handlePublications)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/refresh", s.handleRefresh)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -686,7 +699,14 @@ type statszResponse struct {
 	QueryErrors     uint64 `json:"query_errors"`
 	Inserts         uint64 `json:"inserts"`
 	InsertsAbsorbed uint64 `json:"inserts_absorbed"`
-	Clients         int    `json:"clients"`
+	// ReconstructBatches / Reconstructions count POST /reconstruct traffic
+	// (batches and condition sets answered); Audits counts actual audit
+	// sweeps run, AuditCacheHits responses served from the audit cache.
+	ReconstructBatches uint64 `json:"reconstruct_batches"`
+	Reconstructions    uint64 `json:"reconstructions"`
+	Audits             uint64 `json:"audits"`
+	AuditCacheHits     uint64 `json:"audit_cache_hits"`
+	Clients            int    `json:"clients"`
 	// MaxClientQueries is the largest per-client cumulative answered-query
 	// count — the most exposed client's total, the number the exposure
 	// warning compares against.
@@ -715,6 +735,10 @@ func (s *Server) Stats() statszResponse {
 	out.QueryErrors = s.queryErrors.Load()
 	out.Inserts = s.inserts.Load()
 	out.InsertsAbsorbed = s.absorbed.Load()
+	out.ReconstructBatches = s.reconstructBatches.Load()
+	out.Reconstructions = s.reconstructions.Load()
+	out.Audits = s.audits.Load()
+	out.AuditCacheHits = s.auditCacheHits.Load()
 	s.clients.mu.RLock()
 	out.Clients = len(s.clients.m)
 	for _, c := range s.clients.m {
