@@ -1,0 +1,96 @@
+package reconpriv
+
+// Golden-file regression for the rpbench -json artifact schema: downstream
+// plotting consumes the BENCH_<name>.json files, so a silently renamed or
+// dropped field must fail tier-1 here instead of breaking the plots. The
+// committed golden is the adversary row at a frozen small configuration;
+// the comparison is structural — the exact key set, plus exact equality of
+// the fields that are deterministic under the frozen seeds — while timing
+// fields only need to exist and be numeric.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// The frozen configuration: small enough for tier-1, large enough that the
+// CENSUS pipeline (generalization, grouping, SPS, indexing) all engage.
+const (
+	goldenCensusSize = 20000
+	goldenConds      = 200
+)
+
+const adversaryGoldenPath = "testdata/BENCH_adversary.golden.json"
+
+// goldenDeterministic lists the adversary-row fields that are pure
+// functions of the frozen seeds and must match the golden exactly. The
+// remaining fields (index_ms, scan_ms, batch_ms, speedup, workers,
+// max_abs_diff) are machine-dependent: present and numeric, values free.
+var goldenDeterministic = []string{"dataset", "records", "conditions", "empty_subsets"}
+
+func TestBenchAdversaryGoldenJSON(t *testing.T) {
+	res, err := experiments.RunAdversaryBench(goldenCensusSize, goldenConds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marshal exactly as cmd/rpbench does for its BENCH_<name>.json files.
+	fresh, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(adversaryGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(adversaryGoldenPath, append(fresh, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", adversaryGoldenPath)
+		return
+	}
+	goldenData, err := os.ReadFile(adversaryGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestBenchAdversaryGoldenJSON -update .)", err)
+	}
+
+	var got, want map[string]any
+	if err := json.Unmarshal(fresh, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(goldenData, &want); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("field %q disappeared from the bench JSON (schema drift)", k)
+		}
+	}
+	for k, v := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("new field %q is not in the golden (regenerate with -update)", k)
+			continue
+		}
+		if _, isNum := v.(float64); !isNum {
+			if sv, isStr := v.(string); !isStr || sv == "" {
+				t.Errorf("field %q is neither a number nor a non-empty string: %v", k, v)
+			}
+		}
+	}
+	for _, k := range goldenDeterministic {
+		if got[k] != want[k] {
+			t.Errorf("deterministic field %q = %v, golden has %v (frozen-seed drift)", k, got[k], want[k])
+		}
+	}
+	// The equivalence bound is part of the artifact's meaning, not timing.
+	if d, _ := got["max_abs_diff"].(float64); d > 1e-12 {
+		t.Errorf("max_abs_diff %g exceeds the 1e-12 equivalence bound", d)
+	}
+}

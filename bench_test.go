@@ -26,6 +26,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/query"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
 	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/sim"
 	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
@@ -358,6 +359,30 @@ func BenchmarkReconstructBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(sets))*float64(b.N)/b.Elapsed().Seconds(), "reconstructions/s")
+}
+
+// BenchmarkSimMixed runs the mixed workload simulation end to end: 8
+// concurrent clients driving queries, inserts, refreshes, reconstructions,
+// and audits against an in-process publication server over real HTTP, with
+// the internal/sim invariant checker validating every step. The benchmark
+// fails on any invariant violation, so it doubles as a serving regression
+// gate wherever benchmarks run.
+func BenchmarkSimMixed(b *testing.B) {
+	sc, err := sim.Lookup("mixed")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Options{Scenario: sc, Seed: 1, Clients: 8, Steps: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := res.Summary.Invariants.Violations; v > 0 {
+			b.Fatalf("%d invariant violations: %v", v, res.Summary.Invariants.Failures)
+		}
+		b.ReportMetric(res.Timing.RequestsPerSec, "requests/s")
+		b.ReportMetric(float64(res.Summary.Invariants.Checks), "checks")
+	}
 }
 
 // BenchmarkIncrementalPublish times streaming publication of the ADULT

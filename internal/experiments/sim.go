@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/sim"
+)
+
+// SimMixedResult is the rpbench row for the mixed workload simulation: the
+// deterministic run summary next to its wall-clock measurements. The
+// summary half is byte-stable under the frozen seed; the timing half is the
+// serving throughput the simulator measured end to end over real HTTP.
+type SimMixedResult struct {
+	Summary sim.Summary `json:"summary"`
+	Timing  sim.Timing  `json:"timing"`
+}
+
+// RunSimMixed drives the built-in mixed scenario (queries, inserts,
+// refreshes, reconstructions, and audits against one streaming publication)
+// with the given population and fails if any serving invariant was violated
+// — like the adversary bench's equivalence check, a clean run is an
+// acceptance criterion, not a best-effort report.
+func RunSimMixed(clients, steps int, seed int64) (*SimMixedResult, error) {
+	sc, err := sim.Lookup("mixed")
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Options{Scenario: sc, Seed: seed, Clients: clients, Steps: steps})
+	if err != nil {
+		return nil, err
+	}
+	if v := res.Summary.Invariants.Violations; v > 0 {
+		return nil, fmt.Errorf("experiments: mixed simulation violated %d invariants: %s",
+			v, strings.Join(res.Summary.Invariants.Failures, "; "))
+	}
+	return &SimMixedResult{Summary: res.Summary, Timing: res.Timing}, nil
+}
+
+// String renders the simulation summary.
+func (r *SimMixedResult) String() string {
+	var b strings.Builder
+	s := &r.Summary
+	fmt.Fprintf(&b, "Mixed workload simulation (seed %d, %d clients x %d steps)\n",
+		s.Seed, s.Clients, s.StepsPerClient)
+	t := &textTable{header: []string{"op", "batches", "items"}}
+	t.addRow("query", fmt.Sprint(s.Ops.Query), fmt.Sprint(s.Queries))
+	t.addRow("insert", fmt.Sprint(s.Ops.Insert), fmt.Sprint(s.RecordsInserted))
+	t.addRow("refresh", fmt.Sprint(s.Ops.Refresh), "-")
+	t.addRow("reconstruct", fmt.Sprint(s.Ops.Reconstruct), fmt.Sprint(s.Subsets))
+	t.addRow("audit", fmt.Sprint(s.Ops.Audit), "-")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "%.0f requests/s, %.0f queries/s over %.1f ms; %d invariant checks, %d violations\n",
+		r.Timing.RequestsPerSec, r.Timing.QueriesPerSec, r.Timing.WallMS,
+		s.Invariants.Checks, s.Invariants.Violations)
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // Cond is one equality condition on a public attribute. It is an alias of
@@ -304,6 +305,29 @@ func fillCubes(cubes []*marginal, n, workers int, fill func(cube *marginal, coun
 
 // Total returns |D| for the indexed data.
 func (mg *Marginals) Total() int { return mg.total }
+
+// Checksum returns a deterministic FNV-1a fingerprint of the whole index:
+// depth, total, and every cube's attribute set, dimensions, and counts, in
+// the deterministic cubeList order. Two Marginals built from the same
+// publication agree bit for bit regardless of worker count, so equal
+// checksums across PipelineWorkers settings is the serving layer's
+// bit-identity invariant (checked continuously by internal/sim).
+func (mg *Marginals) Checksum() uint64 {
+	d := stats.NewDigest()
+	d.Word(uint64(mg.MaxDim))
+	d.Word(uint64(mg.total))
+	for _, cube := range mg.cubeList() {
+		d.Word(uint64(len(cube.attrs)))
+		for i := range cube.attrs {
+			d.Word(uint64(cube.attrs[i]))
+			d.Word(uint64(cube.dims[i]))
+		}
+		for _, c := range cube.counts {
+			d.Word(uint64(c))
+		}
+	}
+	return d.Sum64()
+}
 
 // lookup returns the cube for the attribute set of conds and the condition
 // values aligned with the cube's sorted attribute order.

@@ -134,6 +134,11 @@ const (
 	maxAuditTrials     = 20000
 	defaultAuditTop    = 20
 	maxAuditTop        = 1000
+	// maxAuditGroups caps an explicit max_groups request. 0 still means
+	// "sweep every group", so the cap is not a work bound — it rejects
+	// nonsensical explicit limits (far beyond any real group count) that
+	// indicate a malformed client rather than a large sweep.
+	maxAuditGroups = 1 << 20
 	// maxCachedAudits bounds the audit result cache; beyond it an arbitrary
 	// entry is dropped (audits are cheap to recompute and keyed
 	// deterministically, so eviction policy hardly matters).
@@ -221,8 +226,8 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("trials must be in [1,%d], got %d", maxAuditTrials, req.Trials))
 		return
 	}
-	if req.MaxGroups < 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("max_groups must be non-negative"))
+	if req.MaxGroups < 0 || req.MaxGroups > maxAuditGroups {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("max_groups must be in [0,%d], got %d", maxAuditGroups, req.MaxGroups))
 		return
 	}
 	if req.Top == 0 {

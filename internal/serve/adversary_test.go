@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"encoding/json"
 	"math"
 	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -233,6 +235,135 @@ func TestServedAuditValidation(t *testing.T) {
 	if code := post(t, ts.URL+"/audit", auditRequest{ID: pub.ID, MaxGroups: -1}, nil); code != http.StatusBadRequest {
 		t.Errorf("negative max_groups returned %d", code)
 	}
+}
+
+// TestAdversaryErrorPaths drives every rejection path of POST /reconstruct
+// and POST /audit through one table: each case must produce the expected
+// status code and the typed JSON error body ({"error": "..."} with a
+// non-empty, recognizable message) — the contract adversary tooling and the
+// workload simulator parse.
+func TestAdversaryErrorPaths(t *testing.T) {
+	s, ts := startServer(t, Config{MaxBatch: 2})
+	pub := publishMedical(t, s)
+	male := []CondJSON{{Attr: "Gender", Value: "Male"}}
+
+	cases := []struct {
+		name     string
+		path     string
+		body     string // raw request body, sent verbatim
+		wantCode int
+		wantMsg  string // substring the typed error must contain
+	}{
+		{
+			name:     "reconstruct malformed json",
+			path:     "/reconstruct",
+			body:     `{"id": "` + pub.ID + `", "subsets": [[{`,
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "bad request body",
+		},
+		{
+			name:     "reconstruct unknown publication",
+			path:     "/reconstruct",
+			body:     mustJSON(t, reconstructRequest{ID: "pub-missing", Subsets: [][]CondJSON{male}}),
+			wantCode: http.StatusNotFound,
+			wantMsg:  `no publication "pub-missing"`,
+		},
+		{
+			name:     "reconstruct empty batch",
+			path:     "/reconstruct",
+			body:     mustJSON(t, reconstructRequest{ID: pub.ID}),
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "empty subset batch",
+		},
+		{
+			name:     "reconstruct over-cap batch",
+			path:     "/reconstruct",
+			body:     mustJSON(t, reconstructRequest{ID: pub.ID, Subsets: [][]CondJSON{male, male, male}}),
+			wantCode: http.StatusRequestEntityTooLarge,
+			wantMsg:  "exceeds the limit 2",
+		},
+		{
+			name:     "reconstruct wrong method",
+			path:     "/reconstruct",
+			body:     "",
+			wantCode: http.StatusMethodNotAllowed,
+			wantMsg:  "use POST",
+		},
+		{
+			name:     "audit malformed json",
+			path:     "/audit",
+			body:     `{"id": 12`,
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "bad request body",
+		},
+		{
+			name:     "audit unknown publication",
+			path:     "/audit",
+			body:     mustJSON(t, auditRequest{ID: "pub-missing"}),
+			wantCode: http.StatusNotFound,
+			wantMsg:  `no publication "pub-missing"`,
+		},
+		{
+			name:     "audit over-cap trials",
+			path:     "/audit",
+			body:     mustJSON(t, auditRequest{ID: pub.ID, Trials: maxAuditTrials + 1}),
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "trials must be in",
+		},
+		{
+			name:     "audit over-cap max_groups",
+			path:     "/audit",
+			body:     mustJSON(t, auditRequest{ID: pub.ID, MaxGroups: maxAuditGroups + 1}),
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "max_groups must be in",
+		},
+		{
+			name:     "audit negative max_groups",
+			path:     "/audit",
+			body:     mustJSON(t, auditRequest{ID: pub.ID, MaxGroups: -1}),
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "max_groups must be in",
+		},
+		{
+			name:     "audit over-cap top",
+			path:     "/audit",
+			body:     mustJSON(t, auditRequest{ID: pub.ID, Top: maxAuditTop + 1}),
+			wantCode: http.StatusBadRequest,
+			wantMsg:  "top must be in",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var code int
+			var body struct {
+				Error string `json:"error"`
+			}
+			if tc.body == "" {
+				code = get(t, ts.URL+tc.path, &body)
+			} else {
+				code = postRaw(t, ts.URL+tc.path, tc.body, &body)
+			}
+			if code != tc.wantCode {
+				t.Errorf("status %d, want %d", code, tc.wantCode)
+			}
+			if body.Error == "" {
+				t.Fatal("error body missing the typed error field")
+			}
+			if !strings.Contains(body.Error, tc.wantMsg) {
+				t.Errorf("error %q does not mention %q", body.Error, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// mustJSON marshals a request body for the error-path table.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
 }
 
 func TestServedAuditIncremental(t *testing.T) {

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/query"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/stats"
 )
 
 // Publishing methods.
@@ -223,6 +225,40 @@ type Publication struct {
 	// (nil entries: attribute unchanged).
 	Orig    *dataset.Schema
 	mapping []*dataset.ValueMapping
+}
+
+// Digest returns a deterministic fingerprint of everything the publication
+// serves: generation, enforcement metadata, the full marginal index, and the
+// raw group snapshot. Two builds of the same normalized request, seed, and
+// generation must produce equal digests at any PipelineWorkers setting —
+// the bit-identity guarantee of the parallel cold path, which internal/sim
+// re-checks continuously while traffic is in flight.
+func (p *Publication) Digest() string {
+	d := stats.NewDigest()
+	d.Word(uint64(p.Generation))
+	d.Word(uint64(p.Meta.Records))
+	d.Word(uint64(p.Meta.RecordsOut))
+	d.Word(uint64(p.Meta.Groups))
+	d.Word(uint64(p.Meta.ViolatingGroups))
+	d.Word(uint64(p.Meta.ViolatingRecords))
+	d.Word(uint64(p.Meta.SampledGroups))
+	d.Word(uint64(p.Meta.MaxGroupSize))
+	d.Word(math.Float64bits(p.Meta.AvgGroupSize))
+	d.Word(p.Marg.Checksum())
+	if p.Groups != nil {
+		d.Word(uint64(p.Groups.NumGroups()))
+		for gi := range p.Groups.Groups {
+			g := &p.Groups.Groups[gi]
+			d.Word(uint64(g.Size))
+			for _, k := range g.Key {
+				d.Word(uint64(k))
+			}
+			for _, c := range g.SACounts {
+				d.Word(uint64(c))
+			}
+		}
+	}
+	return fmt.Sprintf("%016x", d.Sum64())
 }
 
 // CondJSON is one equality condition in the wire format: the original

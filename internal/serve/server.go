@@ -49,6 +49,13 @@ type Config struct {
 	// AllowCSV permits the csv dataset source (reading server-local files
 	// on behalf of clients); off by default.
 	AllowCSV bool
+	// Clock overrides the server's time source for uptime accounting
+	// (/healthz and /statsz). It is a test and simulation hook: injecting a
+	// fixed clock makes every time-derived /statsz field deterministic, so
+	// harnesses like internal/sim can compare whole responses byte for
+	// byte. nil means time.Now. Request latency measurement is deliberately
+	// not routed through it — latency histograms measure real elapsed time.
+	Clock func() time.Time
 }
 
 // withDefaults resolves zero fields.
@@ -128,11 +135,20 @@ type Server struct {
 
 // New builds a Server.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
+	s := &Server{cfg: cfg.withDefaults()}
+	s.start = s.now()
 	s.reg = newRegistry(s.cfg.Shards)
 	s.tables.m = make(map[string]*dataset.Table)
 	s.clients.m = make(map[string]*atomic.Int64)
 	return s
+}
+
+// now reads the configured clock (time.Now unless Config.Clock is set).
+func (s *Server) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
 }
 
 // Handler returns the HTTP surface documented in the package comment.
@@ -513,8 +529,39 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", req.ID))
 		return
 	}
+	if req.Wait {
+		if _, err := s.Refresh(req.ID); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, entryJSON(e, false))
+		return
+	}
 	s.refreshes.Add(1)
-	run := func() (any, error) {
+	go s.sf.Do("refresh:"+req.ID, s.refreshRun(e, req.ID))
+	writeJSON(w, http.StatusAccepted, entryJSON(e, false))
+}
+
+// Refresh republishes the publication behind id with a fresh generation and
+// blocks until the rebuild settles — the waiting form of POST /refresh,
+// which delegates here; concurrent refreshes of one id collapse into one
+// rebuild via singleflight. It returns the entry so callers can read the
+// refreshed publication.
+func (s *Server) Refresh(id string) (*Entry, error) {
+	e := s.reg.get(id)
+	if e == nil {
+		return nil, fmt.Errorf("serve: no publication %q", id)
+	}
+	s.refreshes.Add(1)
+	if _, err, _ := s.sf.Do("refresh:"+id, s.refreshRun(e, id)); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// refreshRun builds the singleflight closure behind one refresh of an entry.
+func (s *Server) refreshRun(e *Entry, id string) func() (any, error) {
+	return func() (any, error) {
 		<-e.done // a refresh of a still-building publication waits for it
 		// Refreshing an entry whose build failed (or is being retried) IS
 		// the retry; routing it through the shared buildMu path keeps two
@@ -527,7 +574,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 					msg = *m
 				}
 				s.refreshFailures.Add(1)
-				return nil, fmt.Errorf("publication %q: %s", req.ID, msg)
+				return nil, fmt.Errorf("publication %q: %s", id, msg)
 			}
 			return e.pub.Load(), nil
 		}
@@ -563,17 +610,6 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		}
 		return pub, nil
 	}
-	if req.Wait {
-		// Concurrent refreshes of one id collapse into one rebuild.
-		if _, err, _ := s.sf.Do("refresh:"+req.ID, run); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, entryJSON(e, false))
-		return
-	}
-	go s.sf.Do("refresh:"+req.ID, run)
-	writeJSON(w, http.StatusAccepted, entryJSON(e, false))
 }
 
 // insertRequest is the body of POST /insert: records as attribute → value
@@ -681,7 +717,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"uptime_seconds": s.now().Sub(s.start).Seconds(),
 	})
 }
 
@@ -713,7 +749,13 @@ type statszResponse struct {
 	MaxClientQueries int64   `json:"max_client_queries"`
 	UptimeSeconds    float64 `json:"uptime_seconds"`
 	QueriesPerSec    float64 `json:"queries_per_second"`
-	LatencyUS        struct {
+	// LatencyObservations is the total request count recorded in the
+	// latency histogram — every successfully answered /query and
+	// /reconstruct request adds exactly one. Workload harnesses use it as a
+	// conservation check: at quiescence it must equal the number of such
+	// requests issued, or the server dropped or double-counted one.
+	LatencyObservations uint64 `json:"latency_observations"`
+	LatencyUS           struct {
 		Mean float64 `json:"mean"`
 		P50  float64 `json:"p50"`
 		P90  float64 `json:"p90"`
@@ -747,16 +789,34 @@ func (s *Server) Stats() statszResponse {
 		}
 	}
 	s.clients.mu.RUnlock()
-	up := time.Since(s.start).Seconds()
+	up := s.now().Sub(s.start).Seconds()
 	out.UptimeSeconds = up
 	if up > 0 {
 		out.QueriesPerSec = float64(out.QueriesAnswered) / up
 	}
+	out.LatencyObservations = s.lat.Count()
 	out.LatencyUS.Mean = float64(s.lat.Mean().Nanoseconds()) / 1000
 	out.LatencyUS.P50 = float64(s.lat.Quantile(0.50).Nanoseconds()) / 1000
 	out.LatencyUS.P90 = float64(s.lat.Quantile(0.90).Nanoseconds()) / 1000
 	out.LatencyUS.P99 = float64(s.lat.Quantile(0.99).Nanoseconds()) / 1000
 	return out
+}
+
+// LatencyObservations returns the request count recorded in the latency
+// histogram (see statszResponse.LatencyObservations). Exported for workload
+// harnesses that cross-check it against their own issued-request tallies.
+func (s *Server) LatencyObservations() uint64 { return s.lat.Count() }
+
+// ClientExposure returns one client's cumulative charged query count (0 for
+// a client the server has never answered). Exported so workload harnesses
+// can verify the exposure ledger against the charges their clients observed.
+func (s *Server) ClientExposure(client string) int64 {
+	s.clients.mu.RLock()
+	defer s.clients.mu.RUnlock()
+	if c := s.clients.m[client]; c != nil {
+		return c.Load()
+	}
+	return 0
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -52,6 +52,23 @@ func post(t *testing.T, url string, body any, out any) int {
 	return resp.StatusCode
 }
 
+// postRaw sends a body verbatim — the error-path tests use it to deliver
+// deliberately malformed JSON that post's Marshal round-trip would reject.
+func postRaw(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
 func get(t *testing.T, url string, out any) int {
 	t.Helper()
 	resp, err := http.Get(url)

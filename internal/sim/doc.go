@@ -1,0 +1,32 @@
+// Package sim is a deterministic, seed-reproducible workload simulator for
+// the publication server: it drives an in-process serve.Server over real
+// HTTP with N concurrent simulated clients, each executing a per-client
+// SplitMix64-derived schedule of publish/query/insert/refresh/reconstruct/
+// audit operations, and validates the library's serving invariants after
+// every step.
+//
+// The invariants checked continuously are:
+//
+//   - exposure conservation: each client's cumulative charged query count
+//     (answered queries plus m per reconstruction) must equal the server's
+//     ledger, per response and against Server.ClientExposure at the end;
+//   - latency accounting: the /statsz latency-histogram total must equal
+//     the number of successfully answered /query and /reconstruct requests;
+//   - pipeline bit-identity: publications built or refreshed mid-simulation
+//     at PipelineWorkers = 1 and at full width must have equal
+//     Publication.Digest fingerprints;
+//   - insert conservation: incremental publications never drop rows — the
+//     streamed total equals the initial batch plus every inserted record,
+//     and each insert batch splits exactly into trials + absorbed;
+//   - reconstruction accuracy: on plain-perturbation (up) publications,
+//     reconstructed frequencies stay within the internal/bounds Bernstein
+//     envelope of the raw group frequencies at failure probability 1e-9,
+//     across refreshed generations.
+//
+// A scenario fixes the operation mix, batch shapes, and client population;
+// the seed fixes every random draw. Two runs of the same scenario, seed,
+// and scale produce byte-identical Summary JSON — wall-clock measurements
+// (throughput, latency quantiles) live in the separate Timing section so
+// the summary stays a regression artifact. cmd/rpsim is the CLI front end;
+// TestSimScenarios pins all built-in scenarios at small scale in tier-1.
+package sim

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/reconpriv/reconpriv/internal/bounds"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+)
+
+// maxFailureSamples bounds the failure messages kept for the summary; the
+// violation counter always covers every failed check.
+const maxFailureSamples = 8
+
+// checker accumulates invariant verdicts from every client goroutine.
+type checker struct {
+	checks     atomic.Int64
+	violations atomic.Int64
+
+	mu       sync.Mutex
+	failures []string
+}
+
+// check records one invariant evaluation; on failure the formatted message
+// joins the (bounded) sample list.
+func (c *checker) check(ok bool, format string, args ...any) bool {
+	c.checks.Add(1)
+	if ok {
+		return true
+	}
+	c.violations.Add(1)
+	c.mu.Lock()
+	if len(c.failures) < maxFailureSamples {
+		c.failures = append(c.failures, fmt.Sprintf(format, args...))
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// sampleFailures snapshots the recorded failure messages.
+func (c *checker) sampleFailures() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.failures...)
+}
+
+// bernsteinEps is the per-tail failure probability the accuracy invariant
+// allows a reconstruction to exceed its Bernstein envelope with. Across the
+// few thousand (subset, value) checks of a simulation the union bound keeps
+// the false-alarm probability below ~1e-5, so a reported violation means a
+// broken estimator or perturber, not noise.
+const bernsteinEps = 1e-9
+
+// bernsteinOmega inverts the internal/bounds Bernstein upper tail: the
+// smallest ω with Upper(ω, µ) ≤ eps. From exp(−ω²µ/(2+2ω/3)) = eps,
+// writing L = ln(1/eps): ω²µ − (2L/3)ω − 2L = 0, whose positive root is
+// returned. The same ω is valid for the lower tail, whose bound
+// exp(−ω²µ/2) is at least as strong.
+func bernsteinOmega(mu, eps float64) float64 {
+	if mu <= 0 {
+		return math.Inf(1)
+	}
+	L := math.Log(1 / eps)
+	b := 2 * L / 3
+	return (b + math.Sqrt(b*b+8*L*mu)) / (2 * mu)
+}
+
+// checkBernstein validates one reconstruction against the raw subset
+// histogram under the plain-perturbation model: each of the n subset
+// records keeps its value with probability p and otherwise resamples
+// uniformly over m values, so the observed count of value v is a sum of
+// independent Poisson trials with mean µ_v = c_v·p + n(1−p)/m. The MLE maps
+// count deviations to frequency deviations by 1/(n·p), so the envelope on
+// |F'_v − f_v| is ω(µ_v)·µ_v/(n·p) with ω from bernsteinOmega. A sanity
+// cross-check first: Upper must be a genuine tail bound at the solved ω.
+func (c *checker) checkBernstein(label string, raw []int, n int, freqs []float64, p float64) {
+	m := len(raw)
+	for v := 0; v < m; v++ {
+		fRaw := float64(raw[v]) / float64(n)
+		mu := float64(raw[v])*p + float64(n)*(1-p)/float64(m)
+		omega := bernsteinOmega(mu, bernsteinEps)
+		if ub := (bounds.Bernstein{}).Upper(omega, mu, n); ub > bernsteinEps*(1+1e-9) {
+			c.check(false, "bernstein inversion off: Upper(%g, %g) = %g > %g", omega, mu, ub, bernsteinEps)
+			return
+		}
+		tol := omega * mu / (float64(n) * p)
+		dev := math.Abs(freqs[v] - fRaw)
+		c.check(dev <= tol+1e-9,
+			"%s value %d: reconstructed %.6f vs raw %.6f, |Δ| = %.6f exceeds Bernstein envelope %.6f (n=%d, µ=%.2f)",
+			label, v, freqs[v], fRaw, dev, tol, n, mu)
+	}
+}
+
+// rawSubsetCounts scans a raw group set for the SA histogram and size of
+// the subset matching a resolved condition set — the ground truth the
+// Bernstein invariant compares reconstructions against. Conditions are in
+// the group schema's codes (the output of Publication.ResolveConds).
+func rawSubsetCounts(gs *dataset.GroupSet, conds []query.Cond) (counts []int, size int) {
+	m := gs.Schema.SADomain()
+	counts = make([]int, m)
+	na := gs.NAIndices()
+	pos := make(map[int]int, len(na)) // schema attr index -> key position
+	for i, a := range na {
+		pos[a] = i
+	}
+	for gi := range gs.Groups {
+		g := &gs.Groups[gi]
+		match := true
+		for _, c := range conds {
+			if g.Key[pos[c.Attr]] != c.Value {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		for sa, n := range g.SACounts {
+			counts[sa] += n
+		}
+		size += g.Size
+	}
+	return counts, size
+}

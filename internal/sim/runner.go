@@ -1,0 +1,669 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/par"
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// Options configure one simulation run.
+type Options struct {
+	// Scenario is the workload to execute (see Scenarios / Lookup).
+	Scenario Scenario
+	// Seed drives every random draw of the run; equal (Scenario, Seed,
+	// Clients, Steps) inputs yield byte-identical summaries.
+	Seed int64
+	// Clients and Steps override the scenario defaults when positive.
+	Clients int
+	Steps   int
+	// Think is the maximum per-step pause; each client draws a uniform
+	// fraction of it from its stream before every operation (the arrival
+	// schedule). The fraction is drawn even at Think == 0 so the operation
+	// sequence — and hence the summary — is independent of pacing.
+	Think time.Duration
+	// Config is the traffic server's configuration. Clock is overridden
+	// with a fixed epoch so time-derived /statsz fields are deterministic.
+	Config serve.Config
+}
+
+// simEpoch is the fixed clock injected into every simulated server.
+var simEpoch = time.Unix(1700000000, 0)
+
+// auditSeeds is the fixed pool audit operations draw their seed from. Audit
+// verdicts are Monte-Carlo with a fixed tolerance, so keeping the seeds
+// independent of the run seed pins the verdicts (they are validated by the
+// repo's own audit tests) while still exercising the server's audit cache.
+var auditSeeds = []int64{1, 2, 3, 4}
+
+// clientSeed derives client idx's stream seed from the run seed with the
+// SplitMix64 finalizer, giving well-separated per-client streams (idx + 1
+// keeps client 0 off the raw run seed, which the publication itself uses).
+func clientSeed(seed int64, idx int) int64 {
+	return int64(par.Mix64(uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)))
+}
+
+// --- wire mirrors of the serve response bodies the simulator decodes ---
+
+type answerWire struct {
+	Count    int     `json:"count"`
+	Estimate float64 `json:"estimate"`
+	Error    string  `json:"error"`
+}
+
+type queryWire struct {
+	Answers       []answerWire `json:"answers"`
+	ClientQueries int64        `json:"client_queries"`
+}
+
+type reconstructionWire struct {
+	Size  int                `json:"size"`
+	Freqs map[string]float64 `json:"freqs"`
+	Error string             `json:"error"`
+}
+
+type reconstructWire struct {
+	Results       []reconstructionWire `json:"results"`
+	ClientQueries int64                `json:"client_queries"`
+}
+
+type insertWire struct {
+	Inserted     int `json:"inserted"`
+	Trials       int `json:"trials"`
+	Absorbed     int `json:"absorbed"`
+	TotalRecords int `json:"total_records"`
+}
+
+type entryWire struct {
+	ID         string `json:"id"`
+	Status     string `json:"status"`
+	Generation int    `json:"generation"`
+	Error      string `json:"error"`
+}
+
+type auditWire struct {
+	GroupsAudited   int  `json:"groups_audited"`
+	Violating       int  `json:"violating_groups"`
+	BoundViolations int  `json:"bound_violations"`
+	Cached          bool `json:"cached"`
+}
+
+type statszWire struct {
+	QueryBatches        uint64 `json:"query_batches"`
+	QueriesAnswered     uint64 `json:"queries_answered"`
+	QueryErrors         uint64 `json:"query_errors"`
+	Inserts             uint64 `json:"inserts"`
+	ReconstructBatches  uint64 `json:"reconstruct_batches"`
+	Reconstructions     uint64 `json:"reconstructions"`
+	Audits              uint64 `json:"audits"`
+	AuditCacheHits      uint64 `json:"audit_cache_hits"`
+	Refreshes           uint64 `json:"refreshes"`
+	LatencyObservations uint64 `json:"latency_observations"`
+}
+
+// clientResult is one client's deterministic tallies plus its latency
+// samples.
+type clientResult struct {
+	ops         OpTally
+	queries     int64
+	subsets     int64
+	inserted    int64
+	charged     int64
+	latObserved int64 // successfully answered /query + /reconstruct requests
+	digest      uint64
+	lats        map[string][]time.Duration
+}
+
+// runner holds the state shared by every client of one run.
+type runner struct {
+	opts    Options
+	sc      Scenario
+	clients int
+	steps   int
+
+	srv   *serve.Server
+	entry *serve.Entry
+	pub0  *serve.Publication
+	m     int // SA domain size
+	base  string
+	hc    *http.Client
+
+	check    *checker
+	inserted atomic.Int64
+	initial  int // raw record count of generation 0 (Meta.Records)
+
+	// pairA/pairB are the bit-identity witnesses: two extra in-process
+	// servers serving the same publication at PipelineWorkers 1 and full
+	// width. pairMu serializes their refreshes so generations advance in
+	// lockstep and every comparison is like for like.
+	pairMu sync.Mutex
+	pairA  *serve.Server
+	pairB  *serve.Server
+	pairID string
+}
+
+// Run executes one scenario and returns its result. Setup failures (invalid
+// scenario, publication build errors) are returned as errors; invariant
+// violations are reported in the summary, never as an error.
+func Run(opts Options) (*Result, error) {
+	sc := opts.Scenario
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	r := &runner{
+		opts:    opts,
+		sc:      sc,
+		clients: opts.Clients,
+		steps:   opts.Steps,
+		check:   &checker{},
+	}
+	if r.clients <= 0 {
+		r.clients = sc.Clients
+	}
+	if r.steps <= 0 {
+		r.steps = sc.Steps
+	}
+
+	cfg := opts.Config
+	if cfg.Clock == nil {
+		cfg.Clock = func() time.Time { return simEpoch }
+	}
+	r.srv = serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	hs := &http.Server{Handler: r.srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	r.base = "http://" + ln.Addr().String()
+	r.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: r.clients + 2}}
+
+	if err := r.setup(cfg); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	results := make([]clientResult, r.clients)
+	var wg sync.WaitGroup
+	for i := 0; i < r.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.runClient(i, &results[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	return r.finish(results, wall)
+}
+
+// setup publishes the scenario's publication over HTTP, wires the
+// in-process handles, and runs the start-of-life invariant checks.
+func (r *runner) setup(cfg serve.Config) error {
+	req := r.sc.Publish
+	req.Wait = true
+	var pubJSON entryWire
+	if code, err := r.postJSON("/publish", req, &pubJSON); err != nil || code != http.StatusOK {
+		return fmt.Errorf("sim: publish returned %d: %v (%s)", code, err, pubJSON.Error)
+	}
+	if pubJSON.Status != "ready" {
+		return fmt.Errorf("sim: publication is %s: %s", pubJSON.Status, pubJSON.Error)
+	}
+	// The HTTP publish above built the publication; this in-process call is
+	// a cache hit that hands us the entry for the snapshot accessors.
+	e, _, err := r.srv.Publish(req, true)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	r.entry = e
+	r.pub0, err = e.Publication()
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	r.m = r.pub0.Marg.SADomain()
+	r.initial = r.pub0.Meta.Records
+
+	// Bit-identity witnesses: the same publication built at PipelineWorkers
+	// 1 and at the traffic server's width must fingerprint identically —
+	// now, and after every mid-simulation refresh.
+	r.pairA = serve.New(serve.Config{PipelineWorkers: 1, Clock: cfg.Clock})
+	r.pairB = serve.New(serve.Config{PipelineWorkers: cfg.PipelineWorkers, Clock: cfg.Clock})
+	pubA, err := publishOn(r.pairA, req)
+	if err != nil {
+		return fmt.Errorf("sim: pair publish: %w", err)
+	}
+	pubB, err := publishOn(r.pairB, req)
+	if err != nil {
+		return fmt.Errorf("sim: pair publish: %w", err)
+	}
+	r.pairID = r.pub0.ID
+	dA, dB, dServed := pubA.Digest(), pubB.Digest(), r.pub0.Digest()
+	r.check.check(dA == dB && dA == dServed,
+		"generation-0 publications diverge across PipelineWorkers: 1-worker %s, full-width %s, served %s",
+		dA, dB, dServed)
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	code, err := r.getJSON("/healthz", &health)
+	r.check.check(err == nil && code == http.StatusOK && health.Status == "ok",
+		"healthz returned %d %q (%v)", code, health.Status, err)
+	return nil
+}
+
+// publishOn builds a publication on an in-process server and waits for it.
+func publishOn(s *serve.Server, req serve.PublishRequest) (*serve.Publication, error) {
+	e, _, err := s.Publish(req, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.Publication()
+}
+
+// runClient executes one client's schedule.
+func (r *runner) runClient(idx int, res *clientResult) {
+	rng := stats.NewRand(clientSeed(r.opts.Seed, idx))
+	id := fmt.Sprintf("c%03d", idx)
+	res.lats = make(map[string][]time.Duration)
+	digest := stats.NewDigest()
+	for step := 0; step < r.steps; step++ {
+		// Arrival schedule: the pause fraction is drawn unconditionally so
+		// the operation sequence does not depend on the Think setting.
+		frac := rng.Float64()
+		if r.opts.Think > 0 {
+			time.Sleep(time.Duration(frac * float64(r.opts.Think)))
+		}
+		switch pickOp(rng, r.sc.Mix) {
+		case opQuery:
+			res.ops.Query++
+			r.doQuery(rng, id, res, digest)
+		case opInsert:
+			res.ops.Insert++
+			r.doInsert(rng, res)
+		case opRefresh:
+			res.ops.Refresh++
+			r.doRefresh(res)
+		case opReconstruct:
+			res.ops.Reconstruct++
+			r.doReconstruct(rng, id, res)
+		case opAudit:
+			res.ops.Audit++
+			r.doAudit(rng, res)
+		}
+	}
+	res.digest = digest.Sum64()
+}
+
+// Operation kinds, in Mix order.
+const (
+	opQuery = iota
+	opInsert
+	opRefresh
+	opReconstruct
+	opAudit
+)
+
+// pickOp draws one operation from the weighted mix.
+func pickOp(rng *stats.Rand, m Mix) int {
+	x := rng.Intn(m.total())
+	for i, w := range [...]int{m.Query, m.Insert, m.Refresh, m.Reconstruct, m.Audit} {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return opQuery
+}
+
+// randomConds draws 1..MaxDim distinct public attributes with uniform
+// in-domain original labels.
+func (r *runner) randomConds(rng *stats.Rand) []serve.CondJSON {
+	na := r.pub0.Orig.NAIndices()
+	maxDim := r.pub0.Req.MaxDim
+	if maxDim > len(na) {
+		maxDim = len(na)
+	}
+	dim := 1 + rng.Intn(maxDim)
+	perm := rng.Perm(len(na))[:dim]
+	conds := make([]serve.CondJSON, dim)
+	for j, pi := range perm {
+		attr := &r.pub0.Orig.Attrs[na[pi]]
+		conds[j] = serve.CondJSON{Attr: attr.Name, Value: attr.Values[rng.Intn(attr.Domain())]}
+	}
+	return conds
+}
+
+// doQuery issues one query batch and validates shape and exposure.
+func (r *runner) doQuery(rng *stats.Rand, id string, res *clientResult, digest *stats.Digest) {
+	sa := r.pub0.Orig.SAAttr()
+	qs := make([]serve.QueryJSON, r.sc.QueriesPerBatch)
+	for i := range qs {
+		qs[i] = serve.QueryJSON{Conds: r.randomConds(rng), SA: sa.Values[rng.Intn(r.m)]}
+	}
+	var resp queryWire
+	code, err := r.timedPost("query", res, "/query",
+		map[string]any{"id": r.pub0.ID, "client": id, "queries": qs, "wait": true}, &resp)
+	if !r.check.check(err == nil && code == http.StatusOK, "query returned %d (%v)", code, err) {
+		return
+	}
+	res.latObserved++
+	res.queries += int64(len(qs))
+	res.charged += int64(len(qs))
+	r.check.check(len(resp.Answers) == len(qs), "query batch of %d got %d answers", len(qs), len(resp.Answers))
+	r.check.check(resp.ClientQueries == res.charged,
+		"client %s exposure: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	for i := range resp.Answers {
+		a := &resp.Answers[i]
+		if !r.check.check(a.Error == "", "query %d failed: %s", i, a.Error) {
+			continue
+		}
+		if r.sc.DeterministicAnswers() {
+			digest.Word(uint64(a.Count))
+			digest.Word(math.Float64bits(a.Estimate))
+		}
+	}
+}
+
+// doInsert streams one record batch and validates conservation.
+func (r *runner) doInsert(rng *stats.Rand, res *clientResult) {
+	recs := make([]map[string]string, r.sc.RecordsPerInsert)
+	schema := r.pub0.Orig
+	for i := range recs {
+		rec := make(map[string]string, schema.NumAttrs())
+		for ai := range schema.Attrs {
+			attr := &schema.Attrs[ai]
+			rec[attr.Name] = attr.Values[rng.Intn(attr.Domain())]
+		}
+		recs[i] = rec
+	}
+	var resp insertWire
+	code, err := r.timedPost("insert", res, "/insert",
+		map[string]any{"id": r.pub0.ID, "records": recs, "wait": true}, &resp)
+	if !r.check.check(err == nil && code == http.StatusOK, "insert returned %d (%v)", code, err) {
+		return
+	}
+	res.inserted += int64(len(recs))
+	r.inserted.Add(int64(len(recs)))
+	r.check.check(resp.Inserted == len(recs), "inserted %d of %d records", resp.Inserted, len(recs))
+	r.check.check(resp.Trials+resp.Absorbed == resp.Inserted,
+		"insert of %d split into %d trials + %d absorbed", resp.Inserted, resp.Trials, resp.Absorbed)
+	r.check.check(int64(resp.TotalRecords) >= int64(r.initial)+res.inserted,
+		"total_records %d below initial %d + own inserts %d: rows dropped",
+		resp.TotalRecords, r.initial, res.inserted)
+}
+
+// doRefresh refreshes the served publication, then advances the
+// bit-identity pair in lockstep and compares fingerprints.
+func (r *runner) doRefresh(res *clientResult) {
+	var resp entryWire
+	code, err := r.timedPost("refresh", res, "/refresh",
+		map[string]any{"id": r.pub0.ID, "wait": true}, &resp)
+	if !r.check.check(err == nil && code == http.StatusOK, "refresh returned %d (%v): %s", code, err, resp.Error) {
+		return
+	}
+	r.check.check(resp.Status == "ready" && resp.Generation >= 1,
+		"refreshed publication is %s at generation %d", resp.Status, resp.Generation)
+
+	r.pairMu.Lock()
+	defer r.pairMu.Unlock()
+	pubA, errA := refreshOn(r.pairA, r.pairID)
+	pubB, errB := refreshOn(r.pairB, r.pairID)
+	if !r.check.check(errA == nil && errB == nil, "pair refresh failed: %v / %v", errA, errB) {
+		return
+	}
+	r.check.check(pubA.Generation == pubB.Generation,
+		"pair generations diverged: %d vs %d", pubA.Generation, pubB.Generation)
+	dA, dB := pubA.Digest(), pubB.Digest()
+	r.check.check(dA == dB,
+		"generation-%d publications diverge across PipelineWorkers: 1-worker %s, full-width %s",
+		pubA.Generation, dA, dB)
+}
+
+// refreshOn refreshes an in-process witness server and returns the new
+// publication.
+func refreshOn(s *serve.Server, id string) (*serve.Publication, error) {
+	e, err := s.Refresh(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Publication()
+}
+
+// doReconstruct issues one reconstruction batch, validates shape and
+// exposure charging, and — on plain-perturbation scenarios — checks every
+// reconstruction against the Bernstein envelope of the raw groups.
+func (r *runner) doReconstruct(rng *stats.Rand, id string, res *clientResult) {
+	subsets := make([][]serve.CondJSON, r.sc.SubsetsPerBatch)
+	for i := range subsets {
+		subsets[i] = r.randomConds(rng)
+	}
+	var resp reconstructWire
+	code, err := r.timedPost("reconstruct", res, "/reconstruct",
+		map[string]any{"id": r.pub0.ID, "client": id, "subsets": subsets, "wait": true}, &resp)
+	if !r.check.check(err == nil && code == http.StatusOK, "reconstruct returned %d (%v)", code, err) {
+		return
+	}
+	res.latObserved++
+	res.subsets += int64(len(subsets))
+	res.charged += int64(len(subsets)) * int64(r.m)
+	r.check.check(len(resp.Results) == len(subsets),
+		"reconstruct batch of %d got %d results", len(subsets), len(resp.Results))
+	r.check.check(resp.ClientQueries == res.charged,
+		"client %s exposure after reconstruct: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	for i := range resp.Results {
+		rec := &resp.Results[i]
+		if !r.check.check(rec.Error == "", "reconstruction %d failed: %s", i, rec.Error) {
+			continue
+		}
+		if !r.sc.CheckBernstein {
+			continue
+		}
+		conds, err := r.pub0.ResolveConds(subsets[i])
+		if !r.check.check(err == nil, "resolving subset %d: %v", i, err) {
+			continue
+		}
+		raw, size := rawSubsetCounts(r.pub0.Groups, conds)
+		r.check.check(rec.Size == size,
+			"subset %d: published size %d, raw size %d — plain perturbation must preserve counts", i, rec.Size, size)
+		if size == 0 {
+			continue
+		}
+		sa := r.pub0.Orig.SAAttr()
+		freqs := make([]float64, r.m)
+		for v := 0; v < r.m; v++ {
+			freqs[v] = rec.Freqs[sa.Label(uint16(v))]
+		}
+		r.check.checkBernstein(fmt.Sprintf("subset %d", i), raw, size, freqs, r.pub0.Req.P)
+	}
+}
+
+// doAudit runs one audit and validates the Chernoff verdicts.
+func (r *runner) doAudit(rng *stats.Rand, res *clientResult) {
+	seed := auditSeeds[rng.Intn(len(auditSeeds))]
+	var resp auditWire
+	code, err := r.timedPost("audit", res, "/audit",
+		map[string]any{"id": r.pub0.ID, "trials": r.sc.AuditTrials, "seed": seed, "top": 5, "wait": true}, &resp)
+	if !r.check.check(err == nil && code == http.StatusOK, "audit returned %d (%v)", code, err) {
+		return
+	}
+	r.check.check(resp.GroupsAudited > 0, "audit swept no groups")
+	r.check.check(resp.BoundViolations == 0,
+		"audit found %d groups beyond their Chernoff bounds", resp.BoundViolations)
+}
+
+// finish runs the end-of-run conservation checks and assembles the result.
+func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, error) {
+	sum := Summary{
+		Scenario:       r.sc.Name,
+		Seed:           r.opts.Seed,
+		Clients:        r.clients,
+		StepsPerClient: r.steps,
+	}
+	var digest uint64
+	var latObserved int64
+	lats := make(map[string][]time.Duration)
+	for i := range results {
+		res := &results[i]
+		sum.Ops.Query += res.ops.Query
+		sum.Ops.Insert += res.ops.Insert
+		sum.Ops.Refresh += res.ops.Refresh
+		sum.Ops.Reconstruct += res.ops.Reconstruct
+		sum.Ops.Audit += res.ops.Audit
+		sum.Queries += res.queries
+		sum.Subsets += res.subsets
+		sum.RecordsInserted += res.inserted
+		sum.ChargedQueries += res.charged
+		latObserved += res.latObserved
+		digest ^= res.digest
+		for op, ds := range res.lats {
+			lats[op] = append(lats[op], ds...)
+		}
+	}
+
+	// Per-client exposure ledgers against the server's accounting.
+	for i := range results {
+		id := fmt.Sprintf("c%03d", i)
+		got := r.srv.ClientExposure(id)
+		r.check.check(got == results[i].charged,
+			"client %s final exposure: server ledger %d, charges observed %d", id, got, results[i].charged)
+	}
+
+	// measuredQueries is the tally issued inside the timed window; the final
+	// conservation query below lands after wall was measured, so it counts
+	// toward the summary and the statsz cross-checks but not the throughput.
+	measuredQueries := sum.Queries
+	var finalBatches int64
+
+	// Insert conservation: one final query forces the lazy re-index, after
+	// which the raw stream — the ingested record count and the raw group
+	// histograms behind the audit — must total the initial batch plus every
+	// inserted record. The published snapshot is deliberately not compared:
+	// a refresh rebuilds through SPS scaling, whose rounding may publish a
+	// few more or fewer records than were ingested; the group-size
+	// conservation claim is about the raw histograms never dropping rows.
+	if r.sc.Mix.Insert > 0 {
+		finalRng := stats.NewRand(clientSeed(r.opts.Seed, r.clients))
+		var resp queryWire
+		q := serve.QueryJSON{Conds: r.randomConds(finalRng), SA: r.pub0.Orig.SAAttr().Values[0]}
+		code, err := r.postJSON("/query",
+			map[string]any{"id": r.pub0.ID, "client": "sim-final", "queries": []serve.QueryJSON{q}, "wait": true}, &resp)
+		if r.check.check(err == nil && code == http.StatusOK, "final query returned %d (%v)", code, err) {
+			latObserved++
+			sum.Queries++
+			sum.ChargedQueries++
+			finalBatches++
+		}
+		pub, err := r.entry.Publication()
+		if r.check.check(err == nil, "final publication: %v", err) {
+			want := int64(r.initial) + r.inserted.Load()
+			r.check.check(int64(pub.Meta.Records) == want,
+				"raw records %d after %d inserts on %d initial: want %d — rows dropped or duplicated",
+				pub.Meta.Records, r.inserted.Load(), r.initial, want)
+			r.check.check(pub.Groups != nil && int64(pub.Groups.Total()) == want,
+				"raw group histograms total %d, want %d — group-size conservation broken",
+				pub.Groups.Total(), want)
+		}
+	}
+
+	// Latency-histogram conservation, via the accessor and over the wire.
+	r.check.check(int64(r.srv.LatencyObservations()) == latObserved,
+		"latency histogram holds %d observations, %d query/reconstruct requests answered",
+		r.srv.LatencyObservations(), latObserved)
+	var st statszWire
+	code, err := r.getJSON("/statsz", &st)
+	if r.check.check(err == nil && code == http.StatusOK, "statsz returned %d (%v)", code, err) {
+		r.check.check(int64(st.LatencyObservations) == latObserved,
+			"statsz latency_observations %d, want %d", st.LatencyObservations, latObserved)
+		r.check.check(int64(st.QueriesAnswered) == sum.Queries,
+			"statsz queries_answered %d, want %d", st.QueriesAnswered, sum.Queries)
+		r.check.check(int64(st.QueryBatches) == sum.Ops.Query+finalBatches,
+			"statsz query_batches %d, want %d", st.QueryBatches, sum.Ops.Query+finalBatches)
+		r.check.check(st.QueryErrors == 0, "statsz reports %d query errors", st.QueryErrors)
+		r.check.check(int64(st.Reconstructions) == sum.Subsets,
+			"statsz reconstructions %d, want %d", st.Reconstructions, sum.Subsets)
+		r.check.check(int64(st.ReconstructBatches) == sum.Ops.Reconstruct,
+			"statsz reconstruct_batches %d, want %d", st.ReconstructBatches, sum.Ops.Reconstruct)
+		r.check.check(int64(st.Inserts) == sum.RecordsInserted,
+			"statsz inserts %d, want %d", st.Inserts, sum.RecordsInserted)
+		r.check.check(int64(st.Refreshes) == sum.Ops.Refresh,
+			"statsz refreshes %d, want %d issued", st.Refreshes, sum.Ops.Refresh)
+		r.check.check(int64(st.Audits+st.AuditCacheHits) == sum.Ops.Audit,
+			"statsz audits %d + cache hits %d, want %d issued", st.Audits, st.AuditCacheHits, sum.Ops.Audit)
+	}
+
+	if r.sc.DeterministicAnswers() {
+		sum.AnswersDigest = fmt.Sprintf("%016x", digest)
+	}
+	sum.Invariants = InvariantSummary{
+		Checks:     r.check.checks.Load(),
+		Violations: r.check.violations.Load(),
+		Failures:   r.check.sampleFailures(),
+	}
+
+	timing := Timing{
+		WallMS:   float64(wall.Microseconds()) / 1000,
+		Requests: sum.Ops.Query + sum.Ops.Insert + sum.Ops.Refresh + sum.Ops.Reconstruct + sum.Ops.Audit,
+		Ops:      opTimings(lats),
+	}
+	if s := wall.Seconds(); s > 0 {
+		timing.RequestsPerSec = float64(timing.Requests) / s
+		timing.QueriesPerSec = float64(measuredQueries) / s
+	}
+	return &Result{Summary: sum, Timing: timing}, nil
+}
+
+// --- HTTP plumbing ---
+
+// timedPost posts a JSON body and records the request's wall latency under
+// the op name.
+func (r *runner) timedPost(op string, res *clientResult, path string, body, out any) (int, error) {
+	start := time.Now()
+	code, err := r.postJSON(path, body, out)
+	res.lats[op] = append(res.lats[op], time.Since(start))
+	return code, err
+}
+
+func (r *runner) postJSON(path string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.hc.Post(r.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, decodeBody(resp.Body, out)
+}
+
+func (r *runner) getJSON(path string, out any) (int, error) {
+	resp, err := r.hc.Get(r.base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, decodeBody(resp.Body, out)
+}
+
+func decodeBody(body io.Reader, out any) error {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

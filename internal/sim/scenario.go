@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+)
+
+// Mix holds the relative weights of the operations a client draws from its
+// stream at each step. A zero weight disables the operation; at least one
+// weight must be positive.
+type Mix struct {
+	Query       int `json:"query"`
+	Insert      int `json:"insert"`
+	Refresh     int `json:"refresh"`
+	Reconstruct int `json:"reconstruct"`
+	Audit       int `json:"audit"`
+}
+
+func (m Mix) total() int {
+	return m.Query + m.Insert + m.Refresh + m.Reconstruct + m.Audit
+}
+
+// Scenario describes one reproducible workload: the publication under test,
+// the client population, the operation mix, and the per-operation batch
+// shapes. Everything else — which operation each client runs at each step
+// and every payload — derives from the run seed.
+type Scenario struct {
+	// Name identifies the scenario (rpsim -scenario).
+	Name string
+	// Description is the one-line summary rpsim -list prints.
+	Description string
+	// Publish is the publication every client works against. Incremental
+	// publications are required for scenarios with insert weight.
+	Publish serve.PublishRequest
+	// Mix is the operation weight table.
+	Mix Mix
+	// Clients and Steps are the default population and per-client step
+	// count; Options can override both.
+	Clients int
+	Steps   int
+	// QueriesPerBatch, SubsetsPerBatch, RecordsPerInsert size one
+	// operation of each kind.
+	QueriesPerBatch  int
+	SubsetsPerBatch  int
+	RecordsPerInsert int
+	// AuditTrials is the Monte-Carlo trial count of one audit operation.
+	// Audit seeds are drawn from a small fixed set so verdicts are
+	// independent of the run seed and the audit cache is exercised.
+	AuditTrials int
+	// CheckBernstein enables the reconstruction-accuracy invariant. It is
+	// only sound for method "up": plain perturbation retains every record
+	// and perturbs each independently, which is exactly the Poisson-trials
+	// model behind the internal/bounds Bernstein envelope. SPS deliberately
+	// pushes violating groups past their raw-size bounds, and incremental
+	// absorption duplicates records, so neither fits the model.
+	CheckBernstein bool
+}
+
+// DeterministicAnswers reports whether served answers are independent of
+// request interleaving: with no inserts and no refreshes the publication
+// never changes, so the answer stream folds into the summary digest.
+func (sc *Scenario) DeterministicAnswers() bool {
+	return sc.Mix.Insert == 0 && sc.Mix.Refresh == 0
+}
+
+// validate rejects inconsistent scenarios before any server is started.
+func (sc *Scenario) validate() error {
+	if sc.Mix.total() <= 0 {
+		return fmt.Errorf("sim: scenario %q has an empty operation mix", sc.Name)
+	}
+	if sc.Mix.Insert > 0 && sc.Publish.Method != serve.MethodIncremental {
+		return fmt.Errorf("sim: scenario %q mixes inserts into a %q publication; inserts need method %q",
+			sc.Name, sc.Publish.Method, serve.MethodIncremental)
+	}
+	if sc.CheckBernstein && sc.Publish.Method != serve.MethodUP {
+		return fmt.Errorf("sim: scenario %q enables the Bernstein invariant on method %q; it is only sound for %q",
+			sc.Name, sc.Publish.Method, serve.MethodUP)
+	}
+	return nil
+}
+
+// simDataset is the publication every built-in scenario serves: the medical
+// generator at a size small enough for tier-1 runs yet large enough that
+// groups span the violating and non-violating regimes.
+func simDataset(method string) serve.PublishRequest {
+	return serve.PublishRequest{Dataset: serve.DatasetMedical, Size: 2000, Seed: 1, Method: method}
+}
+
+// Scenarios returns the built-in scenarios in a fixed order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:            "steady-read",
+			Description:     "read-only query traffic against one SPS publication; answers folded into the summary digest",
+			Publish:         simDataset(serve.MethodSPS),
+			Mix:             Mix{Query: 1},
+			Clients:         8,
+			Steps:           30,
+			QueriesPerBatch: 50,
+		},
+		{
+			Name:             "churn",
+			Description:      "insert/refresh-heavy streaming publication with queries racing re-indexing",
+			Publish:          simDataset(serve.MethodIncremental),
+			Mix:              Mix{Query: 3, Insert: 5, Refresh: 1},
+			Clients:          8,
+			Steps:            25,
+			QueriesPerBatch:  20,
+			RecordsPerInsert: 40,
+		},
+		{
+			Name:            "adversary",
+			Description:     "reconstruct/audit-heavy adaptive querier against a plain-perturbation publication, Bernstein-checked",
+			Publish:         simDataset(serve.MethodUP),
+			Mix:             Mix{Query: 1, Refresh: 1, Reconstruct: 5, Audit: 1},
+			Clients:         8,
+			Steps:           20,
+			QueriesPerBatch: 20,
+			SubsetsPerBatch: 20,
+			AuditTrials:     200,
+			CheckBernstein:  true,
+		},
+		{
+			Name:             "mixed",
+			Description:      "all operations against one streaming publication: queries, inserts, refreshes, reconstructions, audits",
+			Publish:          simDataset(serve.MethodIncremental),
+			Mix:              Mix{Query: 4, Insert: 2, Refresh: 1, Reconstruct: 2, Audit: 1},
+			Clients:          8,
+			Steps:            25,
+			QueriesPerBatch:  25,
+			SubsetsPerBatch:  15,
+			RecordsPerInsert: 30,
+			AuditTrials:      200,
+		},
+	}
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, error) {
+	names := make([]string, 0, 4)
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	return Scenario{}, fmt.Errorf("sim: unknown scenario %q (want one of %s)", name, strings.Join(names, ", "))
+}

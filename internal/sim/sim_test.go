@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/bounds"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/query"
+)
+
+// TestSimScenarios is the tier-1 simulation gate: every built-in scenario
+// runs at small scale under a fixed seed, must finish with zero invariant
+// violations, and must produce byte-identical summaries on a second run —
+// the reproducibility contract rpsim relies on. The churn scenario doubles
+// as the concurrency stressor: N clients race inserts against /query
+// re-indexing and /refresh rebuilds, which is what the CI -race job leans
+// on.
+func TestSimScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func() *Result {
+				res, err := Run(Options{Scenario: sc, Seed: 1, Clients: 4, Steps: 6})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			first := run()
+			for _, f := range first.Summary.Invariants.Failures {
+				t.Errorf("invariant violated: %s", f)
+			}
+			if v := first.Summary.Invariants.Violations; v != 0 {
+				t.Fatalf("%d invariant violations", v)
+			}
+			if first.Summary.Invariants.Checks == 0 {
+				t.Fatal("no invariant checks ran")
+			}
+			wantOps := int64(4 * 6)
+			ops := first.Summary.Ops
+			if got := ops.Query + ops.Insert + ops.Refresh + ops.Reconstruct + ops.Audit; got != wantOps {
+				t.Fatalf("issued %d ops, want %d", got, wantOps)
+			}
+			if sc.DeterministicAnswers() && first.Summary.AnswersDigest == "" {
+				t.Error("read-only scenario produced no answers digest")
+			}
+
+			a, err := first.SummaryJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := run().SummaryJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("summaries differ between identically-seeded runs:\n%s\n---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestScenarioValidation pins the scenario sanity rules.
+func TestScenarioValidation(t *testing.T) {
+	if _, err := Lookup("steady-read"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("unknown scenario should not resolve")
+	}
+	sc, _ := Lookup("steady-read")
+	sc.Mix = Mix{}
+	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
+		t.Error("empty mix should be rejected")
+	}
+	sc, _ = Lookup("steady-read")
+	sc.Mix.Insert = 1
+	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
+		t.Error("inserts into a non-incremental publication should be rejected")
+	}
+	sc, _ = Lookup("churn")
+	sc.CheckBernstein = true
+	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
+		t.Error("Bernstein invariant on a non-up method should be rejected")
+	}
+}
+
+// TestBernsteinOmegaInvertsBound checks the closed-form inversion against
+// the internal/bounds implementation it is derived from: the solved ω must
+// land exactly on the requested tail probability.
+func TestBernsteinOmegaInvertsBound(t *testing.T) {
+	b := bounds.Bernstein{}
+	for _, mu := range []float64{0.5, 3, 47, 1200, 9e5} {
+		for _, eps := range []float64{1e-3, 1e-6, 1e-9} {
+			omega := bernsteinOmega(mu, eps)
+			if got := b.Upper(omega, mu, 0); math.Abs(got-eps) > eps*1e-6 {
+				t.Errorf("Upper(ω(µ=%g, eps=%g)) = %g, want %g", mu, eps, got, eps)
+			}
+			// Slightly smaller ω must overshoot eps: ω is the smallest root.
+			if got := b.Upper(omega*0.999, mu, 0); got <= eps {
+				t.Errorf("ω(µ=%g, eps=%g) is not minimal: Upper at 0.999ω = %g", mu, eps, got)
+			}
+		}
+	}
+	if !math.IsInf(bernsteinOmega(0, 1e-9), 1) {
+		t.Error("µ = 0 should yield an infinite (vacuous) envelope")
+	}
+}
+
+// TestRawSubsetCounts pins the ground-truth scan against a hand-built
+// group set.
+func TestRawSubsetCounts(t *testing.T) {
+	schema := dataset.MustSchema([]dataset.Attribute{
+		{Name: "A", Values: []string{"a0", "a1"}},
+		{Name: "B", Values: []string{"b0", "b1", "b2"}},
+		{Name: "S", Values: []string{"s0", "s1"}},
+	}, "S")
+	tbl := dataset.NewTable(schema, 6)
+	tbl.MustAppendRow(0, 0, 0)
+	tbl.MustAppendRow(0, 0, 1)
+	tbl.MustAppendRow(0, 1, 0)
+	tbl.MustAppendRow(1, 0, 1)
+	tbl.MustAppendRow(1, 2, 0)
+	tbl.MustAppendRow(1, 2, 1)
+	gs := dataset.GroupsOf(tbl)
+
+	counts, size := rawSubsetCounts(gs, []query.Cond{{Attr: 0, Value: 0}})
+	if size != 3 || counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("A=a0: size %d counts %v, want 3 [2 1]", size, counts)
+	}
+	counts, size = rawSubsetCounts(gs, []query.Cond{{Attr: 0, Value: 1}, {Attr: 1, Value: 2}})
+	if size != 2 || counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("A=a1∧B=b2: size %d counts %v, want 2 [1 1]", size, counts)
+	}
+	if _, size := rawSubsetCounts(gs, []query.Cond{{Attr: 1, Value: 1}}); size != 1 {
+		t.Fatalf("B=b1: size %d, want 1", size)
+	}
+}
+
+// TestClientSeedsDistinct guards the stream derivation: nearby run seeds
+// and client indices must never collide (SplitMix64 finalizer bijectivity).
+func TestClientSeedsDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		for idx := 0; idx < 64; idx++ {
+			s := clientSeed(seed, idx)
+			if seen[s] {
+				t.Fatalf("duplicate client seed %d at run seed %d client %d", s, seed, idx)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package stats
+
+// Digest builds deterministic uint64 fingerprints of integer streams:
+// FNV-1a over the little-endian bytes of each folded word. Every
+// bit-identity fingerprint in the library (the marginal-index checksum, the
+// served-publication digest, the simulator's answer digest) folds through
+// this one implementation, so the fingerprints the checks cross-compare can
+// never drift apart.
+type Digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// NewDigest returns an empty digest.
+func NewDigest() *Digest { return &Digest{h: fnvOffset64} }
+
+// Word folds one uint64 (as 8 little-endian bytes) into the digest.
+func (d *Digest) Word(v uint64) {
+	h := d.h
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	d.h = h
+}
+
+// Sum64 returns the current fingerprint.
+func (d *Digest) Sum64() uint64 { return d.h }
