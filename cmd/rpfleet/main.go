@@ -1,0 +1,110 @@
+// Command rpfleet serves a replicated publication fleet: N in-process
+// replicas behind a router that places publications by rendezvous hashing,
+// fails queries over between holders, retries with capped backoff, and
+// charges client exposure exactly once per logical request regardless of
+// retries (see internal/fleet for the design).
+//
+// Usage:
+//
+//	rpfleet [-addr :8080] [-replicas 3] [-rf 2] [-timeout 2s]
+//	        [-eject-after 3] [-max-inflight 64] [-verify-every 16]
+//	        [-preload medical:5000,census:300000]
+//
+// -preload publishes each dataset[:size] across the fleet before serving,
+// so the first query never pays a build. The endpoint surface matches
+// rpserve — /query, /reconstruct, /audit, /publish, /refresh,
+// /publications, /healthz, /statsz — with two router additions: requests
+// may carry an X-Idempotency-Key header to make retries safe, and /statsz
+// reports router counters (failovers, ejections, shed load) instead of
+// per-replica internals. /insert is not served: fleet replicas converge
+// through deterministic rebuilds, which streaming inserts would break.
+//
+// A minimal session:
+//
+//	rpfleet -replicas 3 -rf 2 -preload medical:5000 &
+//	curl -s localhost:8080/publications
+//	curl -s -X POST localhost:8080/query -H 'X-Idempotency-Key: demo-1' -d '{
+//	  "id": "<id from /publications>",
+//	  "queries": [{"conds": [{"attr": "Job", "value": "Engineer"}], "sa": "Flu"}]
+//	}'
+//	curl -s localhost:8080/statsz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/fleet"
+	"github.com/reconpriv/reconpriv/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		replicas    = flag.Int("replicas", 3, "replica count")
+		rf          = flag.Int("rf", 2, "replication factor: holders per publication (clamped to -replicas)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "per-attempt replica deadline")
+		attempts    = flag.Int("attempts", 5, "attempt budget per logical request")
+		ejectAfter  = flag.Int("eject-after", 3, "consecutive transport failures before a replica is ejected")
+		maxInflight = flag.Int64("max-inflight", 64, "concurrent requests per replica before load shedding")
+		verifyEvery = flag.Int("verify-every", 16, "sample 1-in-N answers for cross-replica digest verification (negative disables)")
+		pipeWorkers = flag.Int("pipeline-workers", 0, "per-replica cold-path preprocessing workers (0 = GOMAXPROCS)")
+		preload     = flag.String("preload", "", "comma-separated dataset[:size] list to publish before serving")
+	)
+	flag.Parse()
+
+	f := fleet.New(fleet.Config{
+		Replicas:          *replicas,
+		ReplicationFactor: *rf,
+		EjectAfter:        *ejectAfter,
+		MaxInFlight:       *maxInflight,
+		MaxAttempts:       *attempts,
+		Timeout:           *timeout,
+		VerifyEvery:       *verifyEvery,
+		Serve:             serve.Config{PipelineWorkers: *pipeWorkers},
+	})
+
+	if *preload != "" {
+		for _, spec := range strings.Split(*preload, ",") {
+			req, err := parsePreload(strings.TrimSpace(spec))
+			if err != nil {
+				log.Fatalf("rpfleet: -preload %q: %v", spec, err)
+			}
+			start := time.Now()
+			id, err := f.Publish(req)
+			if err != nil {
+				log.Fatalf("rpfleet: preload %q: %v", spec, err)
+			}
+			log.Printf("rpfleet: preloaded %s as %s on replicas %v in %v",
+				spec, id, f.Holders(id), time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           f.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("rpfleet: %d replicas (rf %d) serving on %s", *replicas, *rf, *addr)
+	log.Fatal(httpServer.ListenAndServe())
+}
+
+// parsePreload turns "census:300000" into a publish request with default
+// parameters.
+func parsePreload(spec string) (serve.PublishRequest, error) {
+	name, sizeStr, hasSize := strings.Cut(spec, ":")
+	req := serve.PublishRequest{Dataset: name}
+	if hasSize {
+		n, err := strconv.Atoi(sizeStr)
+		if err != nil {
+			return req, fmt.Errorf("bad size %q", sizeStr)
+		}
+		req.Size = n
+	}
+	return req, nil
+}

@@ -58,6 +58,7 @@ func main() {
 		maxPubs      = flag.Int("max-publications", 0, "max distinct publication keys held in memory (0 = 1024)")
 		allowCSV     = flag.Bool("allow-csv", false, "allow publishing server-local CSV files")
 		preload      = flag.String("preload", "", "comma-separated dataset[:size] list to publish before serving")
+		drainWait    = flag.Duration("drain-wait", 10*time.Second, "max time to wait for in-flight requests on SIGTERM")
 	)
 	flag.Parse()
 
@@ -109,9 +110,17 @@ func main() {
 	case err := <-errc:
 		log.Fatalf("rpserve: %v", err)
 	case sig := <-sigc:
+		// Graceful drain: flip the application-level gate first so new work is
+		// rejected with a typed 503 (Retry-After) while the listener stays up,
+		// wait for in-flight requests up to the deadline, then close the
+		// listener. Closing the listener first would turn the polite 503s into
+		// connection refusals.
 		log.Printf("rpserve: %v, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("rpserve: %v", err)
+		}
 		if err := httpServer.Shutdown(ctx); err != nil {
 			log.Printf("rpserve: shutdown: %v", err)
 		}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reconpriv/reconpriv/internal/sim"
+)
+
+// FleetBenchRow is one fleet configuration's measured serving profile:
+// throughput and query latency at a replication factor, with or without one
+// replica killed a fifth of the way into the run (and never restarted, so
+// the row measures the degraded steady state, not a transient).
+type FleetBenchRow struct {
+	ReplicationFactor int     `json:"replication_factor"`
+	Killed            bool    `json:"replica_killed"`
+	Requests          int64   `json:"requests"`
+	RequestsPerSec    float64 `json:"requests_per_second"`
+	QueriesPerSec     float64 `json:"queries_per_second"`
+	QueryP50US        float64 `json:"query_p50_us"`
+	QueryP99US        float64 `json:"query_p99_us"`
+	Failovers         uint64  `json:"failovers"`
+	Ejections         uint64  `json:"ejections"`
+	// Rejected counts operations that ended in a tolerated typed rejection;
+	// it can be nonzero only on the rf=1 killed row, where the victim's
+	// publications have no surviving holder.
+	Rejected   int64 `json:"rejected"`
+	Violations int64 `json:"violations"`
+}
+
+// FleetBenchResult is the rpbench output for the fleet experiment: the
+// replication-factor sweep crossed with replica loss.
+type FleetBenchResult struct {
+	Clients int             `json:"clients"`
+	Steps   int             `json:"steps"`
+	Rows    []FleetBenchRow `json:"rows"`
+}
+
+// RunFleetBench sweeps replication factor 1..3 on a 3-replica fleet, each
+// with and without a mid-run replica kill, and reports router throughput and
+// query latency. Every run must finish with zero invariant violations —
+// exactly-once exposure and replica agreement hold under failure or the
+// bench fails, it does not report degraded numbers. The rf=1 killed cell is
+// the one configuration where loss is allowed by construction: the victim's
+// publications have no surviving holder, so the plan tolerates typed
+// rejections and the row reports how many requests were turned away.
+func RunFleetBench(clients, steps int, seed int64) (*FleetBenchResult, error) {
+	sc, err := sim.Lookup("fleet")
+	if err != nil {
+		return nil, err
+	}
+	out := &FleetBenchResult{Clients: clients, Steps: steps}
+	for rf := 1; rf <= 3; rf++ {
+		for _, killed := range []bool{false, true} {
+			plan := *sc.Fleet
+			plan.ReplicationFactor = rf
+			plan.RestartAtFrac = 0
+			plan.SpikeEvery = 0 // pure throughput: no injected latency
+			plan.KillAtFrac = 0
+			if killed {
+				plan.KillAtFrac = 0.2
+				plan.TolerateUnavailable = rf == 1
+			}
+			bsc := sc
+			bsc.Fleet = &plan
+			res, err := sim.Run(sim.Options{Scenario: bsc, Seed: seed, Clients: clients, Steps: steps})
+			if err != nil {
+				return nil, err
+			}
+			s, t := &res.Summary, &res.Timing
+			if s.Invariants.Violations > 0 {
+				return nil, fmt.Errorf("experiments: fleet rf=%d killed=%v violated %d invariants: %s",
+					rf, killed, s.Invariants.Violations, strings.Join(s.Invariants.Failures, "; "))
+			}
+			row := FleetBenchRow{
+				ReplicationFactor: rf,
+				Killed:            killed,
+				Requests:          t.Requests,
+				RequestsPerSec:    t.RequestsPerSec,
+				QueriesPerSec:     t.QueriesPerSec,
+				Violations:        s.Invariants.Violations,
+			}
+			if t.Fleet != nil {
+				row.Failovers = t.Fleet.Failovers
+				row.Ejections = t.Fleet.Ejections
+				row.Rejected = t.Fleet.Rejected
+			}
+			for _, ot := range t.Ops {
+				if ot.Op == "query" {
+					row.QueryP50US, row.QueryP99US = ot.P50US, ot.P99US
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// String renders the sweep as a table.
+func (r *FleetBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet throughput under replica loss (%d clients x %d steps, 3 replicas)\n",
+		r.Clients, r.Steps)
+	t := &textTable{header: []string{"rf", "killed", "req/s", "queries/s", "query p50 us", "query p99 us", "failovers", "rejected"}}
+	for _, row := range r.Rows {
+		t.addRow(
+			fmt.Sprint(row.ReplicationFactor),
+			fmt.Sprint(row.Killed),
+			fmt.Sprintf("%.0f", row.RequestsPerSec),
+			fmt.Sprintf("%.0f", row.QueriesPerSec),
+			fmt.Sprintf("%.0f", row.QueryP50US),
+			fmt.Sprintf("%.0f", row.QueryP99US),
+			fmt.Sprint(row.Failovers),
+			fmt.Sprint(row.Rejected),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,33 @@
+// Package fleet runs N in-process serve.Server replicas behind one router
+// and makes the pair behave like a single fault-tolerant publication server.
+//
+// Placement is rendezvous hashing: each publication id scores every replica
+// and lives on the top ReplicationFactor of them, so replicas hold disjoint
+// overlapping subsets and losing one machine loses no publication with
+// ReplicationFactor >= 2. Publications are deterministic builds — the same
+// request yields bit-identical marginal cubes on every replica
+// (Publication.Digest) — which is what makes replication cheap (no state
+// transfer: a restarted replica rebuilds from the request) and agreement
+// checkable (the router digest-compares sampled answers across holders).
+//
+// The router (Handler) proxies /query, /reconstruct, and /audit by
+// publication id with per-attempt timeouts, capped exponential backoff with
+// deterministic jitter, and failover across holders. Replica health is a
+// three-state machine: healthy, ejected after EjectAfter consecutive
+// transport failures, probing after a cooldown of ProbeAfter routed
+// requests — one trial request either reinstates the replica or re-ejects
+// it. Admission control bounds the in-flight requests per replica; when
+// every holder is saturated the router sheds load with a typed 429, and
+// when every holder is down past the retry budget it fails with a typed
+// 503, both carrying Retry-After (see the serve error taxonomy).
+//
+// Exposure accounting is router-authoritative: replicas report each
+// batch's charge in the response's charged field, and the router adds it
+// to its own per-client ledger exactly once per logical request — however
+// many replica attempts, timeouts, or abandoned executions it took — then
+// rewrites client_queries and exposure_warning in the body it returns.
+// Replica-local ledgers count abandoned work and are deliberately ignored;
+// this is what keeps a retried query from being double-charged, the
+// privacy half of the failover contract. Client resends are deduplicated
+// by the X-Idempotency-Key header against a bounded replay cache.
+package fleet

@@ -1,0 +1,467 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+)
+
+// Config tunes the fleet; the zero value is fully usable.
+type Config struct {
+	// Replicas is the replica count (default 3).
+	Replicas int
+	// ReplicationFactor is how many replicas hold each publication
+	// (default 2, clamped to Replicas).
+	ReplicationFactor int
+	// EjectAfter is the consecutive transport-failure count that ejects a
+	// replica from rotation (default 3).
+	EjectAfter int
+	// ProbeAfter is the ejection cooldown, measured in requests routed
+	// fleet-wide (not wall time, so tests and the simulator stay
+	// deterministic): once that many requests have passed, the next
+	// request to need the replica probes it (default 16).
+	ProbeAfter uint64
+	// MaxInFlight bounds concurrent requests per replica; beyond it the
+	// router tries the next holder and, with every holder saturated,
+	// sheds the request with a typed 429 (default 64).
+	MaxInFlight int64
+	// MaxAttempts is the per-logical-request attempt budget across all
+	// holders (default 5).
+	MaxAttempts int
+	// Timeout is the per-attempt deadline (default 2s).
+	Timeout time.Duration
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between attempts (defaults 2ms and 50ms); actual sleeps are jittered
+	// deterministically from the request key.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// VerifyEvery samples 1-in-N successful /query and /reconstruct
+	// answers for digest comparison against a second holder (default 16;
+	// negative disables). Deterministic builds make holders bit-identical,
+	// so any mismatch is a real fault.
+	VerifyEvery int
+	// Serve is each replica's configuration.
+	Serve serve.Config
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.ReplicationFactor > c.Replicas {
+		c.ReplicationFactor = c.Replicas
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ProbeAfter == 0 {
+		c.ProbeAfter = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 50 * time.Millisecond
+	}
+	if c.VerifyEvery == 0 {
+		c.VerifyEvery = 16
+	}
+	return c
+}
+
+// pub is the fleet's record of one placed publication: the request to
+// rebuild it from (deterministic builds make the request the whole state)
+// and the generation to replay on restart. gen is guarded by mu.
+type pub struct {
+	req     serve.PublishRequest
+	holders []int
+	mu      sync.Mutex
+	gen     int
+}
+
+// Fleet is a router plus its replicas. Create with New; all methods are
+// safe for concurrent use.
+type Fleet struct {
+	cfg      Config
+	replicas []*replica
+
+	pubs struct {
+		mu sync.RWMutex
+		m  map[string]*pub
+	}
+
+	// The authoritative exposure ledger: per-client charged totals plus
+	// the fleet-wide sum. Charged exactly once per logical request.
+	clients struct {
+		mu    sync.RWMutex
+		m     map[string]*atomic.Int64
+		total atomic.Int64
+	}
+
+	// idem is the bounded idempotency replay cache (see router.go).
+	idem struct {
+		mu    sync.Mutex
+		m     map[string]*response
+		order []string
+	}
+
+	// requests is the fleet-wide routed-request counter — also the clock
+	// probe cooldowns are measured against.
+	requests atomic.Uint64
+
+	// Operational counters (wall-clock and interleaving dependent; the
+	// simulator reports them as timing, never in the deterministic summary).
+	retries          atomic.Uint64
+	failovers        atomic.Uint64
+	ejections        atomic.Uint64
+	probes           atomic.Uint64
+	reinstated       atomic.Uint64
+	shed             atomic.Uint64
+	unavailable      atomic.Uint64
+	verified         atomic.Uint64
+	verifyMismatches atomic.Uint64
+}
+
+// New builds a fleet of cfg.Replicas live replicas.
+func New(cfg Config) *Fleet {
+	f := &Fleet{cfg: cfg.withDefaults()}
+	f.replicas = make([]*replica, f.cfg.Replicas)
+	for i := range f.replicas {
+		f.replicas[i] = newReplica(i, f.cfg.Serve)
+	}
+	f.pubs.m = make(map[string]*pub)
+	f.clients.m = make(map[string]*atomic.Int64)
+	f.idem.m = make(map[string]*response)
+	return f
+}
+
+// Config returns the resolved configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Publish places a publication on its rendezvous holders and builds it on
+// every live one, returning the publication id. Dead holders pick it up on
+// restart. Publishing the same request twice is a cache hit on every
+// holder, exactly as on a single server.
+func (f *Fleet) Publish(req serve.PublishRequest) (string, error) {
+	if err := req.Normalize(); err != nil {
+		return "", err
+	}
+	id := serve.IDForKey(req.Key())
+	holders := placement(id, f.cfg.Replicas, f.cfg.ReplicationFactor)
+
+	f.pubs.mu.Lock()
+	p, ok := f.pubs.m[id]
+	if !ok {
+		p = &pub{req: req, holders: holders}
+		f.pubs.m[id] = p
+	}
+	f.pubs.mu.Unlock()
+
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() {
+			continue
+		}
+		if err := buildOn(rep.server(), req, 0); err != nil {
+			return "", fmt.Errorf("fleet: replica %d: %w", h, err)
+		}
+	}
+	return id, nil
+}
+
+// Refresh advances a publication's generation on every live holder. Dead
+// holders replay the generation on restart, so holders always converge on
+// one generation — the digest-agreement precondition.
+func (f *Fleet) Refresh(id string) error {
+	p := f.lookup(id)
+	if p == nil {
+		return fmt.Errorf("fleet: no publication %q", id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() {
+			continue
+		}
+		if _, err := rep.server().Refresh(id); err != nil {
+			return fmt.Errorf("fleet: replica %d: %w", h, err)
+		}
+	}
+	p.gen++
+	return nil
+}
+
+// lookup returns the fleet's record of a publication, or nil.
+func (f *Fleet) lookup(id string) *pub {
+	f.pubs.mu.RLock()
+	defer f.pubs.mu.RUnlock()
+	return f.pubs.m[id]
+}
+
+// Holders returns the replica indices placed for a publication id
+// (placement is pure, so this works for ids not yet published).
+func (f *Fleet) Holders(id string) []int {
+	return placement(id, f.cfg.Replicas, f.cfg.ReplicationFactor)
+}
+
+// KillReplica takes a replica down hard: requests to it fail at the
+// transport level until RestartReplica. The router discovers the death
+// through consecutive failures and ejects it — kill deliberately does not
+// update health state, so the detection path is always exercised.
+func (f *Fleet) KillReplica(i int) {
+	f.replicas[i].alive.Store(false)
+}
+
+// RestartReplica brings a killed replica back with a fresh server and
+// deterministically reconstructs its state: every placed publication is
+// rebuilt from its request and rolled forward to the fleet's current
+// generation. Builds are bit-identical, so the restarted replica agrees
+// with its peers by construction. Health state is left alone — the replica
+// rejoins rotation through the probe path, not by fiat.
+func (f *Fleet) RestartReplica(i int) error {
+	rep := f.replicas[i]
+	srv := serve.New(f.cfg.Serve)
+
+	f.pubs.mu.RLock()
+	placed := make([]*pub, 0, len(f.pubs.m))
+	for _, p := range f.pubs.m {
+		for _, h := range p.holders {
+			if h == i {
+				placed = append(placed, p)
+				break
+			}
+		}
+	}
+	f.pubs.mu.RUnlock()
+	// Deterministic rebuild order (map iteration is not).
+	sort.Slice(placed, func(a, b int) bool {
+		return serve.IDForKey(placed[a].req.Key()) < serve.IDForKey(placed[b].req.Key())
+	})
+
+	for _, p := range placed {
+		p.mu.Lock()
+		gen := p.gen
+		err := buildOn(srv, p.req, gen)
+		p.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("fleet: restart replica %d: %w", i, err)
+		}
+	}
+
+	rep.mu.Lock()
+	rep.srv = srv
+	rep.handler = srv.Handler()
+	rep.mu.Unlock()
+	rep.alive.Store(true)
+	return nil
+}
+
+// buildOn publishes a request on a server and rolls it forward gen
+// generations (a publication's only mutable coordinate under the fleet's
+// read-only serving surface).
+func buildOn(s *serve.Server, req serve.PublishRequest, gen int) error {
+	e, _, err := s.Publish(req, true)
+	if err != nil {
+		return err
+	}
+	pubv, err := e.Publication()
+	if err != nil {
+		return err
+	}
+	id := pubv.ID
+	for g := pubv.Generation; g < gen; g++ {
+		if _, err := s.Refresh(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Publication returns a live holder's built publication — schema and
+// parameter access for harnesses that generate workloads against the fleet.
+// Holders are bit-identical, so any live one is authoritative.
+func (f *Fleet) Publication(id string) (*serve.Publication, error) {
+	p := f.lookup(id)
+	if p == nil {
+		return nil, fmt.Errorf("fleet: no publication %q", id)
+	}
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() {
+			continue
+		}
+		e := rep.server().Lookup(id)
+		if e == nil {
+			continue
+		}
+		return e.Publication()
+	}
+	return nil, fmt.Errorf("fleet: no live holder of %q", id)
+}
+
+// Alive reports whether replica i is serving.
+func (f *Fleet) Alive(i int) bool { return f.replicas[i].alive.Load() }
+
+// InjectLatency makes the next n requests to replica i stall for d before
+// serving — the simulator's latency-spike fault.
+func (f *Fleet) InjectLatency(i int, d time.Duration, n int) {
+	rep := f.replicas[i]
+	rep.faults.spike.Store(int64(d))
+	rep.faults.spikeN.Add(int64(n))
+}
+
+// InjectFailures makes the next n requests to replica i fail at the
+// transport level — a crash-mid-request fault.
+func (f *Fleet) InjectFailures(i, n int) {
+	f.replicas[i].faults.failN.Add(int64(n))
+}
+
+// charge adds n to a client's ledger and the fleet total, returning the
+// client's new cumulative exposure. This is the single place exposure is
+// charged — once per logical request.
+func (f *Fleet) charge(client string, n int64) int64 {
+	f.clients.mu.RLock()
+	c := f.clients.m[client]
+	f.clients.mu.RUnlock()
+	if c == nil {
+		f.clients.mu.Lock()
+		c = f.clients.m[client]
+		if c == nil {
+			c = &atomic.Int64{}
+			f.clients.m[client] = c
+		}
+		f.clients.mu.Unlock()
+	}
+	f.clients.total.Add(n)
+	return c.Add(n)
+}
+
+// ClientExposure returns one client's cumulative charged exposure.
+func (f *Fleet) ClientExposure(client string) int64 {
+	f.clients.mu.RLock()
+	defer f.clients.mu.RUnlock()
+	if c := f.clients.m[client]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// TotalExposure returns the fleet-wide charged total. By construction it
+// equals the sum of per-client ledgers; the simulator asserts exactly that
+// against the charges its clients observed.
+func (f *Fleet) TotalExposure() int64 { return f.clients.total.Load() }
+
+// ReplicaAgreement digest-compares a publication across every live holder:
+// all must serve bit-identical marginal cubes at one generation. A nil
+// error is the fleet-consistency invariant.
+func (f *Fleet) ReplicaAgreement(id string) error {
+	p := f.lookup(id)
+	if p == nil {
+		return fmt.Errorf("fleet: no publication %q", id)
+	}
+	var digest string
+	var gen, first = 0, -1
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() {
+			continue
+		}
+		e := rep.server().Lookup(id)
+		if e == nil {
+			return fmt.Errorf("fleet: replica %d lost publication %q", h, id)
+		}
+		pubv, err := e.Publication()
+		if err != nil {
+			return fmt.Errorf("fleet: replica %d: %w", h, err)
+		}
+		if first < 0 {
+			first, digest, gen = h, pubv.Digest(), pubv.Generation
+			continue
+		}
+		if d := pubv.Digest(); d != digest || pubv.Generation != gen {
+			return fmt.Errorf("fleet: %q diverges: replica %d g%d %s vs replica %d g%d %s",
+				id, first, gen, digest, h, pubv.Generation, d)
+		}
+	}
+	if first < 0 {
+		return fmt.Errorf("fleet: no live holder of %q", id)
+	}
+	return nil
+}
+
+// Stats is the fleet's operational snapshot (/statsz at the router).
+type Stats struct {
+	Replicas          int    `json:"replicas"`
+	ReplicationFactor int    `json:"replication_factor"`
+	Publications      int    `json:"publications"`
+	Healthy           int    `json:"healthy"`
+	Ejected           int    `json:"ejected"`
+	Alive             int    `json:"alive"`
+	Requests          uint64 `json:"requests"`
+	Retries           uint64 `json:"retries"`
+	Failovers         uint64 `json:"failovers"`
+	Ejections         uint64 `json:"ejections"`
+	Probes            uint64 `json:"probes"`
+	Reinstated        uint64 `json:"reinstated"`
+	Shed              uint64 `json:"shed"`
+	Unavailable       uint64 `json:"unavailable"`
+	Verified          uint64 `json:"verified"`
+	VerifyMismatches  uint64 `json:"verify_mismatches"`
+	Clients           int    `json:"clients"`
+	TotalCharged      int64  `json:"total_charged"`
+}
+
+// Stats snapshots the router's counters.
+func (f *Fleet) Stats() Stats {
+	out := Stats{
+		Replicas:          f.cfg.Replicas,
+		ReplicationFactor: f.cfg.ReplicationFactor,
+		Requests:          f.requests.Load(),
+		Retries:           f.retries.Load(),
+		Failovers:         f.failovers.Load(),
+		Ejections:         f.ejections.Load(),
+		Probes:            f.probes.Load(),
+		Reinstated:        f.reinstated.Load(),
+		Shed:              f.shed.Load(),
+		Unavailable:       f.unavailable.Load(),
+		Verified:          f.verified.Load(),
+		VerifyMismatches:  f.verifyMismatches.Load(),
+		TotalCharged:      f.clients.total.Load(),
+	}
+	f.pubs.mu.RLock()
+	out.Publications = len(f.pubs.m)
+	f.pubs.mu.RUnlock()
+	f.clients.mu.RLock()
+	out.Clients = len(f.clients.m)
+	f.clients.mu.RUnlock()
+	for _, rep := range f.replicas {
+		if rep.alive.Load() {
+			out.Alive++
+		}
+		switch rep.state.Load() {
+		case stateEjected:
+			out.Ejected++
+		default:
+			out.Healthy++
+		}
+	}
+	return out
+}

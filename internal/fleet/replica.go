@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+)
+
+// Health states of one replica, as tracked by the router.
+const (
+	stateHealthy int32 = iota
+	stateEjected
+	stateProbing
+)
+
+// ErrReplicaDown is the transport-level failure a killed replica returns;
+// it plays the role a connection refusal would over real sockets.
+var ErrReplicaDown = errors.New("fleet: replica down")
+
+// faults is the per-replica fault injector the cluster simulator and the
+// failover tests drive. All knobs are safe for concurrent use.
+type faults struct {
+	// spike holds a latency to inject into the next spikeN requests.
+	spike  atomic.Int64 // time.Duration
+	spikeN atomic.Int64
+	// failN makes the next N requests fail at the transport level (after
+	// any injected latency), as a crashed-mid-request replica would.
+	failN atomic.Int64
+}
+
+// takeSpike consumes one pending latency spike, if any.
+func (f *faults) takeSpike() time.Duration {
+	for {
+		n := f.spikeN.Load()
+		if n <= 0 {
+			return 0
+		}
+		if f.spikeN.CompareAndSwap(n, n-1) {
+			return time.Duration(f.spike.Load())
+		}
+	}
+}
+
+// takeFail consumes one pending injected failure, if any.
+func (f *faults) takeFail() bool {
+	for {
+		n := f.failN.Load()
+		if n <= 0 {
+			return false
+		}
+		if f.failN.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// replica is one in-process serve.Server plus the router's view of it:
+// liveness, health state, in-flight gauge, and the fault injector.
+type replica struct {
+	idx int
+
+	// mu guards srv and handler across kill/restart; requests read them
+	// under RLock, restart swaps them under Lock. In-flight handlers on a
+	// replaced server finish against the old instance and are discarded.
+	mu      sync.RWMutex
+	srv     *serve.Server
+	handler http.Handler
+
+	alive    atomic.Bool
+	inflight atomic.Int64
+
+	// Health machine (owned by the router): state is one of stateHealthy /
+	// stateEjected / stateProbing; fails counts consecutive transport
+	// failures; ejectedAt is the router's request counter at ejection, the
+	// clock the probe cooldown is measured against.
+	state     atomic.Int32
+	fails     atomic.Int32
+	ejectedAt atomic.Uint64
+
+	faults faults
+}
+
+// newReplica builds a live replica with a fresh server.
+func newReplica(idx int, cfg serve.Config) *replica {
+	rep := &replica{idx: idx}
+	rep.srv = serve.New(cfg)
+	rep.handler = rep.srv.Handler()
+	rep.alive.Store(true)
+	return rep
+}
+
+// server returns the current serve.Server (nil only mid-restart).
+func (rep *replica) server() *serve.Server {
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	return rep.srv
+}
+
+// response is one in-process HTTP exchange's result.
+type response struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// memWriter is the in-process http.ResponseWriter replicas serve into: no
+// sockets, just bytes. It is written by exactly one handler goroutine and
+// read only after that goroutine signals completion.
+type memWriter struct {
+	hdr    http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (m *memWriter) Header() http.Header {
+	if m.hdr == nil {
+		m.hdr = make(http.Header)
+	}
+	return m.hdr
+}
+
+func (m *memWriter) Write(p []byte) (int, error) {
+	if m.status == 0 {
+		m.status = http.StatusOK
+	}
+	return m.buf.Write(p)
+}
+
+func (m *memWriter) WriteHeader(code int) {
+	if m.status == 0 {
+		m.status = code
+	}
+}
+
+// do executes one request against the replica, honoring injected faults and
+// the context deadline. On deadline the handler goroutine is abandoned — it
+// keeps running against the replica (charging its local ledger, exactly the
+// hazard the router's authoritative ledger exists for) but its response is
+// discarded. Transport-level failures (down, injected crash, timeout) come
+// back as errors; HTTP-level failures come back as responses.
+func (rep *replica) do(ctx context.Context, method, path string, header http.Header, body []byte) (*response, error) {
+	if !rep.alive.Load() {
+		return nil, ErrReplicaDown
+	}
+	if d := rep.faults.takeSpike(); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ctx.Err())
+		}
+	}
+	if rep.faults.takeFail() {
+		return nil, fmt.Errorf("fleet: replica %d: injected failure: %w", rep.idx, ErrReplicaDown)
+	}
+	rep.mu.RLock()
+	h := rep.handler
+	rep.mu.RUnlock()
+	if h == nil || !rep.alive.Load() {
+		return nil, ErrReplicaDown
+	}
+
+	req, err := http.NewRequestWithContext(ctx, method, "http://replica"+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	req.RemoteAddr = "fleet:0"
+
+	w := &memWriter{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		h.ServeHTTP(w, req)
+	}()
+	select {
+	case <-done:
+		return &response{status: w.status, header: w.hdr, body: w.buf.Bytes()}, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ctx.Err())
+	}
+}

@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"sort"
+
+	"github.com/reconpriv/reconpriv/internal/par"
+)
+
+// Rendezvous (highest-random-weight) hashing places publications on
+// replicas. Unlike a ring of virtual nodes it needs no stored state, every
+// node scores every key independently, and removing a replica moves only
+// the keys it held — the property that keeps placement stable across
+// restarts.
+
+// fnv64 is FNV-1a over a string, the key half of the rendezvous score.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// score is replica idx's rendezvous weight for a publication id: the key
+// hash whitened against a per-replica odd multiplier through the SplitMix64
+// finalizer. idx+1 keeps replica 0 off the bare key hash.
+func score(pubID string, idx int) uint64 {
+	return par.Mix64(fnv64(pubID) ^ (0x9e3779b97f4a7c15 * uint64(idx+1)))
+}
+
+// placement returns the indices of the rf replicas (of n) that hold a
+// publication, highest score first. Ties break on the lower index so the
+// order is total; rf is clamped to n.
+func placement(pubID string, n, rf int) []int {
+	if rf > n {
+		rf = n
+	}
+	if rf <= 0 {
+		rf = 1
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := score(pubID, idx[a]), score(pubID, idx[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:rf]
+}

@@ -1,0 +1,519 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/par"
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// maxBodyBytes bounds proxied request bodies (matches the serve limit).
+const maxBodyBytes = 64 << 20
+
+// maxIdempotencyEntries bounds the replay cache; beyond it the oldest
+// entries are evicted FIFO.
+const maxIdempotencyEntries = 4096
+
+// Handler returns the fleet's HTTP surface: the routed read endpoints
+// (/query, /reconstruct, /audit), the fan-out write endpoints (/publish,
+// /refresh), a typed rejection for /insert, and fleet-level /healthz and
+// /statsz. Bodies and codes match the single-server serve surface, so
+// clients move between one server and a fleet without changes.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", f.proxyHandler("/query"))
+	mux.HandleFunc("/reconstruct", f.proxyHandler("/reconstruct"))
+	mux.HandleFunc("/audit", f.proxyHandler("/audit"))
+	mux.HandleFunc("/publish", f.handlePublish)
+	mux.HandleFunc("/refresh", f.handleRefresh)
+	mux.HandleFunc("/insert", f.handleInsert)
+	mux.HandleFunc("/publications", f.handlePublications)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/statsz", f.handleStatsz)
+	return mux
+}
+
+// requestHead is the slice of a routed body the router itself reads: the
+// publication id to place the request and the client for the ledger.
+type requestHead struct {
+	ID     string `json:"id"`
+	Client string `json:"client"`
+}
+
+func (f *Fleet) proxyHandler(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f.proxy(w, r, path)
+	}
+}
+
+// proxy routes one logical request: place by publication id, fail over
+// across holders with timeouts and jittered backoff, charge exposure
+// exactly once on the first decoded success, and digest-verify a sampled
+// fraction of answers against a second holder.
+func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
+	f.requests.Add(1)
+	if r.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.CodeMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("reading body: %v", err))
+		return
+	}
+	var head requestHead
+	if err := json.Unmarshal(body, &head); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	p := f.lookup(head.ID)
+	if p == nil {
+		serve.WriteError(w, http.StatusNotFound, serve.CodeNotFound, fmt.Errorf("no publication %q", head.ID))
+		return
+	}
+
+	// Idempotent replay: a client resend with the same key gets the stored
+	// response — same answers, same cumulative exposure — without touching
+	// a replica or the ledger.
+	idemKey := r.Header.Get("X-Idempotency-Key")
+	if idemKey != "" {
+		if cached := f.idemGet(idemKey); cached != nil {
+			emit(w, cached)
+			return
+		}
+	}
+
+	client := head.Client
+	if h := r.Header.Get("X-Client-ID"); h != "" {
+		client = h
+	}
+	if client == "" {
+		client = "fleet"
+	}
+
+	// keyHash seeds the backoff jitter, the holder rotation, and the
+	// verification sample — all deterministic functions of the logical
+	// request, never of wall time.
+	keyHash := fnv64(idemKey)
+	if idemKey == "" {
+		keyHash = fnv64(string(body))
+	}
+
+	hdr := make(http.Header, 2)
+	hdr.Set("Content-Type", "application/json")
+	if h := r.Header.Get("X-Client-ID"); h != "" {
+		hdr.Set("X-Client-ID", h)
+	}
+
+	lastCode, lastMsg := serve.CodeUnavailable, "no live holder"
+	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			f.retries.Add(1)
+			time.Sleep(f.backoff(keyHash, attempt))
+		}
+		rep, saturated := f.pick(p.holders, keyHash, attempt)
+		if rep == nil {
+			if saturated {
+				// Every admissible holder is at capacity: shed now rather
+				// than queue retries behind an overload.
+				f.shed.Add(1)
+				serve.WriteError(w, http.StatusTooManyRequests, serve.CodeOverloaded,
+					fmt.Errorf("all %d holders of %q at capacity", len(p.holders), head.ID))
+				return
+			}
+			continue
+		}
+
+		rep.inflight.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), f.cfg.Timeout)
+		resp, err := rep.do(ctx, http.MethodPost, path, hdr, body)
+		cancel()
+		rep.inflight.Add(-1)
+
+		if err != nil {
+			f.noteFailure(rep)
+			lastCode, lastMsg = serve.CodeUnavailable, err.Error()
+			continue
+		}
+		if resp.status >= 400 {
+			code := serve.DecodeErrorCode(resp.status, resp.body)
+			if code.Retryable() {
+				// Handler-level transient (still building, draining): the
+				// replica process is fine, so health is untouched.
+				lastCode, lastMsg = code, fmt.Sprintf("replica %d: %s", rep.idx, code)
+				continue
+			}
+			// Permanent: the replica answered definitively; relay verbatim.
+			f.noteSuccess(rep)
+			emit(w, resp)
+			return
+		}
+
+		f.noteSuccess(rep)
+		if attempt > 0 {
+			f.failovers.Add(1)
+		}
+		final := f.settle(path, p, rep, keyHash, hdr, body, resp, client)
+		if idemKey != "" {
+			f.idemPut(idemKey, final)
+		}
+		emit(w, final)
+		return
+	}
+	f.unavailable.Add(1)
+	serve.WriteError(w, http.StatusServiceUnavailable, serve.CodeUnavailable,
+		fmt.Errorf("publication %q unavailable after %d attempts (last: %s: %s)",
+			head.ID, f.cfg.MaxAttempts, lastCode, lastMsg))
+}
+
+// pick selects the next attempt's replica among a publication's holders:
+// rotation starts at a key-derived offset, ejected replicas are skipped
+// until their probe cooldown expires (then exactly one request wins the
+// ejected→probing transition and carries the probe), and saturated
+// replicas are skipped with the fact recorded so the caller can
+// distinguish overload (shed) from death (retry, then unavailable).
+func (f *Fleet) pick(holders []int, keyHash uint64, attempt int) (rep *replica, saturated bool) {
+	start := int((keyHash + uint64(attempt)) % uint64(len(holders)))
+	now := f.requests.Load()
+	for k := 0; k < len(holders); k++ {
+		cand := f.replicas[holders[(start+k)%len(holders)]]
+		switch cand.state.Load() {
+		case stateEjected:
+			if now-cand.ejectedAt.Load() < f.cfg.ProbeAfter {
+				continue
+			}
+			if !cand.state.CompareAndSwap(stateEjected, stateProbing) {
+				continue
+			}
+			f.probes.Add(1)
+			return cand, saturated
+		case stateProbing:
+			// Someone else's probe is in flight; one trial at a time.
+			continue
+		default:
+			if cand.inflight.Load() >= f.cfg.MaxInFlight {
+				saturated = true
+				continue
+			}
+			return cand, saturated
+		}
+	}
+	return nil, saturated
+}
+
+// backoff computes the sleep before retry attempt n: capped exponential in
+// the attempt, scaled by a deterministic jitter fraction in [0.5, 1.0)
+// drawn from the request key — no shared RNG, no lock, and identical
+// requests back off identically.
+func (f *Fleet) backoff(keyHash uint64, attempt int) time.Duration {
+	d := f.cfg.BackoffBase << (attempt - 1)
+	if d <= 0 || d > f.cfg.BackoffMax {
+		d = f.cfg.BackoffMax
+	}
+	frac := 0.5 + float64(par.Mix64(keyHash+uint64(attempt))&1023)/2048
+	return time.Duration(float64(d) * frac)
+}
+
+// noteFailure records one transport-level failure: EjectAfter consecutive
+// failures eject a healthy replica; a failed probe re-ejects immediately
+// and restarts the cooldown.
+func (f *Fleet) noteFailure(rep *replica) {
+	n := rep.fails.Add(1)
+	switch rep.state.Load() {
+	case stateProbing:
+		rep.ejectedAt.Store(f.requests.Load())
+		rep.state.Store(stateEjected)
+	case stateHealthy:
+		if n >= int32(f.cfg.EjectAfter) && rep.state.CompareAndSwap(stateHealthy, stateEjected) {
+			rep.ejectedAt.Store(f.requests.Load())
+			f.ejections.Add(1)
+		}
+	}
+}
+
+// noteSuccess resets the failure streak and reinstates a probing replica.
+func (f *Fleet) noteSuccess(rep *replica) {
+	rep.fails.Store(0)
+	if rep.state.Load() != stateHealthy && rep.state.CompareAndSwap(stateProbing, stateHealthy) {
+		f.reinstated.Add(1)
+	}
+}
+
+// settle finishes a successful routed response: charge the router ledger
+// exactly once, rewrite the exposure fields to the authoritative values,
+// and digest-verify a sampled fraction against a second holder. Responses
+// without a charged field (audits) pass through unchanged.
+func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr http.Header, reqBody []byte, resp *response, client string) *response {
+	if f.cfg.VerifyEvery > 0 && path != "/audit" && keyHash%uint64(f.cfg.VerifyEvery) == 0 {
+		f.verify(path, p, rep.idx, hdr, reqBody, resp.body)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(resp.body, &doc); err != nil {
+		return resp
+	}
+	charged, ok := doc["charged"].(float64)
+	if !ok || charged <= 0 {
+		return resp
+	}
+	total := f.charge(client, int64(charged))
+	doc["client_queries"] = total
+	doc["client"] = client
+	if warn := f.exposureWarn(); warn > 0 && total > warn {
+		doc["exposure_warning"] = true
+	} else {
+		delete(doc, "exposure_warning")
+	}
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return resp
+	}
+	return &response{status: resp.status, header: resp.header, body: append(body, '\n')}
+}
+
+// exposureWarn resolves the warning threshold with serve's semantics
+// (0 = default 50000, negative = disabled).
+func (f *Fleet) exposureWarn() int64 {
+	w := f.cfg.Serve.ExposureWarn
+	if w == 0 {
+		return 50000
+	}
+	return w
+}
+
+// verify replays a sampled request against a second live holder and
+// compares answer digests. Deterministic builds make replicas
+// bit-identical, so any mismatch is real corruption — counted, never
+// masked. Verification failures to reach a second holder are skipped;
+// this is sampling, not a quorum.
+func (f *Fleet) verify(path string, p *pub, primary int, hdr http.Header, reqBody, primaryBody []byte) {
+	want, ok := answersDigest(path, primaryBody)
+	if !ok {
+		return
+	}
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if h == primary || !rep.alive.Load() || rep.state.Load() != stateHealthy {
+			continue
+		}
+		vh := make(http.Header, len(hdr)+1)
+		for k, vs := range hdr {
+			vh[k] = vs
+		}
+		vh.Set("X-Fleet-Verify", "1")
+		rep.inflight.Add(1)
+		ctx, cancel := context.WithTimeout(context.Background(), f.cfg.Timeout)
+		resp, err := rep.do(ctx, http.MethodPost, path, vh, reqBody)
+		cancel()
+		rep.inflight.Add(-1)
+		if err != nil || resp.status != http.StatusOK {
+			return
+		}
+		got, ok := answersDigest(path, resp.body)
+		if !ok {
+			return
+		}
+		f.verified.Add(1)
+		if got != want {
+			f.verifyMismatches.Add(1)
+		}
+		return
+	}
+}
+
+// answersDigest fingerprints the replica-determined content of a routed
+// response — counts and estimates for /query, sizes and frequency maps for
+// /reconstruct — excluding router-owned fields (client_queries, timing).
+func answersDigest(path string, body []byte) (uint64, bool) {
+	d := stats.NewDigest()
+	switch path {
+	case "/query":
+		var qr serve.QueryResponse
+		if json.Unmarshal(body, &qr) != nil {
+			return 0, false
+		}
+		for i := range qr.Answers {
+			a := &qr.Answers[i]
+			d.Word(uint64(a.Count))
+			d.Word(math.Float64bits(a.Estimate))
+			d.Word(fnv64(a.Error))
+		}
+	case "/reconstruct":
+		var rr serve.ReconstructResponse
+		if json.Unmarshal(body, &rr) != nil {
+			return 0, false
+		}
+		for i := range rr.Results {
+			res := &rr.Results[i]
+			d.Word(uint64(res.Size))
+			keys := make([]string, 0, len(res.Freqs))
+			for k := range res.Freqs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				d.Word(fnv64(k))
+				d.Word(math.Float64bits(res.Freqs[k]))
+			}
+			d.Word(fnv64(res.Error))
+		}
+	default:
+		return 0, false
+	}
+	return d.Sum64(), true
+}
+
+// --- idempotency replay cache ---
+
+func (f *Fleet) idemGet(key string) *response {
+	f.idem.mu.Lock()
+	defer f.idem.mu.Unlock()
+	return f.idem.m[key]
+}
+
+func (f *Fleet) idemPut(key string, resp *response) {
+	f.idem.mu.Lock()
+	defer f.idem.mu.Unlock()
+	if _, ok := f.idem.m[key]; ok {
+		return
+	}
+	for len(f.idem.order) >= maxIdempotencyEntries {
+		oldest := f.idem.order[0]
+		f.idem.order = f.idem.order[1:]
+		delete(f.idem.m, oldest)
+	}
+	f.idem.m[key] = resp
+	f.idem.order = append(f.idem.order, key)
+}
+
+// emit writes a stored response.
+func emit(w http.ResponseWriter, resp *response) {
+	for k, vs := range resp.header {
+		w.Header()[k] = vs
+	}
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// --- fan-out and fleet-level endpoints ---
+
+func (f *Fleet) handlePublish(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	if r.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.CodeMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req serve.PublishRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	id, err := f.Publish(req)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, f.pubView(id))
+}
+
+func (f *Fleet) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	if r.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.CodeMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req requestHead
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if f.lookup(req.ID) == nil {
+		serve.WriteError(w, http.StatusNotFound, serve.CodeNotFound, fmt.Errorf("no publication %q", req.ID))
+		return
+	}
+	if err := f.Refresh(req.ID); err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, serve.CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, f.pubView(req.ID))
+}
+
+func (f *Fleet) handleInsert(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	serve.WriteError(w, http.StatusNotImplemented, serve.CodeUnsupported,
+		fmt.Errorf("the fleet serves a replicated read topology; per-record inserts are not routed (publish or refresh instead)"))
+}
+
+// pubJSON is the fleet-level view of one placed publication.
+type pubJSON struct {
+	ID         string `json:"id"`
+	Holders    []int  `json:"holders"`
+	Generation int    `json:"generation"`
+}
+
+func (f *Fleet) pubView(id string) pubJSON {
+	p := f.lookup(id)
+	p.mu.Lock()
+	gen := p.gen
+	p.mu.Unlock()
+	return pubJSON{ID: id, Holders: append([]int(nil), p.holders...), Generation: gen}
+}
+
+func (f *Fleet) handlePublications(w http.ResponseWriter, r *http.Request) {
+	f.requests.Add(1)
+	if r.Method != http.MethodGet {
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.CodeMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	f.pubs.mu.RLock()
+	ids := make([]string, 0, len(f.pubs.m))
+	for id := range f.pubs.m {
+		ids = append(ids, id)
+	}
+	f.pubs.mu.RUnlock()
+	sort.Strings(ids)
+	out := make([]pubJSON, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, f.pubView(id))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := f.Stats()
+	status := "ok"
+	if st.Alive < st.Replicas {
+		status = "degraded"
+	}
+	if st.Alive == 0 {
+		status = "down"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"alive":    st.Alive,
+		"replicas": st.Replicas,
+	})
+}
+
+func (f *Fleet) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

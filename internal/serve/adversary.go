@@ -36,8 +36,10 @@ type reconstructRequest struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-// reconstructionJSON is one subset's served reconstruction.
-type reconstructionJSON struct {
+// Reconstruction is one subset's served reconstruction. Exported (with
+// ReconstructResponse) so routing layers like internal/fleet can decode,
+// verify, and re-emit the body without a private mirror.
+type Reconstruction struct {
 	// Size is the observed subset size |S*|; 0 with no freqs means the
 	// subset is empty.
 	Size int `json:"size"`
@@ -46,13 +48,16 @@ type reconstructionJSON struct {
 	Error string             `json:"error,omitempty"`
 }
 
-type reconstructResponse struct {
-	ID      string               `json:"id"`
-	Results []reconstructionJSON `json:"results"`
-	Client  string               `json:"client"`
-	// ClientQueries is the client's cumulative exposure after this batch:
-	// every reconstruction reveals the subset's full m-value histogram, so
-	// it is charged as m count queries.
+// ReconstructResponse is the body of a successful POST /reconstruct.
+type ReconstructResponse struct {
+	ID      string           `json:"id"`
+	Results []Reconstruction `json:"results"`
+	Client  string           `json:"client"`
+	// Charged is the exposure charge of this batch alone (subsets × the
+	// sensitive-attribute domain size); ClientQueries is the client's
+	// cumulative exposure after it: every reconstruction reveals the
+	// subset's full m-value histogram, so it is charged as m count queries.
+	Charged         int64 `json:"charged"`
 	ClientQueries   int64 `json:"client_queries"`
 	ExposureWarning bool  `json:"exposure_warning,omitempty"`
 	ServeMicros     int64 `json:"serve_us"`
@@ -65,11 +70,11 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Subsets) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("empty subset batch"))
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("empty subset batch"))
 		return
 	}
 	if len(req.Subsets) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			fmt.Errorf("batch of %d exceeds the limit %d", len(req.Subsets), s.cfg.MaxBatch))
 		return
 	}
@@ -94,15 +99,15 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	})
 
 	sa := pub.Orig.SAAttr()
-	out := reconstructResponse{ID: pub.ID, Results: make([]reconstructionJSON, len(recs))}
+	out := ReconstructResponse{ID: pub.ID, Results: make([]Reconstruction, len(recs))}
 	var errs uint64
 	for i, rec := range recs {
-		rj := reconstructionJSON{Size: rec.Size}
+		rj := Reconstruction{Size: rec.Size}
 		switch {
 		case resolveErr[i] != nil:
-			rj = reconstructionJSON{Error: resolveErr[i].Error()}
+			rj = Reconstruction{Error: resolveErr[i].Error()}
 		case rec.Err != nil:
-			rj = reconstructionJSON{Error: rec.Err.Error()}
+			rj = Reconstruction{Error: rec.Err.Error()}
 		case rec.Freqs != nil:
 			rj.Freqs = make(map[string]float64, len(rec.Freqs))
 			for v, f := range rec.Freqs {
@@ -116,7 +121,8 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out.Client = clientID(r, req.Client)
-	out.ClientQueries = s.addExposure(out.Client, int64(len(req.Subsets))*int64(pub.Marg.SADomain()))
+	out.Charged = int64(len(req.Subsets)) * int64(pub.Marg.SADomain())
+	out.ClientQueries = s.addExposure(out.Client, out.Charged)
 	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
 
 	s.reconstructBatches.Add(1)
@@ -245,7 +251,8 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if pub.Groups == nil {
-		httpError(w, http.StatusConflict, fmt.Errorf("publication %q has no raw group snapshot to audit", req.ID))
+		WriteError(w, http.StatusConflict, CodeNoGroups,
+			fmt.Errorf("publication %q has no raw group snapshot to audit", req.ID))
 		return
 	}
 

@@ -39,7 +39,7 @@ func TestServedReconstructMatchesInlineEngine(t *testing.T) {
 		{{Attr: "Gender", Value: "Female"}, {Attr: "Job", Value: pub.Orig.Attrs[1].Values[0]}},
 		{{Attr: "Gender", Value: "NotAGender"}}, // per-subset error
 	}
-	var resp reconstructResponse
+	var resp ReconstructResponse
 	if code := post(t, ts.URL+"/reconstruct", reconstructRequest{ID: pub.ID, Subsets: subsets}, &resp); code != http.StatusOK {
 		t.Fatalf("reconstruct returned %d", code)
 	}
@@ -68,7 +68,7 @@ func TestServedReconstructMatchesInlineEngine(t *testing.T) {
 	}
 
 	// Clamped responses must be genuine distributions.
-	var clamped reconstructResponse
+	var clamped ReconstructResponse
 	post(t, ts.URL+"/reconstruct", reconstructRequest{ID: pub.ID, Subsets: subsets[:2], Clamp: true}, &clamped)
 	for i, r := range clamped.Results {
 		sum := 0.0
@@ -89,7 +89,7 @@ func TestServedReconstructExposureCharging(t *testing.T) {
 	pub := publishMedical(t, s)
 	m := pub.Marg.SADomain()
 
-	var resp reconstructResponse
+	var resp ReconstructResponse
 	req := reconstructRequest{ID: pub.ID, Client: "attacker", Subsets: [][]CondJSON{
 		{{Attr: "Gender", Value: "Male"}},
 		{{Attr: "Gender", Value: "Female"}},
@@ -100,7 +100,7 @@ func TestServedReconstructExposureCharging(t *testing.T) {
 	}
 	// The counter is shared with /query: a reconstruction batch counts
 	// toward the same exposure budget.
-	var qresp queryResponse
+	var qresp QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: pub.ID, Client: "attacker", Queries: []QueryJSON{
 		{Conds: []CondJSON{{Attr: "Gender", Value: "Male"}}, SA: pub.Orig.SAAttr().Values[0]},
 	}}, &qresp)

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// jsonBody marshals v into a request-body reader.
+func jsonBody(t *testing.T, v any) *strings.Reader {
+	t.Helper()
+	return strings.NewReader(mustJSON(t, v))
+}
+
+// decodeBody decodes a response body into out.
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+}
+
+// TestDrainRejectsNewWork: once draining, every serving endpoint returns the
+// typed 503 while the observability endpoints stay open and report the drain.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := startServer(t, Config{})
+	var pub publicationJSON
+	if code := post(t, ts.URL+"/publish", medicalRequest(), &pub); code != http.StatusOK {
+		t.Fatalf("publish returned %d", code)
+	}
+
+	s.BeginDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after BeginDrain")
+	}
+
+	req := map[string]any{"id": pub.ID, "queries": []QueryJSON{{SA: "Flu"}}}
+	resp, err := http.Post(ts.URL+"/query", "application/json", jsonBody(t, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain returned %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 during drain carries no Retry-After header")
+	}
+	var eb ErrorBody
+	decodeBody(t, resp, &eb)
+	if eb.Code != CodeDraining {
+		t.Fatalf("drain rejection code = %q, want %q", eb.Code, CodeDraining)
+	}
+	if eb.Error == "" {
+		t.Fatal("legacy error field is empty; pre-taxonomy clients would see nothing")
+	}
+
+	// Observability stays open and reports the drain.
+	var st statszResponse
+	if code := get(t, ts.URL+"/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz during drain returned %d", code)
+	}
+	if !st.Draining {
+		t.Fatal("statsz.draining = false during drain")
+	}
+	if st.InFlight < 1 {
+		t.Fatalf("statsz.in_flight = %d; the reporting request itself must be counted", st.InFlight)
+	}
+	if code := get(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz during drain returned %d", code)
+	}
+}
+
+// TestDrainWaitsForInflight: Drain blocks on outstanding requests, reports
+// them when the deadline expires, and returns promptly once they finish.
+func TestDrainWaitsForInflight(t *testing.T) {
+	s := New(Config{})
+
+	// Simulate one stuck in-flight request (the gate counts via this field).
+	s.inflight.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain returned nil with a request still in flight")
+	}
+
+	s.inflight.Add(-1)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := s.Drain(ctx2); err != nil {
+		t.Fatalf("Drain after the last request finished: %v", err)
+	}
+}

@@ -159,7 +159,7 @@ func (r *registry) getOrCreate(id, key string, req PublishRequest, max int) (e *
 		return e, false, nil
 	}
 	if max > 0 && r.count.Load() >= int64(max) {
-		return nil, false, fmt.Errorf("serve: publication limit of %d distinct keys reached", max)
+		return nil, false, fmt.Errorf("serve: %w: %d distinct keys", ErrCapacity, max)
 	}
 	e = &Entry{id: id, key: key, created: time.Now(), reqCopy: req, done: make(chan struct{})}
 	s.entries[id] = e

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -130,6 +132,14 @@ type Server struct {
 		m  map[string]*auditResponse
 	}
 
+	// Drain state: once draining is set, the admission wrapper rejects new
+	// work (except /healthz and /statsz) with a typed 503 while inflight
+	// counts the requests still being served — Drain waits for it to reach
+	// zero. inflight is incremented before the draining check, so a request
+	// observed in flight is always counted.
+	draining atomic.Bool
+	inflight atomic.Int64
+
 	lat latencyHist // /query and /reconstruct request latency
 }
 
@@ -151,7 +161,8 @@ func (s *Server) now() time.Time {
 	return time.Now()
 }
 
-// Handler returns the HTTP surface documented in the package comment.
+// Handler returns the HTTP surface documented in the package comment,
+// wrapped in the drain admission gate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/publish", s.handlePublish)
@@ -163,7 +174,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
-	return mux
+	return s.admit(mux)
+}
+
+// admit is the drain gate in front of every handler: it tracks in-flight
+// requests and, once draining, rejects new work with a typed 503 —
+// observability endpoints stay open so operators can watch the drain.
+// inflight is incremented before the draining check so Drain's wait-for-zero
+// covers every admitted request.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() && r.URL.Path != "/healthz" && r.URL.Path != "/statsz" {
+			WriteError(w, http.StatusServiceUnavailable, CodeDraining, ErrDraining)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// BeginDrain flips the server into draining mode without waiting: new
+// requests (except /healthz and /statsz) are rejected with a typed 503 from
+// this point on. In-flight requests keep running.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins draining and blocks until every in-flight request has
+// finished or the context expires, in which case the remaining count is
+// reported in the error. It is idempotent and safe to call concurrently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain: %d requests still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 // Publish runs the publish path programmatically (the HTTP handler and
@@ -346,7 +399,11 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	e, started, err := s.Publish(req, req.Wait)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if errors.Is(err, ErrCapacity) {
+			WriteError(w, http.StatusTooManyRequests, CodeCapacity, err)
+			return
+		}
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	out := entryJSON(e, false)
@@ -360,14 +417,14 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePublications(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	withDomains := r.URL.Query().Get("domains") != ""
 	if id := r.URL.Query().Get("id"); id != "" {
 		e := s.reg.get(id)
 		if e == nil {
-			httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", id))
+			WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no publication %q", id))
 			return
 		}
 		writeJSON(w, http.StatusOK, entryJSON(e, withDomains))
@@ -394,20 +451,29 @@ type queryRequest struct {
 	Wait bool `json:"wait,omitempty"`
 }
 
-// answerJSON is one query's served answer.
-type answerJSON struct {
+// QueryAnswer is one query's served answer. Exported (with QueryResponse)
+// so routing layers like internal/fleet can decode, verify, and re-emit the
+// body without a private mirror.
+type QueryAnswer struct {
 	Count    int     `json:"count"`
 	Estimate float64 `json:"estimate"`
 	Error    string  `json:"error,omitempty"`
 }
 
-type queryResponse struct {
-	ID              string       `json:"id"`
-	Answers         []answerJSON `json:"answers"`
-	Client          string       `json:"client"`
-	ClientQueries   int64        `json:"client_queries"`
-	ExposureWarning bool         `json:"exposure_warning,omitempty"`
-	ServeMicros     int64        `json:"serve_us"`
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	ID      string        `json:"id"`
+	Answers []QueryAnswer `json:"answers"`
+	Client  string        `json:"client"`
+	// Charged is the exposure charge of this batch alone — the amount added
+	// to the client's ledger, as opposed to ClientQueries, the cumulative
+	// total. Routing layers that keep their own authoritative ledger charge
+	// exactly this once per logical request, however many replica attempts
+	// it took.
+	Charged         int64 `json:"charged"`
+	ClientQueries   int64 `json:"client_queries"`
+	ExposureWarning bool  `json:"exposure_warning,omitempty"`
+	ServeMicros     int64 `json:"serve_us"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -417,11 +483,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Queries) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("empty query batch"))
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("empty query batch"))
 		return
 	}
 	if len(req.Queries) > s.cfg.MaxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge,
+		WriteError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 			fmt.Errorf("batch of %d exceeds the limit %d", len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
@@ -442,14 +508,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 	answers := pub.Marg.AnswerBatch(qs, pub.Req.P, s.cfg.QueryWorkers)
 
-	out := queryResponse{ID: pub.ID, Answers: make([]answerJSON, len(answers))}
+	out := QueryResponse{ID: pub.ID, Answers: make([]QueryAnswer, len(answers))}
 	var errs uint64
 	for i, a := range answers {
-		aj := answerJSON{Count: a.Count, Estimate: a.Estimate}
+		aj := QueryAnswer{Count: a.Count, Estimate: a.Estimate}
 		if resolveErr[i] != nil {
-			aj = answerJSON{Error: resolveErr[i].Error()}
+			aj = QueryAnswer{Error: resolveErr[i].Error()}
 		} else if a.Err != nil {
-			aj = answerJSON{Error: a.Err.Error()}
+			aj = QueryAnswer{Error: a.Err.Error()}
 		}
 		if aj.Error != "" {
 			errs++
@@ -458,7 +524,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	out.Client = clientID(r, req.Client)
-	out.ClientQueries = s.addExposure(out.Client, int64(len(req.Queries)))
+	out.Charged = int64(len(req.Queries))
+	out.ClientQueries = s.addExposure(out.Client, out.Charged)
 	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
 
 	s.queryBatches.Add(1)
@@ -478,12 +545,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) resolvePublication(w http.ResponseWriter, id string, wait, reindex bool) (*Publication, bool) {
 	e := s.reg.get(id)
 	if e == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("no publication %q", id))
+		WriteError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no publication %q", id))
 		return nil, false
 	}
 	if e.state.Load() == statePending {
 		if !wait {
-			httpError(w, http.StatusConflict, fmt.Errorf("publication %q is still building (retry, or set wait)", id))
+			WriteError(w, http.StatusConflict, CodeBuilding,
+				fmt.Errorf("publication %q is still building (retry, or set wait)", id))
 			return nil, false
 		}
 		<-e.done
@@ -493,19 +561,20 @@ func (s *Server) resolvePublication(w http.ResponseWriter, id string, wait, rein
 		if m := e.failure.Load(); m != nil {
 			msg = *m
 		}
-		httpError(w, http.StatusBadGateway, fmt.Errorf("publication %q: %s", id, msg))
+		WriteError(w, http.StatusBadGateway, CodeBuildFailed, fmt.Errorf("publication %q: %s", id, msg))
 		return nil, false
 	}
 	if e.pub.Load() == nil {
 		// A retry of a failed first build is in flight: done is already
 		// closed but no publication exists yet.
-		httpError(w, http.StatusConflict, fmt.Errorf("publication %q is rebuilding (retry shortly)", id))
+		WriteError(w, http.StatusConflict, CodeRebuilding,
+			fmt.Errorf("publication %q is rebuilding (retry shortly)", id))
 		return nil, false
 	}
 	if reindex && e.inc != nil && e.dirty.Load() {
 		pub, err := s.reindexIncremental(e)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			WriteError(w, http.StatusInternalServerError, CodeInternal, err)
 			return nil, false
 		}
 		return pub, true
@@ -652,7 +721,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	e := s.reg.get(req.ID)
 	if e.inc == nil {
-		httpError(w, http.StatusConflict,
+		WriteError(w, http.StatusConflict, CodeNotIncremental,
 			fmt.Errorf("publication %q was published with method %q; only incremental publications accept inserts", req.ID, pub.Req.Method))
 		return
 	}
@@ -743,6 +812,11 @@ type statszResponse struct {
 	Audits             uint64 `json:"audits"`
 	AuditCacheHits     uint64 `json:"audit_cache_hits"`
 	Clients            int    `json:"clients"`
+	// Draining reports whether the drain gate is rejecting new work; InFlight
+	// is the number of requests currently being served (including the /statsz
+	// request reporting it).
+	Draining bool  `json:"draining"`
+	InFlight int64 `json:"in_flight"`
 	// MaxClientQueries is the largest per-client cumulative answered-query
 	// count — the most exposed client's total, the number the exposure
 	// warning compares against.
@@ -789,6 +863,8 @@ func (s *Server) Stats() statszResponse {
 		}
 	}
 	s.clients.mu.RUnlock()
+	out.Draining = s.draining.Load()
+	out.InFlight = s.inflight.Load()
 	up := s.now().Sub(s.start).Seconds()
 	out.UptimeSeconds = up
 	if up > 0 {
@@ -801,6 +877,12 @@ func (s *Server) Stats() statszResponse {
 	out.LatencyUS.P99 = float64(s.lat.Quantile(0.99).Nanoseconds()) / 1000
 	return out
 }
+
+// Lookup returns the registry entry behind a publication id, or nil.
+// Exported for embedding layers (internal/fleet) that manage replicas
+// in-process and need direct entry access — digest comparison, generation
+// inspection — without an HTTP round-trip.
+func (s *Server) Lookup(id string) *Entry { return s.reg.get(id) }
 
 // LatencyObservations returns the request count recorded in the latency
 // histogram (see statszResponse.LatencyObservations). Exported for workload
@@ -904,8 +986,4 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -149,7 +149,7 @@ func TestServedBatchMatchesInlineMarginals(t *testing.T) {
 		}
 	}
 
-	var resp queryResponse
+	var resp QueryResponse
 	if code := post(t, ts.URL+"/query", queryRequest{ID: pub.ID, Queries: wire}, &resp); code != http.StatusOK {
 		t.Fatalf("query returned %d", code)
 	}
@@ -256,7 +256,7 @@ func TestConcurrentPublishQuery(t *testing.T) {
 				id = ie.ID()
 			}
 			for r := 0; r < 10; r++ {
-				var resp queryResponse
+				var resp QueryResponse
 				code := post(t, ts.URL+"/query", queryRequest{
 					ID:   id,
 					Wait: true,
@@ -345,7 +345,7 @@ func TestInsertAbsorbsRecords(t *testing.T) {
 
 	// The next query triggers the lazy re-index; afterwards the publication
 	// metadata reflects the grown data.
-	var resp queryResponse
+	var resp QueryResponse
 	if code := post(t, ts.URL+"/query", queryRequest{
 		ID:      e.ID(),
 		Queries: []QueryJSON{{Conds: []CondJSON{{Attr: "Job", Value: "Engineer"}}, SA: "Flu"}},
@@ -389,7 +389,7 @@ func TestRefreshRedrawsPerturbation(t *testing.T) {
 		}
 	}
 	counts := func() []int {
-		var resp queryResponse
+		var resp QueryResponse
 		if code := post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Queries: wire}, &resp); code != http.StatusOK {
 			t.Fatalf("query returned %d", code)
 		}
@@ -519,18 +519,18 @@ func TestExposureAccounting(t *testing.T) {
 	for i := range batch {
 		batch[i] = QueryJSON{Conds: []CondJSON{{Attr: "Job", Value: "Clerk"}}, SA: "Flu"}
 	}
-	var first queryResponse
+	var first QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Client: "alice", Queries: batch}, &first)
 	if first.ClientQueries != 6 || first.ExposureWarning {
 		t.Fatalf("after 6 queries: %+v", first)
 	}
-	var second queryResponse
+	var second QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Client: "alice", Queries: batch}, &second)
 	if second.ClientQueries != 12 || !second.ExposureWarning {
 		t.Fatalf("after 12 queries: %+v", second)
 	}
 	// A different client starts from zero.
-	var other queryResponse
+	var other QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Client: "bob", Queries: batch}, &other)
 	if other.ClientQueries != 6 || other.ExposureWarning {
 		t.Fatalf("bob after 6 queries: %+v", other)
@@ -568,7 +568,7 @@ func TestRequestValidation(t *testing.T) {
 	}
 
 	// Per-query errors are per-query, not batch-fatal.
-	var resp queryResponse
+	var resp QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Queries: []QueryJSON{
 		{Conds: []CondJSON{{Attr: "Job", Value: "Engineer"}}, SA: "Flu"},
 		{Conds: []CondJSON{{Attr: "Job", Value: "Astronaut"}}, SA: "Flu"},
@@ -619,7 +619,7 @@ func TestGeneralizedLabelQueries(t *testing.T) {
 	}
 	genLabel := pub.Marg.Schema.Attrs[ci].Values[0]
 
-	var resp queryResponse
+	var resp QueryResponse
 	post(t, ts.URL+"/query", queryRequest{ID: e.ID(), Queries: []QueryJSON{
 		{Conds: []CondJSON{{Attr: "FavoriteColor", Value: "Red"}}, SA: "Flu"},
 		{Conds: []CondJSON{{Attr: "FavoriteColor", Value: genLabel}}, SA: "Flu"},

@@ -50,8 +50,11 @@ type Summary struct {
 	// scenarios whose answers are interleaving-independent (no inserts or
 	// refreshes). Per-client digests combine by XOR so the value does not
 	// depend on goroutine scheduling.
-	AnswersDigest string           `json:"answers_digest,omitempty"`
-	Invariants    InvariantSummary `json:"invariants"`
+	AnswersDigest string `json:"answers_digest,omitempty"`
+	// Fleet is present for fleet scenarios: topology and chaos counts, all
+	// schedule-independent (see FleetSummary).
+	Fleet      *FleetSummary    `json:"fleet,omitempty"`
+	Invariants InvariantSummary `json:"invariants"`
 }
 
 // OpTiming is one operation kind's wall-clock latency profile.
@@ -73,6 +76,9 @@ type Timing struct {
 	RequestsPerSec float64    `json:"requests_per_second"`
 	QueriesPerSec  float64    `json:"queries_per_second"`
 	Ops            []OpTiming `json:"ops"`
+	// Fleet is present for fleet scenarios: router counters whose values
+	// depend on request interleaving (see FleetTiming).
+	Fleet *FleetTiming `json:"fleet,omitempty"`
 }
 
 // Result bundles a run's deterministic summary with its timing.
@@ -99,6 +105,17 @@ func (r *Result) Report() string {
 		s.Ops.Reconstruct, s.Subsets, s.Ops.Audit)
 	fmt.Fprintf(&b, "throughput: %.0f requests/s, %.0f queries/s; exposure charged %d\n",
 		t.RequestsPerSec, t.QueriesPerSec, s.ChargedQueries)
+	if s.Fleet != nil {
+		fmt.Fprintf(&b, "fleet: %d replicas rf %d, %d publications; kills %d, restarts %d, verify mismatches %d\n",
+			s.Fleet.Replicas, s.Fleet.ReplicationFactor, s.Fleet.Publications,
+			s.Fleet.Kills, s.Fleet.Restarts, s.Fleet.VerifyMismatches)
+	}
+	if t.Fleet != nil {
+		fmt.Fprintf(&b, "router: %d requests, %d retries, %d failovers; ejected %d, probed %d, reinstated %d; shed %d, unavailable %d, verified %d, rejected %d\n",
+			t.Fleet.Requests, t.Fleet.Retries, t.Fleet.Failovers,
+			t.Fleet.Ejections, t.Fleet.Probes, t.Fleet.Reinstated,
+			t.Fleet.Shed, t.Fleet.Unavailable, t.Fleet.Verified, t.Fleet.Rejected)
+	}
 	for _, ot := range t.Ops {
 		fmt.Fprintf(&b, "  %-11s n=%-5d mean %8.0f us  p50 %8.0f  p90 %8.0f  p99 %8.0f\n",
 			ot.Op, ot.Count, ot.MeanUS, ot.P50US, ot.P90US, ot.P99US)

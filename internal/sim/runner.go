@@ -160,6 +160,9 @@ func Run(opts Options) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
+	if sc.Fleet != nil {
+		return runFleet(opts, sc)
+	}
 	r := &runner{
 		opts:    opts,
 		sc:      sc,

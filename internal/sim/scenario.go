@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/reconpriv/reconpriv/internal/serve"
 )
@@ -56,6 +57,13 @@ type Scenario struct {
 	// pushes violating groups past their raw-size bounds, and incremental
 	// absorption duplicates records, so neither fits the model.
 	CheckBernstein bool
+	// Fleet, when set, runs the scenario against a replicated fleet with
+	// deterministic fault injection instead of a single server (see
+	// FleetPlan). Fleet scenarios are read-only — replicas converge through
+	// deterministic rebuilds, so the workload must not mutate state through
+	// the router — and skip the Bernstein invariant, which needs raw-group
+	// access the router does not expose.
+	Fleet *FleetPlan
 }
 
 // DeterministicAnswers reports whether served answers are independent of
@@ -77,6 +85,14 @@ func (sc *Scenario) validate() error {
 	if sc.CheckBernstein && sc.Publish.Method != serve.MethodUP {
 		return fmt.Errorf("sim: scenario %q enables the Bernstein invariant on method %q; it is only sound for %q",
 			sc.Name, sc.Publish.Method, serve.MethodUP)
+	}
+	if sc.Fleet != nil {
+		if sc.Mix.Insert > 0 || sc.Mix.Refresh > 0 {
+			return fmt.Errorf("sim: fleet scenario %q mixes mutations; fleet workloads are read-only", sc.Name)
+		}
+		if sc.CheckBernstein {
+			return fmt.Errorf("sim: fleet scenario %q enables the Bernstein invariant; it needs raw-group access the router does not expose", sc.Name)
+		}
 	}
 	return nil
 }
@@ -121,6 +137,27 @@ func Scenarios() []Scenario {
 			SubsetsPerBatch: 20,
 			AuditTrials:     200,
 			CheckBernstein:  true,
+		},
+		{
+			Name:            "fleet",
+			Description:     "replicated fleet under kill/restart chaos: failover, probe reinstatement, exactly-once exposure across retries",
+			Publish:         simDataset(serve.MethodSPS),
+			Mix:             Mix{Query: 5, Reconstruct: 2, Audit: 1},
+			Clients:         8,
+			Steps:           25,
+			QueriesPerBatch: 20,
+			SubsetsPerBatch: 10,
+			AuditTrials:     200,
+			Fleet: &FleetPlan{
+				Replicas:          3,
+				ReplicationFactor: 2,
+				Publications:      3,
+				KillAtFrac:        0.2,
+				RestartAtFrac:     0.6,
+				SpikeEvery:        25,
+				Spike:             1300 * time.Millisecond,
+				Timeout:           time.Second,
+			},
 		},
 		{
 			Name:             "mixed",
