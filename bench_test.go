@@ -28,6 +28,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/sim"
 	"github.com/reconpriv/reconpriv/internal/stats"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 const (
@@ -546,6 +547,105 @@ func BenchmarkServeQueryBatch(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkServedQueryBatch answers the same 5,000-query workload through
+// both negotiated encodings against one served publication: the json
+// sub-benchmark is the BenchmarkServeQueryBatch baseline, the binary
+// sub-benchmark sends the batch as one application/x-rp-binary frame and
+// decodes the response with a reused wire.QueryResp. The ratio of their
+// queries/s metrics is the tentpole acceptance number (target >= 5x);
+// `rpbench -exp wire` reports the same duel outside the test harness.
+func BenchmarkServedQueryBatch(b *testing.B) {
+	ds, err := experiments.CensusData(benchCensusSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: benchCensusSize}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.Publication(); err != nil {
+		b.Fatal(err)
+	}
+	jqs, wqs := experiments.WireWorkload(ds)
+	queries := len(wqs)
+
+	b.Run("json", func(b *testing.B) {
+		body, err := json.Marshal(map[string]any{
+			"id": e.ID(), "client": "bench", "queries": jqs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out struct {
+			Answers []struct {
+				Error string `json:"error"`
+			} `json:"answers"`
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out.Answers = out.Answers[:0]
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out.Answers) != queries {
+				b.Fatalf("%d answers", len(out.Answers))
+			}
+			for j := range out.Answers {
+				if out.Answers[j].Error != "" {
+					b.Fatal(out.Answers[j].Error)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+
+	b.Run("binary", func(b *testing.B) {
+		m := wire.QueryReq{ID: []byte(e.ID()), Client: []byte("bench"), Queries: wqs}
+		frame := m.Append(nil)
+		var resp wire.QueryResp
+		var buf bytes.Buffer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := http.Post(ts.URL+"/query", wire.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf.Reset()
+			_, err = buf.ReadFrom(r.Body)
+			r.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.StatusCode != http.StatusOK {
+				b.Fatalf("status %d: %s", r.StatusCode, buf.Bytes())
+			}
+			if err := resp.Decode(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			if len(resp.Answers) != queries {
+				b.Fatalf("%d answers", len(resp.Answers))
+			}
+			for j := range resp.Answers {
+				if resp.Answers[j].Err != nil {
+					b.Fatal(string(resp.Answers[j].Err))
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
 }
 
 // BenchmarkAnswerBatch isolates the in-process batch evaluator from the

@@ -1,40 +1,64 @@
 // Command rpquery answers count queries and reconstructs sensitive-value
-// distributions from published (or raw) CSV tables.
+// distributions from published (or raw) CSV tables, or from a running
+// rpserve publication server.
 //
 // Conditions are attr=value pairs. Against published data, -p must match the
 // retention probability the data was published with; the tool then prints
 // the MLE-reconstructed estimate. With -p 1 the tool counts exactly
 // (suitable for raw data).
 //
+// With -addr the tool speaks to an rpserve instance instead of a local CSV:
+// -count VALUE posts a single count query to /query and -dist posts one
+// subset to /reconstruct, both against the publication named by -id. The
+// -binary flag switches the request to the compact application/x-rp-binary
+// wire encoding (the tool fetches the publication's domains to translate
+// labels into the original codes binary conditions carry); responses are
+// decoded from the same encoding.
+//
 // Usage:
 //
 //	rpquery -sa Income -p 0.5 [-count ">50K"] input.csv Education=HS-grad Gender=Male
 //	rpquery -sa Disease -p 0.5 -dist input.csv Job=Engineer
+//	rpquery -addr http://localhost:8080 -id pub-abc123 -count Flu Job=Engineer
+//	rpquery -addr http://localhost:8080 -id pub-abc123 -binary -dist Job=Engineer
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 
 	"github.com/reconpriv/reconpriv"
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 func main() {
 	var (
-		sa    = flag.String("sa", "", "sensitive attribute name (required)")
-		p     = flag.Float64("p", 1, "retention probability of the published data (1 = exact counting)")
-		count = flag.String("count", "", "estimate the count of this sensitive value")
-		dist  = flag.Bool("dist", false, "reconstruct the full sensitive-value distribution")
+		sa     = flag.String("sa", "", "sensitive attribute name (required in CSV mode)")
+		p      = flag.Float64("p", 1, "retention probability of the published data (1 = exact counting)")
+		count  = flag.String("count", "", "estimate the count of this sensitive value")
+		dist   = flag.Bool("dist", false, "reconstruct the full sensitive-value distribution")
+		addr   = flag.String("addr", "", "rpserve base URL (switches to server mode)")
+		id     = flag.String("id", "", "publication id (server mode, required)")
+		client = flag.String("client", "rpquery", "client name for exposure accounting (server mode)")
+		binary = flag.Bool("binary", false, "use the binary wire encoding (server mode)")
 	)
 	flag.Parse()
+	args := flag.Args()
+	if *addr != "" {
+		remote(*addr, *id, *client, *count, *dist, *binary, args)
+		return
+	}
 	if *sa == "" {
 		fatal(fmt.Errorf("-sa is required"))
 	}
-	args := flag.Args()
 	if len(args) == 0 {
 		fatal(fmt.Errorf("usage: rpquery -sa SA [-p P] [-count VALUE|-dist] input.csv attr=value ..."))
 	}
@@ -51,14 +75,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	conds := map[string]string{}
-	for _, a := range args[1:] {
-		kv := strings.SplitN(a, "=", 2)
-		if len(kv) != 2 {
-			fatal(fmt.Errorf("condition %q is not attr=value", a))
-		}
-		conds[kv[0]] = kv[1]
-	}
+	conds := parseConds(args[1:])
 	switch {
 	case *dist:
 		if *p >= 1 {
@@ -68,14 +85,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		keys := make([]string, 0, len(d))
-		for k := range d {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return d[keys[i]] > d[keys[j]] })
-		for _, k := range keys {
-			fmt.Printf("%-24s %8.4f\n", k, d[k])
-		}
+		printDist(d)
 	case *count != "":
 		if *p >= 1 {
 			n, err := reconpriv.Count(t, conds, *count)
@@ -97,6 +107,209 @@ func main() {
 		}
 		fmt.Println(n)
 	}
+}
+
+func parseConds(args []string) map[string]string {
+	conds := map[string]string{}
+	for _, a := range args {
+		kv := strings.SplitN(a, "=", 2)
+		if len(kv) != 2 {
+			fatal(fmt.Errorf("condition %q is not attr=value", a))
+		}
+		conds[kv[0]] = kv[1]
+	}
+	return conds
+}
+
+func printDist(d map[string]float64) {
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return d[keys[i]] > d[keys[j]] })
+	for _, k := range keys {
+		fmt.Printf("%-24s %8.4f\n", k, d[k])
+	}
+}
+
+// --- server mode ---
+
+// domains is the slice of the /publications?domains=1 view the label→code
+// translation needs.
+type domains struct {
+	Status string `json:"status"`
+	Attrs  []struct {
+		Name   string   `json:"name"`
+		Index  int      `json:"index"`
+		Values []string `json:"values"`
+	} `json:"attrs"`
+	Sensitive *struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values"`
+	} `json:"sensitive"`
+}
+
+func remote(addr, id, client, count string, dist, binary bool, args []string) {
+	if id == "" {
+		fatal(fmt.Errorf("server mode requires -id"))
+	}
+	if !dist && count == "" {
+		fatal(fmt.Errorf("server mode requires -count VALUE or -dist"))
+	}
+	conds := make([]serve.CondJSON, 0, len(args))
+	for a, v := range parseConds(args) {
+		conds = append(conds, serve.CondJSON{Attr: a, Value: v})
+	}
+	sort.Slice(conds, func(i, j int) bool { return conds[i].Attr < conds[j].Attr })
+
+	var dom domains
+	getJSON(fmt.Sprintf("%s/publications?id=%s&domains=1", addr, id), &dom)
+	if dom.Status != "ready" {
+		fatal(fmt.Errorf("publication %s is %s", id, dom.Status))
+	}
+	if dom.Sensitive == nil {
+		fatal(fmt.Errorf("publication %s has no domain info", id))
+	}
+
+	switch {
+	case binary && dist:
+		m := wire.ReconstructReq{ID: []byte(id), Client: []byte(client)}
+		m.Subsets = [][]wire.Cond{encodeConds(&dom, conds)}
+		body := post(addr+"/reconstruct", wire.ContentType, m.Append(nil))
+		var resp wire.ReconstructResp
+		if err := resp.Decode(body); err != nil {
+			fatal(err)
+		}
+		res := resp.Results[0]
+		if res.Err != nil {
+			fatal(fmt.Errorf("%s", res.Err))
+		}
+		d := make(map[string]float64, len(res.Freqs))
+		for code, f := range res.Freqs {
+			d[dom.Sensitive.Values[code]] = f
+		}
+		printDist(d)
+		fmt.Printf("subset size %d; charged %d, cumulative exposure %d\n",
+			res.Size, resp.Charged, resp.ClientQueries)
+	case binary:
+		saCode := labelCode(dom.Sensitive.Values, count, dom.Sensitive.Name)
+		m := wire.QueryReq{ID: []byte(id), Client: []byte(client)}
+		m.Queries = []wire.Query{{SA: saCode, Conds: encodeConds(&dom, conds)}}
+		body := post(addr+"/query", wire.ContentType, m.Append(nil))
+		var resp wire.QueryResp
+		if err := resp.Decode(body); err != nil {
+			fatal(err)
+		}
+		a := resp.Answers[0]
+		if a.Err != nil {
+			fatal(fmt.Errorf("%s", a.Err))
+		}
+		fmt.Printf("count %d estimate %.1f (charged %d, cumulative exposure %d)\n",
+			a.Count, a.Estimate, resp.Charged, resp.ClientQueries)
+	case dist:
+		req, _ := json.Marshal(map[string]any{
+			"id": id, "client": client, "subsets": [][]serve.CondJSON{conds},
+		})
+		var resp serve.ReconstructResponse
+		body := post(addr+"/reconstruct", "application/json", req)
+		if err := json.Unmarshal(body, &resp); err != nil {
+			fatal(err)
+		}
+		res := resp.Results[0]
+		if res.Error != "" {
+			fatal(fmt.Errorf("%s", res.Error))
+		}
+		printDist(res.Freqs)
+		fmt.Printf("subset size %d; charged %d, cumulative exposure %d\n",
+			res.Size, resp.Charged, resp.ClientQueries)
+	default:
+		req, _ := json.Marshal(map[string]any{
+			"id": id, "client": client,
+			"queries": []serve.QueryJSON{{Conds: conds, SA: count}},
+		})
+		var resp serve.QueryResponse
+		body := post(addr+"/query", "application/json", req)
+		if err := json.Unmarshal(body, &resp); err != nil {
+			fatal(err)
+		}
+		a := resp.Answers[0]
+		if a.Error != "" {
+			fatal(fmt.Errorf("%s", a.Error))
+		}
+		fmt.Printf("count %d estimate %.1f (charged %d, cumulative exposure %d)\n",
+			a.Count, a.Estimate, resp.Charged, resp.ClientQueries)
+	}
+}
+
+// encodeConds translates label conditions into the original codes binary
+// frames carry, via the publication's advertised domains.
+func encodeConds(dom *domains, conds []serve.CondJSON) []wire.Cond {
+	out := make([]wire.Cond, 0, len(conds))
+	for _, c := range conds {
+		found := false
+		for _, a := range dom.Attrs {
+			if a.Name != c.Attr {
+				continue
+			}
+			out = append(out, wire.Cond{
+				Attr:  a.Index,
+				Value: labelCode(a.Values, c.Value, a.Name),
+			})
+			found = true
+			break
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown attribute %q", c.Attr))
+		}
+	}
+	return out
+}
+
+func labelCode(values []string, label, attr string) uint16 {
+	for code, v := range values {
+		if v == label {
+			return uint16(code)
+		}
+	}
+	fatal(fmt.Errorf("attribute %s has no value %q", attr, label))
+	return 0
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		fatal(fmt.Errorf("GET %s returned %d: %s", url, resp.StatusCode, data))
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		fatal(err)
+	}
+}
+
+// post sends a pre-encoded body; non-2xx statuses carry the server's typed
+// JSON ErrorBody regardless of the request encoding, and are fatal with the
+// body shown.
+func post(url, contentType string, body []byte) []byte {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode >= 400 {
+		fatal(fmt.Errorf("POST %s returned %d: %s", url, resp.StatusCode, data))
+	}
+	return data
 }
 
 func fatal(err error) {

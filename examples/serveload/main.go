@@ -6,20 +6,30 @@
 // batches, reporting client-side throughput next to the server's /statsz
 // view.
 //
+// The -encoding flag selects the protocol encoding: "json" (the default),
+// "binary" (application/x-rp-binary wire frames), or "both" (each client
+// alternates per round, reporting per-encoding throughput side by side).
+// The binary codec below is hand-rolled on purpose — this example imports
+// nothing from the repository, so it documents exactly what an external
+// client must emit and parse.
+//
 // Usage:
 //
 //	rpserve -preload census:300000 &
 //	go run ./examples/serveload -addr http://localhost:8080 \
-//	    -dataset census -size 300000 -batch 5000 -clients 4 -rounds 10
+//	    -dataset census -size 300000 -batch 5000 -clients 4 -rounds 10 \
+//	    -encoding both
 package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"sync"
@@ -39,6 +49,7 @@ type wireQuery struct {
 
 type attrInfo struct {
 	Name   string   `json:"name"`
+	Index  int      `json:"index"`
 	Values []string `json:"values"`
 }
 
@@ -54,18 +65,178 @@ type pubInfo struct {
 	} `json:"meta"`
 }
 
+// binaryContentType negotiates the wire encoding per request.
+const binaryContentType = "application/x-rp-binary"
+
+// codebook maps the label vocabulary back to the original codes a binary
+// condition carries: attr is the attribute's full-schema index (from the
+// /publications "index" field), value is the position of the label in the
+// attribute's original Values list.
+type codebook struct {
+	attrIdx map[string]uint16
+	valCode map[string]map[string]uint16
+	saCode  map[string]uint16
+}
+
+func makeCodebook(info *pubInfo) *codebook {
+	cb := &codebook{
+		attrIdx: make(map[string]uint16, len(info.Attrs)),
+		valCode: make(map[string]map[string]uint16, len(info.Attrs)),
+		saCode:  make(map[string]uint16, len(info.Sensitive.Values)),
+	}
+	for _, a := range info.Attrs {
+		cb.attrIdx[a.Name] = uint16(a.Index)
+		vm := make(map[string]uint16, len(a.Values))
+		for code, v := range a.Values {
+			vm[v] = uint16(code)
+		}
+		cb.valCode[a.Name] = vm
+	}
+	for code, v := range info.Sensitive.Values {
+		cb.saCode[v] = uint16(code)
+	}
+	return cb
+}
+
+// encodeQueryFrame builds one POST /query wire frame:
+//
+//	'R' 'P' version(1) kind(1=queryReq) payloadLen(u32 LE)
+//	str8(id) str8(client) flags(u8, bit0=wait) n(u32)
+//	then per query: sa(u16) nConds(u8) then per cond: attr(u16) value(u16)
+func (cb *codebook) encodeQueryFrame(id, client string, qs []wireQuery) []byte {
+	buf := []byte{'R', 'P', 1, 1, 0, 0, 0, 0}
+	buf = append(buf, byte(len(id)))
+	buf = append(buf, id...)
+	buf = append(buf, byte(len(client)))
+	buf = append(buf, client...)
+	buf = append(buf, 0) // flags: wait not needed, publication is ready
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(qs)))
+	for _, q := range qs {
+		buf = binary.LittleEndian.AppendUint16(buf, cb.saCode[q.SA])
+		buf = append(buf, byte(len(q.Conds)))
+		for _, c := range q.Conds {
+			buf = binary.LittleEndian.AppendUint16(buf, cb.attrIdx[c.Attr])
+			buf = binary.LittleEndian.AppendUint16(buf, cb.valCode[c.Attr][c.Value])
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(buf)-8))
+	return buf
+}
+
+// queryResult is the encoding-blind slice of a query response the load
+// report consumes.
+type queryResult struct {
+	Answered, Errored int
+	ClientQueries     int64
+	ExposureWarning   bool
+}
+
+// decodeQueryResp parses a binary queryResp frame:
+//
+//	header, then ledger := str8(id) str8(client) charged(u64)
+//	clientQueries(u64) flags(u8, bit0=warning) serveMicros(u64),
+//	then n(u32) answers: 0x00 count(u64) estimate(f64) | 0x01 str16(error)
+func decodeQueryResp(b []byte) (queryResult, error) {
+	var out queryResult
+	r := byteReader{b: b}
+	if len(b) < 8 || b[0] != 'R' || b[1] != 'P' || b[2] != 1 || b[3] != 2 {
+		return out, fmt.Errorf("not a v1 queryResp frame")
+	}
+	r.off = 8
+	r.skip(int(r.u8())) // id
+	r.skip(int(r.u8())) // client
+	r.u64()             // charged
+	out.ClientQueries = int64(r.u64())
+	out.ExposureWarning = r.u8()&1 != 0
+	r.u64() // serve micros
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		switch r.u8() {
+		case 0:
+			r.u64()
+			r.u64() // estimate bits
+			out.Answered++
+		case 1:
+			r.skip(int(r.u16()))
+			out.Errored++
+		default:
+			return out, fmt.Errorf("unknown answer tag")
+		}
+	}
+	return out, r.err
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) need(n int) bool {
+	if r.err == nil && r.off+n > len(r.b) {
+		r.err = fmt.Errorf("truncated frame at byte %d", r.off)
+	}
+	return r.err == nil
+}
+
+func (r *byteReader) skip(n int) {
+	if r.need(n) {
+		r.off += n
+	}
+}
+
+func (r *byteReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *byteReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:8080", "rpserve base URL")
-		dataset = flag.String("dataset", "census", "dataset to publish and query")
-		size    = flag.Int("size", 300000, "dataset size (census/medical)")
-		maxDim  = flag.Int("maxdim", 3, "maximum query dimensionality")
-		batch   = flag.Int("batch", 5000, "queries per /query request (the paper's workload size)")
-		clients = flag.Int("clients", 4, "concurrent client goroutines")
-		rounds  = flag.Int("rounds", 10, "batches per client")
-		seed    = flag.Int64("seed", 7, "workload generator seed")
+		addr     = flag.String("addr", "http://localhost:8080", "rpserve base URL")
+		dataset  = flag.String("dataset", "census", "dataset to publish and query")
+		size     = flag.Int("size", 300000, "dataset size (census/medical)")
+		maxDim   = flag.Int("maxdim", 3, "maximum query dimensionality")
+		batch    = flag.Int("batch", 5000, "queries per /query request (the paper's workload size)")
+		clients  = flag.Int("clients", 4, "concurrent client goroutines")
+		rounds   = flag.Int("rounds", 10, "batches per client")
+		seed     = flag.Int64("seed", 7, "workload generator seed")
+		encoding = flag.String("encoding", "json", "query encoding: json, binary, or both (alternate per round)")
 	)
 	flag.Parse()
+	if *encoding != "json" && *encoding != "binary" && *encoding != "both" {
+		log.Fatalf("serveload: -encoding must be json, binary, or both (got %q)", *encoding)
+	}
 
 	// Publish (or hit the cache) and wait for readiness.
 	pub := postJSON[pubInfo](*addr+"/publish", map[string]any{
@@ -82,6 +253,7 @@ func main() {
 	}
 	fmt.Printf("publication %s: %d records, %d personal groups\n",
 		info.ID, info.Meta.Records, info.Meta.Groups)
+	cb := makeCodebook(&info)
 
 	// Generate the workload: random conjunctions over original labels.
 	dmax := *maxDim
@@ -103,7 +275,8 @@ func main() {
 		return qs
 	}
 
-	var sent, answered, errored atomic.Int64
+	// sent/answered/errored/elapsedNS per encoding: [0]=json, [1]=binary.
+	var sent, answered, errored, elapsedNS [2]atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -113,26 +286,47 @@ func main() {
 			crng := rand.New(rand.NewSource(*seed + int64(c)*1000))
 			client := fmt.Sprintf("serveload-%d", c)
 			for r := 0; r < *rounds; r++ {
-				body := map[string]any{"id": pub.ID, "client": client, "queries": makeBatch(crng)}
-				resp := postJSON[struct {
-					Answers []struct {
-						Error string `json:"error"`
-					} `json:"answers"`
-					ClientQueries   int64 `json:"client_queries"`
-					ExposureWarning bool  `json:"exposure_warning"`
-					ServeMicros     int64 `json:"serve_us"`
-				}](*addr+"/query", body)
-				sent.Add(int64(*batch))
-				for _, a := range resp.Answers {
-					if a.Error == "" {
-						answered.Add(1)
-					} else {
-						errored.Add(1)
+				qs := makeBatch(crng)
+				useBinary := *encoding == "binary" || (*encoding == "both" && r%2 == 1)
+				var res queryResult
+				t0 := time.Now()
+				if useBinary {
+					frame := cb.encodeQueryFrame(pub.ID, client, qs)
+					raw := postRaw(*addr+"/query", binaryContentType, frame)
+					var err error
+					if res, err = decodeQueryResp(raw); err != nil {
+						log.Fatalf("serveload: decoding binary response: %v", err)
 					}
+				} else {
+					body := map[string]any{"id": pub.ID, "client": client, "queries": qs}
+					resp := postJSON[struct {
+						Answers []struct {
+							Error string `json:"error"`
+						} `json:"answers"`
+						ClientQueries   int64 `json:"client_queries"`
+						ExposureWarning bool  `json:"exposure_warning"`
+					}](*addr+"/query", body)
+					for _, a := range resp.Answers {
+						if a.Error == "" {
+							res.Answered++
+						} else {
+							res.Errored++
+						}
+					}
+					res.ClientQueries = resp.ClientQueries
+					res.ExposureWarning = resp.ExposureWarning
 				}
-				if resp.ExposureWarning {
+				enc := 0
+				if useBinary {
+					enc = 1
+				}
+				elapsedNS[enc].Add(time.Since(t0).Nanoseconds())
+				sent[enc].Add(int64(*batch))
+				answered[enc].Add(int64(res.Answered))
+				errored[enc].Add(int64(res.Errored))
+				if res.ExposureWarning {
 					fmt.Printf("client %s crossed the exposure threshold at %d cumulative queries\n",
-						client, resp.ClientQueries)
+						client, res.ClientQueries)
 				}
 			}
 		}(c)
@@ -140,9 +334,22 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("sent %d queries in %v (%.0f queries/s client-side; %d answered, %d per-query errors)\n",
-		sent.Load(), elapsed.Round(time.Millisecond),
-		float64(sent.Load())/elapsed.Seconds(), answered.Load(), errored.Load())
+	var totalSent, totalAnswered, totalErrored int64
+	for enc, name := range []string{"json", "binary"} {
+		s := sent[enc].Load()
+		if s == 0 {
+			continue
+		}
+		totalSent += s
+		totalAnswered += answered[enc].Load()
+		totalErrored += errored[enc].Load()
+		secs := float64(elapsedNS[enc].Load()) / 1e9 / float64(*clients)
+		fmt.Printf("%-6s %d queries, %.0f queries/s client-side (%d answered, %d per-query errors)\n",
+			name, s, float64(s)/math.Max(secs, 1e-9), answered[enc].Load(), errored[enc].Load())
+	}
+	fmt.Printf("total: %d queries in %v (%.0f queries/s; %d answered, %d per-query errors)\n",
+		totalSent, elapsed.Round(time.Millisecond),
+		float64(totalSent)/elapsed.Seconds(), totalAnswered, totalErrored)
 
 	var stats map[string]any
 	statsRaw := getJSON[json.RawMessage](*addr + "/statsz")
@@ -162,6 +369,25 @@ func postJSON[T any](url string, body any) T {
 		log.Fatalf("serveload: POST %s: %v", url, err)
 	}
 	return decodeBody[T](url, resp)
+}
+
+// postRaw posts a pre-encoded body and returns the raw response bytes;
+// error statuses arrive as JSON ErrorBody envelopes regardless of the
+// request encoding, so failures are printable as-is.
+func postRaw(url, contentType string, body []byte) []byte {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("serveload: POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("serveload: reading %s: %v", url, err)
+	}
+	if resp.StatusCode >= 400 {
+		log.Fatalf("serveload: %s returned %d: %s", url, resp.StatusCode, data)
+	}
+	return data
 }
 
 func getJSON[T any](url string) T {

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
+)
+
+// WireWorkload translates the cached Section 6.1 query pool (generalized
+// value codes) into both vocabularies the publication server accepts: JSON
+// queries speaking original attribute labels and wire queries speaking
+// original codes. For each generalized code, any original value that maps
+// to it names the same cube cell, so both workloads are the same queries
+// and a served-throughput duel between the encodings is apples to apples.
+func WireWorkload(ds *Dataset) ([]serve.QueryJSON, []wire.Query) {
+	orig := ds.Raw.Schema
+	rev := make([]map[uint16]uint16, orig.NumAttrs()) // attr -> new code -> an old code
+	for i := range ds.Merge.Mappings {
+		mp := &ds.Merge.Mappings[i]
+		r := make(map[uint16]uint16, len(mp.NewValues))
+		for old, nw := range mp.OldToNew {
+			if _, ok := r[nw]; !ok {
+				r[nw] = uint16(old)
+			}
+		}
+		rev[mp.Attr] = r
+	}
+	jqs := make([]serve.QueryJSON, len(ds.Pool.Queries))
+	wqs := make([]wire.Query, len(ds.Pool.Queries))
+	for i, q := range ds.Pool.Queries {
+		jq := serve.QueryJSON{SA: orig.SAAttr().Label(q.SA)}
+		wq := wire.Query{SA: q.SA, Conds: make([]wire.Cond, 0, len(q.Conds))}
+		for _, c := range q.Conds {
+			code := c.Value
+			if r := rev[c.Attr]; r != nil {
+				code = r[c.Value]
+			}
+			jq.Conds = append(jq.Conds, serve.CondJSON{
+				Attr:  orig.Attrs[c.Attr].Name,
+				Value: orig.Attrs[c.Attr].Label(code),
+			})
+			wq.Conds = append(wq.Conds, wire.Cond{Attr: c.Attr, Value: code})
+		}
+		jqs[i] = jq
+		wqs[i] = wq
+	}
+	return jqs, wqs
+}
+
+// WireBenchRow is one encoding's measured serving profile on the paper's
+// 5,000-query batch workload.
+type WireBenchRow struct {
+	Encoding      string  `json:"encoding"`
+	Batches       int64   `json:"batches"`
+	RequestBytes  int     `json:"request_bytes"`
+	ResponseBytes int     `json:"response_bytes"`
+	QueriesPerSec float64 `json:"queries_per_second"`
+	MSPerBatch    float64 `json:"ms_per_batch"`
+}
+
+// WireBenchResult is the rpbench output for the wire experiment: the same
+// served workload through both negotiated encodings, and the throughput
+// ratio the tentpole is accepted on.
+type WireBenchResult struct {
+	CensusSize   int            `json:"census_size"`
+	BatchQueries int            `json:"batch_queries"`
+	Rows         []WireBenchRow `json:"rows"`
+	// Speedup is binary queries/s over JSON queries/s; acceptance is >= 5.
+	Speedup float64 `json:"speedup"`
+}
+
+// RunWireBench answers the Section 6.1 query pool as repeated HTTP batches
+// against a served CENSUS publication, once per encoding, for at least
+// `seconds` of wall time each. Both encodings must answer every query
+// without a per-query error — the bench pins equivalence before it reports
+// a ratio. The JSON row is the BenchmarkServedQueryBatch baseline; the
+// binary row is the same workload as application/x-rp-binary frames.
+func RunWireBench(censusSize int, seconds float64) (*WireBenchResult, error) {
+	ds, err := CensusData(censusSize)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: censusSize}, true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Publication(); err != nil {
+		return nil, err
+	}
+
+	jqs, wqs := WireWorkload(ds)
+	jbody, err := json.Marshal(map[string]any{"id": e.ID(), "client": "wirebench", "queries": jqs})
+	if err != nil {
+		return nil, err
+	}
+	m := wire.QueryReq{ID: []byte(e.ID()), Client: []byte("wirebench"), Queries: wqs}
+	frame := m.Append(nil)
+
+	queries := len(wqs)
+	out := &WireBenchResult{CensusSize: censusSize, BatchQueries: queries}
+	dur := time.Duration(seconds * float64(time.Second))
+
+	jrow, err := duelJSON(ts.URL, jbody, queries, dur)
+	if err != nil {
+		return nil, err
+	}
+	brow, err := duelBinary(ts.URL, frame, queries, dur)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = []WireBenchRow{jrow, brow}
+	out.Speedup = brow.QueriesPerSec / jrow.QueriesPerSec
+	return out, nil
+}
+
+func duelJSON(url string, body []byte, queries int, dur time.Duration) (WireBenchRow, error) {
+	row := WireBenchRow{Encoding: "json", RequestBytes: len(body)}
+	var resp struct {
+		Answers []struct {
+			Error string `json:"error"`
+		} `json:"answers"`
+	}
+	post := func() error {
+		r, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: wire json batch returned %d: %s", r.StatusCode, buf.Bytes())
+		}
+		row.ResponseBytes = buf.Len()
+		resp.Answers = resp.Answers[:0]
+		if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+			return err
+		}
+		if len(resp.Answers) != queries {
+			return fmt.Errorf("experiments: wire json batch answered %d of %d", len(resp.Answers), queries)
+		}
+		for i := range resp.Answers {
+			if resp.Answers[i].Error != "" {
+				return fmt.Errorf("experiments: wire json query %d: %s", i, resp.Answers[i].Error)
+			}
+		}
+		return nil
+	}
+	if err := post(); err != nil { // warm up outside the timed window
+		return row, err
+	}
+	start := time.Now()
+	for time.Since(start) < dur {
+		if err := post(); err != nil {
+			return row, err
+		}
+		row.Batches++
+	}
+	elapsed := time.Since(start)
+	row.QueriesPerSec = float64(row.Batches) * float64(queries) / elapsed.Seconds()
+	row.MSPerBatch = elapsed.Seconds() * 1e3 / float64(row.Batches)
+	return row, nil
+}
+
+func duelBinary(url string, frame []byte, queries int, dur time.Duration) (WireBenchRow, error) {
+	row := WireBenchRow{Encoding: "binary", RequestBytes: len(frame)}
+	var resp wire.QueryResp
+	var buf bytes.Buffer
+	post := func() error {
+		r, err := http.Post(url+"/query", wire.ContentType, bytes.NewReader(frame))
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		buf.Reset()
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			return err
+		}
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("experiments: wire binary batch returned %d: %s", r.StatusCode, buf.Bytes())
+		}
+		row.ResponseBytes = buf.Len()
+		if err := resp.Decode(buf.Bytes()); err != nil {
+			return err
+		}
+		if len(resp.Answers) != queries {
+			return fmt.Errorf("experiments: wire binary batch answered %d of %d", len(resp.Answers), queries)
+		}
+		for i := range resp.Answers {
+			if resp.Answers[i].Err != nil {
+				return fmt.Errorf("experiments: wire binary query %d: %s", i, resp.Answers[i].Err)
+			}
+		}
+		return nil
+	}
+	if err := post(); err != nil {
+		return row, err
+	}
+	start := time.Now()
+	for time.Since(start) < dur {
+		if err := post(); err != nil {
+			return row, err
+		}
+		row.Batches++
+	}
+	elapsed := time.Since(start)
+	row.QueriesPerSec = float64(row.Batches) * float64(queries) / elapsed.Seconds()
+	row.MSPerBatch = elapsed.Seconds() * 1e3 / float64(row.Batches)
+	return row, nil
+}
+
+// String renders the duel as a table with the acceptance ratio.
+func (r *WireBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Served wire-protocol throughput (CENSUS %d, %d queries/batch)\n",
+		r.CensusSize, r.BatchQueries)
+	t := &textTable{header: []string{"encoding", "batches", "req bytes", "resp bytes", "queries/s", "ms/batch"}}
+	for _, row := range r.Rows {
+		t.addRow(
+			row.Encoding,
+			fmt.Sprint(row.Batches),
+			fmt.Sprint(row.RequestBytes),
+			fmt.Sprint(row.ResponseBytes),
+			fmt.Sprintf("%.0f", row.QueriesPerSec),
+			fmt.Sprintf("%.2f", row.MSPerBatch),
+		)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "binary/json speedup: %.1fx\n", r.Speedup)
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 // maxBodyBytes bounds proxied request bodies (matches the serve limit).
@@ -69,8 +70,19 @@ func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
 		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("reading body: %v", err))
 		return
 	}
+	// The router reads only the routing head — publication id and client —
+	// whatever the encoding; the rest of the body is opaque and forwarded
+	// byte-for-byte to the chosen replica.
 	var head requestHead
-	if err := json.Unmarshal(body, &head); err != nil {
+	binary := r.Header.Get("Content-Type") == wire.ContentType
+	if binary {
+		h, err := wire.PeekHead(body)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad binary frame: %w", err))
+			return
+		}
+		head = requestHead{ID: string(h.ID), Client: string(h.Client)}
+	} else if err := json.Unmarshal(body, &head); err != nil {
 		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad request body: %v", err))
 		return
 	}
@@ -108,7 +120,11 @@ func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
 	}
 
 	hdr := make(http.Header, 2)
-	hdr.Set("Content-Type", "application/json")
+	if binary {
+		hdr.Set("Content-Type", wire.ContentType)
+	} else {
+		hdr.Set("Content-Type", "application/json")
+	}
 	if h := r.Header.Get("X-Client-ID"); h != "" {
 		hdr.Set("X-Client-ID", h)
 	}
@@ -256,6 +272,23 @@ func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr ht
 		f.verify(path, p, rep.idx, hdr, reqBody, resp.body)
 	}
 
+	// Binary responses carry the ledger at a fixed offset: read the charge,
+	// apply it to the router's ledger, and patch the authoritative totals
+	// back in place — no re-encoding of the answer block.
+	if wire.IsFrame(resp.body) {
+		led, err := wire.ReadLedger(resp.body)
+		if err != nil || led.Charged == 0 {
+			return resp
+		}
+		total := f.charge(client, int64(led.Charged))
+		warn := f.exposureWarn()
+		body, err := wire.PatchLedger(resp.body, []byte(client), uint64(total), warn > 0 && total > warn)
+		if err != nil {
+			return resp
+		}
+		return &response{status: resp.status, header: resp.header, body: body}
+	}
+
 	var doc map[string]any
 	if err := json.Unmarshal(resp.body, &doc); err != nil {
 		return resp
@@ -332,7 +365,15 @@ func (f *Fleet) verify(path string, p *pub, primary int, hdr http.Header, reqBod
 // answersDigest fingerprints the replica-determined content of a routed
 // response — counts and estimates for /query, sizes and frequency maps for
 // /reconstruct — excluding router-owned fields (client_queries, timing).
+// Verification replays the original request body, so both digests of a pair
+// are computed from the same encoding; for /query the binary digest folds
+// the very words the JSON one does, making it stable across encodings too
+// (the /reconstruct encodings key frequencies differently — labels against
+// dense value codes — so only same-encoding pairs compare there).
 func answersDigest(path string, body []byte) (uint64, bool) {
+	if wire.IsFrame(body) {
+		return binaryAnswersDigest(path, body)
+	}
 	d := stats.NewDigest()
 	switch path {
 	case "/query":
@@ -364,6 +405,41 @@ func answersDigest(path string, body []byte) (uint64, bool) {
 				d.Word(math.Float64bits(res.Freqs[k]))
 			}
 			d.Word(fnv64(res.Error))
+		}
+	default:
+		return 0, false
+	}
+	return d.Sum64(), true
+}
+
+// binaryAnswersDigest is the wire-frame arm of answersDigest.
+func binaryAnswersDigest(path string, body []byte) (uint64, bool) {
+	d := stats.NewDigest()
+	switch path {
+	case "/query":
+		var qr wire.QueryResp
+		if qr.Decode(body) != nil {
+			return 0, false
+		}
+		for i := range qr.Answers {
+			a := &qr.Answers[i]
+			d.Word(uint64(a.Count))
+			d.Word(math.Float64bits(a.Estimate))
+			d.Word(fnv64(string(a.Err)))
+		}
+	case "/reconstruct":
+		var rr wire.ReconstructResp
+		if rr.Decode(body) != nil {
+			return 0, false
+		}
+		for i := range rr.Results {
+			res := &rr.Results[i]
+			d.Word(uint64(res.Size))
+			for v, freq := range res.Freqs {
+				d.Word(uint64(v))
+				d.Word(math.Float64bits(freq))
+			}
+			d.Word(fnv64(string(res.Err)))
 		}
 	default:
 		return 0, false

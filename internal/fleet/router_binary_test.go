@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
+)
+
+// doBinary drives the router handler in-process with a wire frame.
+func doBinary(t *testing.T, h http.Handler, path string, headers map[string]string, frame []byte) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(frame))
+	req.Header.Set("Content-Type", wire.ContentType)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+// binaryQueryFrame builds a /query frame of n identical single-condition
+// queries — Job=Engineer (code 0), SA Flu (code 0) — matching
+// condQueryBody.
+func binaryQueryFrame(id, client string, n int) []byte {
+	m := wire.QueryReq{ID: []byte(id), Client: []byte(client), Wait: true}
+	for i := 0; i < n; i++ {
+		m.Queries = append(m.Queries, wire.Query{SA: 0, Conds: []wire.Cond{{Attr: 1, Value: 0}}})
+	}
+	return m.Append(nil)
+}
+
+// condQueryBody is binaryQueryFrame's JSON twin, speaking labels.
+func condQueryBody(id, client string, n int) map[string]any {
+	qs := make([]serve.QueryJSON, n)
+	for i := range qs {
+		qs[i] = serve.QueryJSON{Conds: []serve.CondJSON{{Attr: "Job", Value: "Engineer"}}, SA: "Flu"}
+	}
+	return map[string]any{"id": id, "client": client, "queries": qs, "wait": true}
+}
+
+// TestRoutedBinaryQuery routes binary frames through the fleet: answers
+// must match the JSON route bit for bit, the router's authoritative ledger
+// must be patched into the frame, and digest verification across replicas
+// must hold at VerifyEvery=1.
+func TestRoutedBinaryQuery(t *testing.T) {
+	f := New(Config{Replicas: 3, ReplicationFactor: 2, VerifyEvery: 1})
+	id, err := f.Publish(testPublish(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+
+	// JSON route first: its per-answer content is the reference. The JSON
+	// batch speaks labels and the binary one original codes — the same
+	// queries either way.
+	var jresp serve.QueryResponse
+	if code, _ := doJSON(t, h, http.MethodPost, "/query", nil, condQueryBody(id, "carol", 4), &jresp); code != http.StatusOK {
+		t.Fatalf("json route returned %d", code)
+	}
+
+	code, body := doBinary(t, h, "/query", nil, binaryQueryFrame(id, "carol", 4))
+	if code != http.StatusOK {
+		t.Fatalf("binary route returned %d: %s", code, body)
+	}
+	var bresp wire.QueryResp
+	if err := bresp.Decode(body); err != nil {
+		t.Fatalf("decoding routed binary response: %v", err)
+	}
+	if len(bresp.Answers) != len(jresp.Answers) {
+		t.Fatalf("%d binary answers, %d json", len(bresp.Answers), len(jresp.Answers))
+	}
+	for i := range bresp.Answers {
+		ba, ja := bresp.Answers[i], jresp.Answers[i]
+		if ba.Err != nil || ja.Error != "" {
+			t.Fatalf("answer %d errored: bin=%q json=%q", i, ba.Err, ja.Error)
+		}
+		if int(ba.Count) != ja.Count || math.Float64bits(ba.Estimate) != math.Float64bits(ja.Estimate) {
+			t.Fatalf("answer %d: bin (%d, %v) vs json (%d, %v)", i, ba.Count, ba.Estimate, ja.Count, ja.Estimate)
+		}
+	}
+
+	// The router, not the replica, owns the ledger: 4 JSON + 4 binary
+	// queries by the same client must accumulate in the patched frame.
+	if bresp.Charged != 4 {
+		t.Fatalf("binary charged %d, want 4", bresp.Charged)
+	}
+	if bresp.ClientQueries != 8 {
+		t.Fatalf("cumulative exposure %d after 8 routed queries, want 8", bresp.ClientQueries)
+	}
+	if string(bresp.Client) != "carol" {
+		t.Fatalf("patched client %q, want carol", bresp.Client)
+	}
+
+	st := f.Stats()
+	if st.Verified == 0 {
+		t.Fatal("no binary answers were verified at VerifyEvery=1")
+	}
+	if st.VerifyMismatches != 0 {
+		t.Fatalf("%d verification mismatches across bit-identical replicas", st.VerifyMismatches)
+	}
+}
+
+// TestRoutedBinaryReconstruct covers the second binary endpoint end to end,
+// including the subsets×SADomain exposure charge surviving the patch.
+func TestRoutedBinaryReconstruct(t *testing.T) {
+	f := New(Config{Replicas: 2, ReplicationFactor: 2, VerifyEvery: 1})
+	id, err := f.Publish(testPublish(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+
+	m := wire.ReconstructReq{ID: []byte(id), Client: []byte("adv"), Wait: true}
+	m.Subsets = [][]wire.Cond{
+		{{Attr: 1, Value: 0}},
+		{{Attr: 0, Value: 1}, {Attr: 1, Value: 2}},
+	}
+	code, body := doBinary(t, h, "/reconstruct", nil, m.Append(nil))
+	if code != http.StatusOK {
+		t.Fatalf("binary reconstruct returned %d: %s", code, body)
+	}
+	var resp wire.ReconstructResp
+	if err := resp.Decode(body); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(resp.Results))
+	}
+	for i := range resp.Results {
+		if resp.Results[i].Err != nil {
+			t.Fatalf("subset %d errored: %q", i, resp.Results[i].Err)
+		}
+	}
+	// Medical SA domain is 10: 2 subsets charge 20.
+	if resp.Charged != 20 {
+		t.Fatalf("charged %d, want 20", resp.Charged)
+	}
+	if resp.ClientQueries != 20 {
+		t.Fatalf("cumulative exposure %d, want 20", resp.ClientQueries)
+	}
+	st := f.Stats()
+	if st.VerifyMismatches != 0 {
+		t.Fatalf("%d verification mismatches", st.VerifyMismatches)
+	}
+}
+
+// TestRoutedBinaryErrors pins the router-level failure surface for frames.
+func TestRoutedBinaryErrors(t *testing.T) {
+	f := New(Config{Replicas: 2, ReplicationFactor: 2})
+	id, err := f.Publish(testPublish(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+
+	// A body that is not a frame fails at the router's head peek.
+	if code, body := doBinary(t, h, "/query", nil, []byte("junk")); code != http.StatusBadRequest {
+		t.Fatalf("junk frame returned %d: %s", code, body)
+	}
+	// An unknown publication is rejected before any replica is tried.
+	if code, _ := doBinary(t, h, "/query", nil, binaryQueryFrame("pub-none", "c", 1)); code != http.StatusNotFound {
+		t.Fatal("unknown publication not rejected")
+	}
+	// A frame that peeks fine but fails replica-side decoding relays the
+	// replica's typed JSON rejection verbatim.
+	frame := binaryQueryFrame(id, "c", 1)
+	frame = append(frame, 0xEE)
+	n := uint32(len(frame) - wire.HeaderSize)
+	frame[4], frame[5], frame[6], frame[7] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	code, body := doBinary(t, h, "/query", nil, frame)
+	if code != http.StatusBadRequest {
+		t.Fatalf("trailing-byte frame returned %d: %s", code, body)
+	}
+	if got := serve.DecodeErrorCode(code, body); got != serve.CodeBadRequest {
+		t.Fatalf("replica rejection decoded as %q", got)
+	}
+
+	// Idempotent replay works for binary bodies: the second send returns
+	// the stored frame without charging the ledger again.
+	hdrs := map[string]string{"X-Idempotency-Key": "bin-key-1"}
+	code, first := doBinary(t, h, "/query", hdrs, binaryQueryFrame(id, "ida", 3))
+	if code != http.StatusOK {
+		t.Fatalf("first idempotent send returned %d", code)
+	}
+	code, second := doBinary(t, h, "/query", hdrs, binaryQueryFrame(id, "ida", 3))
+	if code != http.StatusOK || !bytes.Equal(first, second) {
+		t.Fatalf("replay differs (code %d)", code)
+	}
+	var resp wire.QueryResp
+	if err := resp.Decode(second); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClientQueries != 3 {
+		t.Fatalf("replayed exposure %d, want 3 (no double charge)", resp.ClientQueries)
+	}
+}

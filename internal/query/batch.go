@@ -38,16 +38,28 @@ type Answer struct {
 // batch (the paper's Section 6.1 workload) is microseconds of work per
 // worker.
 func (mg *Marginals) AnswerBatch(qs []Query, p float64, workers int) []Answer {
-	out := make([]Answer, len(qs))
+	return mg.AnswerBatchInto(nil, qs, p, workers)
+}
+
+// AnswerBatchInto is AnswerBatch writing into a reusable answer slice:
+// dst is truncated and regrown to len(qs), reallocating only when its
+// capacity is short. The serving layer's pooled binary path passes its
+// scratch here so a steady-state query batch allocates nothing.
+func (mg *Marginals) AnswerBatchInto(dst []Answer, qs []Query, p float64, workers int) []Answer {
+	if cap(dst) < len(qs) {
+		dst = make([]Answer, len(qs))
+	} else {
+		dst = dst[:len(qs)]
+	}
 	if len(qs) == 0 {
-		return out
+		return dst
 	}
 	par.Striped(len(qs), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i] = mg.answerOne(qs[i], p)
+			dst[i] = mg.answerOne(qs[i], p)
 		}
 	})
-	return out
+	return dst
 }
 
 // answerOne computes a query's count and estimate from a single cube
@@ -57,7 +69,7 @@ func (mg *Marginals) AnswerBatch(qs []Query, p float64, workers int) []Answer {
 // the Lemma 2(ii) estimate together. The results are identical to
 // Count/Estimate (the batch tests pin this).
 func (mg *Marginals) answerOne(q Query, p float64) Answer {
-	cube, vals, err := mg.lookup(q.Conds)
+	cube, base, err := mg.locate(q.Conds)
 	if err != nil {
 		return Answer{Err: err}
 	}
@@ -65,7 +77,6 @@ func (mg *Marginals) answerOne(q Query, p float64) Answer {
 	if int(q.SA) >= m {
 		return Answer{Err: fmt.Errorf("query: SA value %d out of domain", q.SA)}
 	}
-	base := cube.flatIndex(vals, 0, m)
 	count := cube.counts[base+int(q.SA)]
 	if p == 1 {
 		return Answer{Count: count, Estimate: float64(count)}

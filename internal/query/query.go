@@ -40,19 +40,27 @@ func (q Query) Format(s *dataset.Schema) string {
 }
 
 // marginal is one cube: counts over the cross product of a sorted
-// public-attribute subset and SA.
+// public-attribute subset and SA. counts is a sub-slice of the owning
+// Marginals' flat arena, so consecutive cubes are consecutive in memory.
 type marginal struct {
 	attrs  []int // sorted NA attribute indices
 	dims   []int // domain sizes aligned with attrs
-	counts []int // flat row-major over (attrs..., SA)
+	counts []int // flat row-major over (attrs..., SA); view into Marginals.arena
 }
 
 // Marginals answers conjunctive counts over a fixed schema from precomputed
-// cubes of every public-attribute subset up to MaxDim attributes.
+// cubes of every public-attribute subset up to MaxDim attributes. Cube
+// storage is flattened: all cubes live in one contiguous counts arena
+// (ordered by packed subset key), with a side index from subset key to cube.
+// Sequential batch scans therefore walk one allocation instead of chasing
+// per-cube pointers, and a whole index is two large allocations however many
+// subsets it covers.
 type Marginals struct {
 	Schema *dataset.Schema
 	MaxDim int
-	cubes  map[uint64]*marginal
+	cubes  []marginal       // sorted by packed subset key
+	index  map[uint64]int32 // packed subset key -> index into cubes
+	arena  []int            // every cube's counts, back to back
 	total  int
 }
 
@@ -106,19 +114,17 @@ func newMarginals(schema *dataset.Schema, maxDim int) (*Marginals, error) {
 	if maxDim > subsetKeyMaxDim {
 		return nil, &IndexLimitError{MaxDim: maxDim}
 	}
-	mg := &Marginals{Schema: schema, MaxDim: maxDim, cubes: make(map[uint64]*marginal)}
+	mg := &Marginals{Schema: schema, MaxDim: maxDim}
 	m := schema.SADomain()
 	var build func(start int, cur []int)
 	build = func(start int, cur []int) {
 		if len(cur) > 0 {
 			attrs := append([]int(nil), cur...)
 			dims := make([]int, len(attrs))
-			size := m
 			for i, a := range attrs {
 				dims[i] = schema.Attrs[a].Domain()
-				size *= dims[i]
 			}
-			mg.cubes[subsetKey(attrs)] = &marginal{attrs: attrs, dims: dims, counts: make([]int, size)}
+			mg.cubes = append(mg.cubes, marginal{attrs: attrs, dims: dims})
 		}
 		if len(cur) == maxDim {
 			return
@@ -128,16 +134,34 @@ func newMarginals(schema *dataset.Schema, maxDim int) (*Marginals, error) {
 		}
 	}
 	build(0, nil)
-	return mg, nil
-}
-
-// flatIndex computes the cube offset of (values..., sa).
-func (c *marginal) flatIndex(values []uint16, sa uint16, m int) int {
-	idx := 0
-	for i := range c.attrs {
-		idx = idx*c.dims[i] + int(values[i])
+	// The recursion emits subsets in lexicographic attribute order, which is
+	// not packed-key order; sort so the arena layout and cubeList order are
+	// the deterministic key order every fingerprint depends on.
+	sort.Slice(mg.cubes, func(i, j int) bool {
+		return subsetKey(mg.cubes[i].attrs) < subsetKey(mg.cubes[j].attrs)
+	})
+	total := 0
+	for i := range mg.cubes {
+		size := m
+		for _, d := range mg.cubes[i].dims {
+			size *= d
+		}
+		total += size
 	}
-	return idx*m + int(sa)
+	mg.arena = make([]int, total)
+	mg.index = make(map[uint64]int32, len(mg.cubes))
+	off := 0
+	for i := range mg.cubes {
+		cube := &mg.cubes[i]
+		size := m
+		for _, d := range cube.dims {
+			size *= d
+		}
+		cube.counts = mg.arena[off : off+size : off+size]
+		off += size
+		mg.index[subsetKey(cube.attrs)] = int32(i)
+	}
+	return mg, nil
 }
 
 // BuildMarginals scans the table once per cube and returns the query engine.
@@ -213,18 +237,13 @@ func BuildMarginalsFromGroupsParallel(gs *dataset.GroupSet, maxDim, workers int)
 	return mg, nil
 }
 
-// cubeList returns the cubes in a deterministic order (sorted by packed
-// subset key) so the parallel fill deals out the same work items however
-// the map iterates.
+// cubeList returns the cubes in their deterministic arena order (sorted by
+// packed subset key) so the parallel fill deals out the same work items on
+// every build.
 func (mg *Marginals) cubeList() []*marginal {
-	keys := make([]uint64, 0, len(mg.cubes))
-	for k := range mg.cubes {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]*marginal, len(keys))
-	for i, k := range keys {
-		out[i] = mg.cubes[k]
+	out := make([]*marginal, len(mg.cubes))
+	for i := range mg.cubes {
+		out[i] = &mg.cubes[i]
 	}
 	return out
 }
@@ -329,36 +348,69 @@ func (mg *Marginals) Checksum() uint64 {
 	return d.Sum64()
 }
 
-// lookup returns the cube for the attribute set of conds and the condition
-// values aligned with the cube's sorted attribute order.
-func (mg *Marginals) lookup(conds []Cond) (*marginal, []uint16, error) {
+// locate resolves a condition set to its cube and the flat base offset of
+// the conditions' cell (the SA=0 slot; the caller adds the SA code). It is
+// the steady-state hot path of every answering method, so it allocates
+// nothing: conditions are sorted in a fixed stack buffer, the packed key,
+// domain checks, and row-major offset are computed in one pass, and errors
+// (the only allocating branches) fire only on invalid queries.
+//
+// Attribute indices are validated against the schema before the packed key
+// is formed: subsetKey holds one byte per attribute, so an unchecked index ≥
+// 255 — reachable from the binary wire path, which carries raw uint16 codes —
+// would alias another subset's key and silently answer the wrong cube.
+func (mg *Marginals) locate(conds []Cond) (*marginal, int, error) {
 	if len(conds) == 0 {
-		return nil, nil, fmt.Errorf("query: at least one NA condition is required")
+		return nil, 0, fmt.Errorf("query: at least one NA condition is required")
 	}
-	if len(conds) > mg.MaxDim {
-		return nil, nil, fmt.Errorf("query: %d conditions exceed the indexed maximum %d", len(conds), mg.MaxDim)
+	if len(conds) > mg.MaxDim || len(conds) > subsetKeyMaxDim {
+		return nil, 0, fmt.Errorf("query: %d conditions exceed the indexed maximum %d", len(conds), mg.MaxDim)
 	}
-	sorted := append([]Cond(nil), conds...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Attr < sorted[j].Attr })
-	attrs := make([]int, len(sorted))
-	vals := make([]uint16, len(sorted))
-	for i, c := range sorted {
-		if i > 0 && c.Attr == sorted[i-1].Attr {
-			return nil, nil, fmt.Errorf("query: duplicate condition on attribute %d", c.Attr)
+	var buf [subsetKeyMaxDim]Cond
+	n := copy(buf[:], conds)
+	// Insertion sort by attribute: n ≤ 8, almost always already sorted.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && buf[j].Attr < buf[j-1].Attr; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
 		}
-		attrs[i] = c.Attr
-		vals[i] = c.Value
 	}
-	cube, ok := mg.cubes[subsetKey(attrs)]
+	nAttrs := mg.Schema.NumAttrs()
+	var key uint64 = ^uint64(0)
+	for i := 0; i < n; i++ {
+		a := buf[i].Attr
+		if a < 0 || a >= nAttrs {
+			return nil, 0, fmt.Errorf("query: attribute index %d out of schema range [0,%d)", a, nAttrs)
+		}
+		if i > 0 && a == buf[i-1].Attr {
+			return nil, 0, fmt.Errorf("query: duplicate condition on attribute %d", a)
+		}
+		shift := uint(8 * i)
+		key = (key &^ (uint64(0xFF) << shift)) | uint64(a)<<shift
+	}
+	ci, ok := mg.index[key]
 	if !ok {
-		return nil, nil, fmt.Errorf("query: no cube for attribute set %v", attrs)
+		return nil, 0, fmt.Errorf("query: no cube for attribute set %v", condAttrs(buf[:n]))
 	}
-	for i, a := range cube.attrs {
-		if int(vals[i]) >= mg.Schema.Attrs[a].Domain() {
-			return nil, nil, fmt.Errorf("query: value %d out of domain for attribute %d", vals[i], a)
+	cube := &mg.cubes[ci]
+	idx := 0
+	for i := 0; i < n; i++ {
+		v := int(buf[i].Value)
+		if v >= cube.dims[i] {
+			return nil, 0, fmt.Errorf("query: value %d out of domain for attribute %d", v, buf[i].Attr)
 		}
+		idx = idx*cube.dims[i] + v
 	}
-	return cube, vals, nil
+	return cube, idx * mg.Schema.SADomain(), nil
+}
+
+// condAttrs extracts the attribute indices of a sorted condition slice for
+// error messages.
+func condAttrs(conds []Cond) []int {
+	out := make([]int, len(conds))
+	for i, c := range conds {
+		out[i] = c.Attr
+	}
+	return out
 }
 
 // SADomain returns m, the sensitive-attribute domain size of the indexed
@@ -371,7 +423,7 @@ func (mg *Marginals) SADomain() int { return mg.Schema.SADomain() }
 // the reconstruct.Counter contract, making every Marginals an adversary
 // engine source.
 func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
-	cube, vals, err := mg.lookup(conds)
+	cube, base, err := mg.locate(conds)
 	if err != nil {
 		return 0, err
 	}
@@ -379,7 +431,6 @@ func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
 	if len(dst) < m {
 		return 0, fmt.Errorf("query: subset histogram needs %d slots, got %d", m, len(dst))
 	}
-	base := cube.flatIndex(vals, 0, m)
 	size := 0
 	for sa := 0; sa < m; sa++ {
 		c := cube.counts[base+sa]
@@ -391,28 +442,25 @@ func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
 
 // Count answers the full query (NA conditions ∧ SA=sa).
 func (mg *Marginals) Count(q Query) (int, error) {
-	cube, vals, err := mg.lookup(q.Conds)
+	cube, base, err := mg.locate(q.Conds)
 	if err != nil {
 		return 0, err
 	}
-	m := mg.Schema.SADomain()
-	if int(q.SA) >= m {
+	if int(q.SA) >= mg.Schema.SADomain() {
 		return 0, fmt.Errorf("query: SA value %d out of domain", q.SA)
 	}
-	return cube.counts[cube.flatIndex(vals, q.SA, m)], nil
+	return cube.counts[base+int(q.SA)], nil
 }
 
 // CountNA answers the NA-only part of the query (the subset S the estimator
 // reconstructs over).
 func (mg *Marginals) CountNA(conds []Cond) (int, error) {
-	cube, vals, err := mg.lookup(conds)
+	cube, base, err := mg.locate(conds)
 	if err != nil {
 		return 0, err
 	}
-	m := mg.Schema.SADomain()
-	base := cube.flatIndex(vals, 0, m)
 	total := 0
-	for sa := 0; sa < m; sa++ {
+	for sa := 0; sa < mg.Schema.SADomain(); sa++ {
 		total += cube.counts[base+sa]
 	}
 	return total, nil

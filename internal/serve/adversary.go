@@ -64,6 +64,10 @@ type ReconstructResponse struct {
 }
 
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleReconstructBinary(w, r)
+		return
+	}
 	start := time.Now()
 	var req reconstructRequest
 	if !s.decode(w, r, &req) {

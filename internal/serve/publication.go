@@ -320,3 +320,40 @@ func (p *Publication) ResolveConds(cs []CondJSON) ([]query.Cond, error) {
 	}
 	return out, nil
 }
+
+// MapConds is the binary-wire counterpart of ResolveConds: conditions
+// arrive as original codes (attr = schema index, value = index into the
+// attribute's original Values list) and are rewritten in place into engine
+// codes through the generalization mapping. Every code is bounds-checked
+// against the original schema before it indexes anything — a hostile frame
+// can carry any uint16.
+func (p *Publication) MapConds(conds []query.Cond) error {
+	for i := range conds {
+		c := &conds[i]
+		if c.Attr < 0 || c.Attr >= p.Orig.NumAttrs() {
+			return fmt.Errorf("serve: attribute index %d out of range (schema has %d attributes)",
+				c.Attr, p.Orig.NumAttrs())
+		}
+		if c.Attr == p.Orig.SA {
+			return fmt.Errorf("serve: conditions may not reference the sensitive attribute %q",
+				p.Orig.Attrs[c.Attr].Name)
+		}
+		if int(c.Value) >= p.Orig.Attrs[c.Attr].Domain() {
+			return fmt.Errorf("serve: value code %d out of domain for %q (domain %d)",
+				c.Value, p.Orig.Attrs[c.Attr].Name, p.Orig.Attrs[c.Attr].Domain())
+		}
+		if mp := p.mapping[c.Attr]; mp != nil {
+			c.Value = mp.OldToNew[c.Value]
+		}
+	}
+	return nil
+}
+
+// MapSA validates a binary-wire sensitive-value code. The sensitive
+// attribute is never generalized, so the original code is the engine code.
+func (p *Publication) MapSA(sa uint16) error {
+	if int(sa) >= p.Orig.SADomain() {
+		return fmt.Errorf("serve: SA value code %d out of domain (domain %d)", sa, p.Orig.SADomain())
+	}
+	return nil
+}

@@ -336,7 +336,12 @@ type metaJSON struct {
 }
 
 type attrJSON struct {
-	Name   string   `json:"name"`
+	Name string `json:"name"`
+	// Index is the attribute's position in the full schema (sensitive
+	// attribute included) — the attr code a binary-wire condition carries.
+	// The Attrs array alone cannot recover it when the sensitive attribute
+	// sits mid-schema.
+	Index  int      `json:"index"`
 	Domain int      `json:"domain"`
 	Values []string `json:"values,omitempty"`
 }
@@ -378,7 +383,7 @@ func entryJSON(e *Entry, withDomains bool) publicationJSON {
 		if withDomains {
 			for i := range pub.Orig.Attrs {
 				a := &pub.Orig.Attrs[i]
-				aj := attrJSON{Name: a.Name, Domain: a.Domain(), Values: append([]string(nil), a.Values...)}
+				aj := attrJSON{Name: a.Name, Index: i, Domain: a.Domain(), Values: append([]string(nil), a.Values...)}
 				if i == pub.Orig.SA {
 					out.SAttr = &aj
 				} else {
@@ -477,6 +482,10 @@ type QueryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleQueryBinary(w, r)
+		return
+	}
 	start := time.Now()
 	var req queryRequest
 	if !s.decode(w, r, &req) {

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
+)
+
+// The simulator speaks both protocol encodings: every client alternates
+// JSON and binary query batches deterministically (odd batches JSON, even
+// binary), and the encoding choice consumes no randomness — the drawn
+// workload is identical to an all-JSON run. Because the summary digest
+// folds only counts and estimate bits, a mixed-encoding run must produce
+// the same AnswersDigest as a forced-JSON run of the same seed; that
+// equality is the end-to-end pin on cross-encoding equivalence
+// (TestMixedEncodingDigestMatchesJSON).
+
+// encodeQueryFrame translates one JSON-shaped query batch into a wire
+// frame, mapping labels back to the original value codes the binary
+// protocol speaks.
+func encodeQueryFrame(schema *dataset.Schema, id, client string, qs []serve.QueryJSON) ([]byte, error) {
+	m := wire.QueryReq{ID: []byte(id), Client: []byte(client), Wait: true}
+	sa := schema.SAAttr()
+	for i := range qs {
+		saCode, err := sa.Code(qs[i].SA)
+		if err != nil {
+			return nil, err
+		}
+		conds := make([]wire.Cond, len(qs[i].Conds))
+		for j, c := range qs[i].Conds {
+			ai, err := schema.AttrIndex(c.Attr)
+			if err != nil {
+				return nil, err
+			}
+			v, err := schema.Attrs[ai].Code(c.Value)
+			if err != nil {
+				return nil, err
+			}
+			conds[j] = wire.Cond{Attr: ai, Value: v}
+		}
+		m.Queries = append(m.Queries, wire.Query{SA: saCode, Conds: conds})
+	}
+	return m.Append(nil), nil
+}
+
+// decodeQueryFrame mirrors a binary query response into the JSON-shaped
+// struct the validation path consumes, so shape, exposure, and digest
+// checks are encoding-blind.
+func decodeQueryFrame(body []byte, out *queryWire) error {
+	var resp wire.QueryResp
+	if err := resp.Decode(body); err != nil {
+		return err
+	}
+	out.Answers = make([]answerWire, len(resp.Answers))
+	for i := range resp.Answers {
+		a := &resp.Answers[i]
+		out.Answers[i] = answerWire{Count: int(a.Count), Estimate: a.Estimate, Error: string(a.Err)}
+	}
+	out.ClientQueries = int64(resp.ClientQueries)
+	return nil
+}

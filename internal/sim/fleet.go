@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/fleet"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 // FleetPlan runs a scenario against a replicated fleet instead of a single
@@ -306,8 +308,20 @@ func (r *fleetRunner) doQuery(rng *stats.Rand, id, idem string, res *clientResul
 		qs[i] = serve.QueryJSON{Conds: r.randomCondsOn(rng, pub), SA: sa.Values[rng.Intn(r.m)]}
 	}
 	var resp queryWire
-	code, err := r.timedPost("query", res, "/query", idem,
-		map[string]any{"id": pid, "client": id, "queries": qs, "wait": true}, &resp)
+	var code int
+	var err error
+	if res.ops.Query%2 == 0 && !r.opts.forceJSON {
+		// Even batches ride the binary framing through the router — head
+		// peek, pass-through, and ledger patch all on the routed path.
+		frame, ferr := encodeQueryFrame(pub.Orig, pid, id, qs)
+		if !r.check.check(ferr == nil, "encoding binary query batch: %v", ferr) {
+			return
+		}
+		code, err = r.timedPostBinary("query", res, "/query", idem, frame, &resp)
+	} else {
+		code, err = r.timedPost("query", res, "/query", idem,
+			map[string]any{"id": pid, "client": id, "queries": qs, "wait": true}, &resp)
+	}
 	if r.tolerated(code, err) {
 		return
 	}
@@ -494,6 +508,39 @@ func (r *fleetRunner) timedPost(op string, res *clientResult, path, idem string,
 	code, err := r.postJSON(path, idem, body, out)
 	res.lats[op] = append(res.lats[op], time.Since(start))
 	return code, err
+}
+
+// timedPostBinary posts a wire frame through the router with the
+// operation's idempotency key.
+func (r *fleetRunner) timedPostBinary(op string, res *clientResult, path, idem string, frame []byte, out *queryWire) (int, error) {
+	start := time.Now()
+	code, err := r.postBinary(path, idem, frame, out)
+	res.lats[op] = append(res.lats[op], time.Since(start))
+	return code, err
+}
+
+func (r *fleetRunner) postBinary(path, idem string, frame []byte, out *queryWire) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, r.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	if idem != "" {
+		req.Header.Set("X-Idempotency-Key", idem)
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, decodeQueryFrame(body, out)
 }
 
 func (r *fleetRunner) postJSON(path, idem string, body, out any) (int, error) {

@@ -15,6 +15,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 // Options configure one simulation run.
@@ -35,6 +36,9 @@ type Options struct {
 	// Config is the traffic server's configuration. Clock is overridden
 	// with a fixed epoch so time-derived /statsz fields are deterministic.
 	Config serve.Config
+	// forceJSON disables the deterministic JSON/binary query alternation
+	// (test hook: the mixed-encoding digest must equal the all-JSON one).
+	forceJSON bool
 }
 
 // simEpoch is the fixed clock injected into every simulated server.
@@ -356,8 +360,20 @@ func (r *runner) doQuery(rng *stats.Rand, id string, res *clientResult, digest *
 		qs[i] = serve.QueryJSON{Conds: r.randomConds(rng), SA: sa.Values[rng.Intn(r.m)]}
 	}
 	var resp queryWire
-	code, err := r.timedPost("query", res, "/query",
-		map[string]any{"id": r.pub0.ID, "client": id, "queries": qs, "wait": true}, &resp)
+	var code int
+	var err error
+	if res.ops.Query%2 == 0 && !r.opts.forceJSON {
+		// Even batches ride the binary framing; see binary.go for why this
+		// choice must not consume the client's randomness.
+		frame, ferr := encodeQueryFrame(r.pub0.Orig, r.pub0.ID, id, qs)
+		if !r.check.check(ferr == nil, "encoding binary query batch: %v", ferr) {
+			return
+		}
+		code, err = r.timedPostBinary("query", res, "/query", frame, &resp)
+	} else {
+		code, err = r.timedPost("query", res, "/query",
+			map[string]any{"id": r.pub0.ID, "client": id, "queries": qs, "wait": true}, &resp)
+	}
 	if !r.check.check(err == nil && code == http.StatusOK, "query returned %d (%v)", code, err) {
 		return
 	}
@@ -636,6 +652,31 @@ func (r *runner) timedPost(op string, res *clientResult, path string, body, out 
 	code, err := r.postJSON(path, body, out)
 	res.lats[op] = append(res.lats[op], time.Since(start))
 	return code, err
+}
+
+// timedPostBinary posts a wire frame and decodes the framed response into
+// the JSON-shaped mirror, recording wall latency like timedPost.
+func (r *runner) timedPostBinary(op string, res *clientResult, path string, frame []byte, out *queryWire) (int, error) {
+	start := time.Now()
+	code, err := r.postBinary(path, frame, out)
+	res.lats[op] = append(res.lats[op], time.Since(start))
+	return code, err
+}
+
+func (r *runner) postBinary(path string, frame []byte, out *queryWire) (int, error) {
+	resp, err := r.hc.Post(r.base+path, wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, decodeQueryFrame(body, out)
 }
 
 func (r *runner) postJSON(path string, body, out any) (int, error) {

@@ -154,3 +154,37 @@ func TestClientSeedsDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestMixedEncodingDigestMatchesJSON is the end-to-end cross-encoding pin:
+// the default run alternates JSON and binary query batches (the alternation
+// consumes no randomness, so both runs draw the same workload), and the
+// XOR-folded answers digest must come out identical — every count and
+// estimate served over the binary framing carried exactly the bits the
+// JSON encoding carries. Checked on the single-server and the routed
+// (fleet) topology.
+func TestMixedEncodingDigestMatchesJSON(t *testing.T) {
+	for _, name := range []string{"steady-read", "fleet"} {
+		sc, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed, err := Run(Options{Scenario: sc, Seed: 3, Clients: 3, Steps: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonOnly, err := Run(Options{Scenario: sc, Seed: 3, Clients: 3, Steps: 4, forceJSON: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := mixed.Summary.Invariants.Violations; v != 0 {
+			t.Fatalf("%s: %d invariant violations in mixed run: %v", name, v, mixed.Summary.Invariants.Failures)
+		}
+		if mixed.Summary.AnswersDigest == "" {
+			t.Fatalf("%s: mixed run produced no digest", name)
+		}
+		if mixed.Summary.AnswersDigest != jsonOnly.Summary.AnswersDigest {
+			t.Fatalf("%s: mixed-encoding digest %s differs from all-JSON digest %s",
+				name, mixed.Summary.AnswersDigest, jsonOnly.Summary.AnswersDigest)
+		}
+	}
+}

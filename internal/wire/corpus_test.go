@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestFuzzSeedCorpus materializes the fuzz seed corpora under testdata/fuzz/
+// in Go's corpus file format, one file per seed (regenerate with -update).
+// Checked-in seeds mean every plain `go test` run — not just -fuzz runs —
+// exercises the decoder over the interesting frames, and a fresh checkout
+// fuzzes from a warm start.
+func TestFuzzSeedCorpus(t *testing.T) {
+	type seed struct {
+		target string
+		name   string
+		lines  []string
+	}
+	bs := func(b []byte) string { return fmt.Sprintf("[]byte(%s)", strconv.Quote(string(b))) }
+	seeds := []seed{
+		{"FuzzWireDecode", "query_req", []string{bs(goldenQueryReq().Append(nil))}},
+		{"FuzzWireDecode", "query_resp", []string{bs(goldenQueryResp().Append(nil))}},
+		{"FuzzWireDecode", "reconstruct_req", []string{bs(goldenReconstructReq().Append(nil))}},
+		{"FuzzWireDecode", "reconstruct_resp", []string{bs(goldenReconstructResp().Append(nil))}},
+		{"FuzzWireDecode", "empty", []string{bs(nil)}},
+		{"FuzzWireDecode", "overdeclared", []string{bs([]byte{magic0, magic1, Version, KindQueryReq, 0xFF, 0xFF, 0xFF, 0xFF})}},
+		{"FuzzCondDecode", "two_conds", []string{
+			bs(condCorpusPrefix(1)), bs([]byte{2, 0, 1, 3, 0, 5, 0}),
+		}},
+		{"FuzzCondDecode", "zero_queries", []string{bs(condCorpusPrefix(0)), bs(nil)}},
+		{"FuzzCondDecode", "undersupplied", []string{
+			bs(condCorpusPrefix(3)), bs([]byte{1, 0, 255, 255, 255, 255, 255}),
+		}},
+		{"FuzzFrameRoundTrip", "typical", []string{
+			`string("census-sps")`, `string("analyst")`, "bool(true)",
+			"uint16(3)", "uint16(1)", "uint16(2)", "uint16(40000)", "uint16(7)",
+		}},
+		{"FuzzFrameRoundTrip", "zeroes", []string{
+			`string("")`, `string("")`, "bool(false)",
+			"uint16(0)", "uint16(0)", "uint16(0)", "uint16(0)", "uint16(0)",
+		}},
+		{"FuzzFrameRoundTrip", "extremes", []string{
+			`string("id")`, `string("client-with-a-longer-name")`, "bool(true)",
+			"uint16(65535)", "uint16(255)", "uint16(65535)", "uint16(1)", "uint16(9)",
+		}},
+	}
+	for _, s := range seeds {
+		dir := filepath.Join("testdata", "fuzz", s.target)
+		path := filepath.Join(dir, s.name)
+		content := "go test fuzz v1\n"
+		for _, l := range s.lines {
+			content += l + "\n"
+		}
+		if *update {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing fuzz seed (run go test ./internal/wire -run FuzzSeedCorpus -update): %v", err)
+		}
+		if string(got) != content {
+			t.Fatalf("fuzz seed %s drifted from the format (regenerate with -update)", path)
+		}
+	}
+}
+
+// condCorpusPrefix builds FuzzCondDecode's head input: a valid frame up to
+// the query count, which the fuzzer splices fuzzed query bytes onto.
+func condCorpusPrefix(n uint32) []byte {
+	m := &QueryReq{ID: []byte("p"), Client: []byte("c")}
+	frame := m.Append(nil)
+	frame[len(frame)-4], frame[len(frame)-3], frame[len(frame)-2], frame[len(frame)-1] =
+		byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	return frame
+}
