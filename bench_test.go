@@ -504,7 +504,10 @@ func BenchmarkServeQueryBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := serve.New(serve.Config{})
+	// Budget enforcement off: these duels measure protocol throughput, and
+	// a 5,000-query batch replayed b.N times from one client would exhaust
+	// any realistic quota.
+	srv := serve.New(serve.Config{BudgetQuota: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: benchCensusSize}, true)
@@ -561,7 +564,10 @@ func BenchmarkServedQueryBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := serve.New(serve.Config{})
+	// Budget enforcement off: these duels measure protocol throughput, and
+	// a 5,000-query batch replayed b.N times from one client would exhaust
+	// any realistic quota.
+	srv := serve.New(serve.Config{BudgetQuota: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: benchCensusSize}, true)

@@ -8,6 +8,7 @@
 //
 //	rpfleet [-addr :8080] [-replicas 3] [-rf 2] [-timeout 2s]
 //	        [-eject-after 3] [-max-inflight 64] [-verify-every 16]
+//	        [-budget N] [-budget-soft 0.85] [-budget-trusted id,id]
 //	        [-preload medical:5000,census:300000]
 //
 // -preload publishes each dataset[:size] across the fleet before serving,
@@ -18,6 +19,9 @@
 // reports router counters (failovers, ejections, shed load) instead of
 // per-replica internals. /insert is not served: fleet replicas converge
 // through deterministic rebuilds, which streaming inserts would break.
+// Replica-side budget_exhausted 429s pass through with their Retry-After
+// header and are never retried — a rejected request charges no exposure
+// on any replica.
 //
 // A minimal session:
 //
@@ -55,6 +59,12 @@ func main() {
 		verifyEvery = flag.Int("verify-every", 16, "sample 1-in-N answers for cross-replica digest verification (negative disables)")
 		pipeWorkers = flag.Int("pipeline-workers", 0, "per-replica cold-path preprocessing workers (0 = GOMAXPROCS)")
 		preload     = flag.String("preload", "", "comma-separated dataset[:size] list to publish before serving")
+
+		budgetQuota   = flag.Int64("budget", 0, "per-client exposure budget per window on every replica (0 = calibrated default, -1 disables)")
+		budgetWindow  = flag.Duration("budget-window", 0, "sliding budget window (0 = 1h)")
+		budgetSoft    = flag.Float64("budget-soft", 0, "quota fraction past which reconstructs are shed first (0 = 0.85, -1 disables)")
+		budgetTrusted = flag.String("budget-trusted", "", "comma-separated client ids in the trusted (higher-quota) tier")
+		trustedQuota  = flag.Int64("budget-trusted-quota", 0, "budget for trusted-tier clients (0 = 4x the default quota)")
 	)
 	flag.Parse()
 
@@ -66,7 +76,14 @@ func main() {
 		MaxAttempts:       *attempts,
 		Timeout:           *timeout,
 		VerifyEvery:       *verifyEvery,
-		Serve:             serve.Config{PipelineWorkers: *pipeWorkers},
+		Serve: serve.Config{
+			PipelineWorkers:    *pipeWorkers,
+			BudgetQuota:        *budgetQuota,
+			BudgetWindow:       *budgetWindow,
+			BudgetSoftFraction: *budgetSoft,
+			BudgetTrusted:      splitTrusted(*budgetTrusted),
+			BudgetTrustedQuota: *trustedQuota,
+		},
 	})
 
 	if *preload != "" {
@@ -92,6 +109,18 @@ func main() {
 	}
 	log.Printf("rpfleet: %d replicas (rf %d) serving on %s", *replicas, *rf, *addr)
 	log.Fatal(httpServer.ListenAndServe())
+}
+
+// splitTrusted turns the -budget-trusted list into client ids, dropping
+// empty entries.
+func splitTrusted(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 // parsePreload turns "census:300000" into a publish request with default

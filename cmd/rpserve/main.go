@@ -7,11 +7,22 @@
 //
 //	rpserve [-addr :8080] [-shards 16] [-query-workers N] [-publish-workers N]
 //	        [-pipeline-workers N] [-max-batch 100000] [-exposure-warn 50000]
+//	        [-budget N] [-budget-window 1h] [-budget-soft 0.85]
+//	        [-budget-trusted id,id] [-budget-trusted-quota N]
 //	        [-allow-csv] [-preload census:300000,adult]
 //
 // -preload publishes the named datasets with default parameters before the
 // server starts accepting traffic, so the first query never pays a build.
 // Each preload entry is dataset[:size].
+//
+// The -budget flags tune the exposure budget manager: every answered query
+// charges one unit and every reconstructed subset charges the SA domain
+// size against the client's sliding-window quota; charges past it are
+// rejected with a typed budget_exhausted 429 and a Retry-After header.
+// The default quota is calibrated so a generation-averaging adversary is
+// cut off well before it can pin raw counts (see EXPERIMENTS.md);
+// -budget -1 disables enforcement while keeping the bounded ledger and
+// /statsz reporting, and -budget-trusted grants named clients the 4x tier.
 //
 // A minimal session:
 //
@@ -59,19 +70,30 @@ func main() {
 		allowCSV     = flag.Bool("allow-csv", false, "allow publishing server-local CSV files")
 		preload      = flag.String("preload", "", "comma-separated dataset[:size] list to publish before serving")
 		drainWait    = flag.Duration("drain-wait", 10*time.Second, "max time to wait for in-flight requests on SIGTERM")
+
+		budgetQuota   = flag.Int64("budget", 0, "per-client exposure budget per window (0 = calibrated default, -1 disables enforcement)")
+		budgetWindow  = flag.Duration("budget-window", 0, "sliding budget window (0 = 1h)")
+		budgetSoft    = flag.Float64("budget-soft", 0, "quota fraction past which reconstructs are shed first (0 = 0.85, -1 disables)")
+		budgetTrusted = flag.String("budget-trusted", "", "comma-separated client ids in the trusted (higher-quota) tier")
+		trustedQuota  = flag.Int64("budget-trusted-quota", 0, "budget for trusted-tier clients (0 = 4x the default quota)")
 	)
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		Shards:          *shards,
-		QueryWorkers:    *queryWorkers,
-		PublishWorkers:  *pubWorkers,
-		PipelineWorkers: *pipeWorkers,
-		MaxBatch:        *maxBatch,
-		MaxInsert:       *maxInsert,
-		ExposureWarn:    *exposure,
-		MaxPublications: *maxPubs,
-		AllowCSV:        *allowCSV,
+		Shards:             *shards,
+		QueryWorkers:       *queryWorkers,
+		PublishWorkers:     *pubWorkers,
+		PipelineWorkers:    *pipeWorkers,
+		MaxBatch:           *maxBatch,
+		MaxInsert:          *maxInsert,
+		ExposureWarn:       *exposure,
+		MaxPublications:    *maxPubs,
+		AllowCSV:           *allowCSV,
+		BudgetQuota:        *budgetQuota,
+		BudgetWindow:       *budgetWindow,
+		BudgetSoftFraction: *budgetSoft,
+		BudgetTrusted:      splitTrusted(*budgetTrusted),
+		BudgetTrustedQuota: *trustedQuota,
 	})
 
 	if *preload != "" {
@@ -125,6 +147,18 @@ func main() {
 			log.Printf("rpserve: shutdown: %v", err)
 		}
 	}
+}
+
+// splitTrusted turns the -budget-trusted list into client ids, dropping
+// empty entries.
+func splitTrusted(s string) []string {
+	var ids []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 // parsePreload turns "census:300000" into a publish request with default

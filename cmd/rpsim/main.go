@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rpsim [-scenario steady-read|churn|adversary|mixed] [-seed N]
+//	rpsim [-scenario steady-read|churn|adversary|fleet|budget|mixed] [-seed N]
 //	      [-clients N] [-steps N] [-think D] [-pipeline-workers N] [-list]
 //
 // The deterministic JSON summary goes to stdout — two runs with the same

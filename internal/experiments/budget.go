@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/reconpriv/reconpriv/internal/budget"
+	"github.com/reconpriv/reconpriv/internal/datagen"
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/perturb"
+	"github.com/reconpriv/reconpriv/internal/reconstruct"
+	"github.com/reconpriv/reconpriv/internal/sim"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// The budget experiment answers the two questions the exposure budget
+// manager was built for. Scale: does one manager with production defaults
+// hold its memory bound and its accuracy contract when 10 million distinct
+// zipf-distributed clients pour charges through it? Calibration: is the
+// shipped DefaultQuota small enough that a generation-averaging adversary
+// is cut off by a budget_exhausted rejection before its averaged
+// reconstruction becomes more accurate than the single-generation
+// Bernstein envelope permits?
+
+// budgetChargeUnits is the exposure charged per synthetic operation in the
+// scale sweep: one 20-query batch, the simulator's batch size.
+const budgetChargeUnits = 20
+
+// budgetOracleRanks bounds the exact shadow ledger the sweep keeps next to
+// the manager: the zipf head it can judge rejections against. It equals
+// the manager's own default exact-tracking capacity, so every client the
+// manager could possibly track exactly has an oracle entry.
+const budgetOracleRanks = budget.DefaultMaxTracked
+
+// BudgetCell is one (population, skew) cell of the scale sweep.
+type BudgetCell struct {
+	Clients     int     `json:"clients"` // zipf rank population
+	ZipfS       float64 `json:"zipf_s"`
+	Draws       int     `json:"draws"`
+	NSPerCharge float64 `json:"ns_per_charge"`
+	// Manager snapshot after the run.
+	Accepted   uint64  `json:"accepted"`
+	Rejected   uint64  `json:"rejected"`
+	Tracked    int     `json:"tracked"`
+	Promotions uint64  `json:"promotions"`
+	Evictions  uint64  `json:"evictions"`
+	MemoryMiB  float64 `json:"memory_mib"`
+	// BytesPerTracked is manager memory divided by exactly tracked
+	// clients: the marginal cost of one more tracked heavy hitter.
+	BytesPerTracked float64 `json:"bytes_per_tracked"`
+	// Rejection accounting against the exact oracle over the zipf head.
+	// A rejection is true when the client's exact usage really exceeded
+	// the quota, and false otherwise; false rejections split by whether
+	// the manager believed its counts exact (must never happen) or knew
+	// it was holding a count-min upper bound.
+	TrueRejects        int64   `json:"true_rejects"`
+	SketchFalseRejects int64   `json:"sketch_false_rejects"`
+	ExactFalseRejects  int64   `json:"exact_false_rejects"`
+	UnoracledRejects   int64   `json:"unoracled_rejects"`
+	RejectionPrecision float64 `json:"rejection_precision"`
+	// Undercounts over the sampled head: manager estimates below the
+	// oracle's exact totals (the count-min contract forbids any).
+	Undercounts int `json:"undercounts"`
+}
+
+// BudgetCalibration records the quota-vs-averaging-adversary analysis on
+// the reference medical publication (Example 2, n = 2000, UP at the
+// default p): the closed-form and empirical charge cost of pinning a raw
+// group histogram, next to the shipped DefaultQuota.
+type BudgetCalibration struct {
+	Dataset string  `json:"dataset"`
+	Records int     `json:"records"`
+	Groups  int     `json:"groups"`
+	M       int     `json:"m"`
+	P       float64 `json:"p"`
+	// Quota is budget.DefaultQuota; one reconstruction of one group
+	// charges M units, so the quota admits GenerationsAtQuota averaged
+	// generations before the 429 arrives.
+	Quota              int64 `json:"quota"`
+	GenerationsAtQuota int64 `json:"generations_at_quota"`
+	// ClosedFormGenerations is k* for the analytically weakest group:
+	// averaging k* fresh generations shrinks its weakest cell's Bernstein
+	// envelope below half a record, the first point where the attacker can
+	// CERTIFY a pinned raw count from the envelope alone.
+	// ClosedFormCharges = k*·M.
+	WeakestGroupSize      int     `json:"weakest_group_size"`
+	WeakestGroupMinMu     float64 `json:"weakest_group_min_mu"`
+	ClosedFormGenerations int64   `json:"closed_form_generations"`
+	ClosedFormCharges     int64   `json:"closed_form_charges"`
+	ClosedFormMargin      float64 `json:"closed_form_margin"`
+	// StableGenerations is the empirical attacker's best result over every
+	// group: the generation after which its rounded averaged histogram
+	// never again deviates from the raw histogram — from that point its
+	// knowledge is exact even without a certificate. StableGroupSize is
+	// the group that pinned cheapest.
+	StableGroupSize   int     `json:"stable_group_size"`
+	StableGenerations int64   `json:"stable_generations"`
+	StableCharges     int64   `json:"stable_charges"`
+	StableMargin      float64 `json:"stable_margin"`
+	// TransientGenerations is the earliest lucky crossing over every
+	// group: the first generation at which some group's average happened
+	// to round to the raw histogram. The attacker cannot detect such a
+	// crossing (its confidence envelope is still far wider than half a
+	// record), so this is reported but carries no quota assertion.
+	TransientGenerations int64 `json:"transient_generations"`
+	// ResidualErrorAtQuota is the attacker's worst remaining cell error in
+	// records, on the cheapest-to-pin group, at the moment the default
+	// quota cuts it off.
+	ResidualErrorAtQuota float64 `json:"residual_error_at_quota"`
+}
+
+// BudgetBenchResult is the full budget experiment: the scale sweep and the
+// quota calibration, plus any contract violations (which also surface as
+// an error from RunBudgetBench).
+type BudgetBenchResult struct {
+	DrawsPerCell int                `json:"draws_per_cell"`
+	ChargeUnits  int64              `json:"charge_units_per_draw"`
+	Quota        int64              `json:"quota"`
+	Cells        []BudgetCell       `json:"cells"`
+	Calibration  *BudgetCalibration `json:"calibration"`
+	Violations   []string           `json:"violations,omitempty"`
+}
+
+// RunBudgetBench sweeps one production-default budget manager across
+// synthetic client populations {100k, 1M, 10M} and zipf skews {1.1, 1.5},
+// driving draws charge batches per cell, then calibrates DefaultQuota
+// against a generation-averaging adversary on the medical publication.
+// draws <= 0 selects the default 2,000,000 per cell.
+//
+// The sweep charges query-class batches only, so every rejection is a hard
+// client_quota verdict and precision is well-defined against the exact
+// oracle; the degraded (reconstruct-shedding) path is pinned by the budget
+// unit tests and the sim budget scenario. It returns an error if any cell
+// exceeds the 64 MiB memory bound, falsely rejects an exactly tracked
+// client, undercounts the oracle, or if either calibration bound says the
+// quota fails to cut the adversary off in time.
+func RunBudgetBench(draws int, seed int64) (*BudgetBenchResult, error) {
+	if draws <= 0 {
+		draws = 2_000_000
+	}
+	res := &BudgetBenchResult{
+		DrawsPerCell: draws,
+		ChargeUnits:  budgetChargeUnits,
+		Quota:        budget.DefaultQuota,
+	}
+	for _, pop := range []int{100_000, 1_000_000, 10_000_000} {
+		for _, s := range []float64{1.1, 1.5} {
+			cell := runBudgetCell(pop, s, draws, seed)
+			res.Cells = append(res.Cells, cell)
+			if cell.MemoryMiB >= 64 {
+				res.violatef("cell %dx%.1f: manager memory %.1f MiB breaches the 64 MiB bound", pop, s, cell.MemoryMiB)
+			}
+			if cell.ExactFalseRejects != 0 {
+				res.violatef("cell %dx%.1f: %d false rejections of exactly tracked clients", pop, s, cell.ExactFalseRejects)
+			}
+			if cell.Undercounts != 0 {
+				res.violatef("cell %dx%.1f: %d estimates below the exact oracle", pop, s, cell.Undercounts)
+			}
+		}
+	}
+
+	cal, err := calibrateQuota(seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Calibration = cal
+	if cal.ClosedFormCharges <= cal.Quota {
+		res.violatef("closed-form certified breach at %d charges is within the default quota %d", cal.ClosedFormCharges, cal.Quota)
+	}
+	if cal.StableGenerations > 0 && cal.StableCharges <= cal.Quota {
+		res.violatef("empirical attacker stably pinned a group after %d charges, within the default quota %d", cal.StableCharges, cal.Quota)
+	}
+	if cal.StableGenerations == 0 {
+		res.violatef("empirical attacker never stabilized within the horizon; cannot certify the margin")
+	}
+
+	if len(res.Violations) > 0 {
+		return nil, fmt.Errorf("experiments: budget contract violated: %s", strings.Join(res.Violations, "; "))
+	}
+	return res, nil
+}
+
+func (r *BudgetBenchResult) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// runBudgetCell drives one manager cell: draws zipf-ranked clients, each
+// charged one query batch per draw, with an exact shadow ledger over the
+// head ranks to judge every rejection and estimate.
+func runBudgetCell(pop int, s float64, draws int, seed int64) BudgetCell {
+	t0 := time.Unix(1_700_000_000, 0)
+	// Production defaults except the shared publication cap: every draw
+	// charges the same publication, so that cap would trip on aggregate
+	// usage and say nothing about per-client precision (the publication
+	// quota has its own unit tests).
+	mgr := budget.New(budget.Config{
+		PublicationQuota: -1,
+		Clock:            func() time.Time { return t0 },
+	})
+	z := stats.NewZipf(s, uint64(pop))
+	rng := stats.NewRand(seed ^ int64(pop) ^ int64(math.Float64bits(s)))
+
+	quota := mgr.QuotaFor("")
+	oracle := make([]int64, budgetOracleRanks+1)
+	cell := BudgetCell{Clients: pop, ZipfS: s, Draws: draws}
+
+	start := time.Now()
+	for i := 0; i < draws; i++ {
+		rank := z.Draw(rng)
+		client := fmt.Sprintf("c%08d", rank)
+		r := mgr.Charge(client, "sweep", budgetChargeUnits, budget.ClassQuery)
+		if rank > budgetOracleRanks {
+			if !r.OK {
+				cell.UnoracledRejects++
+			}
+			continue
+		}
+		prior := oracle[rank]
+		if r.OK {
+			oracle[rank] = prior + budgetChargeUnits
+		} else if prior+budgetChargeUnits > quota {
+			cell.TrueRejects++
+		} else if r.Exact {
+			cell.ExactFalseRejects++
+		} else {
+			cell.SketchFalseRejects++
+		}
+	}
+	elapsed := time.Since(start)
+	cell.NSPerCharge = float64(elapsed.Nanoseconds()) / float64(draws)
+
+	st := mgr.Snapshot()
+	cell.Accepted = st.Charges
+	cell.Rejected = st.RejectedClientQuota + st.RejectedPublication + st.RejectedDegraded
+	cell.Tracked = st.Tracked
+	cell.Promotions = st.Promotions
+	cell.Evictions = st.Evictions
+	cell.MemoryMiB = float64(st.MemoryBytes) / (1 << 20)
+	if st.Tracked > 0 {
+		cell.BytesPerTracked = float64(st.MemoryBytes) / float64(st.Tracked)
+	}
+	if rej := cell.TrueRejects + cell.SketchFalseRejects + cell.ExactFalseRejects; rej > 0 {
+		cell.RejectionPrecision = float64(cell.TrueRejects) / float64(rej)
+	} else {
+		cell.RejectionPrecision = 1
+	}
+	// Never-undercount audit over the sampled head: the manager's lifetime
+	// estimate must dominate the oracle for every rank, tracked or not.
+	for rank := 1; rank <= 1024 && rank <= pop; rank++ {
+		if oracle[rank] == 0 {
+			continue
+		}
+		if est, _ := mgr.Estimate(fmt.Sprintf("c%08d", rank)); est < oracle[rank] {
+			cell.Undercounts++
+		}
+	}
+	return cell
+}
+
+// calibrateQuota works out how many charge units a generation-averaging
+// adversary needs before it pins a raw group histogram of the reference
+// medical publication — the reconstruction-accuracy breach the Bernstein
+// envelope otherwise rules out — and compares both a closed-form and an
+// empirical answer against budget.DefaultQuota.
+//
+// Closed form: one UP generation bounds the reconstructed count of group
+// cell v within tol_v = ω(µ_v)·µ_v/p records (the sim's Bernstein
+// invariant, scaled from frequencies to counts). Averaging k independent
+// generations shrinks the envelope by √k, so the attacker pins the cell —
+// averaged error below half a record, rounding recovers the raw count —
+// once k ≥ (tol_v/0.5)². The weakest cell over all groups minimizes that
+// k*, and each generation's reconstruction charges m units.
+func calibrateQuota(seed int64) (*BudgetCalibration, error) {
+	tbl, err := datagen.Medical(2000, DataSeed)
+	if err != nil {
+		return nil, err
+	}
+	gs := dataset.GroupsOf(tbl)
+	m := tbl.Schema.SADomain()
+	p := DefaultParams.P
+
+	cal := &BudgetCalibration{
+		Dataset: "MEDICAL-2000",
+		Records: tbl.NumRows(),
+		Groups:  gs.NumGroups(),
+		M:       m,
+		P:       p,
+		Quota:   budget.DefaultQuota,
+	}
+	cal.GenerationsAtQuota = cal.Quota / int64(m)
+
+	// The per-tail eps matches the sim's bernsteinEps: the envelope being
+	// breached is literally the one checkBernstein enforces.
+	const eps = 1e-9
+	for gi := range gs.Groups {
+		g := &gs.Groups[gi]
+		kStar, minMu := groupPinGenerations(g, p, m, eps)
+		if cal.ClosedFormGenerations == 0 || kStar < cal.ClosedFormGenerations {
+			cal.ClosedFormGenerations = kStar
+			cal.WeakestGroupSize = g.Size
+			cal.WeakestGroupMinMu = minMu
+		}
+	}
+	cal.ClosedFormCharges = cal.ClosedFormGenerations * int64(m)
+	cal.ClosedFormMargin = float64(cal.ClosedFormCharges) / float64(cal.Quota)
+
+	// Empirical attacker against every group: fresh UP generations of the
+	// group's SA histogram, MLE-reconstructed and averaged. The attack on
+	// each group runs to a fixed horizon to find its stabilization point
+	// (a short horizon could only understate it, which errs against the
+	// quota). The attacker breaches at its cheapest group.
+	const horizon = 20000
+	for gi := range gs.Groups {
+		g := &gs.Groups[gi]
+		stable, transient, residual := attackGroup(g, p, m, horizon, cal.GenerationsAtQuota, stats.NewRand(seed+int64(gi)*7919))
+		if stable > 0 && (cal.StableGenerations == 0 || stable < cal.StableGenerations) {
+			cal.StableGenerations = stable
+			cal.StableGroupSize = g.Size
+			cal.ResidualErrorAtQuota = residual
+		}
+		if transient > 0 && (cal.TransientGenerations == 0 || transient < cal.TransientGenerations) {
+			cal.TransientGenerations = transient
+		}
+	}
+	cal.StableCharges = cal.StableGenerations * int64(m)
+	cal.StableMargin = float64(cal.StableCharges) / float64(cal.Quota)
+	return cal, nil
+}
+
+// attackGroup simulates the generation-averaging adversary against one
+// group: draw horizon fresh UP perturbations of its SA histogram, average
+// the MLE reconstructions, and report the stabilization generation (first
+// k after which every cell stays within half a record of the raw count
+// through the horizon; 0 if it never stabilizes), the first transient
+// crossing, and the worst cell error at the quota cutoff.
+func attackGroup(g *dataset.Group, p float64, m int, horizon, quotaGens int64, rng *stats.Rand) (stable, transient int64, residual float64) {
+	n := g.Size
+	sums := make([]float64, m)
+	obs := make([]int, m)
+	var lastBad int64
+	for k := int64(1); k <= horizon; k++ {
+		perturb.CountsInto(rng, g.SACounts, p, obs)
+		worst := 0.0
+		for v := 0; v < m; v++ {
+			sums[v] += float64(n) * reconstruct.MLEValue(obs[v], n, p, m)
+			if dev := math.Abs(sums[v]/float64(k) - float64(g.SACounts[v])); dev > worst {
+				worst = dev
+			}
+		}
+		if k == quotaGens {
+			residual = worst
+		}
+		if worst >= 0.5 {
+			lastBad = k
+		} else if transient == 0 {
+			transient = k
+		}
+	}
+	if lastBad < horizon {
+		stable = lastBad + 1
+	}
+	return stable, transient, residual
+}
+
+// groupPinGenerations returns the closed-form k* for one group: the
+// fewest averaged generations after which the group's weakest cell —
+// the one with the tightest single-generation envelope — resolves to
+// within half a record, plus that cell's µ.
+func groupPinGenerations(g *dataset.Group, p float64, m int, eps float64) (int64, float64) {
+	n := float64(g.Size)
+	best := int64(0)
+	bestMu := 0.0
+	for v := 0; v < m; v++ {
+		mu := float64(g.SACounts[v])*p + n*(1-p)/float64(m)
+		tol := sim.BernsteinOmega(mu, eps) * mu / p
+		if tol > n {
+			tol = n // a count deviation cannot exceed the group size
+		}
+		k := int64(math.Ceil((tol / 0.5) * (tol / 0.5)))
+		if k < 1 {
+			k = 1
+		}
+		if best == 0 || k < best {
+			best, bestMu = k, mu
+		}
+	}
+	return best, bestMu
+}
+
+// String renders the sweep table and the calibration verdict.
+func (r *BudgetBenchResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Exposure budget manager at scale (%d draws x %d units per cell, quota %d)\n",
+		r.DrawsPerCell, r.ChargeUnits, r.Quota)
+	t := &textTable{header: []string{
+		"clients", "zipf s", "ns/charge", "accepted", "rejected",
+		"tracked", "evict", "MiB", "B/client", "precision", "false(exact)",
+	}}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		t.addRow(
+			fmt.Sprintf("%d", c.Clients),
+			fmt.Sprintf("%.1f", c.ZipfS),
+			fmt.Sprintf("%.0f", c.NSPerCharge),
+			fmt.Sprintf("%d", c.Accepted),
+			fmt.Sprintf("%d", c.Rejected),
+			fmt.Sprintf("%d", c.Tracked),
+			fmt.Sprintf("%d", c.Evictions),
+			fmt.Sprintf("%.1f", c.MemoryMiB),
+			fmt.Sprintf("%.0f", c.BytesPerTracked),
+			f4(c.RejectionPrecision),
+			fmt.Sprintf("%d", c.ExactFalseRejects),
+		)
+	}
+	sb.WriteString(t.String())
+	if c := r.Calibration; c != nil {
+		fmt.Fprintf(&sb, "quota calibration on %s (%d groups, m=%d, p=%.2f), averaging adversary vs quota %d:\n",
+			c.Dataset, c.Groups, c.M, c.P, c.Quota)
+		fmt.Fprintf(&sb, "  certified pin (envelope < 0.5 rec, weakest group size %d, min µ %.1f): %d generations = %d charges (%.0fx quota)\n",
+			c.WeakestGroupSize, c.WeakestGroupMinMu, c.ClosedFormGenerations, c.ClosedFormCharges, c.ClosedFormMargin)
+		fmt.Fprintf(&sb, "  stable pin (cheapest group, size %d): %d generations = %d charges (%.1fx quota); first transient crossing at %d generations\n",
+			c.StableGroupSize, c.StableGenerations, c.StableCharges, c.StableMargin, c.TransientGenerations)
+		fmt.Fprintf(&sb, "  budget_exhausted arrives at generation %d; attacker's residual error there: %.2f records\n",
+			c.GenerationsAtQuota, c.ResidualErrorAtQuota)
+	}
+	if len(r.Violations) > 0 {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&sb, "VIOLATION: %s\n", v)
+		}
+	} else {
+		sb.WriteString("memory bound, exact-rejection precision, and quota margin all hold\n")
+	}
+	return sb.String()
+}

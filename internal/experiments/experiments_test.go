@@ -400,3 +400,34 @@ func TestPoolHasPaperWorkloadShape(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBudgetBench(t *testing.T) {
+	res, err := RunBudgetBench(60000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("swept %d cells, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.MemoryMiB >= 64 {
+			t.Errorf("cell %dx%.1f: %f MiB", c.Clients, c.ZipfS, c.MemoryMiB)
+		}
+		if c.Rejected == 0 {
+			t.Errorf("cell %dx%.1f: zipf head never exhausted its quota", c.Clients, c.ZipfS)
+		}
+		if c.RejectionPrecision < 0.999 {
+			t.Errorf("cell %dx%.1f: rejection precision %f", c.Clients, c.ZipfS, c.RejectionPrecision)
+		}
+	}
+	cal := res.Calibration
+	if cal.ClosedFormMargin <= 1 || cal.StableMargin <= 1 {
+		t.Errorf("adversary breaches within quota: closed-form %fx, stable %fx", cal.ClosedFormMargin, cal.StableMargin)
+	}
+	if cal.ResidualErrorAtQuota < 0.5 {
+		t.Errorf("attacker already within rounding distance (%f records) at the quota cutoff", cal.ResidualErrorAtQuota)
+	}
+	if !strings.Contains(res.String(), "quota calibration") {
+		t.Error("rendering incomplete")
+	}
+}

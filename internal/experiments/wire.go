@@ -87,7 +87,10 @@ func RunWireBench(censusSize int, seconds float64) (*WireBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := serve.New(serve.Config{})
+	// Budget enforcement off: the duel replays the 5,000-query batch from
+	// one client for the whole timing window, which would exhaust any
+	// realistic quota after the first frame.
+	srv := serve.New(serve.Config{BudgetQuota: -1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	e, _, err := srv.Publish(serve.PublishRequest{Dataset: serve.DatasetCensus, Size: censusSize}, true)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/serve"
 )
 
@@ -107,13 +108,12 @@ type Fleet struct {
 		m  map[string]*pub
 	}
 
-	// The authoritative exposure ledger: per-client charged totals plus
-	// the fleet-wide sum. Charged exactly once per logical request.
-	clients struct {
-		mu    sync.RWMutex
-		m     map[string]*atomic.Int64
-		total atomic.Int64
-	}
+	// budget is the authoritative exposure ledger — bounded, quota-enforcing,
+	// charged exactly once per logical request. Replicas run with
+	// enforcement disabled so the router's decisions are the only ones; a
+	// budget 429 is issued here, before any replica is touched, and never
+	// charges.
+	budget *budget.Manager
 
 	// idem is the bounded idempotency replay cache (see router.go).
 	idem struct {
@@ -134,6 +134,7 @@ type Fleet struct {
 	probes           atomic.Uint64
 	reinstated       atomic.Uint64
 	shed             atomic.Uint64
+	budgetRejected   atomic.Uint64
 	unavailable      atomic.Uint64
 	verified         atomic.Uint64
 	verifyMismatches atomic.Uint64
@@ -142,14 +143,34 @@ type Fleet struct {
 // New builds a fleet of cfg.Replicas live replicas.
 func New(cfg Config) *Fleet {
 	f := &Fleet{cfg: cfg.withDefaults()}
+	f.budget = budget.New(budget.Config{
+		Quota:            f.cfg.Serve.BudgetQuota,
+		TrustedQuota:     f.cfg.Serve.BudgetTrustedQuota,
+		Trusted:          f.cfg.Serve.BudgetTrusted,
+		PublicationQuota: f.cfg.Serve.BudgetPublicationQuota,
+		Window:           f.cfg.Serve.BudgetWindow,
+		SoftFraction:     f.cfg.Serve.BudgetSoftFraction,
+		MaxTracked:       f.cfg.Serve.BudgetMaxTracked,
+		Clock:            f.cfg.Serve.Clock,
+	})
 	f.replicas = make([]*replica, f.cfg.Replicas)
 	for i := range f.replicas {
-		f.replicas[i] = newReplica(i, f.cfg.Serve)
+		f.replicas[i] = newReplica(i, f.replicaServeConfig())
 	}
 	f.pubs.m = make(map[string]*pub)
-	f.clients.m = make(map[string]*atomic.Int64)
 	f.idem.m = make(map[string]*response)
 	return f
+}
+
+// replicaServeConfig is each replica's serve configuration: the fleet's,
+// with budget enforcement disabled — the router's manager is authoritative,
+// so a replica must never issue its own 429 for a request the router already
+// admitted. The replica ledgers still count; settle overwrites their fields
+// with the router's values.
+func (f *Fleet) replicaServeConfig() serve.Config {
+	cfg := f.cfg.Serve
+	cfg.BudgetQuota = -1
+	return cfg
 }
 
 // Config returns the resolved configuration.
@@ -238,7 +259,7 @@ func (f *Fleet) KillReplica(i int) {
 // rejoins rotation through the probe path, not by fiat.
 func (f *Fleet) RestartReplica(i int) error {
 	rep := f.replicas[i]
-	srv := serve.New(f.cfg.Serve)
+	srv := serve.New(f.replicaServeConfig())
 
 	f.pubs.mu.RLock()
 	placed := make([]*pub, 0, len(f.pubs.m))
@@ -334,40 +355,21 @@ func (f *Fleet) InjectFailures(i, n int) {
 	f.replicas[i].faults.failN.Add(int64(n))
 }
 
-// charge adds n to a client's ledger and the fleet total, returning the
-// client's new cumulative exposure. This is the single place exposure is
-// charged — once per logical request.
-func (f *Fleet) charge(client string, n int64) int64 {
-	f.clients.mu.RLock()
-	c := f.clients.m[client]
-	f.clients.mu.RUnlock()
-	if c == nil {
-		f.clients.mu.Lock()
-		c = f.clients.m[client]
-		if c == nil {
-			c = &atomic.Int64{}
-			f.clients.m[client] = c
-		}
-		f.clients.mu.Unlock()
-	}
-	f.clients.total.Add(n)
-	return c.Add(n)
-}
+// Budget exposes the router's authoritative budget manager for tests and
+// harnesses.
+func (f *Fleet) Budget() *budget.Manager { return f.budget }
 
-// ClientExposure returns one client's cumulative charged exposure.
+// ClientExposure returns one client's cumulative charged exposure — exact
+// for exactly tracked clients, a count-min upper bound past the tracking cap.
 func (f *Fleet) ClientExposure(client string) int64 {
-	f.clients.mu.RLock()
-	defer f.clients.mu.RUnlock()
-	if c := f.clients.m[client]; c != nil {
-		return c.Load()
-	}
-	return 0
+	total, _ := f.budget.Estimate(client)
+	return total
 }
 
 // TotalExposure returns the fleet-wide charged total. By construction it
 // equals the sum of per-client ledgers; the simulator asserts exactly that
 // against the charges its clients observed.
-func (f *Fleet) TotalExposure() int64 { return f.clients.total.Load() }
+func (f *Fleet) TotalExposure() int64 { return f.budget.TotalCharged() }
 
 // ReplicaAgreement digest-compares a publication across every live holder:
 // all must serve bit-identical marginal cubes at one generation. A nil
@@ -422,11 +424,21 @@ type Stats struct {
 	Probes            uint64 `json:"probes"`
 	Reinstated        uint64 `json:"reinstated"`
 	Shed              uint64 `json:"shed"`
-	Unavailable       uint64 `json:"unavailable"`
-	Verified          uint64 `json:"verified"`
-	VerifyMismatches  uint64 `json:"verify_mismatches"`
-	Clients           int    `json:"clients"`
-	TotalCharged      int64  `json:"total_charged"`
+	// BudgetRejected counts logical requests refused at the router's budget
+	// precheck — none of them charged the ledger or reached a replica.
+	BudgetRejected   uint64 `json:"budget_rejected"`
+	Unavailable      uint64 `json:"unavailable"`
+	Verified         uint64 `json:"verified"`
+	VerifyMismatches uint64 `json:"verify_mismatches"`
+	// Clients counts exactly tracked budget entries (a lower bound on the
+	// distinct-client total once the sketch absorbs a tail); TotalCharged is
+	// the exact fleet-cumulative charged sum — the same fields the
+	// single-server /statsz reports.
+	Clients      int   `json:"clients"`
+	TotalCharged int64 `json:"total_charged"`
+	// Budget is the router's exposure budget manager snapshot, in the same
+	// shape the single-server /statsz uses.
+	Budget serve.BudgetStatsz `json:"budget"`
 }
 
 // Stats snapshots the router's counters.
@@ -441,17 +453,18 @@ func (f *Fleet) Stats() Stats {
 		Probes:            f.probes.Load(),
 		Reinstated:        f.reinstated.Load(),
 		Shed:              f.shed.Load(),
+		BudgetRejected:    f.budgetRejected.Load(),
 		Unavailable:       f.unavailable.Load(),
 		Verified:          f.verified.Load(),
 		VerifyMismatches:  f.verifyMismatches.Load(),
-		TotalCharged:      f.clients.total.Load(),
 	}
+	bs := f.budget.Snapshot()
+	out.Clients = bs.Tracked
+	out.TotalCharged = bs.TotalCharged
+	out.Budget = serve.BudgetStatszOf(bs)
 	f.pubs.mu.RLock()
 	out.Publications = len(f.pubs.m)
 	f.pubs.mu.RUnlock()
-	f.clients.mu.RLock()
-	out.Clients = len(f.clients.m)
-	f.clients.mu.RUnlock()
 	for _, rep := range f.replicas {
 		if rep.alive.Load() {
 			out.Alive++

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
@@ -111,6 +112,29 @@ func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
 		client = "fleet"
 	}
 
+	// Budget precheck before any replica is touched: a client already at
+	// quota gets the typed 429 with a window-derived Retry-After, pays no
+	// replica work, and is never charged. The rejection is deliberately not
+	// idempotency-cached — a resend after the window turns is a fresh
+	// request and must be re-admitted. The actual charge lands in settle
+	// (force-charged, since the batch size is only known from the response),
+	// so one admitted oversized batch can overshoot; the next precheck stops
+	// the client.
+	if path != "/audit" {
+		class := budget.ClassQuery
+		if path == "/reconstruct" {
+			class = budget.ClassReconstruct
+		}
+		if res := f.budget.Precheck(client, head.ID, class); !res.OK {
+			f.budgetRejected.Add(1)
+			serve.WriteErrorRetryAfter(w, http.StatusTooManyRequests, serve.CodeBudgetExhausted,
+				fmt.Errorf("client %q over exposure budget (%s): window usage %d of quota %d",
+					client, res.Reason, res.WindowUsed, res.Quota),
+				res.RetryAfter)
+			return
+		}
+	}
+
 	// keyHash seeds the backoff jitter, the holder rotation, and the
 	// verification sample — all deterministic functions of the logical
 	// request, never of wall time.
@@ -139,10 +163,13 @@ func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
 		if rep == nil {
 			if saturated {
 				// Every admissible holder is at capacity: shed now rather
-				// than queue retries behind an overload.
+				// than queue retries behind an overload. Retry-After is the
+				// full backoff schedule a queued retry would have burned —
+				// the soonest a resend is likely to find a free slot.
 				f.shed.Add(1)
-				serve.WriteError(w, http.StatusTooManyRequests, serve.CodeOverloaded,
-					fmt.Errorf("all %d holders of %q at capacity", len(p.holders), head.ID))
+				serve.WriteErrorRetryAfter(w, http.StatusTooManyRequests, serve.CodeOverloaded,
+					fmt.Errorf("all %d holders of %q at capacity", len(p.holders), head.ID),
+					time.Duration(f.cfg.MaxAttempts)*f.cfg.BackoffMax)
 				return
 			}
 			continue
@@ -177,7 +204,7 @@ func (f *Fleet) proxy(w http.ResponseWriter, r *http.Request, path string) {
 		if attempt > 0 {
 			f.failovers.Add(1)
 		}
-		final := f.settle(path, p, rep, keyHash, hdr, body, resp, client)
+		final := f.settle(path, head.ID, p, rep, keyHash, hdr, body, resp, client)
 		if idemKey != "" {
 			f.idemPut(idemKey, final)
 		}
@@ -263,11 +290,14 @@ func (f *Fleet) noteSuccess(rep *replica) {
 	}
 }
 
-// settle finishes a successful routed response: charge the router ledger
-// exactly once, rewrite the exposure fields to the authoritative values,
-// and digest-verify a sampled fraction against a second holder. Responses
-// without a charged field (audits) pass through unchanged.
-func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr http.Header, reqBody []byte, resp *response, client string) *response {
+// settle finishes a successful routed response: charge the router's budget
+// manager exactly once, rewrite the exposure fields to the authoritative
+// values, and digest-verify a sampled fraction against a second holder.
+// Responses without a charged field (audits) pass through unchanged. The
+// charge is force-applied (ChargeServed): the replica already did the work,
+// so the ledger must record it even when it overshoots the quota — the
+// precheck in proxy stops the client on its next request.
+func (f *Fleet) settle(path, id string, p *pub, rep *replica, keyHash uint64, hdr http.Header, reqBody []byte, resp *response, client string) *response {
 	if f.cfg.VerifyEvery > 0 && path != "/audit" && keyHash%uint64(f.cfg.VerifyEvery) == 0 {
 		f.verify(path, p, rep.idx, hdr, reqBody, resp.body)
 	}
@@ -280,9 +310,13 @@ func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr ht
 		if err != nil || led.Charged == 0 {
 			return resp
 		}
-		total := f.charge(client, int64(led.Charged))
-		warn := f.exposureWarn()
-		body, err := wire.PatchLedger(resp.body, []byte(client), uint64(total), warn > 0 && total > warn)
+		res := f.budget.ChargeServed(client, id, int64(led.Charged), classFor(path))
+		total, remaining, exact, warn := f.ledgerValues(res)
+		wrem := uint64(remaining)
+		if remaining < 0 {
+			wrem = wire.UnlimitedBudget
+		}
+		body, err := wire.PatchLedger(resp.body, []byte(client), uint64(total), wrem, warn, exact)
 		if err != nil {
 			return resp
 		}
@@ -297,10 +331,17 @@ func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr ht
 	if !ok || charged <= 0 {
 		return resp
 	}
-	total := f.charge(client, int64(charged))
+	res := f.budget.ChargeServed(client, id, int64(charged), classFor(path))
+	total, remaining, exact, warn := f.ledgerValues(res)
 	doc["client_queries"] = total
 	doc["client"] = client
-	if warn := f.exposureWarn(); warn > 0 && total > warn {
+	doc["budget_remaining"] = remaining
+	if exact {
+		doc["budget_exact"] = true
+	} else {
+		delete(doc, "budget_exact")
+	}
+	if warn {
 		doc["exposure_warning"] = true
 	} else {
 		delete(doc, "exposure_warning")
@@ -310,6 +351,28 @@ func (f *Fleet) settle(path string, p *pub, rep *replica, keyHash uint64, hdr ht
 		return resp
 	}
 	return &response{status: resp.status, header: resp.header, body: append(body, '\n')}
+}
+
+// classFor maps a routed path onto the budget charge class: reconstruction
+// is the first class shed as a client nears quota.
+func classFor(path string) budget.Class {
+	if path == "/reconstruct" {
+		return budget.ClassReconstruct
+	}
+	return budget.ClassQuery
+}
+
+// ledgerValues converts a budget result into response ledger fields, with
+// serve's conventions: -1 remaining means enforcement is disabled, and the
+// warning compares the cumulative total against the serve threshold.
+func (f *Fleet) ledgerValues(res budget.Result) (total, remaining int64, exact, warn bool) {
+	total = res.Total
+	remaining = res.Remaining
+	if remaining == budget.Unlimited {
+		remaining = -1
+	}
+	w := f.exposureWarn()
+	return total, remaining, res.Exact, w > 0 && total > w
 }
 
 // exposureWarn resolves the warning threshold with serve's semantics

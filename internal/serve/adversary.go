@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/core"
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/par"
@@ -57,8 +58,13 @@ type ReconstructResponse struct {
 	// sensitive-attribute domain size); ClientQueries is the client's
 	// cumulative exposure after it: every reconstruction reveals the
 	// subset's full m-value histogram, so it is charged as m count queries.
-	Charged         int64 `json:"charged"`
-	ClientQueries   int64 `json:"client_queries"`
+	Charged       int64 `json:"charged"`
+	ClientQueries int64 `json:"client_queries"`
+	// BudgetRemaining is the window budget left after this charge, -1 when
+	// enforcement is disabled; BudgetExact says whether the counts are exact
+	// rather than sketch upper bounds.
+	BudgetRemaining int64 `json:"budget_remaining"`
+	BudgetExact     bool  `json:"budget_exact,omitempty"`
 	ExposureWarning bool  `json:"exposure_warning,omitempty"`
 	ServeMicros     int64 `json:"serve_us"`
 }
@@ -83,6 +89,14 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pub, ok := s.resolvePublication(w, req.ID, req.Wait, true)
+	if !ok {
+		return
+	}
+	// Charge before evaluating. Reconstruction is the first class shed as a
+	// client nears quota — the batch reveals subsets × m histogram cells.
+	client := clientID(r, req.Client)
+	charged := int64(len(req.Subsets)) * int64(pub.Marg.SADomain())
+	bres, ok := s.chargeExposure(w, client, pub.ID, charged, budget.ClassReconstruct)
 	if !ok {
 		return
 	}
@@ -124,10 +138,9 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		out.Results[i] = rj
 	}
 
-	out.Client = clientID(r, req.Client)
-	out.Charged = int64(len(req.Subsets)) * int64(pub.Marg.SADomain())
-	out.ClientQueries = s.addExposure(out.Client, out.Charged)
-	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
+	out.Client = client
+	out.Charged = charged
+	out.ClientQueries, out.BudgetRemaining, out.BudgetExact, out.ExposureWarning = s.ledgerValues(bres)
 
 	s.reconstructBatches.Add(1)
 	s.reconstructions.Add(uint64(len(req.Subsets)))

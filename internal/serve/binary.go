@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/query"
 	"github.com/reconpriv/reconpriv/internal/reconstruct"
@@ -112,6 +113,14 @@ func (s *Server) handleQueryBinary(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Charge before evaluating, exactly like the JSON path: a budget
+	// rejection (typed JSON ErrorBody even on the binary path) does no work
+	// and is never charged.
+	client := clientID(r, string(st.req.Client))
+	bres, ok := s.chargeExposure(w, client, pub.ID, int64(n), budget.ClassQuery)
+	if !ok {
+		return
+	}
 
 	// Code mapping is striped like the JSON path's label resolution: the
 	// per-query work is tiny, but a 100K batch should not map on one core
@@ -135,7 +144,6 @@ func (s *Server) handleQueryBinary(w http.ResponseWriter, r *http.Request) {
 	})
 	st.answers = pub.Marg.AnswerBatchInto(st.answers, st.qs, pub.Req.P, s.cfg.QueryWorkers)
 
-	client := clientID(r, string(st.req.Client))
 	st.cbuf = append(st.cbuf[:0], client...)
 	resp := wire.QueryResp{ID: st.req.ID, Client: st.cbuf}
 	st.wans = st.wans[:0]
@@ -155,8 +163,7 @@ func (s *Server) handleQueryBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Answers = st.wans
 	resp.Charged = uint64(n)
-	resp.ClientQueries = uint64(s.addExposure(client, int64(n)))
-	resp.ExposureWarning = s.cfg.ExposureWarn > 0 && int64(resp.ClientQueries) > s.cfg.ExposureWarn
+	resp.ClientQueries, resp.BudgetRemaining, resp.BudgetExact, resp.ExposureWarning = s.wireLedgerValues(bres)
 
 	s.queryBatches.Add(1)
 	s.queriesAnswered.Add(uint64(n))
@@ -196,6 +203,14 @@ func (s *Server) handleReconstructBinary(w http.ResponseWriter, r *http.Request)
 	if !ok {
 		return
 	}
+	// Reconstruction charges subsets × sensitive-domain size, and is the
+	// first class shed when the client nears quota (graceful degradation).
+	client := clientID(r, string(st.rreq.Client))
+	charged := int64(n) * int64(pub.Marg.SADomain())
+	bres, ok := s.chargeExposure(w, client, pub.ID, charged, budget.ClassReconstruct)
+	if !ok {
+		return
+	}
 
 	st.errs = resizeErrs(st.errs, n)
 	par.Striped(n, s.cfg.QueryWorkers, func(_, lo, hi int) {
@@ -214,7 +229,6 @@ func (s *Server) handleReconstructBinary(w http.ResponseWriter, r *http.Request)
 		Clamp:   st.rreq.Clamp,
 	})
 
-	client := clientID(r, string(st.rreq.Client))
 	st.cbuf = append(st.cbuf[:0], client...)
 	resp := wire.ReconstructResp{ID: st.rreq.ID, Client: st.cbuf}
 	st.results = st.results[:0]
@@ -234,9 +248,8 @@ func (s *Server) handleReconstructBinary(w http.ResponseWriter, r *http.Request)
 		st.results = append(st.results, res)
 	}
 	resp.Results = st.results
-	resp.Charged = uint64(n) * uint64(pub.Marg.SADomain())
-	resp.ClientQueries = uint64(s.addExposure(client, int64(resp.Charged)))
-	resp.ExposureWarning = s.cfg.ExposureWarn > 0 && int64(resp.ClientQueries) > s.cfg.ExposureWarn
+	resp.Charged = uint64(charged)
+	resp.ClientQueries, resp.BudgetRemaining, resp.BudgetExact, resp.ExposureWarning = s.wireLedgerValues(bres)
 
 	s.reconstructBatches.Add(1)
 	s.reconstructions.Add(uint64(n))
@@ -246,6 +259,17 @@ func (s *Server) handleReconstructBinary(w http.ResponseWriter, r *http.Request)
 	resp.ServeMicros = uint64(elapsed.Microseconds())
 	st.out = resp.Append(st.out[:0])
 	writeFrame(w, st.out)
+}
+
+// wireLedgerValues is ledgerValues for the binary framing: unsigned fields,
+// with the all-ones sentinel standing in for disabled enforcement.
+func (s *Server) wireLedgerValues(res budget.Result) (total, remaining uint64, exact, warn bool) {
+	t, rem, exact, warn := s.ledgerValues(res)
+	remaining = uint64(rem)
+	if rem < 0 {
+		remaining = wire.UnlimitedBudget
+	}
+	return uint64(t), remaining, exact, warn
 }
 
 func resizeQueries(dst []query.Query, n int) []query.Query {

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/wire"
+)
+
+// postErr posts JSON and returns the status, the decoded typed error body,
+// and the Retry-After header — the rejection surface the budget tests pin.
+func postErr(t *testing.T, url string, body any) (int, ErrorBody, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb ErrorBody
+	if resp.StatusCode >= 400 {
+		if err := json.Unmarshal(raw, &eb); err != nil {
+			t.Fatalf("error response is not the typed envelope: %v\n%s", err, raw)
+		}
+	}
+	return resp.StatusCode, eb, resp.Header.Get("Retry-After")
+}
+
+func queryBatch(id, client string, n int) queryRequest {
+	qs := make([]QueryJSON, n)
+	for i := range qs {
+		qs[i] = QueryJSON{Conds: []CondJSON{{Attr: "Job", Value: "Clerk"}}, SA: "Flu"}
+	}
+	return queryRequest{ID: id, Client: client, Queries: qs}
+}
+
+// TestBudgetRejectionJSON pins the typed 429 on the JSON path: the quota
+// boundary is reachable exactly, the rejection carries budget_exhausted and
+// a Retry-After, and a rejected batch is never charged.
+func TestBudgetRejectionJSON(t *testing.T) {
+	s, ts := startServer(t, Config{BudgetQuota: 10})
+	e, _, err := s.Publish(medicalRequest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var first QueryResponse
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "alice", 6), &first); code != http.StatusOK {
+		t.Fatalf("first batch returned %d", code)
+	}
+	if first.BudgetRemaining != 4 || !first.BudgetExact {
+		t.Fatalf("after 6 of 10: remaining %d exact %v", first.BudgetRemaining, first.BudgetExact)
+	}
+
+	// 6 + 6 > 10: rejected, typed, with a Retry-After, and not charged.
+	code, eb, retry := postErr(t, ts.URL+"/query", queryBatch(e.ID(), "alice", 6))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota batch returned %d", code)
+	}
+	if eb.Code != CodeBudgetExhausted {
+		t.Fatalf("rejection code %q, want %q", eb.Code, CodeBudgetExhausted)
+	}
+	if !eb.Code.Retryable() {
+		t.Fatal("budget_exhausted must be retryable: the window turns")
+	}
+	if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", retry)
+	}
+	if got := s.ClientExposure("alice"); got != 6 {
+		t.Fatalf("rejected batch charged the ledger: exposure %d, want 6", got)
+	}
+
+	// The boundary itself is admitted: 6 + 4 == 10 exactly.
+	var last QueryResponse
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "alice", 4), &last); code != http.StatusOK {
+		t.Fatalf("boundary batch returned %d", code)
+	}
+	if last.BudgetRemaining != 0 {
+		t.Fatalf("boundary batch left remaining %d, want 0", last.BudgetRemaining)
+	}
+	if code, _, _ := postErr(t, ts.URL+"/query", queryBatch(e.ID(), "alice", 1)); code != http.StatusTooManyRequests {
+		t.Fatalf("post-boundary query returned %d", code)
+	}
+
+	// Another client is unaffected.
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "bob", 6), nil); code != http.StatusOK {
+		t.Fatalf("bob returned %d", code)
+	}
+
+	st := s.Stats()
+	if st.Budget.RejectedClientQuota != 2 {
+		t.Fatalf("rejected_client_quota = %d, want 2", st.Budget.RejectedClientQuota)
+	}
+	if st.TotalCharged != 16 {
+		t.Fatalf("total_charged = %d, want 16", st.TotalCharged)
+	}
+	if !st.Budget.Enforced || st.Budget.Quota != 10 || st.Budget.SketchEpsilon <= 0 {
+		t.Fatalf("budget statsz incomplete: %+v", st.Budget)
+	}
+	if st.Budget.Occupancy != 1 {
+		t.Fatalf("occupancy = %v with alice pinned at quota, want 1", st.Budget.Occupancy)
+	}
+}
+
+// TestBudgetRejectionBinary pins the binary path's rejection contract: the
+// 429 body is the same typed JSON ErrorBody the JSON path emits, the header
+// carries Retry-After, and the rejected frame is never charged.
+func TestBudgetRejectionBinary(t *testing.T) {
+	s, ts := startServer(t, Config{BudgetQuota: 5})
+	e, _, err := s.Publish(medicalRequest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := e.Publication()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame := func(n int) []byte {
+		req := wire.QueryReq{ID: []byte(pub.ID), Client: []byte("bin-client")}
+		for i := 0; i < n; i++ {
+			req.Queries = append(req.Queries, wire.Query{SA: 0, Conds: []wire.Cond{{Attr: 0, Value: 0}}})
+		}
+		return req.Append(nil)
+	}
+
+	code, body, ctype := postBinary(t, ts.URL+"/query", frame(3))
+	if code != http.StatusOK || ctype != wire.ContentType {
+		t.Fatalf("first frame: %d %s", code, ctype)
+	}
+	var resp wire.QueryResp
+	if err := resp.Decode(body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.BudgetRemaining != 2 || !resp.BudgetExact {
+		t.Fatalf("binary ledger: remaining %d exact %v", resp.BudgetRemaining, resp.BudgetExact)
+	}
+
+	code, body, ctype = postBinary(t, ts.URL+"/query", frame(3))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota frame returned %d", code)
+	}
+	if ctype != "application/json" {
+		t.Fatalf("binary rejection content type %q, want the JSON error envelope", ctype)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Code != CodeBudgetExhausted {
+		t.Fatalf("binary rejection body %s (err %v), want code %q", body, err, CodeBudgetExhausted)
+	}
+	if got := s.ClientExposure("bin-client"); got != 3 {
+		t.Fatalf("rejected frame charged the ledger: exposure %d, want 3", got)
+	}
+}
+
+// TestBudgetDegradationHTTP drives graceful degradation over HTTP: past the
+// soft threshold reconstructions are shed with a typed degraded rejection
+// while plain queries still pass, and the hard quota then stops everything.
+func TestBudgetDegradationHTTP(t *testing.T) {
+	s, ts := startServer(t, Config{BudgetQuota: 1000, BudgetSoftFraction: 0.5})
+	e, _, err := s.Publish(medicalRequest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh client below the soft threshold reconstructs freely.
+	rreq := reconstructRequest{ID: e.ID(), Client: "adv", Subsets: [][]CondJSON{
+		{{Attr: "Gender", Value: "Male"}},
+	}}
+	var rr ReconstructResponse
+	if code := post(t, ts.URL+"/reconstruct", rreq, &rr); code != http.StatusOK {
+		t.Fatalf("fresh reconstruct returned %d", code)
+	}
+	if rr.BudgetRemaining != 1000-rr.Charged {
+		t.Fatalf("reconstruct remaining %d after charge %d", rr.BudgetRemaining, rr.Charged)
+	}
+
+	// Fill to exactly the soft threshold (500).
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "adv", int(500-rr.Charged)), nil); code != http.StatusOK {
+		t.Fatalf("fill batch returned %d", code)
+	}
+
+	// Reconstruct-class work is shed first...
+	code, eb, retry := postErr(t, ts.URL+"/reconstruct", rreq)
+	if code != http.StatusTooManyRequests || eb.Code != CodeBudgetExhausted {
+		t.Fatalf("degraded reconstruct: %d %q", code, eb.Code)
+	}
+	if retry == "" {
+		t.Fatal("degraded rejection missing Retry-After")
+	}
+	// ...while query-class work still passes.
+	var qr QueryResponse
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "adv", 10), &qr); code != http.StatusOK {
+		t.Fatalf("query past soft threshold returned %d", code)
+	}
+
+	// The hard quota stops queries too.
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "adv", int(qr.BudgetRemaining)), nil); code != http.StatusOK {
+		t.Fatalf("exact fill returned %d", code)
+	}
+	if code, eb, _ := postErr(t, ts.URL+"/query", queryBatch(e.ID(), "adv", 1)); code != http.StatusTooManyRequests || eb.Code != CodeBudgetExhausted {
+		t.Fatalf("hard-quota query: %d %q", code, eb.Code)
+	}
+
+	st := s.Stats()
+	if st.Budget.RejectedDegraded != 1 || st.Budget.RejectedClientQuota != 1 {
+		t.Fatalf("rejection counters: degraded %d client_quota %d, want 1 and 1",
+			st.Budget.RejectedDegraded, st.Budget.RejectedClientQuota)
+	}
+}
+
+// TestBudgetDisabled pins the -1 escape hatch: no rejections, the unlimited
+// sentinel in both encodings, and /statsz saying so.
+func TestBudgetDisabled(t *testing.T) {
+	s, ts := startServer(t, Config{BudgetQuota: -1})
+	e, _, err := s.Publish(medicalRequest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr QueryResponse
+	if code := post(t, ts.URL+"/query", queryBatch(e.ID(), "alice", 7), &qr); code != http.StatusOK {
+		t.Fatalf("query returned %d", code)
+	}
+	if qr.BudgetRemaining != -1 {
+		t.Fatalf("disabled enforcement: remaining %d, want -1", qr.BudgetRemaining)
+	}
+	if qr.ClientQueries != 7 {
+		t.Fatalf("ledger still counts when disabled: %d, want 7", qr.ClientQueries)
+	}
+	if st := s.Stats(); st.Budget.Enforced {
+		t.Fatal("statsz reports enforcement on")
+	}
+}

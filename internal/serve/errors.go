@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // This file is the server's error taxonomy: every handler failure maps to a
@@ -31,6 +33,7 @@ const (
 	CodeNoGroups         ErrorCode = "no_groups"          // /audit on a publication without a raw snapshot
 	CodeCapacity         ErrorCode = "capacity"           // registry publication cap reached
 	CodeDraining         ErrorCode = "draining"           // server is shutting down gracefully
+	CodeBudgetExhausted  ErrorCode = "budget_exhausted"   // exposure budget quota refused the charge
 	CodeInternal         ErrorCode = "internal"           // unexpected server-side failure
 
 	CodeUnavailable ErrorCode = "unavailable" // fleet: no replica of the publication could answer
@@ -44,7 +47,8 @@ const (
 // build failures are permanent — retrying them only burns capacity.
 func (c ErrorCode) Retryable() bool {
 	switch c {
-	case CodeBuilding, CodeRebuilding, CodeDraining, CodeInternal, CodeUnavailable, CodeOverloaded:
+	case CodeBuilding, CodeRebuilding, CodeDraining, CodeBudgetExhausted, CodeInternal,
+		CodeUnavailable, CodeOverloaded:
 		return true
 	}
 	return false
@@ -69,7 +73,8 @@ var (
 	ErrDraining = errors.New("server is draining")
 )
 
-// retryAfterSecs is the Retry-After hint attached to transient rejections.
+// retryAfterSecs is the Retry-After hint attached to transient rejections
+// that have no better estimate of their own.
 const retryAfterSecs = "1"
 
 // WriteError renders one typed failure. Transient codes carry a Retry-After
@@ -78,6 +83,21 @@ func WriteError(w http.ResponseWriter, status int, code ErrorCode, err error) {
 	if code.Retryable() {
 		w.Header().Set("Retry-After", retryAfterSecs)
 	}
+	msg := err.Error()
+	writeJSON(w, status, ErrorBody{Code: code, Message: msg, Error: msg})
+}
+
+// WriteErrorRetryAfter is WriteError with a computed Retry-After instead of
+// the generic one-second hint: budget rejections derive it from the sliding
+// window, load shedding from the backoff configuration. The header is in
+// whole seconds, rounded up, never below one — a sub-second wait still must
+// not invite an immediate retry.
+func WriteErrorRetryAfter(w http.ResponseWriter, status int, code ErrorCode, err error, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	msg := err.Error()
 	writeJSON(w, status, ErrorBody{Code: code, Message: msg, Error: msg})
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/query"
@@ -51,6 +52,30 @@ type Config struct {
 	// AllowCSV permits the csv dataset source (reading server-local files
 	// on behalf of clients); off by default.
 	AllowCSV bool
+	// BudgetQuota is the per-client exposure budget per sliding window,
+	// enforced by the internal/budget manager: charges past it get a typed
+	// budget_exhausted 429 with a Retry-After computed from the window.
+	// 0 means budget.DefaultQuota (calibrated against the NIR audit, see
+	// EXPERIMENTS.md); -1 disables enforcement while keeping the bounded
+	// ledger and /statsz reporting.
+	BudgetQuota int64
+	// BudgetTrustedQuota is the quota for clients listed in BudgetTrusted
+	// (0 = budget.DefaultTrustedFactor × BudgetQuota).
+	BudgetTrustedQuota int64
+	// BudgetTrusted lists client ids in the trusted tier.
+	BudgetTrusted []string
+	// BudgetPublicationQuota caps total charges per publication per window
+	// (0 = budget.DefaultPubFactor × BudgetQuota; -1 disables).
+	BudgetPublicationQuota int64
+	// BudgetWindow is the sliding decay window (0 = budget.DefaultWindow).
+	BudgetWindow time.Duration
+	// BudgetSoftFraction of the quota past which reconstruct-class charges
+	// are shed first — graceful degradation before the hard cutoff
+	// (0 = budget.DefaultSoftFraction; -1 disables).
+	BudgetSoftFraction float64
+	// BudgetMaxTracked bounds exactly tracked clients; beyond it the
+	// count-min sketch absorbs the tail (0 = budget.DefaultMaxTracked).
+	BudgetMaxTracked int
 	// Clock overrides the server's time source for uptime accounting
 	// (/healthz and /statsz). It is a test and simulation hook: injecting a
 	// fixed clock makes every time-derived /statsz field deterministic, so
@@ -103,10 +128,9 @@ type Server struct {
 		m  map[string]*dataset.Table
 	}
 
-	clients struct {
-		mu sync.RWMutex
-		m  map[string]*atomic.Int64
-	}
+	// budget is the exposure ledger: bounded, quota-enforcing, typed
+	// rejections. Every answered query and reconstruction charges it.
+	budget *budget.Manager
 
 	// Counters surfaced by /statsz. publishRuns counts actual pipeline
 	// executions; publishRequests − publishRuns − refreshes = cacheHits.
@@ -149,9 +173,22 @@ func New(cfg Config) *Server {
 	s.start = s.now()
 	s.reg = newRegistry(s.cfg.Shards)
 	s.tables.m = make(map[string]*dataset.Table)
-	s.clients.m = make(map[string]*atomic.Int64)
+	s.budget = budget.New(budget.Config{
+		Quota:            s.cfg.BudgetQuota,
+		TrustedQuota:     s.cfg.BudgetTrustedQuota,
+		Trusted:          s.cfg.BudgetTrusted,
+		PublicationQuota: s.cfg.BudgetPublicationQuota,
+		Window:           s.cfg.BudgetWindow,
+		SoftFraction:     s.cfg.BudgetSoftFraction,
+		MaxTracked:       s.cfg.BudgetMaxTracked,
+		Clock:            s.cfg.Clock,
+	})
 	return s
 }
+
+// Budget exposes the server's budget manager; the fleet router uses it to
+// disable replica-level enforcement and tests to inspect the ledger.
+func (s *Server) Budget() *budget.Manager { return s.budget }
 
 // now reads the configured clock (time.Now unless Config.Clock is set).
 func (s *Server) now() time.Time {
@@ -475,8 +512,13 @@ type QueryResponse struct {
 	// total. Routing layers that keep their own authoritative ledger charge
 	// exactly this once per logical request, however many replica attempts
 	// it took.
-	Charged         int64 `json:"charged"`
-	ClientQueries   int64 `json:"client_queries"`
+	Charged       int64 `json:"charged"`
+	ClientQueries int64 `json:"client_queries"`
+	// BudgetRemaining is the window budget left after this charge, -1 when
+	// enforcement is disabled. BudgetExact says whether the budget counts
+	// are exact (tracked client) rather than sketch upper bounds.
+	BudgetRemaining int64 `json:"budget_remaining"`
+	BudgetExact     bool  `json:"budget_exact,omitempty"`
 	ExposureWarning bool  `json:"exposure_warning,omitempty"`
 	ServeMicros     int64 `json:"serve_us"`
 }
@@ -501,6 +543,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pub, ok := s.resolvePublication(w, req.ID, req.Wait, true)
+	if !ok {
+		return
+	}
+	// Charge before evaluating: a budget rejection must not pay for the
+	// work it refuses, and nothing after this point can fail the request.
+	client := clientID(r, req.Client)
+	bres, ok := s.chargeExposure(w, client, pub.ID, int64(len(req.Queries)), budget.ClassQuery)
 	if !ok {
 		return
 	}
@@ -532,10 +581,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Answers[i] = aj
 	}
 
-	out.Client = clientID(r, req.Client)
+	out.Client = client
 	out.Charged = int64(len(req.Queries))
-	out.ClientQueries = s.addExposure(out.Client, out.Charged)
-	out.ExposureWarning = s.cfg.ExposureWarn > 0 && out.ClientQueries > s.cfg.ExposureWarn
+	s.fillLedger(&out, bres)
 
 	s.queryBatches.Add(1)
 	s.queriesAnswered.Add(uint64(len(req.Queries)))
@@ -820,18 +868,31 @@ type statszResponse struct {
 	Reconstructions    uint64 `json:"reconstructions"`
 	Audits             uint64 `json:"audits"`
 	AuditCacheHits     uint64 `json:"audit_cache_hits"`
-	Clients            int    `json:"clients"`
+	// Clients counts exactly tracked clients in the budget manager. It is
+	// exact for those clients; once the count-min sketch absorbs an
+	// untracked tail it is a lower bound on the distinct-client total
+	// (sketch-resident clients are not enumerable).
+	Clients int `json:"clients"`
+	// TotalCharged is the lifetime sum of accepted exposure charges across
+	// all clients — exact, and the same number a fleet router's /statsz
+	// reports, so single-server and fleet surfaces stay consistent.
+	TotalCharged int64 `json:"total_charged"`
 	// Draining reports whether the drain gate is rejecting new work; InFlight
 	// is the number of requests currently being served (including the /statsz
 	// request reporting it).
 	Draining bool  `json:"draining"`
 	InFlight int64 `json:"in_flight"`
 	// MaxClientQueries is the largest per-client cumulative answered-query
-	// count — the most exposed client's total, the number the exposure
-	// warning compares against.
-	MaxClientQueries int64   `json:"max_client_queries"`
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	QueriesPerSec    float64 `json:"queries_per_second"`
+	// count among exactly tracked clients — the most exposed client's
+	// total, the number the exposure warning compares against. Exact for
+	// tracked clients; a promoted (seeded) client's total is a sketch
+	// upper bound.
+	MaxClientQueries int64 `json:"max_client_queries"`
+	// Budget reports the exposure budget manager: quotas, occupancy,
+	// rejection counters, and the sketch's error bounds.
+	Budget        BudgetStatsz `json:"budget"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	QueriesPerSec float64      `json:"queries_per_second"`
 	// LatencyObservations is the total request count recorded in the
 	// latency histogram — every successfully answered /query and
 	// /reconstruct request adds exactly one. Workload harnesses use it as a
@@ -844,6 +905,63 @@ type statszResponse struct {
 		P90  float64 `json:"p90"`
 		P99  float64 `json:"p99"`
 	} `json:"query_latency_us"`
+}
+
+// BudgetStatsz is the /statsz view of the exposure budget manager.
+// Counts labeled exact are exact; sketch-resident clients (promoted past
+// MaxTracked or never tracked) carry count-min upper bounds, whose error is
+// bounded by SketchEpsilon × TotalCharged with probability 1 − SketchDelta.
+type BudgetStatsz struct {
+	Enforced         bool    `json:"enforced"`
+	Quota            int64   `json:"quota"`
+	TrustedQuota     int64   `json:"trusted_quota"`
+	PublicationQuota int64   `json:"publication_quota"`
+	WindowSeconds    float64 `json:"window_seconds"`
+	// Occupancy is the most budget-consumed tracked client's window usage
+	// as a fraction of its quota — 1.0 means someone is pinned at the limit.
+	Occupancy float64 `json:"occupancy"`
+	// TrackedClients hold exact ledgers; SeededClients were promoted out of
+	// the sketch, so their ledgers are upper bounds until the window turns.
+	TrackedClients      int     `json:"tracked_clients"`
+	SeededClients       int     `json:"seeded_clients"`
+	TrackedPublications int     `json:"tracked_publications"`
+	Charges             uint64  `json:"charges"`
+	RejectedClientQuota uint64  `json:"rejected_client_quota"`
+	RejectedPubQuota    uint64  `json:"rejected_publication_quota"`
+	RejectedDegraded    uint64  `json:"rejected_degraded"`
+	Promotions          uint64  `json:"promotions"`
+	Evictions           uint64  `json:"evictions"`
+	SketchWidth         int     `json:"sketch_width"`
+	SketchDepth         int     `json:"sketch_depth"`
+	SketchEpsilon       float64 `json:"sketch_epsilon"`
+	SketchDelta         float64 `json:"sketch_delta"`
+	MemoryBytes         int64   `json:"memory_bytes"`
+}
+
+// BudgetStatszOf maps a manager snapshot onto the /statsz shape.
+func BudgetStatszOf(bs budget.Stats) BudgetStatsz {
+	return BudgetStatsz{
+		Enforced:            bs.Enforced,
+		Quota:               bs.Quota,
+		TrustedQuota:        bs.TrustedQuota,
+		PublicationQuota:    bs.PublicationQuota,
+		WindowSeconds:       bs.WindowSeconds,
+		Occupancy:           bs.Occupancy,
+		TrackedClients:      bs.Tracked,
+		SeededClients:       bs.Seeded,
+		TrackedPublications: bs.TrackedPubs,
+		Charges:             bs.Charges,
+		RejectedClientQuota: bs.RejectedClientQuota,
+		RejectedPubQuota:    bs.RejectedPublication,
+		RejectedDegraded:    bs.RejectedDegraded,
+		Promotions:          bs.Promotions,
+		Evictions:           bs.Evictions,
+		SketchWidth:         bs.SketchWidth,
+		SketchDepth:         bs.SketchDepth,
+		SketchEpsilon:       bs.SketchEpsilon,
+		SketchDelta:         bs.SketchDelta,
+		MemoryBytes:         bs.MemoryBytes,
+	}
 }
 
 // Stats snapshots the serving counters (also used by tests).
@@ -864,14 +982,11 @@ func (s *Server) Stats() statszResponse {
 	out.Reconstructions = s.reconstructions.Load()
 	out.Audits = s.audits.Load()
 	out.AuditCacheHits = s.auditCacheHits.Load()
-	s.clients.mu.RLock()
-	out.Clients = len(s.clients.m)
-	for _, c := range s.clients.m {
-		if n := c.Load(); n > out.MaxClientQueries {
-			out.MaxClientQueries = n
-		}
-	}
-	s.clients.mu.RUnlock()
+	bs := s.budget.Snapshot()
+	out.Clients = bs.Tracked
+	out.MaxClientQueries = bs.MaxClientTotal
+	out.TotalCharged = bs.TotalCharged
+	out.Budget = BudgetStatszOf(bs)
 	out.Draining = s.draining.Load()
 	out.InFlight = s.inflight.Load()
 	up := s.now().Sub(s.start).Seconds()
@@ -901,13 +1016,11 @@ func (s *Server) LatencyObservations() uint64 { return s.lat.Count() }
 // ClientExposure returns one client's cumulative charged query count (0 for
 // a client the server has never answered). Exported so workload harnesses
 // can verify the exposure ledger against the charges their clients observed.
+// Exact for clients the budget manager tracks exactly; a count-min upper
+// bound once the client has been folded into the sketch.
 func (s *Server) ClientExposure(client string) int64 {
-	s.clients.mu.RLock()
-	defer s.clients.mu.RUnlock()
-	if c := s.clients.m[client]; c != nil {
-		return c.Load()
-	}
-	return 0
+	total, _ := s.budget.Estimate(client)
+	return total
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -932,42 +1045,37 @@ func clientID(r *http.Request, bodyClient string) string {
 	return host
 }
 
-// maxTrackedClients bounds the exposure map: client identifiers arrive
-// unauthenticated (header/body/IP), so an adversary could mint a fresh id
-// per request and grow the map forever. Beyond the cap, unknown clients
-// share one overflow bucket — their counts aggregate, which errs on the
-// side of warning earlier, never later. (Identifier rotation can still
-// reset an individual counter; real per-client guarantees need
-// authenticated identities, which is out of scope here — the counter is an
-// operator signal, not an enforcement mechanism.)
-const maxTrackedClients = 1 << 16
-
-// overflowClient is the shared bucket for clients beyond the cap.
-const overflowClient = "(overflow)"
-
-// addExposure bumps a client's cumulative answered-query count.
-func (s *Server) addExposure(client string, n int64) int64 {
-	s.clients.mu.RLock()
-	c := s.clients.m[client]
-	s.clients.mu.RUnlock()
-	if c == nil {
-		s.clients.mu.Lock()
-		c = s.clients.m[client]
-		if c == nil {
-			if len(s.clients.m) >= maxTrackedClients {
-				c = s.clients.m[overflowClient]
-				if c == nil {
-					c = &atomic.Int64{}
-					s.clients.m[overflowClient] = c
-				}
-			} else {
-				c = &atomic.Int64{}
-				s.clients.m[client] = c
-			}
-		}
-		s.clients.mu.Unlock()
+// chargeExposure charges n exposure units for client against pub before any
+// evaluation work happens. On rejection it writes the typed budget_exhausted
+// response — HTTP 429 with a Retry-After computed from the sliding window —
+// and returns ok=false; the rejected request is never charged.
+func (s *Server) chargeExposure(w http.ResponseWriter, client, pubID string, n int64, class budget.Class) (budget.Result, bool) {
+	res := s.budget.Charge(client, pubID, n, class)
+	if res.OK {
+		return res, true
 	}
-	return c.Add(n)
+	err := fmt.Errorf("client %q over exposure budget (%s): window usage %d + charge %d exceeds quota %d",
+		client, res.Reason, res.WindowUsed, n, res.Quota)
+	WriteErrorRetryAfter(w, http.StatusTooManyRequests, CodeBudgetExhausted, err, res.RetryAfter)
+	return res, false
+}
+
+// ledgerValues converts a budget charge result into the response ledger
+// numbers: the cumulative client total, the remaining window budget (-1 when
+// enforcement is disabled), whether those figures are exact or sketch upper
+// bounds, and whether the total crossed the operator warning threshold.
+func (s *Server) ledgerValues(res budget.Result) (total, remaining int64, exact, warn bool) {
+	total = res.Total
+	remaining = res.Remaining
+	if remaining == budget.Unlimited {
+		remaining = -1
+	}
+	return total, remaining, res.Exact, s.cfg.ExposureWarn > 0 && total > s.cfg.ExposureWarn
+}
+
+// fillLedger copies a budget charge result into a query response.
+func (s *Server) fillLedger(out *QueryResponse, res budget.Result) {
+	out.ClientQueries, out.BudgetRemaining, out.BudgetExact, out.ExposureWarning = s.ledgerValues(res)
 }
 
 // --- JSON plumbing ---

@@ -57,5 +57,10 @@ func decodeQueryFrame(body []byte, out *queryWire) error {
 		out.Answers[i] = answerWire{Count: int(a.Count), Estimate: a.Estimate, Error: string(a.Err)}
 	}
 	out.ClientQueries = int64(resp.ClientQueries)
+	out.BudgetRemaining = int64(resp.BudgetRemaining)
+	if resp.BudgetRemaining == wire.UnlimitedBudget {
+		out.BudgetRemaining = -1
+	}
+	out.BudgetExact = resp.BudgetExact
 	return nil
 }

@@ -151,6 +151,10 @@ func runFleet(opts Options, sc Scenario) (*Result, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = func() time.Time { return simEpoch }
 	}
+	// Like the single-server runner: fleet load generators run in the
+	// trusted budget tier so admission never interferes with the chaos
+	// schedule under scrutiny.
+	cfg.BudgetTrusted = append([]string(nil), trustedClientIDs(r.clients)...)
 	r.f = fleet.New(fleet.Config{
 		Replicas:          r.plan.Replicas,
 		ReplicationFactor: r.plan.ReplicationFactor,

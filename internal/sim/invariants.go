@@ -54,12 +54,12 @@ func (c *checker) sampleFailures() []string {
 // broken estimator or perturber, not noise.
 const bernsteinEps = 1e-9
 
-// bernsteinOmega inverts the internal/bounds Bernstein upper tail: the
+// BernsteinOmega inverts the internal/bounds Bernstein upper tail: the
 // smallest ω with Upper(ω, µ) ≤ eps. From exp(−ω²µ/(2+2ω/3)) = eps,
 // writing L = ln(1/eps): ω²µ − (2L/3)ω − 2L = 0, whose positive root is
 // returned. The same ω is valid for the lower tail, whose bound
 // exp(−ω²µ/2) is at least as strong.
-func bernsteinOmega(mu, eps float64) float64 {
+func BernsteinOmega(mu, eps float64) float64 {
 	if mu <= 0 {
 		return math.Inf(1)
 	}
@@ -74,14 +74,14 @@ func bernsteinOmega(mu, eps float64) float64 {
 // uniformly over m values, so the observed count of value v is a sum of
 // independent Poisson trials with mean µ_v = c_v·p + n(1−p)/m. The MLE maps
 // count deviations to frequency deviations by 1/(n·p), so the envelope on
-// |F'_v − f_v| is ω(µ_v)·µ_v/(n·p) with ω from bernsteinOmega. A sanity
+// |F'_v − f_v| is ω(µ_v)·µ_v/(n·p) with ω from BernsteinOmega. A sanity
 // cross-check first: Upper must be a genuine tail bound at the solved ω.
 func (c *checker) checkBernstein(label string, raw []int, n int, freqs []float64, p float64) {
 	m := len(raw)
 	for v := 0; v < m; v++ {
 		fRaw := float64(raw[v]) / float64(n)
 		mu := float64(raw[v])*p + float64(n)*(1-p)/float64(m)
-		omega := bernsteinOmega(mu, bernsteinEps)
+		omega := BernsteinOmega(mu, bernsteinEps)
 		if ub := (bounds.Bernstein{}).Upper(omega, mu, n); ub > bernsteinEps*(1+1e-9) {
 			c.check(false, "bernstein inversion off: Upper(%g, %g) = %g > %g", omega, mu, ub, bernsteinEps)
 			return

@@ -53,8 +53,31 @@ type Summary struct {
 	AnswersDigest string `json:"answers_digest,omitempty"`
 	// Fleet is present for fleet scenarios: topology and chaos counts, all
 	// schedule-independent (see FleetSummary).
-	Fleet      *FleetSummary    `json:"fleet,omitempty"`
+	Fleet *FleetSummary `json:"fleet,omitempty"`
+	// Budget is present for budget scenarios: identity population,
+	// acceptance and rejection tallies, all deterministic because each
+	// identity's admission sequence depends only on its own drawn history.
+	Budget     *BudgetSummary   `json:"budget,omitempty"`
 	Invariants InvariantSummary `json:"invariants"`
+}
+
+// BudgetSummary is the deterministic budget block of a budget-scenario
+// summary: the enforced quotas, the zipf identity population, and how many
+// operation batches were accepted and rejected (by reason).
+type BudgetSummary struct {
+	Quota        int64   `json:"quota"`
+	SoftQuota    int64   `json:"soft_quota"`
+	IdentityPool int     `json:"identity_pool_per_worker"`
+	ZipfS        float64 `json:"zipf_s"`
+	// Identities counts distinct identities that landed at least one
+	// accepted charge; MaxIdentityCharged is the heaviest identity's total.
+	Identities         int   `json:"identities_charged"`
+	MaxIdentityCharged int64 `json:"max_identity_charged"`
+	// AcceptedBatches counts accepted charged batches; the rejection
+	// tallies split refused batches by the manager's reason.
+	AcceptedBatches     int64 `json:"accepted_batches"`
+	RejectedClientQuota int64 `json:"rejected_client_quota"`
+	RejectedDegraded    int64 `json:"rejected_degraded"`
 }
 
 // OpTiming is one operation kind's wall-clock latency profile.
@@ -105,6 +128,11 @@ func (r *Result) Report() string {
 		s.Ops.Reconstruct, s.Subsets, s.Ops.Audit)
 	fmt.Fprintf(&b, "throughput: %.0f requests/s, %.0f queries/s; exposure charged %d\n",
 		t.RequestsPerSec, t.QueriesPerSec, s.ChargedQueries)
+	if bu := s.Budget; bu != nil {
+		fmt.Fprintf(&b, "budget: quota %d (soft %d), %d identities (pool %d x zipf %.2f), max charged %d; accepted %d batches, rejected %d client-quota + %d degraded\n",
+			bu.Quota, bu.SoftQuota, bu.Identities, bu.IdentityPool, bu.ZipfS,
+			bu.MaxIdentityCharged, bu.AcceptedBatches, bu.RejectedClientQuota, bu.RejectedDegraded)
+	}
 	if s.Fleet != nil {
 		fmt.Fprintf(&b, "fleet: %d replicas rf %d, %d publications; kills %d, restarts %d, verify mismatches %d\n",
 			s.Fleet.Replicas, s.Fleet.ReplicationFactor, s.Fleet.Publications,

@@ -8,10 +8,13 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/par"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/stats"
@@ -66,8 +69,10 @@ type answerWire struct {
 }
 
 type queryWire struct {
-	Answers       []answerWire `json:"answers"`
-	ClientQueries int64        `json:"client_queries"`
+	Answers         []answerWire `json:"answers"`
+	ClientQueries   int64        `json:"client_queries"`
+	BudgetRemaining int64        `json:"budget_remaining"`
+	BudgetExact     bool         `json:"budget_exact"`
 }
 
 type reconstructionWire struct {
@@ -77,8 +82,10 @@ type reconstructionWire struct {
 }
 
 type reconstructWire struct {
-	Results       []reconstructionWire `json:"results"`
-	ClientQueries int64                `json:"client_queries"`
+	Results         []reconstructionWire `json:"results"`
+	ClientQueries   int64                `json:"client_queries"`
+	BudgetRemaining int64                `json:"budget_remaining"`
+	BudgetExact     bool                 `json:"budget_exact"`
 }
 
 type insertWire struct {
@@ -113,6 +120,17 @@ type statszWire struct {
 	AuditCacheHits      uint64 `json:"audit_cache_hits"`
 	Refreshes           uint64 `json:"refreshes"`
 	LatencyObservations uint64 `json:"latency_observations"`
+	Clients             int    `json:"clients"`
+	TotalCharged        int64  `json:"total_charged"`
+	Budget              struct {
+		Enforced            bool    `json:"enforced"`
+		Occupancy           float64 `json:"occupancy"`
+		TrackedClients      int     `json:"tracked_clients"`
+		Charges             uint64  `json:"charges"`
+		RejectedClientQuota uint64  `json:"rejected_client_quota"`
+		RejectedPubQuota    uint64  `json:"rejected_publication_quota"`
+		RejectedDegraded    uint64  `json:"rejected_degraded"`
+	} `json:"budget"`
 }
 
 // clientResult is one client's deterministic tallies plus its latency
@@ -126,6 +144,16 @@ type clientResult struct {
 	latObserved int64 // successfully answered /query + /reconstruct requests
 	digest      uint64
 	lats        map[string][]time.Duration
+
+	// Budget-scenario state: per-identity accepted charges (the local
+	// mirror of the server's exact ledgers; identity pools are disjoint per
+	// worker so no two goroutines share an entry) and rejection tallies by
+	// mirror reason and by operation kind.
+	idents      map[string]int64
+	rejClient   int64
+	rejDegraded int64
+	rejQuery    int64
+	rejRecon    int64
 }
 
 // runner holds the state shared by every client of one run.
@@ -145,6 +173,13 @@ type runner struct {
 	check    *checker
 	inserted atomic.Int64
 	initial  int // raw record count of generation 0 (Meta.Records)
+
+	// Budget-scenario state: the shared zipf sampler (stateless after
+	// construction) and the quota mirror. softQuota is the shed threshold
+	// for reconstruct-class charges, computed exactly as the manager does.
+	zipf      *stats.Zipf
+	quota     int64
+	softQuota int64
 
 	// pairA/pairB are the bit-identity witnesses: two extra in-process
 	// servers serving the same publication at PipelineWorkers 1 and full
@@ -184,6 +219,31 @@ func Run(opts Options) (*Result, error) {
 	cfg := opts.Config
 	if cfg.Clock == nil {
 		cfg.Clock = func() time.Time { return simEpoch }
+	}
+	if b := sc.Budget; b != nil {
+		cfg.BudgetQuota = b.Quota
+		cfg.BudgetSoftFraction = b.SoftFraction
+		// The publication quota is shared across identities; whether one
+		// request trips it would depend on goroutine interleaving, so it is
+		// disabled to keep every admission decision per-identity.
+		cfg.BudgetPublicationQuota = -1
+		r.zipf = stats.NewZipf(b.ZipfS, uint64(b.IdentityPool))
+		r.quota = b.Quota
+		soft := b.SoftFraction
+		if soft == 0 {
+			soft = budget.DefaultSoftFraction
+		}
+		if soft > 0 {
+			r.softQuota = int64(soft * float64(r.quota))
+		}
+	} else {
+		// Non-budget scenarios measure serving behavior, not admission:
+		// their load generators run in the trusted tier, whose 4x quota
+		// clears every scenario's worst-case per-client charge at default
+		// scale (the adversary scenario's all-reconstruct client tops out
+		// at 4000 units). The default tier stays at the adversarially
+		// calibrated budget.DefaultQuota, which those clients would trip.
+		cfg.BudgetTrusted = append([]string(nil), trustedClientIDs(r.clients)...)
 	}
 	r.srv = serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -279,11 +339,24 @@ func publishOn(s *serve.Server, req serve.PublishRequest) (*serve.Publication, e
 	return e.Publication()
 }
 
+// trustedClientIDs lists the fixed worker ids ("c000", "c001", ...) for
+// the trusted budget tier of non-budget scenarios.
+func trustedClientIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("c%03d", i)
+	}
+	return ids
+}
+
 // runClient executes one client's schedule.
 func (r *runner) runClient(idx int, res *clientResult) {
 	rng := stats.NewRand(clientSeed(r.opts.Seed, idx))
 	id := fmt.Sprintf("c%03d", idx)
 	res.lats = make(map[string][]time.Duration)
+	if r.sc.Budget != nil {
+		res.idents = make(map[string]int64)
+	}
 	digest := stats.NewDigest()
 	for step := 0; step < r.steps; step++ {
 		// Arrival schedule: the pause fraction is drawn unconditionally so
@@ -295,7 +368,7 @@ func (r *runner) runClient(idx int, res *clientResult) {
 		switch pickOp(rng, r.sc.Mix) {
 		case opQuery:
 			res.ops.Query++
-			r.doQuery(rng, id, res, digest)
+			r.doQuery(rng, r.opIdentity(rng, idx, id), res, digest)
 		case opInsert:
 			res.ops.Insert++
 			r.doInsert(rng, res)
@@ -304,13 +377,25 @@ func (r *runner) runClient(idx int, res *clientResult) {
 			r.doRefresh(res)
 		case opReconstruct:
 			res.ops.Reconstruct++
-			r.doReconstruct(rng, id, res)
+			r.doReconstruct(rng, r.opIdentity(rng, idx, id), res)
 		case opAudit:
 			res.ops.Audit++
 			r.doAudit(rng, res)
 		}
 	}
 	res.digest = digest.Sum64()
+}
+
+// opIdentity picks the client id issuing the next charged operation: the
+// worker's fixed id normally, a zipf-ranked identity from the worker's
+// disjoint pool under a budget plan. Each identity belongs to exactly one
+// worker goroutine, so its accept/reject sequence depends only on its own
+// drawn history — never on cross-worker interleaving.
+func (r *runner) opIdentity(rng *stats.Rand, idx int, def string) string {
+	if r.sc.Budget == nil {
+		return def
+	}
+	return fmt.Sprintf("z%02d-%04d", idx, r.zipf.Draw(rng))
 }
 
 // Operation kinds, in Mix order.
@@ -359,30 +444,53 @@ func (r *runner) doQuery(rng *stats.Rand, id string, res *clientResult, digest *
 	for i := range qs {
 		qs[i] = serve.QueryJSON{Conds: r.randomConds(rng), SA: sa.Values[rng.Intn(r.m)]}
 	}
-	var resp queryWire
-	var code int
-	var err error
-	if res.ops.Query%2 == 0 && !r.opts.forceJSON {
+	n := int64(len(qs))
+	binary := res.ops.Query%2 == 0 && !r.opts.forceJSON
+	var payload []byte
+	ctype := "application/json"
+	if binary {
 		// Even batches ride the binary framing; see binary.go for why this
 		// choice must not consume the client's randomness.
 		frame, ferr := encodeQueryFrame(r.pub0.Orig, r.pub0.ID, id, qs)
 		if !r.check.check(ferr == nil, "encoding binary query batch: %v", ferr) {
 			return
 		}
-		code, err = r.timedPostBinary("query", res, "/query", frame, &resp)
+		payload, ctype = frame, wire.ContentType
 	} else {
-		code, err = r.timedPost("query", res, "/query",
-			map[string]any{"id": r.pub0.ID, "client": id, "queries": qs, "wait": true}, &resp)
+		var merr error
+		payload, merr = json.Marshal(map[string]any{"id": r.pub0.ID, "client": id, "queries": qs, "wait": true})
+		if !r.check.check(merr == nil, "encoding query batch: %v", merr) {
+			return
+		}
+	}
+	code, retryAfter, body, err := r.timedFull("query", res, "/query", ctype, payload)
+	if r.sc.Budget != nil && code == http.StatusTooManyRequests {
+		res.rejQuery++
+		r.checkReject("query", id, n, false, retryAfter, body, res)
+		return
 	}
 	if !r.check.check(err == nil && code == http.StatusOK, "query returned %d (%v)", code, err) {
 		return
 	}
+	var resp queryWire
+	if binary {
+		err = decodeQueryFrame(body, &resp)
+	} else {
+		err = json.Unmarshal(body, &resp)
+	}
+	if !r.check.check(err == nil, "decoding query response: %v", err) {
+		return
+	}
 	res.latObserved++
-	res.queries += int64(len(qs))
-	res.charged += int64(len(qs))
+	res.queries += n
+	res.charged += n
 	r.check.check(len(resp.Answers) == len(qs), "query batch of %d got %d answers", len(qs), len(resp.Answers))
-	r.check.check(resp.ClientQueries == res.charged,
-		"client %s exposure: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	if r.sc.Budget != nil {
+		r.checkAccepted("query", id, n, false, resp.ClientQueries, resp.BudgetRemaining, resp.BudgetExact, res)
+	} else {
+		r.check.check(resp.ClientQueries == res.charged,
+			"client %s exposure: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	}
 	for i := range resp.Answers {
 		a := &resp.Answers[i]
 		if !r.check.check(a.Error == "", "query %d failed: %s", i, a.Error) {
@@ -392,6 +500,67 @@ func (r *runner) doQuery(rng *stats.Rand, id string, res *clientResult, digest *
 			digest.Word(uint64(a.Count))
 			digest.Word(math.Float64bits(a.Estimate))
 		}
+	}
+}
+
+// admit mirrors budget.Manager's admission rule under the frozen simulation
+// clock: the window never rotates, so an identity's window usage equals its
+// accepted lifetime charges. Order matters and matches the manager: the
+// hard quota is checked before the reconstruct-shedding soft threshold.
+func (r *runner) admit(used, n int64, reconstruct bool) (bool, string) {
+	if used+n > r.quota {
+		return false, "client_quota"
+	}
+	if reconstruct && r.softQuota > 0 && used+n > r.softQuota {
+		return false, "degraded"
+	}
+	return true, ""
+}
+
+// checkAccepted validates the ledger block of one accepted charge against
+// the identity's mirror and the hard quota invariant, then lands the charge
+// in the mirror.
+func (r *runner) checkAccepted(op, id string, n int64, reconstruct bool, clientQueries, remaining int64, exact bool, res *clientResult) {
+	used := res.idents[id]
+	ok, _ := r.admit(used, n, reconstruct)
+	r.check.check(ok, "%s for %s accepted by server, but mirror had %d used of quota %d for a charge of %d",
+		op, id, used, r.quota, n)
+	want := used + n
+	res.idents[id] = want
+	r.check.check(clientQueries == want,
+		"%s identity %s ledger: server says %d, mirror %d", op, id, clientQueries, want)
+	r.check.check(want <= r.quota,
+		"%s identity %s charged to %d, past quota %d", op, id, want, r.quota)
+	r.check.check(remaining == r.quota-want,
+		"%s identity %s remaining budget: server says %d, want %d", op, id, remaining, r.quota-want)
+	r.check.check(exact,
+		"%s identity %s budget counts flagged as estimates; every sim identity must be exactly tracked", op, id)
+}
+
+// checkReject validates one 429 rejection: typed error body, integer
+// Retry-After, mirror agreement that the charge had to be refused, and —
+// by leaving the mirror untouched — that rejected ops are never charged
+// (the next accepted response's ledger would diverge otherwise, and
+// finish() compares final ledgers identity by identity).
+func (r *runner) checkReject(op, id string, n int64, reconstruct bool, retryAfter string, body []byte, res *clientResult) {
+	var eb struct {
+		Code string `json:"code"`
+	}
+	jerr := json.Unmarshal(body, &eb)
+	r.check.check(jerr == nil && eb.Code == "budget_exhausted",
+		"%s rejection for %s carries error code %q (%v)", op, id, eb.Code, jerr)
+	secs, aerr := strconv.Atoi(retryAfter)
+	r.check.check(aerr == nil && secs >= 1,
+		"%s rejection for %s Retry-After %q is not a positive integer", op, id, retryAfter)
+	used := res.idents[id]
+	ok, reason := r.admit(used, n, reconstruct)
+	r.check.check(!ok,
+		"%s for %s rejected by server, but mirror had %d used of quota %d for a charge of %d",
+		op, id, used, r.quota, n)
+	if reason == "degraded" {
+		res.rejDegraded++
+	} else {
+		res.rejClient++
 	}
 }
 
@@ -468,19 +637,35 @@ func (r *runner) doReconstruct(rng *stats.Rand, id string, res *clientResult) {
 	for i := range subsets {
 		subsets[i] = r.randomConds(rng)
 	}
-	var resp reconstructWire
-	code, err := r.timedPost("reconstruct", res, "/reconstruct",
-		map[string]any{"id": r.pub0.ID, "client": id, "subsets": subsets, "wait": true}, &resp)
+	n := int64(len(subsets)) * int64(r.m)
+	payload, merr := json.Marshal(map[string]any{"id": r.pub0.ID, "client": id, "subsets": subsets, "wait": true})
+	if !r.check.check(merr == nil, "encoding reconstruct batch: %v", merr) {
+		return
+	}
+	code, retryAfter, body, err := r.timedFull("reconstruct", res, "/reconstruct", "application/json", payload)
+	if r.sc.Budget != nil && code == http.StatusTooManyRequests {
+		res.rejRecon++
+		r.checkReject("reconstruct", id, n, true, retryAfter, body, res)
+		return
+	}
 	if !r.check.check(err == nil && code == http.StatusOK, "reconstruct returned %d (%v)", code, err) {
+		return
+	}
+	var resp reconstructWire
+	if !r.check.check(json.Unmarshal(body, &resp) == nil, "decoding reconstruct response") {
 		return
 	}
 	res.latObserved++
 	res.subsets += int64(len(subsets))
-	res.charged += int64(len(subsets)) * int64(r.m)
+	res.charged += n
 	r.check.check(len(resp.Results) == len(subsets),
 		"reconstruct batch of %d got %d results", len(subsets), len(resp.Results))
-	r.check.check(resp.ClientQueries == res.charged,
-		"client %s exposure after reconstruct: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	if r.sc.Budget != nil {
+		r.checkAccepted("reconstruct", id, n, true, resp.ClientQueries, resp.BudgetRemaining, resp.BudgetExact, res)
+	} else {
+		r.check.check(resp.ClientQueries == res.charged,
+			"client %s exposure after reconstruct: server says %d, local ledger %d", id, resp.ClientQueries, res.charged)
+	}
 	for i := range resp.Results {
 		rec := &resp.Results[i]
 		if !r.check.check(rec.Error == "", "reconstruction %d failed: %s", i, rec.Error) {
@@ -532,6 +717,7 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 	}
 	var digest uint64
 	var latObserved int64
+	var rejQuery, rejRecon int64
 	lats := make(map[string][]time.Duration)
 	for i := range results {
 		res := &results[i]
@@ -544,6 +730,8 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 		sum.Subsets += res.subsets
 		sum.RecordsInserted += res.inserted
 		sum.ChargedQueries += res.charged
+		rejQuery += res.rejQuery
+		rejRecon += res.rejRecon
 		latObserved += res.latObserved
 		digest ^= res.digest
 		for op, ds := range res.lats {
@@ -551,12 +739,17 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 		}
 	}
 
-	// Per-client exposure ledgers against the server's accounting.
-	for i := range results {
-		id := fmt.Sprintf("c%03d", i)
-		got := r.srv.ClientExposure(id)
-		r.check.check(got == results[i].charged,
-			"client %s final exposure: server ledger %d, charges observed %d", id, got, results[i].charged)
+	// Per-client exposure ledgers against the server's accounting. Budget
+	// scenarios compare per zipf identity instead of per worker.
+	if r.sc.Budget == nil {
+		for i := range results {
+			id := fmt.Sprintf("c%03d", i)
+			got := r.srv.ClientExposure(id)
+			r.check.check(got == results[i].charged,
+				"client %s final exposure: server ledger %d, charges observed %d", id, got, results[i].charged)
+		}
+	} else {
+		sum.Budget = r.finishBudget(results)
 	}
 
 	// measuredQueries is the tally issued inside the timed window; the final
@@ -607,19 +800,42 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 			"statsz latency_observations %d, want %d", st.LatencyObservations, latObserved)
 		r.check.check(int64(st.QueriesAnswered) == sum.Queries,
 			"statsz queries_answered %d, want %d", st.QueriesAnswered, sum.Queries)
-		r.check.check(int64(st.QueryBatches) == sum.Ops.Query+finalBatches,
-			"statsz query_batches %d, want %d", st.QueryBatches, sum.Ops.Query+finalBatches)
+		// Budget-rejected batches are refused before any counter or latency
+		// observation, so the server-side tallies cover accepted ones only.
+		acceptedQ := sum.Ops.Query - rejQuery + finalBatches
+		r.check.check(int64(st.QueryBatches) == acceptedQ,
+			"statsz query_batches %d, want %d", st.QueryBatches, acceptedQ)
 		r.check.check(st.QueryErrors == 0, "statsz reports %d query errors", st.QueryErrors)
 		r.check.check(int64(st.Reconstructions) == sum.Subsets,
 			"statsz reconstructions %d, want %d", st.Reconstructions, sum.Subsets)
-		r.check.check(int64(st.ReconstructBatches) == sum.Ops.Reconstruct,
-			"statsz reconstruct_batches %d, want %d", st.ReconstructBatches, sum.Ops.Reconstruct)
+		r.check.check(int64(st.ReconstructBatches) == sum.Ops.Reconstruct-rejRecon,
+			"statsz reconstruct_batches %d, want %d", st.ReconstructBatches, sum.Ops.Reconstruct-rejRecon)
 		r.check.check(int64(st.Inserts) == sum.RecordsInserted,
 			"statsz inserts %d, want %d", st.Inserts, sum.RecordsInserted)
 		r.check.check(int64(st.Refreshes) == sum.Ops.Refresh,
 			"statsz refreshes %d, want %d issued", st.Refreshes, sum.Ops.Refresh)
 		r.check.check(int64(st.Audits+st.AuditCacheHits) == sum.Ops.Audit,
 			"statsz audits %d + cache hits %d, want %d issued", st.Audits, st.AuditCacheHits, sum.Ops.Audit)
+		if b := sum.Budget; b != nil {
+			r.check.check(st.Budget.Enforced, "statsz budget not enforced under a budget plan")
+			r.check.check(st.TotalCharged == sum.ChargedQueries,
+				"statsz total_charged %d, want %d accepted charges", st.TotalCharged, sum.ChargedQueries)
+			r.check.check(st.Clients == b.Identities && st.Budget.TrackedClients == b.Identities,
+				"statsz tracks %d/%d clients, want %d distinct identities",
+				st.Clients, st.Budget.TrackedClients, b.Identities)
+			accepted := (sum.Ops.Query - rejQuery) + (sum.Ops.Reconstruct - rejRecon)
+			r.check.check(int64(st.Budget.Charges) == accepted,
+				"statsz budget charges %d, want %d accepted batches", st.Budget.Charges, accepted)
+			r.check.check(int64(st.Budget.RejectedClientQuota) == b.RejectedClientQuota,
+				"statsz rejected_client_quota %d, mirrors tallied %d", st.Budget.RejectedClientQuota, b.RejectedClientQuota)
+			r.check.check(int64(st.Budget.RejectedDegraded) == b.RejectedDegraded,
+				"statsz rejected_degraded %d, mirrors tallied %d", st.Budget.RejectedDegraded, b.RejectedDegraded)
+			r.check.check(st.Budget.RejectedPubQuota == 0,
+				"statsz rejected_publication_quota %d with the publication quota disabled", st.Budget.RejectedPubQuota)
+			occ := float64(b.MaxIdentityCharged) / float64(r.quota)
+			r.check.check(math.Abs(st.Budget.Occupancy-occ) < 1e-12,
+				"statsz budget occupancy %g, want %g", st.Budget.Occupancy, occ)
+		}
 	}
 
 	if r.sc.DeterministicAnswers() {
@@ -643,6 +859,71 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 	return &Result{Summary: sum, Timing: timing}, nil
 }
 
+// finishBudget runs the end-of-run budget invariants: per-identity ledger
+// agreement (which proves rejected ops were never charged), the hard quota
+// ceiling, and the never-undercount sketch pin — every identity's exact
+// charge total replayed through a deliberately tiny shadow manager, whose
+// count-min estimate must dominate the exact count. It returns the
+// deterministic budget summary block.
+func (r *runner) finishBudget(results []clientResult) *BudgetSummary {
+	bs := &BudgetSummary{
+		Quota:        r.quota,
+		SoftQuota:    r.softQuota,
+		IdentityPool: r.sc.Budget.IdentityPool,
+		ZipfS:        r.sc.Budget.ZipfS,
+	}
+	idents := make(map[string]int64)
+	for i := range results {
+		res := &results[i]
+		for id, charged := range res.idents {
+			idents[id] = charged // pools are per-worker disjoint
+		}
+		bs.AcceptedBatches += (res.ops.Query - res.rejQuery) + (res.ops.Reconstruct - res.rejRecon)
+		bs.RejectedClientQuota += res.rejClient
+		bs.RejectedDegraded += res.rejDegraded
+	}
+	bs.Identities = len(idents)
+	ids := make([]string, 0, len(idents))
+	for id := range idents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		charged := idents[id]
+		if charged > bs.MaxIdentityCharged {
+			bs.MaxIdentityCharged = charged
+		}
+		got := r.srv.ClientExposure(id)
+		r.check.check(got == charged,
+			"identity %s final exposure: server ledger %d, accepted charges %d — rejected ops must never charge",
+			id, got, charged)
+		r.check.check(charged <= r.quota,
+			"identity %s charged %d past quota %d", id, charged, r.quota)
+	}
+
+	// Shadow sketch replay: 4 exact slots and a 64-wide sketch force most
+	// identities through count-min and its promotion/eviction machinery;
+	// estimates must never undercount the exact totals.
+	shadow := budget.New(budget.Config{
+		Quota:       -1,
+		MaxTracked:  4,
+		SketchWidth: 64,
+		SketchDepth: 2,
+		PromoteAt:   r.quota / 2,
+		Clock:       func() time.Time { return simEpoch },
+	})
+	for _, id := range ids {
+		shadow.Charge(id, "", idents[id], budget.ClassQuery)
+	}
+	for _, id := range ids {
+		est, _ := shadow.Estimate(id)
+		r.check.check(est >= idents[id],
+			"shadow sketch estimate %d under exact count %d for %s — count-min must never undercount",
+			est, idents[id], id)
+	}
+	return bs
+}
+
 // --- HTTP plumbing ---
 
 // timedPost posts a JSON body and records the request's wall latency under
@@ -654,29 +935,25 @@ func (r *runner) timedPost(op string, res *clientResult, path string, body, out 
 	return code, err
 }
 
-// timedPostBinary posts a wire frame and decodes the framed response into
-// the JSON-shaped mirror, recording wall latency like timedPost.
-func (r *runner) timedPostBinary(op string, res *clientResult, path string, frame []byte, out *queryWire) (int, error) {
+// timedFull posts a raw payload and records the request's wall latency
+// under the op name, returning status, Retry-After header, and raw body —
+// everything the budget rejection path asserts on.
+func (r *runner) timedFull(op string, res *clientResult, path, ctype string, payload []byte) (int, string, []byte, error) {
 	start := time.Now()
-	code, err := r.postBinary(path, frame, out)
+	code, retryAfter, body, err := r.postFull(path, ctype, payload)
 	res.lats[op] = append(res.lats[op], time.Since(start))
-	return code, err
+	return code, retryAfter, body, err
 }
 
-func (r *runner) postBinary(path string, frame []byte, out *queryWire) (int, error) {
-	resp, err := r.hc.Post(r.base+path, wire.ContentType, bytes.NewReader(frame))
+// postFull is the one HTTP POST primitive: every other helper wraps it.
+func (r *runner) postFull(path, ctype string, payload []byte) (int, string, []byte, error) {
+	resp, err := r.hc.Post(r.base+path, ctype, bytes.NewReader(payload))
 	if err != nil {
-		return 0, err
+		return 0, "", nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, nil
-	}
-	return resp.StatusCode, decodeQueryFrame(body, out)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), body, err
 }
 
 func (r *runner) postJSON(path string, body, out any) (int, error) {
@@ -684,12 +961,11 @@ func (r *runner) postJSON(path string, body, out any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := r.hc.Post(r.base+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return 0, err
+	code, _, data, err := r.postFull(path, "application/json", buf)
+	if err != nil || out == nil {
+		return code, err
 	}
-	defer resp.Body.Close()
-	return resp.StatusCode, decodeBody(resp.Body, out)
+	return code, json.Unmarshal(data, out)
 }
 
 func (r *runner) getJSON(path string, out any) (int, error) {

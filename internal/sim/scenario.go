@@ -64,6 +64,33 @@ type Scenario struct {
 	// the router — and skip the Bernstein invariant, which needs raw-group
 	// access the router does not expose.
 	Fleet *FleetPlan
+	// Budget, when set, enables the exposure-budget workload (see
+	// BudgetPlan): quotas are enforced, identities are zipf-skewed, and the
+	// runner validates every 429 against a local mirror of the manager's
+	// admission rule.
+	Budget *BudgetPlan
+}
+
+// BudgetPlan drives the budget scenario: every query and reconstruct
+// operation draws its client identity from a Zipf distribution over the
+// worker's own identity pool, so a few head identities concentrate charges
+// and exhaust their quotas while the tail never comes close. Identity pools
+// are disjoint per worker and the simulation clock is frozen (the window
+// never rotates), so each identity's accept/reject sequence is a pure
+// function of its own drawn history — rejection tallies are part of the
+// deterministic summary. The publication quota is disabled for the run: it
+// is shared across identities, so whether a given request tripped it would
+// depend on goroutine interleaving.
+type BudgetPlan struct {
+	// Quota is the per-identity window quota (serve.Config.BudgetQuota).
+	Quota int64
+	// SoftFraction of the quota past which reconstruct-class charges are
+	// shed (0 = budget.DefaultSoftFraction).
+	SoftFraction float64
+	// IdentityPool is the per-worker identity pool size and ZipfS the
+	// exponent (> 1) ranking those identities by popularity.
+	IdentityPool int
+	ZipfS        float64
 }
 
 // DeterministicAnswers reports whether served answers are independent of
@@ -92,6 +119,20 @@ func (sc *Scenario) validate() error {
 		}
 		if sc.CheckBernstein {
 			return fmt.Errorf("sim: fleet scenario %q enables the Bernstein invariant; it needs raw-group access the router does not expose", sc.Name)
+		}
+	}
+	if b := sc.Budget; b != nil {
+		if sc.Fleet != nil {
+			return fmt.Errorf("sim: budget scenario %q runs against a fleet; the router's precheck/settle split needs its own mirror", sc.Name)
+		}
+		if sc.Mix.Insert > 0 || sc.Mix.Refresh > 0 {
+			return fmt.Errorf("sim: budget scenario %q mixes mutations; budget workloads are read-only", sc.Name)
+		}
+		if b.Quota <= 0 {
+			return fmt.Errorf("sim: budget scenario %q needs a positive quota", sc.Name)
+		}
+		if b.IdentityPool <= 0 || b.ZipfS <= 1 {
+			return fmt.Errorf("sim: budget scenario %q needs IdentityPool > 0 and ZipfS > 1", sc.Name)
 		}
 	}
 	return nil
@@ -157,6 +198,22 @@ func Scenarios() []Scenario {
 				SpikeEvery:        25,
 				Spike:             1300 * time.Millisecond,
 				Timeout:           time.Second,
+			},
+		},
+		{
+			Name:            "budget",
+			Description:     "zipf-skewed identities against enforced exposure quotas: typed 429s, degraded reconstructs, never-undercount sketching",
+			Publish:         simDataset(serve.MethodSPS),
+			Mix:             Mix{Query: 3, Reconstruct: 2},
+			Clients:         8,
+			Steps:           30,
+			QueriesPerBatch: 20,
+			SubsetsPerBatch: 4,
+			Budget: &BudgetPlan{
+				Quota:        240,
+				SoftFraction: 0.85,
+				IdentityPool: 16,
+				ZipfS:        1.4,
 			},
 		},
 		{

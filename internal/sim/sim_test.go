@@ -8,6 +8,7 @@ import (
 	"github.com/reconpriv/reconpriv/internal/bounds"
 	"github.com/reconpriv/reconpriv/internal/dataset"
 	"github.com/reconpriv/reconpriv/internal/query"
+	"github.com/reconpriv/reconpriv/internal/serve"
 )
 
 // TestSimScenarios is the tier-1 simulation gate: every built-in scenario
@@ -86,6 +87,54 @@ func TestScenarioValidation(t *testing.T) {
 	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
 		t.Error("Bernstein invariant on a non-up method should be rejected")
 	}
+	sc, _ = Lookup("budget")
+	sc.Mix.Insert = 1
+	sc.Publish.Method = serve.MethodIncremental
+	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
+		t.Error("budget scenario with mutations should be rejected")
+	}
+	sc, _ = Lookup("budget")
+	sc.Budget.ZipfS = 1
+	if _, err := Run(Options{Scenario: sc, Seed: 1}); err == nil {
+		t.Error("budget scenario with ZipfS <= 1 should be rejected")
+	}
+}
+
+// TestBudgetScenarioRejects pins that the budget scenario at its default
+// scale actually exhausts quotas: both rejection kinds fire, the heaviest
+// identity lands exactly on the quota boundary or below, and the run stays
+// violation-free — the zipf head is rejected, never overcharged.
+func TestBudgetScenarioRejects(t *testing.T) {
+	sc, err := Lookup("budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{Scenario: sc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Summary.Invariants.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if v := res.Summary.Invariants.Violations; v != 0 {
+		t.Fatalf("%d invariant violations", v)
+	}
+	b := res.Summary.Budget
+	if b == nil {
+		t.Fatal("budget scenario produced no budget summary")
+	}
+	if b.RejectedClientQuota == 0 {
+		t.Error("no client-quota rejections; the scenario must exhaust the zipf head's budget")
+	}
+	if b.RejectedDegraded == 0 {
+		t.Error("no degraded rejections; the scenario must shed reconstructs past the soft threshold")
+	}
+	if b.AcceptedBatches == 0 {
+		t.Error("no accepted batches")
+	}
+	if b.MaxIdentityCharged > b.Quota {
+		t.Errorf("heaviest identity charged %d past quota %d", b.MaxIdentityCharged, b.Quota)
+	}
 }
 
 // TestBernsteinOmegaInvertsBound checks the closed-form inversion against
@@ -95,7 +144,7 @@ func TestBernsteinOmegaInvertsBound(t *testing.T) {
 	b := bounds.Bernstein{}
 	for _, mu := range []float64{0.5, 3, 47, 1200, 9e5} {
 		for _, eps := range []float64{1e-3, 1e-6, 1e-9} {
-			omega := bernsteinOmega(mu, eps)
+			omega := BernsteinOmega(mu, eps)
 			if got := b.Upper(omega, mu, 0); math.Abs(got-eps) > eps*1e-6 {
 				t.Errorf("Upper(ω(µ=%g, eps=%g)) = %g, want %g", mu, eps, got, eps)
 			}
@@ -105,7 +154,7 @@ func TestBernsteinOmegaInvertsBound(t *testing.T) {
 			}
 		}
 	}
-	if !math.IsInf(bernsteinOmega(0, 1e-9), 1) {
+	if !math.IsInf(BernsteinOmega(0, 1e-9), 1) {
 		t.Error("µ = 0 should yield an infinite (vacuous) envelope")
 	}
 }

@@ -1,0 +1,76 @@
+package stats
+
+import "math"
+
+// Zipf draws ranks 1..n with probability proportional to 1/rank^s, s > 1,
+// by rejection-inversion for monotone discrete distributions (Hörmann &
+// Derflinger, ACM TOMACS 1996). Construction precomputes a handful of
+// constants and no tables, so a sampler over 10 million ranks costs the
+// same as one over ten — the property the budget experiments rely on when
+// they sweep synthetic client populations far past what a materialized CDF
+// would allow. Draws consume uniforms from the caller's Rand only, so
+// streams stay seed-reproducible.
+type Zipf struct {
+	s    float64
+	n    float64
+	hx1  float64 // H(1.5) - p(1): left edge of the inverted area
+	hn   float64 // H(n + 0.5): right edge
+	cut  float64 // unconditional-accept threshold on k - x
+	hInv float64 // 1/(1-s), cached for H and its inverse
+	sOne float64 // 1 - s
+}
+
+// NewZipf returns a sampler over ranks 1..n with exponent s. It panics if
+// s <= 1 or n == 0: the normalizer diverges at s = 1, and
+// rejection-inversion needs the strictly convex decreasing tail s > 1
+// provides.
+func NewZipf(s float64, n uint64) *Zipf {
+	if s <= 1 {
+		panic("stats: Zipf exponent must be > 1")
+	}
+	if n == 0 {
+		panic("stats: Zipf needs a non-empty rank range")
+	}
+	z := &Zipf{s: s, n: float64(n), sOne: 1 - s}
+	z.hInv = 1 / z.sOne
+	z.hx1 = z.bigH(1.5) - 1 // p(1) = 1^-s = 1
+	z.hn = z.bigH(z.n + 0.5)
+	z.cut = 2 - z.bigHInverse(z.bigH(2.5)-z.p(2))
+	return z
+}
+
+// bigH is the antiderivative of the density envelope x^-s: x^(1-s)/(1-s).
+// It is negative and increasing on (0, inf) for s > 1.
+func (z *Zipf) bigH(x float64) float64 {
+	return math.Exp(z.sOne*math.Log(x)) * z.hInv
+}
+
+// bigHInverse inverts bigH: ((1-s)u)^(1/(1-s)).
+func (z *Zipf) bigHInverse(u float64) float64 {
+	return math.Exp(z.hInv * math.Log(z.sOne*u))
+}
+
+// p is the unnormalized mass k^-s.
+func (z *Zipf) p(k float64) float64 {
+	return math.Exp(-z.s * math.Log(k))
+}
+
+// Draw returns the next rank in [1, n].
+func (z *Zipf) Draw(r *Rand) uint64 {
+	for {
+		u := z.hn + r.Float64()*(z.hx1-z.hn)
+		x := z.bigHInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		// Ranks whose rounding interval lies inside the envelope's
+		// acceptance region need no second look; otherwise accept iff u
+		// clears the exact per-rank cutoff H(k+0.5) - p(k).
+		if k-x <= z.cut || u >= z.bigH(k+0.5)-z.p(k) {
+			return uint64(k)
+		}
+	}
+}

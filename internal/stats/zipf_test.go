@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDistribution draws heavily from a small support and compares
+// empirical frequencies against the exact normalized masses.
+func TestZipfDistribution(t *testing.T) {
+	for _, s := range []float64{1.1, 1.5, 2.0, 3.0} {
+		const n = 8
+		z := NewZipf(s, n)
+		rng := NewRand(42)
+		const draws = 200000
+		var counts [n + 1]int
+		for i := 0; i < draws; i++ {
+			k := z.Draw(rng)
+			if k < 1 || k > n {
+				t.Fatalf("s=%v: draw %d outside [1,%d]", s, k, n)
+			}
+			counts[k]++
+		}
+		var norm float64
+		for k := 1; k <= n; k++ {
+			norm += math.Pow(float64(k), -s)
+		}
+		for k := 1; k <= n; k++ {
+			want := math.Pow(float64(k), -s) / norm
+			got := float64(counts[k]) / draws
+			// 3.5 sigma of the binomial plus a floor for tiny cells.
+			tol := 3.5*math.Sqrt(want*(1-want)/draws) + 1e-4
+			if math.Abs(got-want) > tol {
+				t.Errorf("s=%v rank %d: frequency %.5f, want %.5f ± %.5f", s, k, got, want, tol)
+			}
+		}
+	}
+}
+
+// TestZipfDeterministic pins that equal seeds give equal streams and that
+// draws from a huge support stay in range without any table allocation.
+func TestZipfDeterministic(t *testing.T) {
+	z := NewZipf(1.2, 10_000_000)
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		x, y := z.Draw(a), z.Draw(b)
+		if x != y {
+			t.Fatalf("draw %d: %d != %d for equal seeds", i, x, y)
+		}
+		if x < 1 || x > 10_000_000 {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+}
+
+// TestZipfSkew checks the defining property: low ranks dominate, and a
+// larger exponent concentrates more mass on rank 1.
+func TestZipfSkew(t *testing.T) {
+	rank1 := func(s float64) float64 {
+		z := NewZipf(s, 1000)
+		rng := NewRand(1)
+		hits := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Draw(rng) == 1 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	lo, hi := rank1(1.1), rank1(2.0)
+	if lo <= 0.05 || hi <= lo {
+		t.Fatalf("rank-1 mass: s=1.1 -> %.3f, s=2.0 -> %.3f; want positive and increasing", lo, hi)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, c := range []struct {
+		s float64
+		n uint64
+	}{{1.0, 10}, {0.5, 10}, {2.0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%v, %d): expected panic", c.s, c.n)
+				}
+			}()
+			NewZipf(c.s, c.n)
+		}()
+	}
+}

@@ -256,12 +256,21 @@ type Answer struct {
 	Err      []byte
 }
 
+// UnlimitedBudget is the BudgetRemaining sentinel meaning enforcement is
+// disabled: no finite budget applies to the client.
+const UnlimitedBudget = ^uint64(0)
+
 // Ledger is the router-relevant slice of a response: the exposure fields
-// the fleet charges and rewrites.
+// the fleet charges and rewrites. BudgetRemaining is the window budget
+// left after the charge (UnlimitedBudget when enforcement is off);
+// BudgetExact says whether the budget counts are exact rather than sketch
+// upper bounds.
 type Ledger struct {
 	Charged         uint64
 	ClientQueries   uint64
+	BudgetRemaining uint64
 	ExposureWarning bool
+	BudgetExact     bool
 }
 
 // QueryResp is the binary body of a successful POST /query.
@@ -278,9 +287,13 @@ func appendLedger(dst []byte, id, client []byte, led Ledger, serveMicros uint64)
 	dst = appendBytes8(dst, client)
 	dst = appendU64(dst, led.Charged)
 	dst = appendU64(dst, led.ClientQueries)
+	dst = appendU64(dst, led.BudgetRemaining)
 	var flags byte
 	if led.ExposureWarning {
 		flags |= flagWarning
+	}
+	if led.BudgetExact {
+		flags |= flagBudgetExact
 	}
 	dst = append(dst, flags)
 	return appendU64(dst, serveMicros)
@@ -291,11 +304,13 @@ func (r *reader) ledger(m *Ledger) (id, client []byte, serveMicros uint64, err e
 	client = r.bytes8()
 	m.Charged = r.u64()
 	m.ClientQueries = r.u64()
+	m.BudgetRemaining = r.u64()
 	flags := r.u8()
-	if r.ok && flags&^byte(flagWarning) != 0 {
+	if r.ok && flags&^byte(flagWarning|flagBudgetExact) != 0 {
 		return nil, nil, 0, ErrFlags
 	}
 	m.ExposureWarning = flags&flagWarning != 0
+	m.BudgetExact = flags&flagBudgetExact != 0
 	serveMicros = r.u64()
 	return id, client, serveMicros, nil
 }

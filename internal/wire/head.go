@@ -59,7 +59,7 @@ func ledgerOffsets(frame []byte) (clientOff, chargedOff int, err error) {
 	clientOff = HeaderSize + r.off
 	r.bytes8() // client
 	chargedOff = HeaderSize + r.off
-	if !r.ok || r.remaining() < 8+8+1+8 {
+	if !r.ok || r.remaining() < 8+8+8+1+8 {
 		return 0, 0, ErrTruncated
 	}
 	return clientOff, chargedOff, nil
@@ -74,16 +74,19 @@ func ReadLedger(frame []byte) (Ledger, error) {
 	return Ledger{
 		Charged:         binary.LittleEndian.Uint64(frame[off:]),
 		ClientQueries:   binary.LittleEndian.Uint64(frame[off+8:]),
-		ExposureWarning: frame[off+16]&flagWarning != 0,
+		BudgetRemaining: binary.LittleEndian.Uint64(frame[off+16:]),
+		ExposureWarning: frame[off+24]&flagWarning != 0,
+		BudgetExact:     frame[off+24]&flagBudgetExact != 0,
 	}, nil
 }
 
-// PatchLedger rewrites the client, cumulative exposure, and warning flag
-// of a response frame to a router's authoritative values, leaving charged
-// and the answers untouched. When the new client matches the frame's, the
-// patch is in place and the input slice is returned; otherwise the frame
-// is spliced into a fresh slice. The caller must own the frame either way.
-func PatchLedger(frame []byte, client []byte, clientQueries uint64, warning bool) ([]byte, error) {
+// PatchLedger rewrites the client, cumulative exposure, remaining budget,
+// and flags of a response frame to a router's authoritative values,
+// leaving charged and the answers untouched. When the new client matches
+// the frame's, the patch is in place and the input slice is returned;
+// otherwise the frame is spliced into a fresh slice. The caller must own
+// the frame either way.
+func PatchLedger(frame []byte, client []byte, clientQueries, remaining uint64, warning, exact bool) ([]byte, error) {
 	clientOff, chargedOff, err := ledgerOffsets(frame)
 	if err != nil {
 		return nil, err
@@ -103,10 +106,16 @@ func PatchLedger(frame []byte, client []byte, clientQueries uint64, warning bool
 		binary.LittleEndian.PutUint32(out[4:8], uint32(len(out)-HeaderSize))
 	}
 	binary.LittleEndian.PutUint64(out[chargedOff+8:], clientQueries)
+	binary.LittleEndian.PutUint64(out[chargedOff+16:], remaining)
 	if warning {
-		out[chargedOff+16] |= flagWarning
+		out[chargedOff+24] |= flagWarning
 	} else {
-		out[chargedOff+16] &^= flagWarning
+		out[chargedOff+24] &^= flagWarning
+	}
+	if exact {
+		out[chargedOff+24] |= flagBudgetExact
+	} else {
+		out[chargedOff+24] &^= flagBudgetExact
 	}
 	return out, nil
 }

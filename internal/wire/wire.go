@@ -18,11 +18,14 @@
 //	reconResp := ledger n(u32) result×n
 //	result    := 0x00 size(u64) nFreqs(u16) f64×nFreqs  |  0x01 str16(error)
 //	ledger    := str8(id) str8(client) charged(u64) clientQueries(u64)
-//	             flags(u8) serveMicros(u64)
+//	             budgetRemaining(u64) flags(u8) serveMicros(u64)
 //
 // str8/str16 are length-prefixed byte strings (u8/u16 length). Request
 // flags: bit0 = wait, bit1 = clamp (reconstruct only). Response flags:
-// bit0 = exposure warning. Conditions carry original schema codes — attr
+// bit0 = exposure warning, bit1 = budget counts are exact (an unset bit
+// means sketch upper bounds). budgetRemaining is the client's window
+// budget left after the charge; all-ones means enforcement is disabled.
+// Conditions carry original schema codes — attr
 // is the attribute's schema index, value the index into its original
 // Values list — and the server maps them through the publication's
 // generalization, exactly mirroring the JSON label resolution.
@@ -50,8 +53,10 @@ import (
 const ContentType = "application/x-rp-binary"
 
 // Version is the frame format version this package speaks. The decoder
-// rejects any other value, so a format change must bump it.
-const Version = 1
+// rejects any other value, so a format change must bump it. Version 2
+// added the ledger's budgetRemaining field and the budget-exact response
+// flag.
+const Version = 2
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 8
@@ -76,7 +81,10 @@ const (
 )
 
 // Response flag bits.
-const flagWarning = 1 << 0
+const (
+	flagWarning     = 1 << 0
+	flagBudgetExact = 1 << 1
+)
 
 // The decoder's typed failure set. Servers map all of these onto the
 // bad_request error code; tests and the fuzzers distinguish them with

@@ -33,7 +33,7 @@ func goldenQueryResp() *QueryResp {
 	return &QueryResp{
 		ID:          []byte("census-sps"),
 		Client:      []byte("analyst-7"),
-		Ledger:      Ledger{Charged: 3, ClientQueries: 4242, ExposureWarning: true},
+		Ledger:      Ledger{Charged: 3, ClientQueries: 4242, BudgetRemaining: 1758, ExposureWarning: true, BudgetExact: true},
 		ServeMicros: 1234,
 		Answers: []Answer{
 			{Count: 118, Estimate: 127.75},
@@ -60,7 +60,7 @@ func goldenReconstructResp() *ReconstructResp {
 	return &ReconstructResp{
 		ID:          []byte("census-sps"),
 		Client:      []byte("adversary"),
-		Ledger:      Ledger{Charged: 42, ClientQueries: 99},
+		Ledger:      Ledger{Charged: 42, ClientQueries: 99, BudgetRemaining: UnlimitedBudget},
 		ServeMicros: 77,
 		Results: []RecResult{
 			{Size: 311, Freqs: []float64{0.25, 0.5, 0, 0.25}},
@@ -265,7 +265,7 @@ func TestDecodeErrors(t *testing.T) {
 	t.Run("bad answer tag", func(t *testing.T) {
 		resp := goldenQueryResp().Append(nil)
 		// First answer tag sits after the ledger block and count.
-		off := HeaderSize + 1 + 10 + 1 + 9 + 8 + 8 + 1 + 8 + 4
+		off := HeaderSize + 1 + 10 + 1 + 9 + 8 + 8 + 8 + 1 + 8 + 4
 		resp[off] = 7
 		var m QueryResp
 		if err := m.Decode(resp); !errors.Is(err, ErrFlags) {
@@ -370,13 +370,13 @@ func TestReadAndPatchLedger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if led.Charged != 3 || led.ClientQueries != 4242 || !led.ExposureWarning {
+	if led.Charged != 3 || led.ClientQueries != 4242 || led.BudgetRemaining != 1758 || !led.ExposureWarning || !led.BudgetExact {
 		t.Fatalf("ReadLedger = %+v", led)
 	}
 
 	t.Run("in place", func(t *testing.T) {
 		f := append([]byte(nil), frame...)
-		out, err := PatchLedger(f, []byte("analyst-7"), 9000, false)
+		out, err := PatchLedger(f, []byte("analyst-7"), 9000, 500, false, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -387,7 +387,7 @@ func TestReadAndPatchLedger(t *testing.T) {
 		if err := m.Decode(out); err != nil {
 			t.Fatal(err)
 		}
-		if m.ClientQueries != 9000 || m.ExposureWarning || m.Charged != 3 {
+		if m.ClientQueries != 9000 || m.BudgetRemaining != 500 || m.ExposureWarning || m.BudgetExact || m.Charged != 3 {
 			t.Fatalf("patched ledger = %+v", m.Ledger)
 		}
 		if len(m.Answers) != 3 || m.Answers[0].Count != 118 {
@@ -397,7 +397,7 @@ func TestReadAndPatchLedger(t *testing.T) {
 
 	t.Run("splice client", func(t *testing.T) {
 		f := append([]byte(nil), frame...)
-		out, err := PatchLedger(f, []byte("a-much-longer-client-name"), 7, true)
+		out, err := PatchLedger(f, []byte("a-much-longer-client-name"), 7, UnlimitedBudget, true, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -405,7 +405,8 @@ func TestReadAndPatchLedger(t *testing.T) {
 		if err := m.Decode(out); err != nil {
 			t.Fatal(err)
 		}
-		if string(m.Client) != "a-much-longer-client-name" || m.ClientQueries != 7 || !m.ExposureWarning {
+		if string(m.Client) != "a-much-longer-client-name" || m.ClientQueries != 7 ||
+			m.BudgetRemaining != UnlimitedBudget || !m.BudgetExact || !m.ExposureWarning {
 			t.Fatalf("spliced ledger = client %q %+v", m.Client, m.Ledger)
 		}
 		if len(m.Answers) != 3 || m.Answers[1].Err == nil {
