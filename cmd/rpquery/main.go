@@ -8,12 +8,15 @@
 // (suitable for raw data).
 //
 // With -addr the tool speaks to an rpserve instance instead of a local CSV:
-// -count VALUE posts a single count query to /query and -dist posts one
-// subset to /reconstruct, both against the publication named by -id. The
-// -binary flag switches the request to the compact application/x-rp-binary
-// wire encoding (the tool fetches the publication's domains to translate
-// labels into the original codes binary conditions carry); responses are
-// decoded from the same encoding.
+// -count VALUE posts a single count query to /query, -dist posts one
+// subset to /reconstruct, and -insert streams records into an incremental
+// publication via /insert, all against the publication named by -id. In
+// insert mode each positional argument is one record as comma-separated
+// attr=value pairs covering the full schema (sensitive attribute included).
+// The -binary flag switches the request to the compact
+// application/x-rp-binary wire encoding (the tool fetches the publication's
+// domains to translate labels into the original codes binary frames carry);
+// responses are decoded from the same encoding.
 //
 // Usage:
 //
@@ -21,6 +24,8 @@
 //	rpquery -sa Disease -p 0.5 -dist input.csv Job=Engineer
 //	rpquery -addr http://localhost:8080 -id pub-abc123 -count Flu Job=Engineer
 //	rpquery -addr http://localhost:8080 -id pub-abc123 -binary -dist Job=Engineer
+//	rpquery -addr http://localhost:8080 -id pub-abc123 -insert "Gender=Male,Job=Engineer,Disease=Flu"
+//	rpquery -addr http://localhost:8080 -id pub-abc123 -binary -insert "Gender=Female,Job=Lawyer,Disease=Cold"
 package main
 
 import (
@@ -49,11 +54,12 @@ func main() {
 		id     = flag.String("id", "", "publication id (server mode, required)")
 		client = flag.String("client", "rpquery", "client name for exposure accounting (server mode)")
 		binary = flag.Bool("binary", false, "use the binary wire encoding (server mode)")
+		insert = flag.Bool("insert", false, "insert records into an incremental publication (server mode); each arg is one record as comma-separated attr=value pairs")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if *addr != "" {
-		remote(*addr, *id, *client, *count, *dist, *binary, args)
+		remote(*addr, *id, *client, *count, *dist, *binary, *insert, args)
 		return
 	}
 	if *sa == "" {
@@ -145,16 +151,17 @@ type domains struct {
 	} `json:"attrs"`
 	Sensitive *struct {
 		Name   string   `json:"name"`
+		Index  int      `json:"index"`
 		Values []string `json:"values"`
 	} `json:"sensitive"`
 }
 
-func remote(addr, id, client, count string, dist, binary bool, args []string) {
+func remote(addr, id, client, count string, dist, binary, insert bool, args []string) {
 	if id == "" {
 		fatal(fmt.Errorf("server mode requires -id"))
 	}
-	if !dist && count == "" {
-		fatal(fmt.Errorf("server mode requires -count VALUE or -dist"))
+	if !insert && !dist && count == "" {
+		fatal(fmt.Errorf("server mode requires -count VALUE, -dist, or -insert"))
 	}
 	conds := make([]serve.CondJSON, 0, len(args))
 	for a, v := range parseConds(args) {
@@ -169,6 +176,11 @@ func remote(addr, id, client, count string, dist, binary bool, args []string) {
 	}
 	if dom.Sensitive == nil {
 		fatal(fmt.Errorf("publication %s has no domain info", id))
+	}
+
+	if insert {
+		doInsert(addr, id, client, binary, &dom, args)
+		return
 	}
 
 	switch {
@@ -239,6 +251,74 @@ func remote(addr, id, client, count string, dist, binary bool, args []string) {
 		fmt.Printf("count %d estimate %.1f (charged %d, cumulative exposure %d)\n",
 			a.Count, a.Estimate, resp.Charged, resp.ClientQueries)
 	}
+}
+
+// doInsert streams one record batch into an incremental publication. Each
+// arg is a full record as comma-separated attr=value pairs; every schema
+// attribute (sensitive included) must appear exactly once.
+func doInsert(addr, id, client string, binary bool, dom *domains, args []string) {
+	if len(args) == 0 {
+		fatal(fmt.Errorf("-insert requires at least one record argument"))
+	}
+	width := len(dom.Attrs) + 1
+	records := make([]map[string]string, 0, len(args))
+	for _, a := range args {
+		rec := map[string]string{}
+		for _, pair := range strings.Split(a, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("record field %q is not attr=value", pair))
+			}
+			rec[kv[0]] = kv[1]
+		}
+		if len(rec) != width {
+			fatal(fmt.Errorf("record %q has %d attributes, schema needs %d", a, len(rec), width))
+		}
+		records = append(records, rec)
+	}
+
+	if binary {
+		codes := make([][]uint16, len(records))
+		for i, rec := range records {
+			row := make([]uint16, width)
+			for _, a := range dom.Attrs {
+				v, ok := rec[a.Name]
+				if !ok {
+					fatal(fmt.Errorf("record %d is missing attribute %q", i, a.Name))
+				}
+				row[a.Index] = labelCode(a.Values, v, a.Name)
+			}
+			v, ok := rec[dom.Sensitive.Name]
+			if !ok {
+				fatal(fmt.Errorf("record %d is missing the sensitive attribute %q", i, dom.Sensitive.Name))
+			}
+			row[dom.Sensitive.Index] = labelCode(dom.Sensitive.Values, v, dom.Sensitive.Name)
+			codes[i] = row
+		}
+		m := wire.InsertReq{ID: []byte(id), Client: []byte(client), Wait: true, NAttrs: width, Records: codes}
+		body := post(addr+"/insert", wire.ContentType, m.Append(nil))
+		var resp wire.InsertResp
+		if err := resp.Decode(body); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inserted %d (%d trials, %d absorbed); stream holds %d records\n",
+			resp.Inserted, resp.Trials, resp.Absorbed, resp.TotalRecords)
+		return
+	}
+
+	req, _ := json.Marshal(map[string]any{"id": id, "records": records, "wait": true})
+	var resp struct {
+		Inserted     int `json:"inserted"`
+		Trials       int `json:"trials"`
+		Absorbed     int `json:"absorbed"`
+		TotalRecords int `json:"total_records"`
+	}
+	body := post(addr+"/insert", "application/json", req)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("inserted %d (%d trials, %d absorbed); stream holds %d records\n",
+		resp.Inserted, resp.Trials, resp.Absorbed, resp.TotalRecords)
 }
 
 // encodeConds translates label conditions into the original codes binary

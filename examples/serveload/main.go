@@ -13,12 +13,20 @@
 // nothing from the repository, so it documents exactly what an external
 // client must emit and parse.
 //
+// With -insert N the dataset is published incrementally and each client
+// round streams N random records into the publication through the /insert
+// firehose before querying it — in the selected encoding, so
+// -encoding binary exercises the fixed-width insert frames (kind 5/6)
+// whose layout the codec below documents.
+//
 // Usage:
 //
 //	rpserve -preload census:300000 &
 //	go run ./examples/serveload -addr http://localhost:8080 \
 //	    -dataset census -size 300000 -batch 5000 -clients 4 -rounds 10 \
 //	    -encoding both
+//	go run ./examples/serveload -addr http://localhost:8080 \
+//	    -dataset medical -size 20000 -insert 500 -encoding binary
 package main
 
 import (
@@ -100,11 +108,11 @@ func makeCodebook(info *pubInfo) *codebook {
 
 // encodeQueryFrame builds one POST /query wire frame:
 //
-//	'R' 'P' version(1) kind(1=queryReq) payloadLen(u32 LE)
+//	'R' 'P' version(2) kind(1=queryReq) payloadLen(u32 LE)
 //	str8(id) str8(client) flags(u8, bit0=wait) n(u32)
 //	then per query: sa(u16) nConds(u8) then per cond: attr(u16) value(u16)
 func (cb *codebook) encodeQueryFrame(id, client string, qs []wireQuery) []byte {
-	buf := []byte{'R', 'P', 1, 1, 0, 0, 0, 0}
+	buf := []byte{'R', 'P', 2, 1, 0, 0, 0, 0}
 	buf = append(buf, byte(len(id)))
 	buf = append(buf, id...)
 	buf = append(buf, byte(len(client)))
@@ -123,6 +131,49 @@ func (cb *codebook) encodeQueryFrame(id, client string, qs []wireQuery) []byte {
 	return buf
 }
 
+// encodeInsertFrame builds one POST /insert wire frame (the firehose path):
+//
+//	'R' 'P' version(2) kind(5=insertReq) payloadLen(u32 LE)
+//	str8(id) str8(client) flags(u8, bit0=wait) nAttrs(u8) n(u32)
+//	then per record: code(u16)×nAttrs — full schema order, sensitive
+//	attribute included at its schema position
+func encodeInsertFrame(id, client string, nAttrs int, recs [][]uint16) []byte {
+	buf := []byte{'R', 'P', 2, 5, 0, 0, 0, 0}
+	buf = append(buf, byte(len(id)))
+	buf = append(buf, id...)
+	buf = append(buf, byte(len(client)))
+	buf = append(buf, client...)
+	buf = append(buf, 1) // flags: wait — block until the publication is ready
+	buf = append(buf, byte(nAttrs))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, rec := range recs {
+		for _, c := range rec {
+			buf = binary.LittleEndian.AppendUint16(buf, c)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(buf)-8))
+	return buf
+}
+
+// decodeInsertResp parses a binary insertResp frame (no ledger block —
+// inserts charge no exposure):
+//
+//	header(kind 6), str8(id) str8(client) inserted(u32) trials(u32)
+//	absorbed(u32) totalRecords(u64)
+func decodeInsertResp(b []byte) (inserted int, total uint64, err error) {
+	if len(b) < 8 || b[0] != 'R' || b[1] != 'P' || b[2] != 2 || b[3] != 6 {
+		return 0, 0, fmt.Errorf("not a v2 insertResp frame")
+	}
+	r := byteReader{b: b, off: 8}
+	r.skip(int(r.u8())) // id
+	r.skip(int(r.u8())) // client
+	inserted = int(r.u32())
+	r.u32() // trials
+	r.u32() // absorbed
+	total = r.u64()
+	return inserted, total, r.err
+}
+
 // queryResult is the encoding-blind slice of a query response the load
 // report consumes.
 type queryResult struct {
@@ -134,19 +185,21 @@ type queryResult struct {
 // decodeQueryResp parses a binary queryResp frame:
 //
 //	header, then ledger := str8(id) str8(client) charged(u64)
-//	clientQueries(u64) flags(u8, bit0=warning) serveMicros(u64),
+//	clientQueries(u64) budgetRemaining(u64)
+//	flags(u8, bit0=warning bit1=budgetExact) serveMicros(u64),
 //	then n(u32) answers: 0x00 count(u64) estimate(f64) | 0x01 str16(error)
 func decodeQueryResp(b []byte) (queryResult, error) {
 	var out queryResult
 	r := byteReader{b: b}
-	if len(b) < 8 || b[0] != 'R' || b[1] != 'P' || b[2] != 1 || b[3] != 2 {
-		return out, fmt.Errorf("not a v1 queryResp frame")
+	if len(b) < 8 || b[0] != 'R' || b[1] != 'P' || b[2] != 2 || b[3] != 2 {
+		return out, fmt.Errorf("not a v2 queryResp frame")
 	}
 	r.off = 8
 	r.skip(int(r.u8())) // id
 	r.skip(int(r.u8())) // client
 	r.u64()             // charged
 	out.ClientQueries = int64(r.u64())
+	r.u64() // budget remaining
 	out.ExposureWarning = r.u8()&1 != 0
 	r.u64() // serve micros
 	n := int(r.u32())
@@ -232,16 +285,20 @@ func main() {
 		rounds   = flag.Int("rounds", 10, "batches per client")
 		seed     = flag.Int64("seed", 7, "workload generator seed")
 		encoding = flag.String("encoding", "json", "query encoding: json, binary, or both (alternate per round)")
+		insertN  = flag.Int("insert", 0, "records streamed into the publication per client round via /insert (publishes incrementally)")
 	)
 	flag.Parse()
 	if *encoding != "json" && *encoding != "binary" && *encoding != "both" {
 		log.Fatalf("serveload: -encoding must be json, binary, or both (got %q)", *encoding)
 	}
 
-	// Publish (or hit the cache) and wait for readiness.
-	pub := postJSON[pubInfo](*addr+"/publish", map[string]any{
-		"dataset": *dataset, "size": *size, "wait": true,
-	})
+	// Publish (or hit the cache) and wait for readiness. Inserts need the
+	// streaming publisher, so -insert switches the method to incremental.
+	publishBody := map[string]any{"dataset": *dataset, "size": *size, "wait": true}
+	if *insertN > 0 {
+		publishBody["method"] = "incremental"
+	}
+	pub := postJSON[pubInfo](*addr+"/publish", publishBody)
 	if pub.Status != "ready" {
 		log.Fatalf("serveload: publication %s is %s: %s", pub.ID, pub.Status, pub.Error)
 	}
@@ -254,6 +311,34 @@ func main() {
 	fmt.Printf("publication %s: %d records, %d personal groups\n",
 		info.ID, info.Meta.Records, info.Meta.Groups)
 	cb := makeCodebook(&info)
+
+	// The insert workload needs the full schema in original order: public
+	// attributes at their advertised indices, the sensitive attribute at its
+	// own schema position.
+	width := len(info.Attrs) + 1
+	type slot struct {
+		name   string
+		values []string
+	}
+	slots := make([]slot, width)
+	for _, a := range info.Attrs {
+		slots[a.Index] = slot{a.Name, a.Values}
+	}
+	slots[info.Sensitive.Index] = slot{info.Sensitive.Name, info.Sensitive.Values}
+	makeRecords := func(rng *rand.Rand, n int) (labels []map[string]string, codes [][]uint16) {
+		for i := 0; i < n; i++ {
+			rec := make([]uint16, width)
+			lab := make(map[string]string, width)
+			for s, sl := range slots {
+				c := uint16(rng.Intn(len(sl.values)))
+				rec[s] = c
+				lab[sl.name] = sl.values[c]
+			}
+			labels = append(labels, lab)
+			codes = append(codes, rec)
+		}
+		return labels, codes
+	}
 
 	// Generate the workload: random conjunctions over original labels.
 	dmax := *maxDim
@@ -277,6 +362,7 @@ func main() {
 
 	// sent/answered/errored/elapsedNS per encoding: [0]=json, [1]=binary.
 	var sent, answered, errored, elapsedNS [2]atomic.Int64
+	var inserted, insertNS [2]atomic.Int64
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -288,6 +374,30 @@ func main() {
 			for r := 0; r < *rounds; r++ {
 				qs := makeBatch(crng)
 				useBinary := *encoding == "binary" || (*encoding == "both" && r%2 == 1)
+				if *insertN > 0 {
+					labels, codes := makeRecords(crng, *insertN)
+					enc := 0
+					ti := time.Now()
+					var n int
+					if useBinary {
+						enc = 1
+						raw := postRaw(*addr+"/insert", binaryContentType,
+							encodeInsertFrame(pub.ID, client, width, codes))
+						var err error
+						if n, _, err = decodeInsertResp(raw); err != nil {
+							log.Fatalf("serveload: decoding binary insert response: %v", err)
+						}
+					} else {
+						resp := postJSON[struct {
+							Inserted int `json:"inserted"`
+						}](*addr+"/insert", map[string]any{
+							"id": pub.ID, "records": labels, "wait": true,
+						})
+						n = resp.Inserted
+					}
+					insertNS[enc].Add(time.Since(ti).Nanoseconds())
+					inserted[enc].Add(int64(n))
+				}
 				var res queryResult
 				t0 := time.Now()
 				if useBinary {
@@ -346,6 +456,15 @@ func main() {
 		secs := float64(elapsedNS[enc].Load()) / 1e9 / float64(*clients)
 		fmt.Printf("%-6s %d queries, %.0f queries/s client-side (%d answered, %d per-query errors)\n",
 			name, s, float64(s)/math.Max(secs, 1e-9), answered[enc].Load(), errored[enc].Load())
+	}
+	for enc, name := range []string{"json", "binary"} {
+		ins := inserted[enc].Load()
+		if ins == 0 {
+			continue
+		}
+		isecs := float64(insertNS[enc].Load()) / 1e9 / float64(*clients)
+		fmt.Printf("%-6s %d records via /insert, %.0f records/s client-side\n",
+			name, ins, float64(ins)/math.Max(isecs, 1e-9))
 	}
 	fmt.Printf("total: %d queries in %v (%.0f queries/s; %d answered, %d per-query errors)\n",
 		totalSent, elapsed.Round(time.Millisecond),

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// histByKey folds a GroupSet into key → histogram for order-independent
+// value comparison.
+func histByKey(gs *dataset.GroupSet) map[uint64][]int {
+	out := make(map[uint64][]int, gs.NumGroups())
+	for i := range gs.Groups {
+		g := &gs.Groups[i]
+		h := make([]int, len(g.SACounts))
+		copy(h, g.SACounts)
+		out[gs.EncodeKey(g.Key)] = h
+	}
+	return out
+}
+
+// addInto accumulates src histograms into acc.
+func addInto(acc map[uint64][]int, src *dataset.GroupSet) {
+	for i := range src.Groups {
+		g := &src.Groups[i]
+		k := src.EncodeKey(g.Key)
+		h := acc[k]
+		if h == nil {
+			h = make([]int, len(g.SACounts))
+			acc[k] = h
+		}
+		for sa, c := range g.SACounts {
+			h[sa] += c
+		}
+	}
+}
+
+func equalHists(a, b map[uint64][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ha := range a {
+		hb, ok := b[k]
+		if !ok || len(ha) != len(hb) {
+			return false
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFlushDeltaConservation is the delta path's accounting invariant: the
+// state at any MarkFlushed point plus the sum of every FlushDelta since must
+// reproduce the publisher's full state exactly — for both the published and
+// the raw histograms. The serve layer leans on this to keep the stacked
+// index and the overlaid raw snapshot equal to a from-scratch rebuild.
+func TestFlushDeltaConservation(t *testing.T) {
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(22)
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := inc.Add([]uint16{uint16(rng.Intn(2))}, uint16(rng.Intn(5))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add(500)
+	inc.MarkFlushed()
+	accPub := histByKey(inc.Snapshot())
+	accRaw := histByKey(inc.RawGroups())
+
+	records := 0
+	for round := 0; round < 5; round++ {
+		n := 37 + 11*round
+		add(n)
+		records += n
+		d := inc.FlushDelta()
+		if d.Records != n {
+			t.Fatalf("round %d: delta says %d records, added %d", round, d.Records, n)
+		}
+		if got := d.Pub.Total(); got != n {
+			t.Fatalf("round %d: delta publishes %d records for %d adds (streaming adds publish exactly one each)", round, got, n)
+		}
+		if got := d.Raw.Total(); got != n {
+			t.Fatalf("round %d: delta raw holds %d records for %d adds", round, got, n)
+		}
+		addInto(accPub, d.Pub)
+		addInto(accRaw, d.Raw)
+	}
+	if !equalHists(accPub, histByKey(inc.Snapshot())) {
+		t.Fatal("baseline + flushed deltas != snapshot (published histograms)")
+	}
+	if !equalHists(accRaw, histByKey(inc.RawGroups())) {
+		t.Fatal("baseline + flushed deltas != raw groups")
+	}
+	if st := inc.Stats(); st.Records != 500+records {
+		t.Fatalf("Records = %d, want %d", st.Records, 500+records)
+	}
+
+	// Nothing pending: the next flush must be empty, not a re-emission.
+	if d := inc.FlushDelta(); d.Records != 0 || len(d.Pub.Groups) != 0 || len(d.Raw.Groups) != 0 {
+		t.Fatalf("idle flush emitted %d records, %d pub groups", d.Records, len(d.Pub.Groups))
+	}
+}
+
+// TestMarkFlushedDiscardsPending pins the baseline semantics the serve layer
+// depends on: MarkFlushed (and Rebuild, which self-flushes) advance the
+// baselines to the current state, so a following FlushDelta emits nothing —
+// the guard against double-counting state a full snapshot already covers.
+func TestMarkFlushedDiscardsPending(t *testing.T) {
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := inc.Add([]uint16{uint16(i % 2)}, uint16(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inc.MarkFlushed()
+	if d := inc.FlushDelta(); d.Records != 0 {
+		t.Fatalf("flush after MarkFlushed emitted %d records", d.Records)
+	}
+
+	for i := 0; i < 50; i++ {
+		if _, err := inc.Add([]uint16{0}, uint16(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inc.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if d := inc.FlushDelta(); d.Records != 0 {
+		t.Fatalf("flush after Rebuild emitted %d records (Rebuild must self-flush)", d.Records)
+	}
+
+	// And the flush state machine re-arms: new adds flush normally.
+	if _, err := inc.Add([]uint16{1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := inc.FlushDelta(); d.Records != 1 || d.Pub.Total() != 1 {
+		t.Fatalf("post-rebuild add flushed %d records, pub total %d", d.Records, d.Pub.Total())
+	}
+}

@@ -38,6 +38,12 @@ type Incremental struct {
 	groups map[uint64]*incGroup
 	order  []uint64 // insertion order of group keys, for deterministic output
 
+	// touched lists the keys of groups changed since the last delta flush,
+	// in first-touch order — the deterministic iteration order of FlushDelta,
+	// which keeps delta-built marginal generations reproducible from the
+	// record stream alone.
+	touched []uint64
+
 	naIdx []int
 	radix []int
 
@@ -53,6 +59,15 @@ type incGroup struct {
 	sample []int // perturbed sample histogram (the independent trials)
 	pub    []int // published histogram (sample + duplicates)
 	size   int   // raw record count
+
+	// Delta baseline: the histograms as of the last FlushDelta/MarkFlushed.
+	// nil slices mean "all zeros" (a group never flushed), so groups that
+	// never see an insert between flushes cost nothing. delta flags the
+	// group as listed in Incremental.touched.
+	flushedRaw  []int
+	flushedPub  []int
+	flushedSize int
+	delta       bool
 }
 
 // NewIncremental creates an empty incremental publisher for the schema.
@@ -114,6 +129,10 @@ func (inc *Incremental) Add(key []uint16, sa uint16) (bool, error) {
 	g.raw[sa]++
 	g.size++
 	inc.recordsIn++
+	if !g.delta {
+		g.delta = true
+		inc.touched = append(inc.touched, k)
+	}
 
 	sampleSize := 0
 	for _, c := range g.sample {
@@ -199,7 +218,7 @@ func (inc *Incremental) Stats() IncrementalStats {
 // reported violation profile tracks the stream instead of the initial
 // batch.
 func (inc *Incremental) RawGroups() *dataset.GroupSet {
-	gs := &dataset.GroupSet{Schema: inc.schema}
+	gs := dataset.NewGroupSet(inc.schema)
 	for _, k := range inc.order {
 		g := inc.groups[k]
 		if g.size == 0 {
@@ -269,5 +288,97 @@ func (inc *Incremental) Rebuild() error {
 		inc.trials += int(sg)
 		inc.absorbed += g.size - int(sg)
 	}
+	// A rebuild rewrites every group's published histogram wholesale, so any
+	// pending delta baseline is meaningless; callers republish the full state
+	// next, and the baseline restarts from it.
+	inc.MarkFlushed()
 	return nil
+}
+
+// Delta is one emitted increment of the stream: the published and raw
+// histogram changes since the previous flush, as group sets proportional to
+// the inserted records — the input of a delta marginal build (Pub) and of
+// the raw-group overlay behind audit and conservation checks (Raw).
+type Delta struct {
+	// Pub holds each touched group's published-histogram increment; its
+	// Total() is the number of published records the delta adds.
+	Pub *dataset.GroupSet
+	// Raw holds each touched group's raw-histogram increment.
+	Raw *dataset.GroupSet
+	// Records is the raw records covered: the sum of Raw group sizes.
+	Records int
+}
+
+// FlushDelta emits everything added since the previous flush (or since the
+// state MarkFlushed last blessed) and advances the baseline. Touched groups
+// are visited in first-touch order, so the emitted group sets — and any
+// index built from them — are a deterministic function of the record stream.
+// The returned sets share nothing with the live publisher state.
+func (inc *Incremental) FlushDelta() *Delta {
+	d := &Delta{
+		Pub: dataset.NewGroupSet(inc.schema),
+		Raw: dataset.NewGroupSet(inc.schema),
+	}
+	for _, k := range inc.touched {
+		g := inc.groups[k]
+		g.delta = false
+		pubDiff := histDiff(g.pub, g.flushedPub)
+		rawDiff := histDiff(g.raw, g.flushedRaw)
+		if pubDiff != nil {
+			pubN := 0
+			for _, c := range pubDiff {
+				pubN += c
+			}
+			d.Pub.Groups = append(d.Pub.Groups, dataset.Group{
+				Key: append([]uint16(nil), g.key...), SACounts: pubDiff, Size: pubN,
+			})
+		}
+		if rawDiff != nil {
+			d.Raw.Groups = append(d.Raw.Groups, dataset.Group{
+				Key: append([]uint16(nil), g.key...), SACounts: rawDiff, Size: g.size - g.flushedSize,
+			})
+			d.Records += g.size - g.flushedSize
+		}
+		g.flushedRaw = append(g.flushedRaw[:0], g.raw...)
+		g.flushedPub = append(g.flushedPub[:0], g.pub...)
+		g.flushedSize = g.size
+	}
+	inc.touched = inc.touched[:0]
+	return d
+}
+
+// histDiff returns cur minus base (nil base = zeros), or nil when nothing
+// changed.
+func histDiff(cur, base []int) []int {
+	changed := false
+	out := make([]int, len(cur))
+	for i, c := range cur {
+		b := 0
+		if base != nil {
+			b = base[i]
+		}
+		out[i] = c - b
+		if out[i] != 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return out
+}
+
+// MarkFlushed advances the delta baseline to the current state without
+// emitting anything — the reset that accompanies a full republish (initial
+// build, refresh), after which the stream's deltas start from the newly
+// indexed state.
+func (inc *Incremental) MarkFlushed() {
+	for _, k := range inc.order {
+		g := inc.groups[k]
+		g.delta = false
+		g.flushedRaw = append(g.flushedRaw[:0], g.raw...)
+		g.flushedPub = append(g.flushedPub[:0], g.pub...)
+		g.flushedSize = g.size
+	}
+	inc.touched = inc.touched[:0]
 }

@@ -62,6 +62,21 @@ type GroupSet struct {
 	keys  []uint64 // encoded mixed-radix key of Groups[i], aligned with Groups
 }
 
+// NewGroupSet returns an empty group set over the schema with its key
+// encoding (NA indices and radices) initialized, ready for callers that
+// assemble Groups by hand — the incremental publisher's delta emission, the
+// serving layer's raw-group overlay. Hand-assembled sets carry whatever
+// group order the caller appends (not necessarily key order), so Find is
+// only meaningful on sets built by the grouping scans.
+func NewGroupSet(schema *Schema) *GroupSet {
+	gs := &GroupSet{Schema: schema, naIdx: schema.NAIndices()}
+	gs.radix = make([]int, len(gs.naIdx))
+	for i, a := range gs.naIdx {
+		gs.radix[i] = schema.Attrs[a].Domain()
+	}
+	return gs
+}
+
 // GroupsOf partitions the table into personal groups with a single linear
 // scan over a mixed-radix encoding of each record's NA tuple. This is the
 // moral equivalent of the sort-then-scan pass in the paper's Section 5,

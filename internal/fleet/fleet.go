@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"bytes"
 	"fmt"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,6 +11,7 @@ import (
 
 	"github.com/reconpriv/reconpriv/internal/budget"
 	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 // Config tunes the fleet; the zero value is fully usable.
@@ -87,14 +90,30 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// mutation is one entry of a publication's ordered mutation log: either a
+// generation bump or an insert batch (the request body verbatim, so JSON
+// and binary firehose batches replay through the same handler path that
+// applied them live).
+type mutation struct {
+	refresh bool
+	body    []byte
+	binary  bool
+}
+
 // pub is the fleet's record of one placed publication: the request to
 // rebuild it from (deterministic builds make the request the whole state)
-// and the generation to replay on restart. gen is guarded by mu.
+// and the ordered mutation log — refreshes and insert batches, exactly as
+// the live holders applied them — to replay on restart. The log holds every
+// insert body for the publication's lifetime; that is the fleet's
+// simulation-scale durability model (a production deployment would
+// checkpoint a snapshot and truncate). gen and log are guarded by mu, which
+// is also what serializes mutations into one total order per publication.
 type pub struct {
 	req     serve.PublishRequest
 	holders []int
 	mu      sync.Mutex
 	gen     int
+	log     []mutation
 }
 
 // Fleet is a router plus its replicas. Create with New; all methods are
@@ -135,6 +154,7 @@ type Fleet struct {
 	reinstated       atomic.Uint64
 	shed             atomic.Uint64
 	budgetRejected   atomic.Uint64
+	insertsRouted    atomic.Uint64
 	unavailable      atomic.Uint64
 	verified         atomic.Uint64
 	verifyMismatches atomic.Uint64
@@ -227,6 +247,7 @@ func (f *Fleet) Refresh(id string) error {
 		}
 	}
 	p.gen++
+	p.log = append(p.log, mutation{refresh: true})
 	return nil
 }
 
@@ -253,10 +274,11 @@ func (f *Fleet) KillReplica(i int) {
 
 // RestartReplica brings a killed replica back with a fresh server and
 // deterministically reconstructs its state: every placed publication is
-// rebuilt from its request and rolled forward to the fleet's current
-// generation. Builds are bit-identical, so the restarted replica agrees
-// with its peers by construction. Health state is left alone — the replica
-// rejoins rotation through the probe path, not by fiat.
+// rebuilt from its request and rolled forward through its mutation log —
+// refreshes and insert batches in the exact order the surviving holders
+// applied them, so the rebuilt publishers' RNG streams (and therefore the
+// digests) match the peers by construction. Health state is left alone —
+// the replica rejoins rotation through the probe path, not by fiat.
 func (f *Fleet) RestartReplica(i int) error {
 	rep := f.replicas[i]
 	srv := serve.New(f.replicaServeConfig())
@@ -279,8 +301,7 @@ func (f *Fleet) RestartReplica(i int) error {
 
 	for _, p := range placed {
 		p.mu.Lock()
-		gen := p.gen
-		err := buildOn(srv, p.req, gen)
+		err := replayOn(srv, p)
 		p.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("fleet: restart replica %d: %w", i, err)
@@ -295,9 +316,8 @@ func (f *Fleet) RestartReplica(i int) error {
 	return nil
 }
 
-// buildOn publishes a request on a server and rolls it forward gen
-// generations (a publication's only mutable coordinate under the fleet's
-// read-only serving surface).
+// buildOn publishes a request on a server (the generation-0 build shared by
+// Publish and restart replay).
 func buildOn(s *serve.Server, req serve.PublishRequest, gen int) error {
 	e, _, err := s.Publish(req, true)
 	if err != nil {
@@ -311,6 +331,47 @@ func buildOn(s *serve.Server, req serve.PublishRequest, gen int) error {
 	for g := pubv.Generation; g < gen; g++ {
 		if _, err := s.Refresh(id); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// replayOn reconstructs one publication on a fresh server: generation-0
+// build, then the mutation log in order. Insert batches replay through the
+// same /insert handler that applied them live (same validation, same
+// publisher Add sequence), so a replayed holder is bit-identical to one
+// that never died. The caller holds p.mu.
+func replayOn(srv *serve.Server, p *pub) error {
+	e, _, err := srv.Publish(p.req, true)
+	if err != nil {
+		return err
+	}
+	pubv, err := e.Publication()
+	if err != nil {
+		return err
+	}
+	h := srv.Handler()
+	for i := range p.log {
+		m := &p.log[i]
+		if m.refresh {
+			if _, err := srv.Refresh(pubv.ID); err != nil {
+				return err
+			}
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPost, "http://replica/insert", bytes.NewReader(m.body))
+		if err != nil {
+			return err
+		}
+		if m.binary {
+			req.Header.Set("Content-Type", wire.ContentType)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		w := &memWriter{}
+		h.ServeHTTP(w, req)
+		if w.status >= 400 {
+			return fmt.Errorf("replaying insert %d of %q: status %d: %s", i, pubv.ID, w.status, w.buf.String())
 		}
 	}
 	return nil
@@ -426,7 +487,10 @@ type Stats struct {
 	Shed              uint64 `json:"shed"`
 	// BudgetRejected counts logical requests refused at the router's budget
 	// precheck — none of them charged the ledger or reached a replica.
-	BudgetRejected   uint64 `json:"budget_rejected"`
+	BudgetRejected uint64 `json:"budget_rejected"`
+	// InsertsRouted counts insert batches accepted by at least one holder and
+	// appended to a publication's mutation log.
+	InsertsRouted    uint64 `json:"inserts_routed"`
 	Unavailable      uint64 `json:"unavailable"`
 	Verified         uint64 `json:"verified"`
 	VerifyMismatches uint64 `json:"verify_mismatches"`
@@ -454,6 +518,7 @@ func (f *Fleet) Stats() Stats {
 		Reinstated:        f.reinstated.Load(),
 		Shed:              f.shed.Load(),
 		BudgetRejected:    f.budgetRejected.Load(),
+		InsertsRouted:     f.insertsRouted.Load(),
 		Unavailable:       f.unavailable.Load(),
 		Verified:          f.verified.Load(),
 		VerifyMismatches:  f.verifyMismatches.Load(),

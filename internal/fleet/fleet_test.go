@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/datagen"
 	"github.com/reconpriv/reconpriv/internal/serve"
+	"github.com/reconpriv/reconpriv/internal/wire"
 )
 
 // testPublish is the small, fast publication the failover tests place.
@@ -360,16 +363,227 @@ func TestIdempotentReplay(t *testing.T) {
 	}
 }
 
-func TestInsertUnsupported(t *testing.T) {
-	f := New(Config{Replicas: 2})
-	var eb serve.ErrorBody
-	code, _ := doJSON(t, f.Handler(), http.MethodPost, "/insert",
-		nil, map[string]any{"id": "x", "records": []map[string]string{{"a": "b"}}}, &eb)
-	if code != http.StatusNotImplemented {
-		t.Fatalf("insert returned %d, want 501", code)
+// incPublish is the incremental publication the insert-routing tests place.
+func incPublish(seed int64) serve.PublishRequest {
+	req := testPublish(seed)
+	req.Method = serve.MethodIncremental
+	return req
+}
+
+// insertRecords builds n deterministic medical records in both the JSON
+// label encoding and the binary full-schema code encoding.
+func insertRecords(rng *rand.Rand, n int) (recs []map[string]string, codes [][]uint16) {
+	schema := datagen.MedicalSchema()
+	for i := 0; i < n; i++ {
+		rec := make([]uint16, schema.NumAttrs())
+		lab := make(map[string]string, schema.NumAttrs())
+		for a := 0; a < schema.NumAttrs(); a++ {
+			rec[a] = uint16(rng.Intn(schema.Attrs[a].Domain()))
+			lab[schema.Attrs[a].Name] = schema.Attrs[a].Label(rec[a])
+		}
+		recs = append(recs, lab)
+		codes = append(codes, rec)
 	}
-	if eb.Code != serve.CodeUnsupported {
-		t.Fatalf("code = %q, want %q", eb.Code, serve.CodeUnsupported)
+	return recs, codes
+}
+
+// doRaw drives the router with a pre-encoded body (the binary frame path).
+func doRaw(t *testing.T, h http.Handler, path, contentType string, body []byte) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", contentType)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w.Code, w.Body.Bytes()
+}
+
+// TestInsertFanOut: a routed insert batch reaches every live holder — the
+// replicas stay digest-identical — and the typed rejections (unknown
+// publication, non-incremental publication) relay through the router with
+// the single-server bodies.
+func TestInsertFanOut(t *testing.T) {
+	f := New(Config{Replicas: 3, ReplicationFactor: 2, Timeout: 2 * time.Second})
+	id, err := f.Publish(incPublish(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+	rng := rand.New(rand.NewSource(7))
+
+	total := 500
+	for batch := 0; batch < 4; batch++ {
+		recs, _ := insertRecords(rng, 20+batch*5)
+		total += len(recs)
+		var ins struct {
+			Inserted     int `json:"inserted"`
+			TotalRecords int `json:"total_records"`
+		}
+		code, _ := doJSON(t, h, http.MethodPost, "/insert", nil,
+			map[string]any{"id": id, "records": recs, "wait": true}, &ins)
+		if code != http.StatusOK {
+			t.Fatalf("routed insert %d returned %d", batch, code)
+		}
+		if ins.Inserted != len(recs) || ins.TotalRecords != total {
+			t.Fatalf("batch %d: inserted %d (want %d), total %d (want %d)",
+				batch, ins.Inserted, len(recs), ins.TotalRecords, total)
+		}
+	}
+	if err := f.ReplicaAgreement(id); err != nil {
+		t.Fatalf("post-insert agreement: %v", err)
+	}
+	if st := f.Stats(); st.InsertsRouted != 4 {
+		t.Fatalf("inserts_routed = %d, want 4", st.InsertsRouted)
+	}
+
+	// Unknown publication: typed 404, nothing logged.
+	var eb serve.ErrorBody
+	code, _ := doJSON(t, h, http.MethodPost, "/insert", nil,
+		map[string]any{"id": "no-such-pub", "records": []map[string]string{{"a": "b"}}}, &eb)
+	if code != http.StatusNotFound || eb.Code != serve.CodeNotFound {
+		t.Fatalf("unknown-pub insert returned %d/%q, want 404/%q", code, eb.Code, serve.CodeNotFound)
+	}
+
+	// Non-incremental publication: the holders' deterministic 409 relays
+	// verbatim and must not grow the mutation log.
+	staticID, err := f.Publish(testPublish(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := insertRecords(rng, 3)
+	code, _ = doJSON(t, h, http.MethodPost, "/insert", nil,
+		map[string]any{"id": staticID, "records": recs, "wait": true}, &eb)
+	if code != http.StatusConflict || eb.Code != serve.CodeNotIncremental {
+		t.Fatalf("non-incremental insert returned %d/%q, want 409/%q", code, eb.Code, serve.CodeNotIncremental)
+	}
+	if st := f.Stats(); st.InsertsRouted != 4 {
+		t.Fatalf("rejected insert grew inserts_routed to %d", st.InsertsRouted)
+	}
+	if err := f.ReplicaAgreement(staticID); err != nil {
+		t.Fatalf("static publication agreement after rejected insert: %v", err)
+	}
+}
+
+// TestInsertRestartReplaysMutationLog: a holder that dies misses insert
+// batches and refreshes; its restart replays the publication's mutation log
+// in order, so the rebuilt replica is digest-identical to the survivors.
+func TestInsertRestartReplaysMutationLog(t *testing.T) {
+	f := New(Config{Replicas: 3, ReplicationFactor: 2, Timeout: 2 * time.Second})
+	id, err := f.Publish(incPublish(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+	rng := rand.New(rand.NewSource(11))
+	insert := func(n int) {
+		t.Helper()
+		recs, _ := insertRecords(rng, n)
+		code, _ := doJSON(t, h, http.MethodPost, "/insert", nil,
+			map[string]any{"id": id, "records": recs, "wait": true}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("insert returned %d", code)
+		}
+	}
+
+	// Interleave mutations while everyone is alive…
+	insert(30)
+	if err := f.Refresh(id); err != nil {
+		t.Fatal(err)
+	}
+	insert(25)
+
+	// …then kill a holder and keep mutating: the victim misses two inserts
+	// and a refresh.
+	victim := f.Holders(id)[0]
+	f.KillReplica(victim)
+	insert(40)
+	if err := f.Refresh(id); err != nil {
+		t.Fatal(err)
+	}
+	insert(15)
+
+	if err := f.RestartReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReplicaAgreement(id); err != nil {
+		t.Fatalf("post-restart agreement (mutation-log replay): %v", err)
+	}
+}
+
+// TestBinaryInsertRouted: the binary firehose frame routes through the
+// fleet — fanned out byte-for-byte, logged, and replayed on restart in its
+// original encoding.
+func TestBinaryInsertRouted(t *testing.T) {
+	f := New(Config{Replicas: 3, ReplicationFactor: 2, Timeout: 2 * time.Second})
+	id, err := f.Publish(incPublish(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+	schema := datagen.MedicalSchema()
+	rng := rand.New(rand.NewSource(13))
+
+	victim := f.Holders(id)[0]
+	total := 500
+	for batch := 0; batch < 3; batch++ {
+		if batch == 2 {
+			f.KillReplica(victim)
+		}
+		_, codes := insertRecords(rng, 20)
+		total += len(codes)
+		req := wire.InsertReq{ID: []byte(id), Wait: true, NAttrs: schema.NumAttrs(), Records: codes}
+		code, body := doRaw(t, h, "/insert", wire.ContentType, req.Append(nil))
+		if code != http.StatusOK {
+			t.Fatalf("binary insert %d returned %d: %s", batch, code, body)
+		}
+		var resp wire.InsertResp
+		if err := resp.Decode(body); err != nil {
+			t.Fatalf("binary insert %d: decoding response: %v", batch, err)
+		}
+		if int(resp.Inserted) != len(codes) || int(resp.TotalRecords) != total {
+			t.Fatalf("batch %d: inserted %d (want %d), total %d (want %d)",
+				batch, resp.Inserted, len(codes), resp.TotalRecords, total)
+		}
+	}
+	if err := f.RestartReplica(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReplicaAgreement(id); err != nil {
+		t.Fatalf("post-restart agreement (binary replay): %v", err)
+	}
+}
+
+// TestInsertIdempotentReplay: a client resend of an insert with the same
+// idempotency key must not double-apply the batch.
+func TestInsertIdempotentReplay(t *testing.T) {
+	f := New(Config{Replicas: 2, ReplicationFactor: 2, Timeout: 2 * time.Second})
+	id, err := f.Publish(incPublish(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := f.Handler()
+	rng := rand.New(rand.NewSource(17))
+	recs, _ := insertRecords(rng, 10)
+	body := map[string]any{"id": id, "records": recs, "wait": true}
+	hdrs := map[string]string{"X-Idempotency-Key": "ins-1"}
+
+	var first, second struct {
+		TotalRecords int `json:"total_records"`
+	}
+	if code, _ := doJSON(t, h, http.MethodPost, "/insert", hdrs, body, &first); code != http.StatusOK {
+		t.Fatalf("first send returned %d", code)
+	}
+	if code, _ := doJSON(t, h, http.MethodPost, "/insert", hdrs, body, &second); code != http.StatusOK {
+		t.Fatalf("replay returned %d", code)
+	}
+	if first.TotalRecords != 510 || second.TotalRecords != 510 {
+		t.Fatalf("total_records %d then %d, want 510 both times (replay must not re-apply)",
+			first.TotalRecords, second.TotalRecords)
+	}
+	if st := f.Stats(); st.InsertsRouted != 1 {
+		t.Fatalf("inserts_routed = %d after idempotent replay, want 1", st.InsertsRouted)
+	}
+	if err := f.ReplicaAgreement(id); err != nil {
+		t.Fatalf("agreement after replay: %v", err)
 	}
 }
 

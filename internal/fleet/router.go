@@ -26,9 +26,9 @@ const maxIdempotencyEntries = 4096
 
 // Handler returns the fleet's HTTP surface: the routed read endpoints
 // (/query, /reconstruct, /audit), the fan-out write endpoints (/publish,
-// /refresh), a typed rejection for /insert, and fleet-level /healthz and
-// /statsz. Bodies and codes match the single-server serve surface, so
-// clients move between one server and a fleet without changes.
+// /refresh, /insert), and fleet-level /healthz and /statsz. Bodies and
+// codes match the single-server serve surface, so clients move between one
+// server and a fleet without changes.
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", f.proxyHandler("/query"))
@@ -588,10 +588,110 @@ func (f *Fleet) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, f.pubView(req.ID))
 }
 
+// handleInsert routes one insert batch. Inserts mutate replica state, so
+// unlike queries they fan out to every live holder of the publication, in
+// one total order per publication (under the pub mutex — deterministic
+// publishers fed identical batch streams stay bit-identical), and the body
+// is appended verbatim to the pub's mutation log so a restarted holder
+// replays the exact stream its peers applied. Both encodings route: the
+// body is opaque beyond the head, forwarded byte-for-byte. Inserts charge
+// no exposure, so there is no settle step — the first accepting holder's
+// response is relayed as-is.
 func (f *Fleet) handleInsert(w http.ResponseWriter, r *http.Request) {
 	f.requests.Add(1)
-	serve.WriteError(w, http.StatusNotImplemented, serve.CodeUnsupported,
-		fmt.Errorf("the fleet serves a replicated read topology; per-record inserts are not routed (publish or refresh instead)"))
+	if r.Method != http.MethodPost {
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.CodeMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("reading body: %v", err))
+		return
+	}
+	var head requestHead
+	binary := r.Header.Get("Content-Type") == wire.ContentType
+	if binary {
+		h, err := wire.PeekHead(body)
+		if err != nil {
+			serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad binary frame: %w", err))
+			return
+		}
+		head = requestHead{ID: string(h.ID), Client: string(h.Client)}
+	} else if err := json.Unmarshal(body, &head); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	p := f.lookup(head.ID)
+	if p == nil {
+		serve.WriteError(w, http.StatusNotFound, serve.CodeNotFound, fmt.Errorf("no publication %q", head.ID))
+		return
+	}
+
+	// Replaying an insert would double-apply it; the idempotency cache is
+	// what makes a client resend after a dropped response safe.
+	idemKey := r.Header.Get("X-Idempotency-Key")
+	if idemKey != "" {
+		if cached := f.idemGet(idemKey); cached != nil {
+			emit(w, cached)
+			return
+		}
+	}
+
+	hdr := make(http.Header, 1)
+	if binary {
+		hdr.Set("Content-Type", wire.ContentType)
+	} else {
+		hdr.Set("Content-Type", "application/json")
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var first *response
+	lastErr := "no live holder"
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() {
+			// A dead holder misses the batch now and converges on restart:
+			// the mutation log replay includes it.
+			continue
+		}
+		rep.inflight.Add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), f.cfg.Timeout)
+		resp, err := rep.do(ctx, http.MethodPost, "/insert", hdr, body)
+		cancel()
+		rep.inflight.Add(-1)
+		if err != nil {
+			// Transport failure: the holder is treated as dead for this batch
+			// and repaired by restart replay, same as the alive=false case.
+			f.noteFailure(rep)
+			lastErr = err.Error()
+			continue
+		}
+		f.noteSuccess(rep)
+		if resp.status >= 400 {
+			// Validation is deterministic, so every holder returns the same
+			// verdict — relay the first rejection and log nothing. (A holder
+			// that diverges from this assumption gains an extra batch, which
+			// ReplicaAgreement surfaces as a digest mismatch.)
+			emit(w, resp)
+			return
+		}
+		if first == nil {
+			first = resp
+		}
+	}
+	if first == nil {
+		f.unavailable.Add(1)
+		serve.WriteError(w, http.StatusServiceUnavailable, serve.CodeUnavailable,
+			fmt.Errorf("no live holder of %q accepted the insert (last: %s)", head.ID, lastErr))
+		return
+	}
+	p.log = append(p.log, mutation{body: body, binary: binary})
+	f.insertsRouted.Add(1)
+	if idemKey != "" {
+		f.idemPut(idemKey, first)
+	}
+	emit(w, first)
 }
 
 // pubJSON is the fleet-level view of one placed publication.

@@ -69,7 +69,7 @@ func (mg *Marginals) AnswerBatchInto(dst []Answer, qs []Query, p float64, worker
 // the Lemma 2(ii) estimate together. The results are identical to
 // Count/Estimate (the batch tests pin this).
 func (mg *Marginals) answerOne(q Query, p float64) Answer {
-	cube, base, err := mg.locate(q.Conds)
+	ci, base, err := mg.locate(q.Conds)
 	if err != nil {
 		return Answer{Err: err}
 	}
@@ -77,13 +77,20 @@ func (mg *Marginals) answerOne(q Query, p float64) Answer {
 	if int(q.SA) >= m {
 		return Answer{Err: fmt.Errorf("query: SA value %d out of domain", q.SA)}
 	}
-	count := cube.counts[base+int(q.SA)]
+	count := mg.cell(ci, base+int(q.SA))
 	if p == 1 {
 		return Answer{Count: count, Estimate: float64(count)}
 	}
 	size := 0
-	for sa := 0; sa < m; sa++ {
-		size += cube.counts[base+sa]
+	if len(mg.deltas) == 0 {
+		counts := mg.cubes[ci].counts
+		for sa := 0; sa < m; sa++ {
+			size += counts[base+sa]
+		}
+	} else {
+		for sa := 0; sa < m; sa++ {
+			size += mg.cell(ci, base+sa)
+		}
 	}
 	est := 0.0
 	if size > 0 {

@@ -62,6 +62,16 @@ type Marginals struct {
 	index  map[uint64]int32 // packed subset key -> index into cubes
 	arena  []int            // every cube's counts, back to back
 	total  int
+
+	// deltas is the LSM-style generation stack: small immutable indexes over
+	// inserted batches only, appended by WithDelta and folded back into one
+	// arena by Compact. Every generation is built from the same schema and
+	// depth, so all arenas share one layout and a cell is the same (cube,
+	// offset) in each — read paths sum the stack positionally. A Marginals
+	// with a non-empty stack is still immutable: WithDelta copies, never
+	// mutates, which is what lets the serving layer swap stacks behind an
+	// atomic pointer while readers hold the old one.
+	deltas []*Marginals
 }
 
 // subsetKey packs a sorted attribute subset into a uint64: one byte per
@@ -322,8 +332,100 @@ func fillCubes(cubes []*marginal, n, workers int, fill func(cube *marginal, coun
 	}
 }
 
-// Total returns |D| for the indexed data.
-func (mg *Marginals) Total() int { return mg.total }
+// Total returns |D| for the indexed data, summed across every generation of
+// the stack — a stacked index answers for base plus all deltas, so its total
+// is the effective record count, not the base's.
+func (mg *Marginals) Total() int {
+	t := mg.total
+	for _, d := range mg.deltas {
+		t += d.total
+	}
+	return t
+}
+
+// Generations returns the height of the stack: 1 for a plain (or freshly
+// compacted) index, 1+len(deltas) otherwise.
+func (mg *Marginals) Generations() int { return 1 + len(mg.deltas) }
+
+// WithDelta returns a new stacked index answering for mg plus the delta:
+// mg's generations followed by the delta's, with mg itself untouched. The
+// delta must have been built over the same schema shape and depth (same
+// SA domain, same cube layout) — typically by BuildMarginalsFromGroups over
+// only the inserted records — so the arenas are positionally compatible.
+func (mg *Marginals) WithDelta(delta *Marginals) (*Marginals, error) {
+	if err := mg.compatible(delta); err != nil {
+		return nil, err
+	}
+	out := *mg
+	out.deltas = make([]*Marginals, 0, len(mg.deltas)+delta.Generations())
+	out.deltas = append(out.deltas, mg.deltas...)
+	out.deltas = append(out.deltas, delta.base())
+	out.deltas = append(out.deltas, delta.deltas...)
+	return &out, nil
+}
+
+// base returns the delta's own generation 0 — the receiver if it is flat,
+// a flattened shallow copy otherwise — so stacks never nest.
+func (mg *Marginals) base() *Marginals {
+	if len(mg.deltas) == 0 {
+		return mg
+	}
+	out := *mg
+	out.deltas = nil
+	return &out
+}
+
+// compatible reports whether two indexes share one arena layout: same depth,
+// same SA domain, same cube count and arena size. Layout is a pure function
+// of (schema shape, maxDim) in newMarginals, so these checks pin positional
+// compatibility without walking every cube.
+func (mg *Marginals) compatible(d *Marginals) error {
+	if d == nil {
+		return fmt.Errorf("query: nil delta index")
+	}
+	if mg.MaxDim != d.MaxDim || mg.Schema.SADomain() != d.Schema.SADomain() ||
+		len(mg.cubes) != len(d.cubes) || len(mg.arena) != len(d.arena) {
+		return fmt.Errorf("query: delta index layout mismatch: depth %d/%d, %d/%d cubes, arena %d/%d",
+			mg.MaxDim, d.MaxDim, len(mg.cubes), len(d.cubes), len(mg.arena), len(d.arena))
+	}
+	return nil
+}
+
+// Compact folds the generation stack into one flat index: a fresh arena
+// holding the positional sum of every generation's counts. The sum is
+// integer addition over identical layouts, so a compacted index answers —
+// and checksums — bit-identically to the stack it replaces, whatever order
+// deltas arrived in. A flat index compacts to itself.
+func (mg *Marginals) Compact() *Marginals {
+	if len(mg.deltas) == 0 {
+		return mg
+	}
+	out := *mg
+	out.deltas = nil
+	out.total = mg.Total()
+	out.arena = make([]int, len(mg.arena))
+	copy(out.arena, mg.arena)
+	for _, d := range mg.deltas {
+		for i, v := range d.arena {
+			if v != 0 {
+				out.arena[i] += v
+			}
+		}
+	}
+	// Rewire the cube views onto the new arena at their old offsets.
+	out.cubes = make([]marginal, len(mg.cubes))
+	off := 0
+	for i := range mg.cubes {
+		size := len(mg.cubes[i].counts)
+		out.cubes[i] = marginal{
+			attrs:  mg.cubes[i].attrs,
+			dims:   mg.cubes[i].dims,
+			counts: out.arena[off : off+size : off+size],
+		}
+		off += size
+	}
+	return &out
+}
 
 // Checksum returns a deterministic FNV-1a fingerprint of the whole index:
 // depth, total, and every cube's attribute set, dimensions, and counts, in
@@ -331,25 +433,43 @@ func (mg *Marginals) Total() int { return mg.total }
 // publication agree bit for bit regardless of worker count, so equal
 // checksums across PipelineWorkers settings is the serving layer's
 // bit-identity invariant (checked continuously by internal/sim).
+// The digest folds *effective* counts — each cell summed across the
+// generation stack — so a stacked index and its compaction fingerprint
+// identically. Compaction timing therefore never shows in a digest, which
+// is what keeps fleet replica agreement and the sim's byte-identical
+// summaries independent of when the background compactor runs.
 func (mg *Marginals) Checksum() uint64 {
 	d := stats.NewDigest()
 	d.Word(uint64(mg.MaxDim))
-	d.Word(uint64(mg.total))
-	for _, cube := range mg.cubeList() {
+	d.Word(uint64(mg.Total()))
+	for ci, cube := range mg.cubeList() {
 		d.Word(uint64(len(cube.attrs)))
 		for i := range cube.attrs {
 			d.Word(uint64(cube.attrs[i]))
 			d.Word(uint64(cube.dims[i]))
 		}
-		for _, c := range cube.counts {
+		if len(mg.deltas) == 0 {
+			for _, c := range cube.counts {
+				d.Word(uint64(c))
+			}
+			continue
+		}
+		for j := range cube.counts {
+			c := cube.counts[j]
+			for _, g := range mg.deltas {
+				c += g.cubes[ci].counts[j]
+			}
 			d.Word(uint64(c))
 		}
 	}
 	return d.Sum64()
 }
 
-// locate resolves a condition set to its cube and the flat base offset of
-// the conditions' cell (the SA=0 slot; the caller adds the SA code). It is
+// locate resolves a condition set to its cube index and the flat base offset
+// of the conditions' cell (the SA=0 slot; the caller adds the SA code). The
+// cube index — not a pointer — is returned because every generation of a
+// stacked index shares one layout: the same (index, offset) addresses the
+// matching cell in each delta, so readers can sum the stack positionally. It is
 // the steady-state hot path of every answering method, so it allocates
 // nothing: conditions are sorted in a fixed stack buffer, the packed key,
 // domain checks, and row-major offset are computed in one pass, and errors
@@ -359,12 +479,12 @@ func (mg *Marginals) Checksum() uint64 {
 // is formed: subsetKey holds one byte per attribute, so an unchecked index ≥
 // 255 — reachable from the binary wire path, which carries raw uint16 codes —
 // would alias another subset's key and silently answer the wrong cube.
-func (mg *Marginals) locate(conds []Cond) (*marginal, int, error) {
+func (mg *Marginals) locate(conds []Cond) (int, int, error) {
 	if len(conds) == 0 {
-		return nil, 0, fmt.Errorf("query: at least one NA condition is required")
+		return 0, 0, fmt.Errorf("query: at least one NA condition is required")
 	}
 	if len(conds) > mg.MaxDim || len(conds) > subsetKeyMaxDim {
-		return nil, 0, fmt.Errorf("query: %d conditions exceed the indexed maximum %d", len(conds), mg.MaxDim)
+		return 0, 0, fmt.Errorf("query: %d conditions exceed the indexed maximum %d", len(conds), mg.MaxDim)
 	}
 	var buf [subsetKeyMaxDim]Cond
 	n := copy(buf[:], conds)
@@ -379,28 +499,40 @@ func (mg *Marginals) locate(conds []Cond) (*marginal, int, error) {
 	for i := 0; i < n; i++ {
 		a := buf[i].Attr
 		if a < 0 || a >= nAttrs {
-			return nil, 0, fmt.Errorf("query: attribute index %d out of schema range [0,%d)", a, nAttrs)
+			return 0, 0, fmt.Errorf("query: attribute index %d out of schema range [0,%d)", a, nAttrs)
 		}
 		if i > 0 && a == buf[i-1].Attr {
-			return nil, 0, fmt.Errorf("query: duplicate condition on attribute %d", a)
+			return 0, 0, fmt.Errorf("query: duplicate condition on attribute %d", a)
 		}
 		shift := uint(8 * i)
 		key = (key &^ (uint64(0xFF) << shift)) | uint64(a)<<shift
 	}
 	ci, ok := mg.index[key]
 	if !ok {
-		return nil, 0, fmt.Errorf("query: no cube for attribute set %v", condAttrs(buf[:n]))
+		return 0, 0, fmt.Errorf("query: no cube for attribute set %v", condAttrs(buf[:n]))
 	}
 	cube := &mg.cubes[ci]
 	idx := 0
 	for i := 0; i < n; i++ {
 		v := int(buf[i].Value)
 		if v >= cube.dims[i] {
-			return nil, 0, fmt.Errorf("query: value %d out of domain for attribute %d", v, buf[i].Attr)
+			return 0, 0, fmt.Errorf("query: value %d out of domain for attribute %d", v, buf[i].Attr)
 		}
 		idx = idx*cube.dims[i] + v
 	}
-	return cube, idx * mg.Schema.SADomain(), nil
+	return int(ci), idx * mg.Schema.SADomain(), nil
+}
+
+// cell returns the effective count of one cube cell: the base value plus the
+// matching cell of every delta generation. The stack is typically empty or a
+// handful deep (the compactor bounds it), so this stays branch-cheap on the
+// zero-alloc answering paths.
+func (mg *Marginals) cell(ci, off int) int {
+	c := mg.cubes[ci].counts[off]
+	for _, d := range mg.deltas {
+		c += d.cubes[ci].counts[off]
+	}
+	return c
 }
 
 // condAttrs extracts the attribute indices of a sorted condition slice for
@@ -423,7 +555,7 @@ func (mg *Marginals) SADomain() int { return mg.Schema.SADomain() }
 // the reconstruct.Counter contract, making every Marginals an adversary
 // engine source.
 func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
-	cube, base, err := mg.locate(conds)
+	ci, base, err := mg.locate(conds)
 	if err != nil {
 		return 0, err
 	}
@@ -432,8 +564,17 @@ func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
 		return 0, fmt.Errorf("query: subset histogram needs %d slots, got %d", m, len(dst))
 	}
 	size := 0
+	if len(mg.deltas) == 0 {
+		counts := mg.cubes[ci].counts
+		for sa := 0; sa < m; sa++ {
+			c := counts[base+sa]
+			dst[sa] = c
+			size += c
+		}
+		return size, nil
+	}
 	for sa := 0; sa < m; sa++ {
-		c := cube.counts[base+sa]
+		c := mg.cell(ci, base+sa)
 		dst[sa] = c
 		size += c
 	}
@@ -442,26 +583,26 @@ func (mg *Marginals) SubsetCountsInto(conds []Cond, dst []int) (int, error) {
 
 // Count answers the full query (NA conditions ∧ SA=sa).
 func (mg *Marginals) Count(q Query) (int, error) {
-	cube, base, err := mg.locate(q.Conds)
+	ci, base, err := mg.locate(q.Conds)
 	if err != nil {
 		return 0, err
 	}
 	if int(q.SA) >= mg.Schema.SADomain() {
 		return 0, fmt.Errorf("query: SA value %d out of domain", q.SA)
 	}
-	return cube.counts[base+int(q.SA)], nil
+	return mg.cell(ci, base+int(q.SA)), nil
 }
 
 // CountNA answers the NA-only part of the query (the subset S the estimator
 // reconstructs over).
 func (mg *Marginals) CountNA(conds []Cond) (int, error) {
-	cube, base, err := mg.locate(conds)
+	ci, base, err := mg.locate(conds)
 	if err != nil {
 		return 0, err
 	}
 	total := 0
 	for sa := 0; sa < mg.Schema.SADomain(); sa++ {
-		total += cube.counts[base+sa]
+		total += mg.cell(ci, base+sa)
 	}
 	return total, nil
 }

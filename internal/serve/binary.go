@@ -33,11 +33,18 @@ type binScratch struct {
 
 	req     wire.QueryReq
 	rreq    wire.ReconstructReq
+	ireq    wire.InsertReq
 	qs      []query.Query
 	errs    []error
 	answers []query.Answer
 	wans    []wire.Answer
 	results []wire.RecResult
+
+	// Insert-path scratch: key views over one arena plus the aligned
+	// sensitive codes, refilled per request.
+	ikeys   [][]uint16
+	ikarena []uint16
+	isas    []uint16
 }
 
 var binPool = sync.Pool{New: func() any { return new(binScratch) }}
@@ -258,6 +265,98 @@ func (s *Server) handleReconstructBinary(w http.ResponseWriter, r *http.Request)
 	s.lat.Observe(elapsed)
 	resp.ServeMicros = uint64(elapsed.Microseconds())
 	st.out = resp.Append(st.out[:0])
+	writeFrame(w, st.out)
+}
+
+// handleInsertBinary ingests one binary /insert batch, mirroring
+// handleInsert. Records carry raw codes over the publication's original
+// schema in schema order (incremental publications never generalize, so
+// original and served schemas coincide); the handler validates every code
+// against its attribute domain before touching the publisher, the same
+// all-or-nothing admission the JSON path gets from label resolution.
+// Inserts charge no exposure, so the response carries no ledger block.
+func (s *Server) handleInsertBinary(w http.ResponseWriter, r *http.Request) {
+	st := binPool.Get().(*binScratch)
+	defer binPool.Put(st)
+	if !s.readFrame(w, r, st) {
+		return
+	}
+	if err := st.ireq.Decode(st.body); err != nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad binary frame: %w", err))
+		return
+	}
+	n := len(st.ireq.Records)
+	if n == 0 {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("no records"))
+		return
+	}
+	if n > s.cfg.MaxInsert {
+		WriteError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("insert of %d exceeds the limit %d", n, s.cfg.MaxInsert))
+		return
+	}
+	pub, ok := s.resolvePublication(w, string(st.ireq.ID), st.ireq.Wait, false)
+	if !ok {
+		return
+	}
+	e := s.reg.get(string(st.ireq.ID))
+	if e.inc == nil {
+		WriteError(w, http.StatusConflict, CodeNotIncremental,
+			fmt.Errorf("publication %q was published with method %q; only incremental publications accept inserts", st.ireq.ID, pub.Req.Method))
+		return
+	}
+	schema := pub.Orig
+	if st.ireq.NAttrs != schema.NumAttrs() {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("records carry %d attributes, schema has %d", st.ireq.NAttrs, schema.NumAttrs()))
+		return
+	}
+	naIdx := schema.NAIndices()
+	if cap(st.ikarena) < n*len(naIdx) {
+		st.ikarena = make([]uint16, n*len(naIdx))
+	}
+	st.ikarena = st.ikarena[:0]
+	st.ikeys = st.ikeys[:0]
+	st.isas = st.isas[:0]
+	for ri, rec := range st.ireq.Records {
+		for _, ai := range naIdx {
+			code := rec[ai]
+			if int(code) >= schema.Attrs[ai].Domain() {
+				WriteError(w, http.StatusBadRequest, CodeBadRequest,
+					fmt.Errorf("record %d: attribute %q code %d out of domain [0,%d)", ri, schema.Attrs[ai].Name, code, schema.Attrs[ai].Domain()))
+				return
+			}
+			st.ikarena = append(st.ikarena, code)
+		}
+		off := len(st.ikarena) - len(naIdx)
+		st.ikeys = append(st.ikeys, st.ikarena[off:len(st.ikarena):len(st.ikarena)])
+		sa := rec[schema.SA]
+		if int(sa) >= schema.SADomain() {
+			WriteError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("record %d: sensitive code %d out of domain [0,%d)", ri, sa, schema.SADomain()))
+			return
+		}
+		st.isas = append(st.isas, sa)
+	}
+
+	resp, err := s.applyInsert(e, st.ikeys, st.isas)
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, CodeInternal, err)
+		return
+	}
+	s.inserts.Add(uint64(resp.Inserted))
+	s.absorbed.Add(uint64(resp.Absorbed))
+
+	st.cbuf = append(st.cbuf[:0], clientID(r, string(st.ireq.Client))...)
+	wresp := wire.InsertResp{
+		ID:           st.ireq.ID,
+		Client:       st.cbuf,
+		Inserted:     uint32(resp.Inserted),
+		Trials:       uint32(resp.Trials),
+		Absorbed:     uint32(resp.Absorbed),
+		TotalRecords: uint64(resp.TotalRecords),
+	}
+	st.out = wresp.Append(st.out[:0])
 	writeFrame(w, st.out)
 }
 

@@ -217,6 +217,11 @@ func (s *Server) buildIncremental(e *Entry, work *dataset.Table, pm core.Params,
 			return nil, nil, core.Meta{}, err
 		}
 	}
+	// The snapshot below captures the publisher's entire current state, so
+	// the delta baselines must advance with it — otherwise the first
+	// FlushDelta after this build would re-emit everything the index already
+	// holds as a delta generation.
+	e.inc.MarkFlushed()
 	e.dirty.Store(false)
 	snap := e.inc.Snapshot()
 	// Metadata derives from the publisher's current raw histograms, not the
@@ -244,6 +249,10 @@ func (s *Server) reindexIncremental(e *Entry) (*Publication, error) {
 		e.dirty.Store(false)
 		snap := e.inc.Snapshot()
 		raw := e.inc.RawGroups()
+		// Full snapshot taken: advance the delta baselines under the same
+		// lock hold so no concurrent insert can flush state this snapshot
+		// already covers as a duplicate delta.
+		e.inc.MarkFlushed()
 		e.incMu.Unlock()
 		meta := core.ExtractMeta(raw, old.Req.Params(), nil)
 		meta.RecordsOut = snap.Total()

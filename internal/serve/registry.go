@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/reconpriv/reconpriv/internal/core"
+	"github.com/reconpriv/reconpriv/internal/dataset"
 )
 
 // Entry lifecycle states.
@@ -61,10 +62,21 @@ type Entry struct {
 	retryDone chan struct{} // open while a retry build is in flight; guarded by buildMu
 
 	// Incremental state: inc is set exactly once, by the generation-0 build;
-	// dirty flags that inserts have outrun the marginal index.
+	// dirty flags that inserts have outrun the marginal index (the delta
+	// path leaves it clear — it is the fallback for lost races and errors).
 	incMu sync.Mutex
 	inc   *core.Incremental
 	dirty atomic.Bool
+
+	// Raw-group overlay state for the delta-insert path, guarded by incMu:
+	// ovIdx maps encoded group key -> index into ovBase.Groups, and is only
+	// valid while the served publication's Groups is ovBase (overlayRaw
+	// rebuilds it otherwise, e.g. after a refresh or full reindex).
+	ovBase *dataset.GroupSet
+	ovIdx  map[uint64]int32
+
+	// compacting admits at most one background compaction per entry.
+	compacting atomic.Bool
 }
 
 // ID returns the publication id of the entry.

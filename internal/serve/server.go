@@ -37,6 +37,19 @@ type Config struct {
 	MaxBatch int
 	// MaxInsert caps the records accepted per /insert request (default 100,000).
 	MaxInsert int
+	// CompactEvery bounds the marginal generation stack of an incremental
+	// publication: once an insert append leaves more than this many
+	// generations, a background compaction folds the stack into one flat
+	// arena. Lower values trade compaction work for read amplification
+	// (every cell read sums one value per generation). Answers and digests
+	// are identical at any setting. Default 8; -1 disables compaction.
+	CompactEvery int
+	// IngestLegacyReindex restores the pre-delta insert path: every insert
+	// batch marks the publication dirty and the next query rebuilds the
+	// whole index from a full snapshot. It exists as the baseline for the
+	// sustained-ingest benchmark (rpbench -exp ingest) and as an escape
+	// hatch; the delta path is the default.
+	IngestLegacyReindex bool
 	// ExposureWarn is the per-client cumulative answered-query count above
 	// which query responses set exposure_warning — the operator's signal
 	// that one client has gathered enough answers for a linear
@@ -105,6 +118,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxInsert <= 0 {
 		c.MaxInsert = 100000
 	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = 8
+	}
 	if c.ExposureWarn == 0 {
 		c.ExposureWarn = 50000
 	}
@@ -144,6 +160,8 @@ type Server struct {
 	queryErrors        atomic.Uint64
 	inserts            atomic.Uint64
 	absorbed           atomic.Uint64
+	ingestAppends      atomic.Uint64
+	compactions        atomic.Uint64
 	reconstructBatches atomic.Uint64
 	reconstructions    atomic.Uint64
 	audits             atomic.Uint64
@@ -759,6 +777,10 @@ type insertResponse struct {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleInsertBinary(w, r)
+		return
+	}
 	var req insertRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -815,26 +837,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		sas = append(sas, sa)
 	}
 
-	resp := insertResponse{ID: req.ID, Inserted: len(keys)}
-	e.incMu.Lock()
-	for i := range keys {
-		fresh, err := e.inc.Add(keys[i], sas[i])
-		if err != nil {
-			e.dirty.Store(true)
-			e.incMu.Unlock()
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		if fresh {
-			resp.Trials++
-		} else {
-			resp.Absorbed++
-		}
+	resp, err := s.applyInsert(e, keys, sas)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
 	}
-	resp.TotalRecords = e.inc.Stats().Records
-	e.dirty.Store(true)
-	e.incMu.Unlock()
-
+	resp.ID = req.ID
 	s.inserts.Add(uint64(resp.Inserted))
 	s.absorbed.Add(uint64(resp.Absorbed))
 	writeJSON(w, http.StatusOK, resp)
@@ -861,6 +869,13 @@ type statszResponse struct {
 	QueryErrors     uint64 `json:"query_errors"`
 	Inserts         uint64 `json:"inserts"`
 	InsertsAbsorbed uint64 `json:"inserts_absorbed"`
+	// IngestAppends counts insert batches indexed by appending a delta
+	// generation (the streaming fast path); it is deterministic for a
+	// deterministic workload. Compactions counts completed background
+	// generation-stack compactions — compaction timing is asynchronous, so
+	// harnesses must treat this counter as advisory, never byte-compare it.
+	IngestAppends uint64 `json:"ingest_appends"`
+	Compactions   uint64 `json:"compactions"`
 	// ReconstructBatches / Reconstructions count POST /reconstruct traffic
 	// (batches and condition sets answered); Audits counts actual audit
 	// sweeps run, AuditCacheHits responses served from the audit cache.
@@ -978,6 +993,8 @@ func (s *Server) Stats() statszResponse {
 	out.QueryErrors = s.queryErrors.Load()
 	out.Inserts = s.inserts.Load()
 	out.InsertsAbsorbed = s.absorbed.Load()
+	out.IngestAppends = s.ingestAppends.Load()
+	out.Compactions = s.compactions.Load()
 	out.ReconstructBatches = s.reconstructBatches.Load()
 	out.Reconstructions = s.reconstructions.Load()
 	out.Audits = s.audits.Load()

@@ -43,6 +43,12 @@ type Summary struct {
 	Subsets int64   `json:"reconstruction_subsets"`
 	// RecordsInserted is the total record count streamed through /insert.
 	RecordsInserted int64 `json:"records_inserted"`
+	// IngestAppends is the delta-generation append count, present only for
+	// refresh-free insert scenarios, where it is exactly one per insert
+	// batch and therefore interleaving-independent. (The compaction counter
+	// is deliberately absent: whether a background compaction wins its
+	// install race is timing-dependent.)
+	IngestAppends int64 `json:"ingest_appends,omitempty"`
 	// ChargedQueries is the total exposure charged across all clients:
 	// answered queries plus SADomain per reconstruction subset.
 	ChargedQueries int64 `json:"charged_queries"`

@@ -119,6 +119,8 @@ type statszWire struct {
 	Audits              uint64 `json:"audits"`
 	AuditCacheHits      uint64 `json:"audit_cache_hits"`
 	Refreshes           uint64 `json:"refreshes"`
+	IngestAppends       uint64 `json:"ingest_appends"`
+	Compactions         uint64 `json:"compactions"`
 	LatencyObservations uint64 `json:"latency_observations"`
 	Clients             int    `json:"clients"`
 	TotalCharged        int64  `json:"total_charged"`
@@ -219,6 +221,9 @@ func Run(opts Options) (*Result, error) {
 	cfg := opts.Config
 	if cfg.Clock == nil {
 		cfg.Clock = func() time.Time { return simEpoch }
+	}
+	if sc.CompactEvery != 0 {
+		cfg.CompactEvery = sc.CompactEvery
 	}
 	if b := sc.Budget; b != nil {
 		cfg.BudgetQuota = b.Quota
@@ -758,13 +763,17 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 	measuredQueries := sum.Queries
 	var finalBatches int64
 
-	// Insert conservation: one final query forces the lazy re-index, after
-	// which the raw stream — the ingested record count and the raw group
-	// histograms behind the audit — must total the initial batch plus every
-	// inserted record. The published snapshot is deliberately not compared:
-	// a refresh rebuilds through SPS scaling, whose rounding may publish a
-	// few more or fewer records than were ingested; the group-size
-	// conservation claim is about the raw histograms never dropping rows.
+	// Insert conservation: after a final quiescing query, the raw stream —
+	// the ingested record count and the raw group histograms behind the
+	// audit — must total the initial batch plus every inserted record. The
+	// delta path keeps this true continuously (every insert appends a
+	// generation and overlays the raw snapshot), so the check also covers
+	// any background compactions that landed mid-run: compaction rewrites
+	// the index representation, never the totals. The published snapshot is
+	// deliberately not compared: a refresh rebuilds through SPS scaling,
+	// whose rounding may publish a few more or fewer records than were
+	// ingested; the group-size conservation claim is about the raw
+	// histograms never dropping rows.
 	if r.sc.Mix.Insert > 0 {
 		finalRng := stats.NewRand(clientSeed(r.opts.Seed, r.clients))
 		var resp queryWire
@@ -814,6 +823,20 @@ func (r *runner) finish(results []clientResult, wall time.Duration) (*Result, er
 			"statsz inserts %d, want %d", st.Inserts, sum.RecordsInserted)
 		r.check.check(int64(st.Refreshes) == sum.Ops.Refresh,
 			"statsz refreshes %d, want %d issued", st.Refreshes, sum.Ops.Refresh)
+		if r.sc.Mix.Insert > 0 && r.sc.Mix.Refresh == 0 && !r.opts.Config.IngestLegacyReindex {
+			// With no refreshes every publication-pointer writer (append,
+			// compaction install, reconciliation) serializes on the stream
+			// mutex, so each insert appends exactly one delta generation:
+			// ingest_appends is a pure function of the operation tallies and
+			// joins the deterministic summary. Compactions stay advisory —
+			// a compaction that loses its install race to a concurrent append
+			// is discarded — so only a loose bound applies.
+			r.check.check(int64(st.IngestAppends) == sum.Ops.Insert,
+				"statsz ingest_appends %d, want one per insert batch (%d)", st.IngestAppends, sum.Ops.Insert)
+			sum.IngestAppends = int64(st.IngestAppends)
+			r.check.check(st.Compactions <= st.IngestAppends,
+				"statsz compactions %d exceeds ingest_appends %d", st.Compactions, st.IngestAppends)
+		}
 		r.check.check(int64(st.Audits+st.AuditCacheHits) == sum.Ops.Audit,
 			"statsz audits %d + cache hits %d, want %d issued", st.Audits, st.AuditCacheHits, sum.Ops.Audit)
 		if b := sum.Budget; b != nil {

@@ -50,6 +50,10 @@ type Scenario struct {
 	// Audit seeds are drawn from a small fixed set so verdicts are
 	// independent of the run seed and the audit cache is exercised.
 	AuditTrials int
+	// CompactEvery overrides the server's generation-compaction threshold
+	// when non-zero (-1 disables compaction). Insert scenarios set it low so
+	// background compaction races the query and insert streams.
+	CompactEvery int
 	// CheckBernstein enables the reconstruction-accuracy invariant. It is
 	// only sound for method "up": plain perturbation retains every record
 	// and perturbs each independently, which is exactly the Poisson-trials
@@ -166,6 +170,17 @@ func Scenarios() []Scenario {
 			Steps:            25,
 			QueriesPerBatch:  20,
 			RecordsPerInsert: 40,
+		},
+		{
+			Name:             "ingest",
+			Description:      "sustained /insert firehose against the delta-marginal path: background compaction races inserts and queries, append accounting and conservation checked",
+			Publish:          simDataset(serve.MethodIncremental),
+			Mix:              Mix{Query: 2, Insert: 5},
+			Clients:          8,
+			Steps:            25,
+			QueriesPerBatch:  20,
+			RecordsPerInsert: 50,
+			CompactEvery:     2,
 		},
 		{
 			Name:            "adversary",

@@ -25,6 +25,8 @@ func TestFuzzSeedCorpus(t *testing.T) {
 		{"FuzzWireDecode", "query_resp", []string{bs(goldenQueryResp().Append(nil))}},
 		{"FuzzWireDecode", "reconstruct_req", []string{bs(goldenReconstructReq().Append(nil))}},
 		{"FuzzWireDecode", "reconstruct_resp", []string{bs(goldenReconstructResp().Append(nil))}},
+		{"FuzzWireDecode", "insert_req", []string{bs(goldenInsertReq().Append(nil))}},
+		{"FuzzWireDecode", "insert_resp", []string{bs(goldenInsertResp().Append(nil))}},
 		{"FuzzWireDecode", "empty", []string{bs(nil)}},
 		{"FuzzWireDecode", "overdeclared", []string{bs([]byte{magic0, magic1, Version, KindQueryReq, 0xFF, 0xFF, 0xFF, 0xFF})}},
 		{"FuzzCondDecode", "two_conds", []string{

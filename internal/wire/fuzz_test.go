@@ -19,6 +19,8 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(goldenQueryResp().Append(nil))
 	f.Add(goldenReconstructReq().Append(nil))
 	f.Add(goldenReconstructResp().Append(nil))
+	f.Add(goldenInsertReq().Append(nil))
+	f.Add(goldenInsertResp().Append(nil))
 	f.Add([]byte{})
 	f.Add([]byte{magic0, magic1, Version, KindQueryReq, 0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -26,6 +28,8 @@ func FuzzWireDecode(f *testing.F) {
 	var qresp QueryResp
 	var rreq ReconstructReq
 	var rresp ReconstructResp
+	var ireq InsertReq
+	var iresp InsertResp
 	f.Fuzz(func(t *testing.T, frame []byte) {
 		if err := qreq.Decode(frame); err == nil {
 			// A frame the decoder accepts must re-encode to the same bytes:
@@ -47,6 +51,16 @@ func FuzzWireDecode(f *testing.F) {
 		if err := rresp.Decode(frame); err == nil {
 			if out := rresp.Append(nil); !bytes.Equal(out, frame) {
 				t.Fatalf("reconstruct resp round-trip drift:\n in  %x\n out %x", frame, out)
+			}
+		}
+		if err := ireq.Decode(frame); err == nil {
+			if out := ireq.Append(nil); !bytes.Equal(out, frame) {
+				t.Fatalf("insert req round-trip drift:\n in  %x\n out %x", frame, out)
+			}
+		}
+		if err := iresp.Decode(frame); err == nil {
+			if out := iresp.Append(nil); !bytes.Equal(out, frame) {
+				t.Fatalf("insert resp round-trip drift:\n in  %x\n out %x", frame, out)
 			}
 		}
 		// The routing-layer helpers must tolerate the same inputs.

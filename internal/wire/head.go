@@ -16,13 +16,13 @@ type Head struct {
 }
 
 // PeekHead parses a frame's header and leading id/client fields without
-// touching the rest of the payload. It works on all four frame kinds.
+// touching the rest of the payload. It works on every frame kind.
 func PeekHead(frame []byte) (Head, error) {
 	k, err := FrameKind(frame)
 	if err != nil {
 		return Head{}, err
 	}
-	if k < KindQueryReq || k > KindReconstructResp {
+	if k < KindQueryReq || k > KindInsertResp {
 		return Head{}, ErrKind
 	}
 	n := int(binary.LittleEndian.Uint32(frame[4:8]))

@@ -1,6 +1,7 @@
-// Package wire implements the compact binary framing for the server's two
-// hottest endpoints, POST /query and POST /reconstruct. JSON remains the
-// default encoding everywhere; a client opts in per request with
+// Package wire implements the compact binary framing for the server's
+// hottest endpoints: POST /query, POST /reconstruct, and the POST /insert
+// firehose. JSON remains the default encoding everywhere; a client opts in
+// per request with
 // Content-Type: application/x-rp-binary, and the server answers success in
 // the same encoding (errors stay in the JSON ErrorBody envelope so the
 // typed error taxonomy is shared by both paths).
@@ -19,6 +20,10 @@
 //	result    := 0x00 size(u64) nFreqs(u16) f64×nFreqs  |  0x01 str16(error)
 //	ledger    := str8(id) str8(client) charged(u64) clientQueries(u64)
 //	             budgetRemaining(u64) flags(u8) serveMicros(u64)
+//	insertReq := str8(id) str8(client) flags(u8) nAttrs(u8) n(u32) record×n
+//	record    := code(u16)×nAttrs
+//	insertResp:= str8(id) str8(client) inserted(u32) trials(u32)
+//	             absorbed(u32) totalRecords(u64)
 //
 // str8/str16 are length-prefixed byte strings (u8/u16 length). Request
 // flags: bit0 = wait, bit1 = clamp (reconstruct only). Response flags:
@@ -72,6 +77,8 @@ const (
 	KindQueryResp       = 2
 	KindReconstructReq  = 3
 	KindReconstructResp = 4
+	KindInsertReq       = 5
+	KindInsertResp      = 6
 )
 
 // Request flag bits.

@@ -101,6 +101,18 @@ func TestGoldenFrames(t *testing.T) {
 			func(b []byte) (any, error) { var m ReconstructResp; err := m.Decode(b); return &m, err },
 			goldenReconstructResp(),
 		},
+		{
+			"insert_req.bin",
+			func() []byte { return goldenInsertReq().Append(nil) },
+			func(b []byte) (any, error) { var m InsertReq; err := m.Decode(b); return &m, err },
+			goldenInsertReq(),
+		},
+		{
+			"insert_resp.bin",
+			func() []byte { return goldenInsertResp().Append(nil) },
+			func(b []byte) (any, error) { var m InsertResp; err := m.Decode(b); return &m, err },
+			goldenInsertResp(),
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -176,6 +188,28 @@ func equivalentMessage(got, want any) bool {
 			}
 		}
 		return true
+	case *InsertReq:
+		w := want.(*InsertReq)
+		if !bytes.Equal(g.ID, w.ID) || !bytes.Equal(g.Client, w.Client) ||
+			g.Wait != w.Wait || g.NAttrs != w.NAttrs || len(g.Records) != len(w.Records) {
+			return false
+		}
+		for i := range g.Records {
+			if len(g.Records[i]) != len(w.Records[i]) {
+				return false
+			}
+			for j := range g.Records[i] {
+				if g.Records[i][j] != w.Records[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	case *InsertResp:
+		w := want.(*InsertResp)
+		return bytes.Equal(g.ID, w.ID) && bytes.Equal(g.Client, w.Client) &&
+			g.Inserted == w.Inserted && g.Trials == w.Trials &&
+			g.Absorbed == w.Absorbed && g.TotalRecords == w.TotalRecords
 	case *ReconstructResp:
 		w := want.(*ReconstructResp)
 		if !bytes.Equal(g.ID, w.ID) || !bytes.Equal(g.Client, w.Client) ||
@@ -346,6 +380,8 @@ func TestPeekHead(t *testing.T) {
 		KindQueryResp:       goldenQueryResp().Append(nil),
 		KindReconstructReq:  goldenReconstructReq().Append(nil),
 		KindReconstructResp: goldenReconstructResp().Append(nil),
+		KindInsertReq:       goldenInsertReq().Append(nil),
+		KindInsertResp:      goldenInsertResp().Append(nil),
 	}
 	for kind, frame := range frames {
 		h, err := PeekHead(frame)
