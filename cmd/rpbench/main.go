@@ -21,9 +21,14 @@ import (
 	"time"
 
 	"github.com/reconpriv/reconpriv/internal/experiments"
+	"github.com/reconpriv/reconpriv/internal/fleet"
 )
 
 func main() {
+	// When re-executed as a replica child of a cross-process fleet
+	// scenario, serve and never return.
+	fleet.ChildServeMain()
+
 	var (
 		exp        = flag.String("exp", "all", "comma-separated experiments: table1,table2,table4,table5,fig1,fig2,fig3,fig4,fig5,audit,adversary,sim,fleet,wire,ingest,budget,outputvs,coldpublish,ablations")
 		runs       = flag.Int("runs", experiments.DefaultRuns, "independent perturbation runs per error point")

@@ -38,6 +38,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/reconpriv/reconpriv"
 	"github.com/reconpriv/reconpriv/internal/serve"
@@ -46,17 +47,19 @@ import (
 
 func main() {
 	var (
-		sa     = flag.String("sa", "", "sensitive attribute name (required in CSV mode)")
-		p      = flag.Float64("p", 1, "retention probability of the published data (1 = exact counting)")
-		count  = flag.String("count", "", "estimate the count of this sensitive value")
-		dist   = flag.Bool("dist", false, "reconstruct the full sensitive-value distribution")
-		addr   = flag.String("addr", "", "rpserve base URL (switches to server mode)")
-		id     = flag.String("id", "", "publication id (server mode, required)")
-		client = flag.String("client", "rpquery", "client name for exposure accounting (server mode)")
-		binary = flag.Bool("binary", false, "use the binary wire encoding (server mode)")
-		insert = flag.Bool("insert", false, "insert records into an incremental publication (server mode); each arg is one record as comma-separated attr=value pairs")
+		sa      = flag.String("sa", "", "sensitive attribute name (required in CSV mode)")
+		p       = flag.Float64("p", 1, "retention probability of the published data (1 = exact counting)")
+		count   = flag.String("count", "", "estimate the count of this sensitive value")
+		dist    = flag.Bool("dist", false, "reconstruct the full sensitive-value distribution")
+		addr    = flag.String("addr", "", "rpserve base URL (switches to server mode)")
+		id      = flag.String("id", "", "publication id (server mode, required)")
+		client  = flag.String("client", "rpquery", "client name for exposure accounting (server mode)")
+		binary  = flag.Bool("binary", false, "use the binary wire encoding (server mode)")
+		insert  = flag.Bool("insert", false, "insert records into an incremental publication (server mode); each arg is one record as comma-separated attr=value pairs")
+		timeout = flag.Duration("timeout", 30*time.Second, "HTTP request deadline in server mode (0 disables)")
 	)
 	flag.Parse()
+	httpClient = &http.Client{Timeout: *timeout}
 	args := flag.Args()
 	if *addr != "" {
 		remote(*addr, *id, *client, *count, *dist, *binary, *insert, args)
@@ -355,8 +358,13 @@ func labelCode(values []string, label, attr string) uint16 {
 	return 0
 }
 
+// httpClient is the shared server-mode client. A default http.Client has no
+// deadline, so a stalled server would hang the tool forever; -timeout bounds
+// every request end to end (connect through body read).
+var httpClient = &http.Client{Timeout: 30 * time.Second}
+
 func getJSON(url string, out any) {
-	resp, err := http.Get(url)
+	resp, err := httpClient.Get(url)
 	if err != nil {
 		fatal(err)
 	}
@@ -377,7 +385,7 @@ func getJSON(url string, out any) {
 // JSON ErrorBody regardless of the request encoding, and are fatal with the
 // body shown.
 func post(url, contentType string, body []byte) []byte {
-	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	resp, err := httpClient.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		fatal(err)
 	}

@@ -21,11 +21,16 @@ import (
 	"os"
 	"time"
 
+	"github.com/reconpriv/reconpriv/internal/fleet"
 	"github.com/reconpriv/reconpriv/internal/serve"
 	"github.com/reconpriv/reconpriv/internal/sim"
 )
 
 func main() {
+	// When re-executed as a replica child of a cross-process fleet
+	// scenario, serve and never return.
+	fleet.ChildServeMain()
+
 	var (
 		scenario = flag.String("scenario", "mixed", "workload scenario (see -list)")
 		seed     = flag.Int64("seed", 1, "run seed; fixes every random draw")

@@ -286,10 +286,15 @@ func main() {
 		seed     = flag.Int64("seed", 7, "workload generator seed")
 		encoding = flag.String("encoding", "json", "query encoding: json, binary, or both (alternate per round)")
 		insertN  = flag.Int("insert", 0, "records streamed into the publication per client round via /insert (publishes incrementally)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "HTTP request deadline, including the initial blocking publish (0 disables)")
 	)
 	flag.Parse()
 	if *encoding != "json" && *encoding != "binary" && *encoding != "both" {
 		log.Fatalf("serveload: -encoding must be json, binary, or both (got %q)", *encoding)
+	}
+	httpClient = &http.Client{
+		Timeout:   *timeout,
+		Transport: &http.Transport{MaxIdleConnsPerHost: *clients + 2},
 	}
 
 	// Publish (or hit the cache) and wait for readiness. Inserts need the
@@ -478,12 +483,18 @@ func main() {
 	}
 }
 
+// httpClient is the shared client for every request the tool sends. The
+// default http.Client has no deadline, so one wedged request would hang a
+// client goroutine (and the whole run) forever; -timeout bounds each request
+// end to end, sized so the initial wait=true publish still fits.
+var httpClient = &http.Client{Timeout: 2 * time.Minute}
+
 func postJSON[T any](url string, body any) T {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		log.Fatalf("serveload: %v", err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	resp, err := httpClient.Post(url, "application/json", bytes.NewReader(buf))
 	if err != nil {
 		log.Fatalf("serveload: POST %s: %v", url, err)
 	}
@@ -494,7 +505,7 @@ func postJSON[T any](url string, body any) T {
 // error statuses arrive as JSON ErrorBody envelopes regardless of the
 // request encoding, so failures are printable as-is.
 func postRaw(url, contentType string, body []byte) []byte {
-	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	resp, err := httpClient.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		log.Fatalf("serveload: POST %s: %v", url, err)
 	}
@@ -510,7 +521,7 @@ func postRaw(url, contentType string, body []byte) []byte {
 }
 
 func getJSON[T any](url string) T {
-	resp, err := http.Get(url)
+	resp, err := httpClient.Get(url)
 	if err != nil {
 		log.Fatalf("serveload: GET %s: %v", url, err)
 	}

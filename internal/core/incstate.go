@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// IncGroupState is one personal group of a checkpointed incremental
+// publisher: the histograms and delta baseline of an incGroup, in a
+// JSON-serializable shape. Groups are listed in insertion order, so a
+// restored publisher iterates — and therefore publishes, absorbs, and
+// flushes — in exactly the order the captured one would have.
+type IncGroupState struct {
+	Key         []uint16 `json:"key"`
+	Raw         []int    `json:"raw"`
+	Sample      []int    `json:"sample"`
+	Pub         []int    `json:"pub"`
+	Size        int      `json:"size"`
+	FlushedRaw  []int    `json:"flushed_raw,omitempty"`
+	FlushedPub  []int    `json:"flushed_pub,omitempty"`
+	FlushedSize int      `json:"flushed_size,omitempty"`
+}
+
+// IncrementalState is the complete serializable state of an Incremental
+// publisher. Together with the schema and params (which travel in the
+// publish request) it determines every future output bit-for-bit: the RNG
+// counter mid-stream, the per-group histograms and delta baselines in
+// insertion order, and the pending first-touch order of unflushed groups.
+// RestoreIncremental(schema, pm, st) continues exactly where State() was
+// captured — the foundation of the fleet's snapshot+truncate checkpointing.
+type IncrementalState struct {
+	RNG       stats.RandState `json:"rng"`
+	RecordsIn int             `json:"records_in"`
+	Trials    int             `json:"trials"`
+	Absorbed  int             `json:"absorbed"`
+	Groups    []IncGroupState `json:"groups"`
+	// Touched indexes Groups in first-touch order: the groups with
+	// unflushed delta state, in the order the next FlushDelta must visit
+	// them.
+	Touched []int `json:"touched,omitempty"`
+}
+
+// State captures the publisher's complete state for serialization. The
+// returned state shares nothing with the live publisher.
+func (inc *Incremental) State() *IncrementalState {
+	st := &IncrementalState{
+		RNG:       inc.rng.State(),
+		RecordsIn: inc.recordsIn,
+		Trials:    inc.trials,
+		Absorbed:  inc.absorbed,
+		Groups:    make([]IncGroupState, 0, len(inc.order)),
+	}
+	pos := make(map[uint64]int, len(inc.order))
+	for i, k := range inc.order {
+		g := inc.groups[k]
+		pos[k] = i
+		st.Groups = append(st.Groups, IncGroupState{
+			Key:         append([]uint16(nil), g.key...),
+			Raw:         append([]int(nil), g.raw...),
+			Sample:      append([]int(nil), g.sample...),
+			Pub:         append([]int(nil), g.pub...),
+			Size:        g.size,
+			FlushedRaw:  append([]int(nil), g.flushedRaw...),
+			FlushedPub:  append([]int(nil), g.flushedPub...),
+			FlushedSize: g.flushedSize,
+		})
+	}
+	for _, k := range inc.touched {
+		st.Touched = append(st.Touched, pos[k])
+	}
+	return st
+}
+
+// RestoreIncremental reconstructs an incremental publisher from a captured
+// state. The restored publisher's future outputs — Add results, FlushDelta
+// group sets, Rebuild publications — are bit-identical to what the captured
+// publisher would have produced.
+func RestoreIncremental(schema *dataset.Schema, pm Params, st *IncrementalState) (*Incremental, error) {
+	inc, err := NewIncremental(schema, pm, stats.RestoreRand(st.RNG))
+	if err != nil {
+		return nil, err
+	}
+	inc.recordsIn = st.RecordsIn
+	inc.trials = st.Trials
+	inc.absorbed = st.Absorbed
+	for i := range st.Groups {
+		gs := &st.Groups[i]
+		if len(gs.Key) != len(inc.naIdx) {
+			return nil, fmt.Errorf("core: snapshot group %d has key arity %d, schema has %d public attributes", i, len(gs.Key), len(inc.naIdx))
+		}
+		k := inc.encode(gs.Key)
+		if _, dup := inc.groups[k]; dup {
+			return nil, fmt.Errorf("core: snapshot has duplicate group key at index %d", i)
+		}
+		g := &incGroup{
+			key:         append([]uint16(nil), gs.Key...),
+			raw:         append([]int(nil), gs.Raw...),
+			sample:      append([]int(nil), gs.Sample...),
+			pub:         append([]int(nil), gs.Pub...),
+			size:        gs.Size,
+			flushedSize: gs.FlushedSize,
+		}
+		if len(gs.FlushedRaw) > 0 {
+			g.flushedRaw = append([]int(nil), gs.FlushedRaw...)
+		}
+		if len(gs.FlushedPub) > 0 {
+			g.flushedPub = append([]int(nil), gs.FlushedPub...)
+		}
+		inc.groups[k] = g
+		inc.order = append(inc.order, k)
+	}
+	for _, idx := range st.Touched {
+		if idx < 0 || idx >= len(inc.order) {
+			return nil, fmt.Errorf("core: snapshot touched index %d out of range", idx)
+		}
+		k := inc.order[idx]
+		g := inc.groups[k]
+		if g.delta {
+			return nil, fmt.Errorf("core: snapshot touched index %d repeated", idx)
+		}
+		g.delta = true
+		inc.touched = append(inc.touched, k)
+	}
+	return inc, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/dataset"
+	"github.com/reconpriv/reconpriv/internal/stats"
+)
+
+// feedIncremental drives n records from a seeded stream into inc, flushing a
+// delta every flushEvery records when flushEvery > 0. It returns the Add
+// results and flushed deltas so two publishers can be compared op-for-op.
+func feedIncremental(t *testing.T, inc *Incremental, rng *stats.Rand, n, flushEvery int) ([]bool, []*Delta) {
+	t.Helper()
+	trials := make([]bool, 0, n)
+	var deltas []*Delta
+	for i := 0; i < n; i++ {
+		key := []uint16{uint16(rng.Intn(2))}
+		sa := uint16(rng.Intn(5))
+		fresh, err := inc.Add(key, sa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials = append(trials, fresh)
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			deltas = append(deltas, inc.FlushDelta())
+		}
+	}
+	return trials, deltas
+}
+
+func groupSetEqual(a, b *dataset.GroupSet) bool {
+	if a.NumGroups() != b.NumGroups() {
+		return false
+	}
+	for i := range a.Groups {
+		ga, gb := &a.Groups[i], &b.Groups[i]
+		if !reflect.DeepEqual(ga.Key, gb.Key) || ga.Size != gb.Size ||
+			!reflect.DeepEqual(ga.SACounts, gb.SACounts) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIncrementalStateRoundTrip pins the checkpoint contract: a publisher
+// restored from a JSON-serialized State() — captured mid-stream, with
+// unflushed delta state and a primed Gaussian spare — continues bit-for-bit
+// identically to the uninterrupted publisher, through further Adds,
+// FlushDeltas, and a Rebuild.
+func TestIncrementalStateRoundTrip(t *testing.T) {
+	s := incSchema(t)
+	live, err := NewIncremental(s, DefaultParams, stats.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := stats.NewRand(12)
+	feedIncremental(t, live, feed, 500, 70) // leaves unflushed touched state
+
+	// Prime the RNG spare cache so RandState's spare fields are exercised.
+	live.rng.NormFloat64()
+
+	raw, err := json.Marshal(live.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st IncrementalState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreIncremental(s, DefaultParams, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Stats() != restored.Stats() {
+		t.Fatalf("stats diverge after restore: %+v vs %+v", live.Stats(), restored.Stats())
+	}
+	if !groupSetEqual(live.Snapshot(), restored.Snapshot()) {
+		t.Fatal("snapshots diverge immediately after restore")
+	}
+
+	// Continue both in lockstep from identical feed streams.
+	feedA := stats.NewRand(13)
+	feedB := stats.NewRand(13)
+	trialsA, deltasA := feedIncremental(t, live, feedA, 300, 41)
+	trialsB, deltasB := feedIncremental(t, restored, feedB, 300, 41)
+	if !reflect.DeepEqual(trialsA, trialsB) {
+		t.Fatal("Add trial/absorb decisions diverge after restore")
+	}
+	if len(deltasA) != len(deltasB) {
+		t.Fatalf("delta counts diverge: %d vs %d", len(deltasA), len(deltasB))
+	}
+	for i := range deltasA {
+		if !groupSetEqual(deltasA[i].Pub, deltasB[i].Pub) ||
+			!groupSetEqual(deltasA[i].Raw, deltasB[i].Raw) ||
+			deltasA[i].Records != deltasB[i].Records {
+			t.Fatalf("flush %d diverges after restore", i)
+		}
+	}
+
+	if err := live.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if !groupSetEqual(live.Snapshot(), restored.Snapshot()) {
+		t.Fatal("rebuilt publications diverge after restore")
+	}
+	if !groupSetEqual(live.RawGroups(), restored.RawGroups()) {
+		t.Fatal("raw groups diverge after restore")
+	}
+	if live.Stats() != restored.Stats() {
+		t.Fatalf("stats diverge after rebuild: %+v vs %+v", live.Stats(), restored.Stats())
+	}
+}
+
+// TestRestoreIncrementalRejectsCorruptState covers the defensive paths: a
+// snapshot with mismatched key arity, duplicate groups, or out-of-range
+// touched indices must be rejected rather than silently mis-restored.
+func TestRestoreIncrementalRejectsCorruptState(t *testing.T) {
+	s := incSchema(t)
+	inc, err := NewIncremental(s, DefaultParams, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedIncremental(t, inc, stats.NewRand(6), 50, 0)
+	good := inc.State()
+
+	badArity := *good
+	badArity.Groups = append([]IncGroupState(nil), good.Groups...)
+	badArity.Groups[0].Key = []uint16{0, 0}
+	if _, err := RestoreIncremental(s, DefaultParams, &badArity); err == nil {
+		t.Error("key arity mismatch should be rejected")
+	}
+
+	dup := *good
+	dup.Groups = append(append([]IncGroupState(nil), good.Groups...), good.Groups[0])
+	if _, err := RestoreIncremental(s, DefaultParams, &dup); err == nil {
+		t.Error("duplicate group should be rejected")
+	}
+
+	badTouch := *good
+	badTouch.Touched = []int{len(good.Groups)}
+	if _, err := RestoreIncremental(s, DefaultParams, &badTouch); err == nil {
+		t.Error("out-of-range touched index should be rejected")
+	}
+
+	repeatTouch := *good
+	repeatTouch.Touched = []int{0, 0}
+	if _, err := RestoreIncremental(s, DefaultParams, &repeatTouch); err == nil {
+		t.Error("repeated touched index should be rejected")
+	}
+}

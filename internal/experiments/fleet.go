@@ -8,10 +8,12 @@ import (
 )
 
 // FleetBenchRow is one fleet configuration's measured serving profile:
-// throughput and query latency at a replication factor, with or without one
-// replica killed a fifth of the way into the run (and never restarted, so
-// the row measures the degraded steady state, not a transient).
+// throughput and query latency at a replication factor and transport, with
+// or without one replica killed a fifth of the way into the run.
 type FleetBenchRow struct {
+	// Transport is how the fleet reached its replicas: "in-process" (the
+	// goroutine exchange) or "spawned" (child processes over real sockets).
+	Transport         string  `json:"transport"`
 	ReplicationFactor int     `json:"replication_factor"`
 	Killed            bool    `json:"replica_killed"`
 	Requests          int64   `json:"requests"`
@@ -29,69 +31,101 @@ type FleetBenchRow struct {
 }
 
 // FleetBenchResult is the rpbench output for the fleet experiment: the
-// replication-factor sweep crossed with replica loss.
+// replication-factor sweep crossed with replica loss, in-process, plus the
+// cross-process comparison rows.
 type FleetBenchResult struct {
 	Clients int             `json:"clients"`
 	Steps   int             `json:"steps"`
 	Rows    []FleetBenchRow `json:"rows"`
 }
 
-// RunFleetBench sweeps replication factor 1..3 on a 3-replica fleet, each
-// with and without a mid-run replica kill, and reports router throughput and
-// query latency. Every run must finish with zero invariant violations —
-// exactly-once exposure and replica agreement hold under failure or the
-// bench fails, it does not report degraded numbers. The rf=1 killed cell is
-// the one configuration where loss is allowed by construction: the victim's
-// publications have no surviving holder, so the plan tolerates typed
-// rejections and the row reports how many requests were turned away.
+// RunFleetBench sweeps replication factor 1..3 on a 3-replica in-process
+// fleet, each with and without a mid-run replica kill, then repeats the
+// rf=2 pair against spawned child processes over real sockets — the
+// cross-process kill is a real OS process exit mid-run, followed by a
+// respawn-and-replay restart. Every run must finish with zero invariant
+// violations — exactly-once exposure and replica agreement hold under
+// failure or the bench fails, it does not report degraded numbers. The
+// in-process rf=1 killed cell is the one configuration where loss is
+// allowed by construction: the victim's publications have no surviving
+// holder, so the plan tolerates typed rejections and the row reports how
+// many requests were turned away.
 func RunFleetBench(clients, steps int, seed int64) (*FleetBenchResult, error) {
 	sc, err := sim.Lookup("fleet")
 	if err != nil {
 		return nil, err
 	}
 	out := &FleetBenchResult{Clients: clients, Steps: steps}
+
+	type cell struct {
+		rf           int
+		killed       bool
+		crossProcess bool
+	}
+	var cells []cell
 	for rf := 1; rf <= 3; rf++ {
 		for _, killed := range []bool{false, true} {
-			plan := *sc.Fleet
-			plan.ReplicationFactor = rf
-			plan.RestartAtFrac = 0
-			plan.SpikeEvery = 0 // pure throughput: no injected latency
-			plan.KillAtFrac = 0
-			if killed {
-				plan.KillAtFrac = 0.2
-				plan.TolerateUnavailable = rf == 1
-			}
-			bsc := sc
-			bsc.Fleet = &plan
-			res, err := sim.Run(sim.Options{Scenario: bsc, Seed: seed, Clients: clients, Steps: steps})
-			if err != nil {
-				return nil, err
-			}
-			s, t := &res.Summary, &res.Timing
-			if s.Invariants.Violations > 0 {
-				return nil, fmt.Errorf("experiments: fleet rf=%d killed=%v violated %d invariants: %s",
-					rf, killed, s.Invariants.Violations, strings.Join(s.Invariants.Failures, "; "))
-			}
-			row := FleetBenchRow{
-				ReplicationFactor: rf,
-				Killed:            killed,
-				Requests:          t.Requests,
-				RequestsPerSec:    t.RequestsPerSec,
-				QueriesPerSec:     t.QueriesPerSec,
-				Violations:        s.Invariants.Violations,
-			}
-			if t.Fleet != nil {
-				row.Failovers = t.Fleet.Failovers
-				row.Ejections = t.Fleet.Ejections
-				row.Rejected = t.Fleet.Rejected
-			}
-			for _, ot := range t.Ops {
-				if ot.Op == "query" {
-					row.QueryP50US, row.QueryP99US = ot.P50US, ot.P99US
-				}
-			}
-			out.Rows = append(out.Rows, row)
+			cells = append(cells, cell{rf: rf, killed: killed})
 		}
+	}
+	// Cross-process comparison at the fault-tolerant operating point: same
+	// workload, real sockets, and — on the killed row — a real process kill
+	// with a respawn-and-replay restart at 60%.
+	cells = append(cells,
+		cell{rf: 2, crossProcess: true},
+		cell{rf: 2, killed: true, crossProcess: true},
+	)
+
+	for _, c := range cells {
+		plan := *sc.Fleet
+		plan.ReplicationFactor = c.rf
+		plan.RestartAtFrac = 0
+		plan.SpikeEvery = 0 // pure throughput: no injected latency
+		plan.KillAtFrac = 0
+		plan.CrossProcess = c.crossProcess
+		if c.killed {
+			plan.KillAtFrac = 0.2
+			plan.TolerateUnavailable = c.rf == 1 && !c.crossProcess
+			if c.crossProcess {
+				// The cross-process kill is a real process exit; the restart
+				// respawns the child and replays checkpoint + log before it
+				// rejoins, so no loss is tolerated.
+				plan.RestartAtFrac = 0.6
+			}
+		}
+		bsc := sc
+		bsc.Fleet = &plan
+		res, err := sim.Run(sim.Options{Scenario: bsc, Seed: seed, Clients: clients, Steps: steps})
+		if err != nil {
+			return nil, err
+		}
+		s, t := &res.Summary, &res.Timing
+		if s.Invariants.Violations > 0 {
+			return nil, fmt.Errorf("experiments: fleet rf=%d killed=%v cross=%v violated %d invariants: %s",
+				c.rf, c.killed, c.crossProcess, s.Invariants.Violations, strings.Join(s.Invariants.Failures, "; "))
+		}
+		row := FleetBenchRow{
+			ReplicationFactor: c.rf,
+			Killed:            c.killed,
+			Requests:          t.Requests,
+			RequestsPerSec:    t.RequestsPerSec,
+			QueriesPerSec:     t.QueriesPerSec,
+			Violations:        s.Invariants.Violations,
+		}
+		if s.Fleet != nil {
+			row.Transport = s.Fleet.Transport
+		}
+		if t.Fleet != nil {
+			row.Failovers = t.Fleet.Failovers
+			row.Ejections = t.Fleet.Ejections
+			row.Rejected = t.Fleet.Rejected
+		}
+		for _, ot := range t.Ops {
+			if ot.Op == "query" {
+				row.QueryP50US, row.QueryP99US = ot.P50US, ot.P99US
+			}
+		}
+		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
 }
@@ -101,9 +135,10 @@ func (r *FleetBenchResult) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fleet throughput under replica loss (%d clients x %d steps, 3 replicas)\n",
 		r.Clients, r.Steps)
-	t := &textTable{header: []string{"rf", "killed", "req/s", "queries/s", "query p50 us", "query p99 us", "failovers", "rejected"}}
+	t := &textTable{header: []string{"transport", "rf", "killed", "req/s", "queries/s", "query p50 us", "query p99 us", "failovers", "rejected"}}
 	for _, row := range r.Rows {
 		t.addRow(
+			row.Transport,
 			fmt.Sprint(row.ReplicationFactor),
 			fmt.Sprint(row.Killed),
 			fmt.Sprintf("%.0f", row.RequestsPerSec),

@@ -1,10 +1,13 @@
 package fleet
 
 import (
-	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +41,11 @@ type Config struct {
 	MaxAttempts int
 	// Timeout is the per-attempt deadline (default 2s).
 	Timeout time.Duration
+	// BuildTimeout is the deadline for control-plane operations against
+	// one replica — publish, refresh, snapshot, restore, and restart
+	// replay — which run builds and must outlast the query timeout
+	// (default 2m).
+	BuildTimeout time.Duration
 	// BackoffBase and BackoffMax shape the capped exponential backoff
 	// between attempts (defaults 2ms and 50ms); actual sleeps are jittered
 	// deterministically from the request key.
@@ -48,6 +56,13 @@ type Config struct {
 	// negative disables). Deterministic builds make holders bit-identical,
 	// so any mismatch is a real fault.
 	VerifyEvery int
+	// CheckpointLog bounds each publication's mutation log: when a
+	// mutation pushes the log to this many entries, the router snapshots
+	// the publication from a live up-to-date holder (POST /snapshot),
+	// stores the checkpoint, and truncates the log. Restarts then replay
+	// checkpoint + tail instead of the full history. Default 64; negative
+	// disables checkpointing (the log grows for the fleet's lifetime).
+	CheckpointLog int
 	// Serve is each replica's configuration.
 	Serve serve.Config
 }
@@ -78,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = 2 * time.Second
 	}
+	if c.BuildTimeout <= 0 {
+		c.BuildTimeout = 2 * time.Minute
+	}
 	if c.BackoffBase <= 0 {
 		c.BackoffBase = 2 * time.Millisecond
 	}
@@ -87,7 +105,33 @@ func (c Config) withDefaults() Config {
 	if c.VerifyEvery == 0 {
 		c.VerifyEvery = 16
 	}
+	if c.CheckpointLog == 0 {
+		c.CheckpointLog = 64
+	}
 	return c
+}
+
+// fleetMode is how this fleet reaches its replicas.
+type fleetMode int
+
+const (
+	// modeMem: in-process replicas behind memTransport (New).
+	modeMem fleetMode = iota
+	// modeProcs: spawned child processes behind httpTransport (NewProcs).
+	modeProcs
+	// modePeers: attached external servers behind httpTransport (NewPeers).
+	modePeers
+)
+
+func (m fleetMode) String() string {
+	switch m {
+	case modeProcs:
+		return "spawned"
+	case modePeers:
+		return "attached"
+	default:
+		return "in-process"
+	}
 }
 
 // mutation is one entry of a publication's ordered mutation log: either a
@@ -101,30 +145,63 @@ type mutation struct {
 }
 
 // pub is the fleet's record of one placed publication: the request to
-// rebuild it from (deterministic builds make the request the whole state)
-// and the ordered mutation log — refreshes and insert batches, exactly as
-// the live holders applied them — to replay on restart. The log holds every
-// insert body for the publication's lifetime; that is the fleet's
-// simulation-scale durability model (a production deployment would
-// checkpoint a snapshot and truncate). gen and log are guarded by mu, which
-// is also what serializes mutations into one total order per publication.
+// rebuild it from (deterministic builds make the request the whole state),
+// the latest checkpoint, and the ordered mutation log since that checkpoint
+// — refreshes and insert batches, exactly as the live holders applied them.
+// A restart replays checkpoint + tail; without a checkpoint it replays the
+// request + full log. gen, snap, log, and stale are guarded by mu, which is
+// also what serializes mutations into one total order per publication.
 type pub struct {
 	req     serve.PublishRequest
 	holders []int
 	mu      sync.Mutex
 	gen     int
+	// snap is the latest checkpoint — the raw /snapshot response body,
+	// POSTed verbatim to /restore on restart — and snapped is the number of
+	// checkpoints folded so far.
+	snap    []byte
+	snapped int
 	log     []mutation
+	// stale marks live holders that missed a logged mutation (transport
+	// failure during fan-out): their state lags the log, so they are never
+	// used as a checkpoint source until a restart replays them back into
+	// agreement.
+	stale map[int]bool
 }
 
-// Fleet is a router plus its replicas. Create with New; all methods are
-// safe for concurrent use.
+// markStale records that holder h missed a logged mutation.
+func (p *pub) markStale(h int) {
+	if p.stale == nil {
+		p.stale = make(map[int]bool)
+	}
+	p.stale[h] = true
+}
+
+// Fleet is a router plus its replicas. Create with New (in-process),
+// NewProcs (spawned child processes), or NewPeers (attached addresses); all
+// methods are safe for concurrent use.
 type Fleet struct {
 	cfg      Config
+	mode     fleetMode
 	replicas []*replica
+
+	// hc is the shared connection-pooled client behind every HTTP
+	// transport (nil in in-process mode until needed).
+	hc *http.Client
 
 	pubs struct {
 		mu sync.RWMutex
 		m  map[string]*pub
+	}
+
+	// shadow is a lazily built router-local server used only when no
+	// in-process holder exists (cross-process modes): harnesses ask the
+	// fleet for a *serve.Publication to generate workloads from, and a
+	// deterministic generation-0 build on the shadow is bit-identical in
+	// schema and parameters to what the holders serve.
+	shadow struct {
+		mu  sync.Mutex
+		srv *serve.Server
 	}
 
 	// budget is the authoritative exposure ledger — bounded, quota-enforcing,
@@ -158,11 +235,12 @@ type Fleet struct {
 	unavailable      atomic.Uint64
 	verified         atomic.Uint64
 	verifyMismatches atomic.Uint64
+	checkpoints      atomic.Uint64
 }
 
-// New builds a fleet of cfg.Replicas live replicas.
-func New(cfg Config) *Fleet {
-	f := &Fleet{cfg: cfg.withDefaults()}
+// newFleet builds the replica-less shell shared by every constructor.
+func newFleet(cfg Config, mode fleetMode) *Fleet {
+	f := &Fleet{cfg: cfg.withDefaults(), mode: mode}
 	f.budget = budget.New(budget.Config{
 		Quota:            f.cfg.Serve.BudgetQuota,
 		TrustedQuota:     f.cfg.Serve.BudgetTrustedQuota,
@@ -173,13 +251,89 @@ func New(cfg Config) *Fleet {
 		MaxTracked:       f.cfg.Serve.BudgetMaxTracked,
 		Clock:            f.cfg.Serve.Clock,
 	})
-	f.replicas = make([]*replica, f.cfg.Replicas)
-	for i := range f.replicas {
-		f.replicas[i] = newReplica(i, f.replicaServeConfig())
-	}
 	f.pubs.m = make(map[string]*pub)
 	f.idem.m = make(map[string]*response)
 	return f
+}
+
+// New builds a fleet of cfg.Replicas in-process replicas — the zero-setup
+// mode tests and single-binary deployments use.
+func New(cfg Config) *Fleet {
+	f := newFleet(cfg, modeMem)
+	f.replicas = make([]*replica, f.cfg.Replicas)
+	for i := range f.replicas {
+		f.replicas[i] = newReplica(i, newMemTransport(f.replicaServeConfig()))
+	}
+	return f
+}
+
+// NewProcs builds a fleet of cfg.Replicas replicas, each a spawned child
+// process of this binary reached over real sockets (see ChildServeMain).
+// KillReplica kills the child process; RestartReplica spawns a fresh one
+// and replays its state. Call Close to reap the children.
+func NewProcs(cfg Config) (*Fleet, error) {
+	f := newFleet(cfg, modeProcs)
+	f.hc = newFleetClient(f.cfg.Replicas)
+	f.replicas = make([]*replica, f.cfg.Replicas)
+	for i := range f.replicas {
+		proc, err := spawnChild(f.replicaServeConfig(), f.hc)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		rep := newReplica(i, newHTTPTransport(proc.addr, f.hc))
+		rep.proc = proc
+		f.replicas[i] = rep
+	}
+	return f, nil
+}
+
+// NewPeers builds a fleet attached to already-running replica servers (one
+// base URL per replica, e.g. "http://10.0.0.5:8080"); len(peers) overrides
+// cfg.Replicas. The fleet does not manage peer lifecycles: KillReplica only
+// detaches a peer, and RestartReplica assumes the operator restarted the
+// peer process empty before reattaching (restore targets a fresh replica).
+func NewPeers(cfg Config, peers []string) (*Fleet, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("fleet: no peer addresses")
+	}
+	cfg.Replicas = len(peers)
+	f := newFleet(cfg, modePeers)
+	f.hc = newFleetClient(f.cfg.Replicas)
+	f.replicas = make([]*replica, f.cfg.Replicas)
+	for i, base := range peers {
+		base = strings.TrimSuffix(base, "/")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		if err := waitHealthy(base, f.hc, 10*time.Second); err != nil {
+			return nil, fmt.Errorf("fleet: peer %d: %w", i, err)
+		}
+		f.replicas[i] = newReplica(i, newHTTPTransport(base, f.hc))
+	}
+	return f, nil
+}
+
+// Close releases the fleet's resources: spawned child processes are killed
+// and reaped, pooled connections closed. Safe to call on any mode.
+func (f *Fleet) Close() {
+	for _, rep := range f.replicas {
+		if rep == nil {
+			continue
+		}
+		rep.mu.Lock()
+		if rep.proc != nil {
+			rep.proc.kill()
+			rep.proc = nil
+		}
+		if rep.tr != nil {
+			rep.tr.close()
+		}
+		rep.mu.Unlock()
+	}
+	if f.hc != nil {
+		f.hc.CloseIdleConnections()
+	}
 }
 
 // replicaServeConfig is each replica's serve configuration: the fleet's,
@@ -196,10 +350,50 @@ func (f *Fleet) replicaServeConfig() serve.Config {
 // Config returns the resolved configuration.
 func (f *Fleet) Config() Config { return f.cfg }
 
+// Transport names how this fleet reaches its replicas: "in-process",
+// "spawned" (child processes), or "attached" (external peers).
+func (f *Fleet) Transport() string { return f.mode.String() }
+
+// jsonHeader is the control plane's request header.
+func jsonHeader() http.Header {
+	h := make(http.Header, 1)
+	h.Set("Content-Type", "application/json")
+	return h
+}
+
+// roundTrip executes one control-plane exchange on a transport under the
+// build deadline.
+func (f *Fleet) roundTrip(tr transport, method, path string, hdr http.Header, body []byte) (*response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.BuildTimeout)
+	defer cancel()
+	return tr.do(ctx, method, path, hdr, body)
+}
+
+// control executes one control-plane exchange against a replica's current
+// transport (alive-checked, fault injection bypassed).
+func (f *Fleet) control(rep *replica, method, path string, hdr http.Header, body []byte) (*response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.BuildTimeout)
+	defer cancel()
+	return rep.control(ctx, method, path, hdr, body)
+}
+
+// controlErr folds a control exchange's transport error and HTTP status
+// into one error (nil on 2xx).
+func controlErr(resp *response, err error) error {
+	if err != nil {
+		return err
+	}
+	if resp.status >= 400 {
+		return fmt.Errorf("status %d: %s", resp.status, strings.TrimSpace(string(resp.body)))
+	}
+	return nil
+}
+
 // Publish places a publication on its rendezvous holders and builds it on
-// every live one, returning the publication id. Dead holders pick it up on
-// restart. Publishing the same request twice is a cache hit on every
-// holder, exactly as on a single server.
+// every live one (POST /publish with wait through each holder's transport),
+// returning the publication id. Dead holders pick it up on restart.
+// Publishing the same request twice is a cache hit on every holder, exactly
+// as on a single server.
 func (f *Fleet) Publish(req serve.PublishRequest) (string, error) {
 	if err := req.Normalize(); err != nil {
 		return "", err
@@ -215,19 +409,35 @@ func (f *Fleet) Publish(req serve.PublishRequest) (string, error) {
 	}
 	f.pubs.mu.Unlock()
 
+	body, err := publishBody(req)
+	if err != nil {
+		return "", err
+	}
 	for _, h := range p.holders {
 		rep := f.replicas[h]
 		if !rep.alive.Load() {
 			continue
 		}
-		if err := buildOn(rep.server(), req, 0); err != nil {
+		if err := controlErr(f.control(rep, http.MethodPost, "/publish", jsonHeader(), body)); err != nil {
 			return "", fmt.Errorf("fleet: replica %d: %w", h, err)
 		}
 	}
 	return id, nil
 }
 
-// Refresh advances a publication's generation on every live holder. Dead
+// publishBody encodes a publish request with wait set, so the control
+// plane's POST /publish blocks until the build settles — the transport
+// analogue of serve.Publish(req, true).
+func publishBody(req serve.PublishRequest) ([]byte, error) {
+	req.Wait = true
+	return json.Marshal(req)
+}
+
+// Refresh advances a publication's generation on every live holder (POST
+// /refresh with wait through each holder's transport). A holder that fails
+// at the transport level misses the refresh, is marked stale, and converges
+// on restart via log replay; a holder that rejects it (deterministic
+// validation) fails the whole refresh, which is then not logged. Dead
 // holders replay the generation on restart, so holders always converge on
 // one generation — the digest-agreement precondition.
 func (f *Fleet) Refresh(id string) error {
@@ -235,20 +445,86 @@ func (f *Fleet) Refresh(id string) error {
 	if p == nil {
 		return fmt.Errorf("fleet: no publication %q", id)
 	}
+	body, err := json.Marshal(map[string]any{"id": id, "wait": true})
+	if err != nil {
+		return err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	applied := false
+	var missed []int
 	for _, h := range p.holders {
 		rep := f.replicas[h]
 		if !rep.alive.Load() {
 			continue
 		}
-		if _, err := rep.server().Refresh(id); err != nil {
-			return fmt.Errorf("fleet: replica %d: %w", h, err)
+		resp, err := f.control(rep, http.MethodPost, "/refresh", jsonHeader(), body)
+		if err != nil {
+			missed = append(missed, h)
+			continue
 		}
+		if resp.status >= 400 {
+			return fmt.Errorf("fleet: replica %d: refresh %q: status %d: %s",
+				h, id, resp.status, strings.TrimSpace(string(resp.body)))
+		}
+		applied = true
+	}
+	if !applied {
+		return fmt.Errorf("fleet: no live holder of %q applied the refresh", id)
+	}
+	for _, h := range missed {
+		p.markStale(h)
 	}
 	p.gen++
 	p.log = append(p.log, mutation{refresh: true})
+	f.maybeCheckpoint(id, p)
 	return nil
+}
+
+// maybeCheckpoint folds a publication's mutation log into a stored
+// snapshot once it reaches the configured length: POST /snapshot to the
+// first live, non-stale holder captures request + generation + streaming
+// state under the same p.mu that serializes mutations (so the checkpoint
+// can never straddle one), and on success the log is truncated. Failure
+// leaves the log intact — the next mutation retries, and restart replay
+// falls back to the full history. The caller holds p.mu.
+func (f *Fleet) maybeCheckpoint(id string, p *pub) {
+	if f.cfg.CheckpointLog <= 0 || len(p.log) < f.cfg.CheckpointLog {
+		return
+	}
+	body, err := json.Marshal(map[string]string{"id": id})
+	if err != nil {
+		return
+	}
+	for _, h := range p.holders {
+		rep := f.replicas[h]
+		if !rep.alive.Load() || p.stale[h] {
+			continue
+		}
+		resp, err := f.control(rep, http.MethodPost, "/snapshot", jsonHeader(), body)
+		if err != nil || resp.status != http.StatusOK {
+			continue
+		}
+		p.snap = resp.body
+		p.snapped++
+		p.log = nil
+		f.checkpoints.Add(1)
+		return
+	}
+}
+
+// MutationLogLen reports the current mutation-log length of a publication
+// (entries since the last checkpoint), or -1 for an unknown id. With
+// checkpointing enabled this stays below Config.CheckpointLog except
+// transiently while every checkpoint source is dead or stale.
+func (f *Fleet) MutationLogLen(id string) int {
+	p := f.lookup(id)
+	if p == nil {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.log)
 }
 
 // lookup returns the fleet's record of a publication, or nil.
@@ -264,26 +540,67 @@ func (f *Fleet) Holders(id string) []int {
 	return placement(id, f.cfg.Replicas, f.cfg.ReplicationFactor)
 }
 
-// KillReplica takes a replica down hard: requests to it fail at the
-// transport level until RestartReplica. The router discovers the death
-// through consecutive failures and ejects it — kill deliberately does not
-// update health state, so the detection path is always exercised.
+// KillReplica takes a replica down hard: for spawned children the process
+// is killed — a real exit, sockets and all — and for every mode requests to
+// it fail at the transport level until RestartReplica. The router discovers
+// the death through consecutive failures and ejects it — kill deliberately
+// does not update health state, so the detection path is always exercised.
 func (f *Fleet) KillReplica(i int) {
-	f.replicas[i].alive.Store(false)
+	rep := f.replicas[i]
+	rep.alive.Store(false)
+	rep.mu.Lock()
+	if rep.proc != nil {
+		rep.proc.kill()
+		rep.proc = nil
+	}
+	rep.mu.Unlock()
 }
 
-// RestartReplica brings a killed replica back with a fresh server and
-// deterministically reconstructs its state: every placed publication is
-// rebuilt from its request and rolled forward through its mutation log —
-// refreshes and insert batches in the exact order the surviving holders
-// applied them, so the rebuilt publishers' RNG streams (and therefore the
-// digests) match the peers by construction. Health state is left alone —
-// the replica rejoins rotation through the probe path, not by fiat.
+// RestartReplica brings a killed replica back — a fresh in-process server,
+// a freshly spawned child process, or a reattached peer, by mode — and
+// deterministically reconstructs its state before it serves: every placed
+// publication is restored from its latest checkpoint (POST /restore) and
+// rolled forward through the mutation-log tail, or rebuilt from its request
+// and the full log when no checkpoint exists. Replay runs over the new
+// transport before it is swapped in, so the replica is never visible
+// half-built. Health state is left alone — the replica rejoins rotation
+// through the probe path, not by fiat.
 func (f *Fleet) RestartReplica(i int) error {
 	rep := f.replicas[i]
-	srv := serve.New(f.replicaServeConfig())
 
+	var tr transport
+	var proc *childProc
+	switch f.mode {
+	case modeProcs:
+		p, err := spawnChild(f.replicaServeConfig(), f.hc)
+		if err != nil {
+			return fmt.Errorf("fleet: restart replica %d: %w", i, err)
+		}
+		tr, proc = newHTTPTransport(p.addr, f.hc), p
+	case modePeers:
+		old, ok := rep.transport().(*httpTransport)
+		if !ok {
+			return fmt.Errorf("fleet: restart replica %d: no peer address", i)
+		}
+		if err := waitHealthy(old.base, f.hc, 10*time.Second); err != nil {
+			return fmt.Errorf("fleet: restart replica %d: %w", i, err)
+		}
+		tr = newHTTPTransport(old.base, f.hc)
+	default:
+		tr = newMemTransport(f.replicaServeConfig())
+	}
+
+	// Replay and swap under every placed publication's mutation lock (and a
+	// read lock on the pub table, so no new placement slips past the
+	// snapshot). A mutation concurrent with the restart either completed
+	// before the locks were taken — then it is in the log and replayed — or
+	// blocks until the replica is alive and fans out to it normally. Without
+	// the locks there is a window after a publication's replay and before
+	// alive flips in which a mutation skips the replica and is never
+	// repaired, leaving it permanently divergent. Mutation paths lock one
+	// publication at a time, so taking them all here cannot deadlock.
 	f.pubs.mu.RLock()
+	defer f.pubs.mu.RUnlock()
 	placed := make([]*pub, 0, len(f.pubs.m))
 	for _, p := range f.pubs.m {
 		for _, h := range p.holders {
@@ -293,110 +610,124 @@ func (f *Fleet) RestartReplica(i int) error {
 			}
 		}
 	}
-	f.pubs.mu.RUnlock()
 	// Deterministic rebuild order (map iteration is not).
 	sort.Slice(placed, func(a, b int) bool {
 		return serve.IDForKey(placed[a].req.Key()) < serve.IDForKey(placed[b].req.Key())
 	})
-
 	for _, p := range placed {
 		p.mu.Lock()
-		err := replayOn(srv, p)
-		p.mu.Unlock()
-		if err != nil {
+		defer p.mu.Unlock()
+	}
+
+	for _, p := range placed {
+		if err := f.replayOn(tr, p); err != nil {
+			if proc != nil {
+				proc.kill()
+			}
 			return fmt.Errorf("fleet: restart replica %d: %w", i, err)
 		}
+		delete(p.stale, i)
 	}
 
 	rep.mu.Lock()
-	rep.srv = srv
-	rep.handler = srv.Handler()
+	rep.tr = tr
+	rep.proc = proc
 	rep.mu.Unlock()
 	rep.alive.Store(true)
 	return nil
 }
 
-// buildOn publishes a request on a server (the generation-0 build shared by
-// Publish and restart replay).
-func buildOn(s *serve.Server, req serve.PublishRequest, gen int) error {
-	e, _, err := s.Publish(req, true)
-	if err != nil {
-		return err
-	}
-	pubv, err := e.Publication()
-	if err != nil {
-		return err
-	}
-	id := pubv.ID
-	for g := pubv.Generation; g < gen; g++ {
-		if _, err := s.Refresh(id); err != nil {
-			return err
+// replayOn reconstructs one publication on a fresh replica through its
+// transport: restore the latest checkpoint (or the generation-0 build when
+// none exists), then the mutation-log tail in order. Insert batches replay
+// through the same /insert handler that applied them live — same
+// validation, same publisher Add sequence, original encoding — so a
+// replayed holder is digest-identical to one that never died. The caller
+// holds p.mu.
+func (f *Fleet) replayOn(tr transport, p *pub) error {
+	id := serve.IDForKey(p.req.Key())
+	if p.snap != nil {
+		if err := controlErr(f.roundTrip(tr, http.MethodPost, "/restore", jsonHeader(), p.snap)); err != nil {
+			return fmt.Errorf("restoring checkpoint of %q: %w", id, err)
 		}
-	}
-	return nil
-}
-
-// replayOn reconstructs one publication on a fresh server: generation-0
-// build, then the mutation log in order. Insert batches replay through the
-// same /insert handler that applied them live (same validation, same
-// publisher Add sequence), so a replayed holder is bit-identical to one
-// that never died. The caller holds p.mu.
-func replayOn(srv *serve.Server, p *pub) error {
-	e, _, err := srv.Publish(p.req, true)
-	if err != nil {
-		return err
-	}
-	pubv, err := e.Publication()
-	if err != nil {
-		return err
-	}
-	h := srv.Handler()
-	for i := range p.log {
-		m := &p.log[i]
-		if m.refresh {
-			if _, err := srv.Refresh(pubv.ID); err != nil {
-				return err
-			}
-			continue
-		}
-		req, err := http.NewRequest(http.MethodPost, "http://replica/insert", bytes.NewReader(m.body))
+	} else {
+		body, err := publishBody(p.req)
 		if err != nil {
 			return err
 		}
-		if m.binary {
-			req.Header.Set("Content-Type", wire.ContentType)
-		} else {
-			req.Header.Set("Content-Type", "application/json")
+		if err := controlErr(f.roundTrip(tr, http.MethodPost, "/publish", jsonHeader(), body)); err != nil {
+			return fmt.Errorf("rebuilding %q: %w", id, err)
 		}
-		w := &memWriter{}
-		h.ServeHTTP(w, req)
-		if w.status >= 400 {
-			return fmt.Errorf("replaying insert %d of %q: status %d: %s", i, pubv.ID, w.status, w.buf.String())
+	}
+	refreshBody, err := json.Marshal(map[string]any{"id": id, "wait": true})
+	if err != nil {
+		return err
+	}
+	for i := range p.log {
+		m := &p.log[i]
+		if m.refresh {
+			if err := controlErr(f.roundTrip(tr, http.MethodPost, "/refresh", jsonHeader(), refreshBody)); err != nil {
+				return fmt.Errorf("replaying refresh %d of %q: %w", i, id, err)
+			}
+			continue
+		}
+		hdr := make(http.Header, 1)
+		if m.binary {
+			hdr.Set("Content-Type", wire.ContentType)
+		} else {
+			hdr.Set("Content-Type", "application/json")
+		}
+		if err := controlErr(f.roundTrip(tr, http.MethodPost, "/insert", hdr, m.body)); err != nil {
+			return fmt.Errorf("replaying insert %d of %q: %w", i, id, err)
 		}
 	}
 	return nil
 }
 
-// Publication returns a live holder's built publication — schema and
-// parameter access for harnesses that generate workloads against the fleet.
-// Holders are bit-identical, so any live one is authoritative.
+// Publication returns a built publication value — schema and parameter
+// access for harnesses that generate workloads against the fleet. With an
+// in-process holder alive its publication is returned directly; in
+// cross-process modes an equivalent is built once on a router-local shadow
+// server (deterministic builds make schema and parameters identical; the
+// shadow stays at generation 0 and is never mutated).
 func (f *Fleet) Publication(id string) (*serve.Publication, error) {
 	p := f.lookup(id)
 	if p == nil {
 		return nil, fmt.Errorf("fleet: no publication %q", id)
 	}
+	live := false
 	for _, h := range p.holders {
 		rep := f.replicas[h]
 		if !rep.alive.Load() {
 			continue
 		}
-		e := rep.server().Lookup(id)
-		if e == nil {
+		live = true
+		srv := rep.server()
+		if srv == nil {
 			continue
 		}
-		return e.Publication()
+		if e := srv.Lookup(id); e != nil {
+			return e.Publication()
+		}
 	}
-	return nil, fmt.Errorf("fleet: no live holder of %q", id)
+	if !live {
+		return nil, fmt.Errorf("fleet: no live holder of %q", id)
+	}
+	return f.shadowPublication(p)
+}
+
+// shadowPublication builds p on the router-local shadow server.
+func (f *Fleet) shadowPublication(p *pub) (*serve.Publication, error) {
+	f.shadow.mu.Lock()
+	defer f.shadow.mu.Unlock()
+	if f.shadow.srv == nil {
+		f.shadow.srv = serve.New(f.replicaServeConfig())
+	}
+	e, _, err := f.shadow.srv.Publish(p.req, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.Publication()
 }
 
 // Alive reports whether replica i is serving.
@@ -432,14 +763,17 @@ func (f *Fleet) ClientExposure(client string) int64 {
 // against the charges its clients observed.
 func (f *Fleet) TotalExposure() int64 { return f.budget.TotalCharged() }
 
-// ReplicaAgreement digest-compares a publication across every live holder:
-// all must serve bit-identical marginal cubes at one generation. A nil
-// error is the fleet-consistency invariant.
+// ReplicaAgreement digest-compares a publication across every live holder
+// (GET /digest through each transport, which re-indexes dirty incremental
+// state first, so acknowledged inserts are covered): all must serve
+// bit-identical marginal cubes at one generation. A nil error is the
+// fleet-consistency invariant.
 func (f *Fleet) ReplicaAgreement(id string) error {
 	p := f.lookup(id)
 	if p == nil {
 		return fmt.Errorf("fleet: no publication %q", id)
 	}
+	path := "/digest?id=" + url.QueryEscape(id)
 	var digest string
 	var gen, first = 0, -1
 	for _, h := range p.holders {
@@ -447,21 +781,31 @@ func (f *Fleet) ReplicaAgreement(id string) error {
 		if !rep.alive.Load() {
 			continue
 		}
-		e := rep.server().Lookup(id)
-		if e == nil {
-			return fmt.Errorf("fleet: replica %d lost publication %q", h, id)
-		}
-		pubv, err := e.Publication()
+		resp, err := f.control(rep, http.MethodGet, path, nil, nil)
 		if err != nil {
 			return fmt.Errorf("fleet: replica %d: %w", h, err)
 		}
+		if resp.status == http.StatusNotFound {
+			return fmt.Errorf("fleet: replica %d lost publication %q", h, id)
+		}
+		if resp.status != http.StatusOK {
+			return fmt.Errorf("fleet: replica %d: digest %q: status %d: %s",
+				h, id, resp.status, strings.TrimSpace(string(resp.body)))
+		}
+		var d struct {
+			Generation int    `json:"generation"`
+			Digest     string `json:"digest"`
+		}
+		if err := json.Unmarshal(resp.body, &d); err != nil {
+			return fmt.Errorf("fleet: replica %d: decoding digest: %w", h, err)
+		}
 		if first < 0 {
-			first, digest, gen = h, pubv.Digest(), pubv.Generation
+			first, digest, gen = h, d.Digest, d.Generation
 			continue
 		}
-		if d := pubv.Digest(); d != digest || pubv.Generation != gen {
+		if d.Digest != digest || d.Generation != gen {
 			return fmt.Errorf("fleet: %q diverges: replica %d g%d %s vs replica %d g%d %s",
-				id, first, gen, digest, h, pubv.Generation, d)
+				id, first, gen, digest, h, d.Generation, d.Digest)
 		}
 	}
 	if first < 0 {
@@ -472,25 +816,29 @@ func (f *Fleet) ReplicaAgreement(id string) error {
 
 // Stats is the fleet's operational snapshot (/statsz at the router).
 type Stats struct {
-	Replicas          int    `json:"replicas"`
-	ReplicationFactor int    `json:"replication_factor"`
-	Publications      int    `json:"publications"`
-	Healthy           int    `json:"healthy"`
-	Ejected           int    `json:"ejected"`
-	Alive             int    `json:"alive"`
-	Requests          uint64 `json:"requests"`
-	Retries           uint64 `json:"retries"`
-	Failovers         uint64 `json:"failovers"`
-	Ejections         uint64 `json:"ejections"`
-	Probes            uint64 `json:"probes"`
-	Reinstated        uint64 `json:"reinstated"`
-	Shed              uint64 `json:"shed"`
+	Replicas          int `json:"replicas"`
+	ReplicationFactor int `json:"replication_factor"`
+	// Transport is how replicas are reached: in-process, spawned, attached.
+	Transport    string `json:"transport"`
+	Publications int    `json:"publications"`
+	Healthy      int    `json:"healthy"`
+	Ejected      int    `json:"ejected"`
+	Alive        int    `json:"alive"`
+	Requests     uint64 `json:"requests"`
+	Retries      uint64 `json:"retries"`
+	Failovers    uint64 `json:"failovers"`
+	Ejections    uint64 `json:"ejections"`
+	Probes       uint64 `json:"probes"`
+	Reinstated   uint64 `json:"reinstated"`
+	Shed         uint64 `json:"shed"`
 	// BudgetRejected counts logical requests refused at the router's budget
 	// precheck — none of them charged the ledger or reached a replica.
 	BudgetRejected uint64 `json:"budget_rejected"`
 	// InsertsRouted counts insert batches accepted by at least one holder and
 	// appended to a publication's mutation log.
-	InsertsRouted    uint64 `json:"inserts_routed"`
+	InsertsRouted uint64 `json:"inserts_routed"`
+	// Checkpoints counts mutation logs folded into stored snapshots.
+	Checkpoints      uint64 `json:"checkpoints"`
 	Unavailable      uint64 `json:"unavailable"`
 	Verified         uint64 `json:"verified"`
 	VerifyMismatches uint64 `json:"verify_mismatches"`
@@ -510,6 +858,7 @@ func (f *Fleet) Stats() Stats {
 	out := Stats{
 		Replicas:          f.cfg.Replicas,
 		ReplicationFactor: f.cfg.ReplicationFactor,
+		Transport:         f.mode.String(),
 		Requests:          f.requests.Load(),
 		Retries:           f.retries.Load(),
 		Failovers:         f.failovers.Load(),
@@ -519,6 +868,7 @@ func (f *Fleet) Stats() Stats {
 		Shed:              f.shed.Load(),
 		BudgetRejected:    f.budgetRejected.Load(),
 		InsertsRouted:     f.insertsRouted.Load(),
+		Checkpoints:       f.checkpoints.Load(),
 		Unavailable:       f.unavailable.Load(),
 		Verified:          f.verified.Load(),
 		VerifyMismatches:  f.verifyMismatches.Load(),

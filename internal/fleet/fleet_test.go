@@ -135,15 +135,41 @@ func TestRoutedQueryMatchesSingleServer(t *testing.T) {
 	}
 }
 
+// mkFleet builds a fleet for a failover case on one transport.
+type mkFleet func(t *testing.T, cfg Config) *Fleet
+
+// fleetTransports is the transport matrix the failover table runs over:
+// identical semantics on both sides is the transport contract.
+var fleetTransports = []struct {
+	name string
+	mk   mkFleet
+}{
+	{"in-process", func(t *testing.T, cfg Config) *Fleet {
+		f := New(cfg)
+		t.Cleanup(f.Close)
+		return f
+	}},
+	{"cross-process", func(t *testing.T, cfg Config) *Fleet {
+		f, err := NewProcs(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(f.Close)
+		return f
+	}},
+}
+
 // TestFailoverScenarios is the failover edge-case table: each case breaks
 // the fleet a different way and states what the router must still deliver.
+// The whole table runs once per transport — in-process replicas and real
+// spawned child processes must be indistinguishable to the router.
 func TestFailoverScenarios(t *testing.T) {
 	cases := []struct {
 		name string
-		run  func(t *testing.T)
+		run  func(t *testing.T, mk mkFleet)
 	}{
-		{"replica death mid-batch", func(t *testing.T) {
-			f := New(Config{Replicas: 3, ReplicationFactor: 2, Timeout: 2 * time.Second})
+		{"replica death mid-batch", func(t *testing.T, mk mkFleet) {
+			f := mk(t, Config{Replicas: 3, ReplicationFactor: 2, Timeout: 2 * time.Second})
 			id, err := f.Publish(testPublish(1))
 			if err != nil {
 				t.Fatal(err)
@@ -167,8 +193,8 @@ func TestFailoverScenarios(t *testing.T) {
 				t.Fatal("no retries recorded despite injected failures")
 			}
 		}},
-		{"exactly-once charging under injected timeouts", func(t *testing.T) {
-			f := New(Config{Replicas: 3, ReplicationFactor: 2, Timeout: 60 * time.Millisecond})
+		{"exactly-once charging under injected timeouts", func(t *testing.T, mk mkFleet) {
+			f := mk(t, Config{Replicas: 3, ReplicationFactor: 2, Timeout: 60 * time.Millisecond})
 			id, err := f.Publish(testPublish(1))
 			if err != nil {
 				t.Fatal(err)
@@ -196,8 +222,8 @@ func TestFailoverScenarios(t *testing.T) {
 				t.Fatalf("fleet total = %d, want 7", got)
 			}
 		}},
-		{"retry after eject, probe reinstatement", func(t *testing.T) {
-			f := New(Config{Replicas: 2, ReplicationFactor: 2, EjectAfter: 2, ProbeAfter: 2,
+		{"retry after eject, probe reinstatement", func(t *testing.T, mk mkFleet) {
+			f := mk(t, Config{Replicas: 2, ReplicationFactor: 2, EjectAfter: 2, ProbeAfter: 2,
 				Timeout: 2 * time.Second, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
 			id, err := f.Publish(testPublish(1))
 			if err != nil {
@@ -243,8 +269,8 @@ func TestFailoverScenarios(t *testing.T) {
 				t.Fatalf("exposure = %d, want %d (one per answered query)", got, 6+extra)
 			}
 		}},
-		{"exhausted replica set yields typed 503", func(t *testing.T) {
-			f := New(Config{Replicas: 2, ReplicationFactor: 2, EjectAfter: 1, ProbeAfter: 1000,
+		{"exhausted replica set yields typed 503", func(t *testing.T, mk mkFleet) {
+			f := mk(t, Config{Replicas: 2, ReplicationFactor: 2, EjectAfter: 1, ProbeAfter: 1000,
 				Timeout: 2 * time.Second, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
 			id, err := f.Publish(testPublish(1))
 			if err != nil {
@@ -268,8 +294,8 @@ func TestFailoverScenarios(t *testing.T) {
 				t.Fatalf("failed request charged %d exposure", got)
 			}
 		}},
-		{"saturated holders shed with typed 429", func(t *testing.T) {
-			f := New(Config{Replicas: 2, ReplicationFactor: 2, MaxInFlight: 1, Timeout: 10 * time.Second})
+		{"saturated holders shed with typed 429", func(t *testing.T, mk mkFleet) {
+			f := mk(t, Config{Replicas: 2, ReplicationFactor: 2, MaxInFlight: 1, Timeout: 10 * time.Second})
 			id, err := f.Publish(testPublish(1))
 			if err != nil {
 				t.Fatal(err)
@@ -327,8 +353,12 @@ func TestFailoverScenarios(t *testing.T) {
 			}
 		}},
 	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) { tc.run(t) })
+	for _, tr := range fleetTransports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) { tc.run(t, tr.mk) })
+			}
+		})
 	}
 }
 

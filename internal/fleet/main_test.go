@@ -1,0 +1,14 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as a replica child process: a
+// cross-process fleet re-executes its own binary, and ChildServeMain turns
+// that re-execution into a bare replica server instead of a test run.
+func TestMain(m *testing.M) {
+	ChildServeMain()
+	os.Exit(m.Run())
+}

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -21,7 +20,9 @@ const (
 )
 
 // ErrReplicaDown is the transport-level failure a killed replica returns;
-// it plays the role a connection refusal would over real sockets.
+// it plays the role a connection refusal would over real sockets (and for a
+// killed child process, a connection refusal is exactly what the transport
+// would produce).
 var ErrReplicaDown = errors.New("fleet: replica down")
 
 // faults is the per-replica fault injector the cluster simulator and the
@@ -61,17 +62,19 @@ func (f *faults) takeFail() bool {
 	}
 }
 
-// replica is one in-process serve.Server plus the router's view of it:
-// liveness, health state, in-flight gauge, and the fault injector.
+// replica is the router's view of one replica server, reached through a
+// transport: liveness, health state, in-flight gauge, and the fault
+// injector. The server itself may live in this process (memTransport), in a
+// spawned child process, or behind an attached peer address (httpTransport).
 type replica struct {
 	idx int
 
-	// mu guards srv and handler across kill/restart; requests read them
-	// under RLock, restart swaps them under Lock. In-flight handlers on a
-	// replaced server finish against the old instance and are discarded.
-	mu      sync.RWMutex
-	srv     *serve.Server
-	handler http.Handler
+	// mu guards tr and proc across kill/restart; requests read them under
+	// RLock, restart swaps them under Lock. In-flight exchanges on a
+	// replaced transport finish against the old instance and are discarded.
+	mu   sync.RWMutex
+	tr   transport
+	proc *childProc // non-nil only for spawned child processes
 
 	alive    atomic.Bool
 	inflight atomic.Int64
@@ -87,67 +90,40 @@ type replica struct {
 	faults faults
 }
 
-// newReplica builds a live replica with a fresh server.
-func newReplica(idx int, cfg serve.Config) *replica {
-	rep := &replica{idx: idx}
-	rep.srv = serve.New(cfg)
-	rep.handler = rep.srv.Handler()
+// newReplica builds a live replica behind the given transport.
+func newReplica(idx int, tr transport) *replica {
+	rep := &replica{idx: idx, tr: tr}
 	rep.alive.Store(true)
 	return rep
 }
 
-// server returns the current serve.Server (nil only mid-restart).
+// transport returns the replica's current transport.
+func (rep *replica) transport() transport {
+	rep.mu.RLock()
+	defer rep.mu.RUnlock()
+	return rep.tr
+}
+
+// server returns the in-process serve.Server, or nil for a cross-process
+// replica — callers needing direct access (tests, harness schema lookups)
+// must handle nil and fall back to the HTTP surface.
 func (rep *replica) server() *serve.Server {
 	rep.mu.RLock()
 	defer rep.mu.RUnlock()
-	return rep.srv
-}
-
-// response is one in-process HTTP exchange's result.
-type response struct {
-	status int
-	header http.Header
-	body   []byte
-}
-
-// memWriter is the in-process http.ResponseWriter replicas serve into: no
-// sockets, just bytes. It is written by exactly one handler goroutine and
-// read only after that goroutine signals completion.
-type memWriter struct {
-	hdr    http.Header
-	status int
-	buf    bytes.Buffer
-}
-
-func (m *memWriter) Header() http.Header {
-	if m.hdr == nil {
-		m.hdr = make(http.Header)
+	if mt, ok := rep.tr.(*memTransport); ok {
+		return mt.srv
 	}
-	return m.hdr
+	return nil
 }
 
-func (m *memWriter) Write(p []byte) (int, error) {
-	if m.status == 0 {
-		m.status = http.StatusOK
-	}
-	return m.buf.Write(p)
-}
-
-func (m *memWriter) WriteHeader(code int) {
-	if m.status == 0 {
-		m.status = code
-	}
-}
-
-// do executes one request against the replica, honoring injected faults and
-// the context deadline. On deadline the handler goroutine is abandoned — it
-// keeps running against the replica (charging its local ledger, exactly the
-// hazard the router's authoritative ledger exists for) but its response is
-// discarded. Transport-level failures (down, injected crash, timeout) come
-// back as errors; HTTP-level failures come back as responses.
+// do executes one routed request against the replica, honoring injected
+// faults and the context deadline. Transport-level failures (down, injected
+// crash, refused connection, timeout) come back as errors; HTTP-level
+// failures come back as responses. The fault injector sits in front of the
+// transport so both implementations misbehave identically under test.
 func (rep *replica) do(ctx context.Context, method, path string, header http.Header, body []byte) (*response, error) {
 	if !rep.alive.Load() {
-		return nil, ErrReplicaDown
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ErrReplicaDown)
 	}
 	if d := rep.faults.takeSpike(); d > 0 {
 		select {
@@ -159,32 +135,32 @@ func (rep *replica) do(ctx context.Context, method, path string, header http.Hea
 	if rep.faults.takeFail() {
 		return nil, fmt.Errorf("fleet: replica %d: injected failure: %w", rep.idx, ErrReplicaDown)
 	}
-	rep.mu.RLock()
-	h := rep.handler
-	rep.mu.RUnlock()
-	if h == nil || !rep.alive.Load() {
-		return nil, ErrReplicaDown
+	tr := rep.transport()
+	if tr == nil || !rep.alive.Load() {
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ErrReplicaDown)
 	}
-
-	req, err := http.NewRequestWithContext(ctx, method, "http://replica"+path, bytes.NewReader(body))
+	resp, err := tr.do(ctx, method, path, header, body)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, err)
 	}
-	for k, vs := range header {
-		req.Header[k] = vs
-	}
-	req.RemoteAddr = "fleet:0"
+	return resp, nil
+}
 
-	w := &memWriter{}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		h.ServeHTTP(w, req)
-	}()
-	select {
-	case <-done:
-		return &response{status: w.status, header: w.hdr, body: w.buf.Bytes()}, nil
-	case <-ctx.Done():
-		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ctx.Err())
+// control executes one control-plane request (publish, refresh, snapshot,
+// digest) against the replica. Unlike do it bypasses the fault injector:
+// injected faults model data-path chaos and are consumed only by routed
+// traffic, so failover tests stay exact.
+func (rep *replica) control(ctx context.Context, method, path string, header http.Header, body []byte) (*response, error) {
+	if !rep.alive.Load() {
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ErrReplicaDown)
 	}
+	tr := rep.transport()
+	if tr == nil {
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, ErrReplicaDown)
+	}
+	resp, err := tr.do(ctx, method, path, header, body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %d: %w", rep.idx, err)
+	}
+	return resp, nil
 }

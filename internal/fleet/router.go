@@ -647,6 +647,7 @@ func (f *Fleet) handleInsert(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	var first *response
+	var missed []int
 	lastErr := "no live holder"
 	for _, h := range p.holders {
 		rep := f.replicas[h]
@@ -664,6 +665,7 @@ func (f *Fleet) handleInsert(w http.ResponseWriter, r *http.Request) {
 			// Transport failure: the holder is treated as dead for this batch
 			// and repaired by restart replay, same as the alive=false case.
 			f.noteFailure(rep)
+			missed = append(missed, h)
 			lastErr = err.Error()
 			continue
 		}
@@ -686,8 +688,15 @@ func (f *Fleet) handleInsert(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("no live holder of %q accepted the insert (last: %s)", head.ID, lastErr))
 		return
 	}
+	// Live holders that failed at the transport level missed a batch that is
+	// now logged: mark them stale so they are never used as a checkpoint
+	// source until restart replay repairs them.
+	for _, h := range missed {
+		p.markStale(h)
+	}
 	p.log = append(p.log, mutation{body: body, binary: binary})
 	f.insertsRouted.Add(1)
+	f.maybeCheckpoint(head.ID, p)
 	if idemKey != "" {
 		f.idemPut(idemKey, first)
 	}
@@ -699,14 +708,24 @@ type pubJSON struct {
 	ID         string `json:"id"`
 	Holders    []int  `json:"holders"`
 	Generation int    `json:"generation"`
+	// LogLen is the mutation-log length since the last checkpoint;
+	// Checkpointed reports whether a stored snapshot exists.
+	LogLen       int  `json:"log_len"`
+	Checkpointed bool `json:"checkpointed"`
 }
 
 func (f *Fleet) pubView(id string) pubJSON {
 	p := f.lookup(id)
 	p.mu.Lock()
-	gen := p.gen
+	gen, logLen, ckpt := p.gen, len(p.log), p.snap != nil
 	p.mu.Unlock()
-	return pubJSON{ID: id, Holders: append([]int(nil), p.holders...), Generation: gen}
+	return pubJSON{
+		ID:           id,
+		Holders:      append([]int(nil), p.holders...),
+		Generation:   gen,
+		LogLen:       logLen,
+		Checkpointed: ckpt,
+	}
 }
 
 func (f *Fleet) handlePublications(w http.ResponseWriter, r *http.Request) {

@@ -49,6 +49,9 @@
 //	POST /audit         parallel per-group privacy audit of a publication (cached)
 //	POST /refresh       republish the same key with a fresh RNG stream
 //	POST /insert        stream records into an incremental publication
+//	POST /snapshot      checkpoint a publication (request + generation + stream state)
+//	POST /restore       install a checkpoint as a fresh publication (replica seeding)
+//	GET  /digest        publication digest + generation (replica-agreement probe)
 //	GET  /healthz       liveness
 //	GET  /statsz        counters, throughput, latency quantiles
 package serve

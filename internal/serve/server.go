@@ -227,6 +227,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/audit", s.handleAudit)
 	mux.HandleFunc("/refresh", s.handleRefresh)
 	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/restore", s.handleRestore)
+	mux.HandleFunc("/digest", s.handleDigest)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return s.admit(mux)

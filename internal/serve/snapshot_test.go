@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"testing"
+)
+
+// getDigest reads GET /digest for id.
+func getDigest(t *testing.T, url, id string) digestResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/digest?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest returned %d", resp.StatusCode)
+	}
+	var out digestResponse
+	decodeBody(t, resp, &out)
+	return out
+}
+
+// snapshotOf checkpoints id over HTTP.
+func snapshotOf(t *testing.T, url, id string) *PublicationSnapshot {
+	t.Helper()
+	var snap PublicationSnapshot
+	if code := post(t, url+"/snapshot", snapshotRequest{ID: id}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot returned %d", code)
+	}
+	return &snap
+}
+
+// TestSnapshotRestoreIncremental is the checkpoint contract end to end over
+// HTTP: a server restored from a mid-stream snapshot — after inserts and a
+// refresh — serves a digest-identical publication with an identical answer
+// surface, and continues identically under further inserts and refreshes
+// (the restored RNG stream is the same stream, not a fresh one).
+func TestSnapshotRestoreIncremental(t *testing.T) {
+	sA, tsA := startServer(t, Config{})
+	eA := publishIncremental(t, sA, 600)
+	id := eA.ID()
+
+	rng := rand.New(rand.NewSource(7))
+	for batch := 0; batch < 3; batch++ {
+		recs, _ := insertBatch(rng, 20)
+		if code := post(t, tsA.URL+"/insert", insertRequest{ID: id, Records: recs}, nil); code != http.StatusOK {
+			t.Fatalf("insert returned %d", code)
+		}
+	}
+	if code := post(t, tsA.URL+"/refresh", refreshRequest{ID: id, Wait: true}, nil); code != http.StatusOK {
+		t.Fatalf("refresh returned %d", code)
+	}
+	recs, _ := insertBatch(rng, 15)
+	if code := post(t, tsA.URL+"/insert", insertRequest{ID: id, Records: recs}, nil); code != http.StatusOK {
+		t.Fatalf("insert returned %d", code)
+	}
+
+	snap := snapshotOf(t, tsA.URL, id)
+	if snap.Inc == nil || snap.Generation != 1 {
+		t.Fatalf("snapshot: generation %d, inc present %v", snap.Generation, snap.Inc != nil)
+	}
+
+	_, tsB := startServer(t, Config{})
+	var restored publicationJSON
+	if code := post(t, tsB.URL+"/restore", snap, &restored); code != http.StatusOK {
+		t.Fatalf("restore returned %d", code)
+	}
+	if restored.ID != id || restored.Status != "ready" || restored.Generation != 1 {
+		t.Fatalf("restored entry: %+v", restored)
+	}
+
+	dA, dB := getDigest(t, tsA.URL, id), getDigest(t, tsB.URL, id)
+	if dA != dB {
+		t.Fatalf("digests diverge after restore: %+v vs %+v", dA, dB)
+	}
+	cA, bA := queryBattery(t, tsA.URL, id)
+	cB, bB := queryBattery(t, tsB.URL, id)
+	for i := range cA {
+		if cA[i] != cB[i] || bA[i] != bB[i] {
+			t.Fatalf("answer %d diverged after restore", i)
+		}
+	}
+
+	// Continuation: identical further mutations must keep the servers
+	// digest-identical — insert, refresh, insert again.
+	rngA, rngB := rand.New(rand.NewSource(8)), rand.New(rand.NewSource(8))
+	for step := 0; step < 2; step++ {
+		recsA, _ := insertBatch(rngA, 25)
+		recsB, _ := insertBatch(rngB, 25)
+		for srv, recs := range map[string][]map[string]string{tsA.URL: recsA, tsB.URL: recsB} {
+			if code := post(t, srv+"/insert", insertRequest{ID: id, Records: recs}, nil); code != http.StatusOK {
+				t.Fatalf("continuation insert returned %d", code)
+			}
+			if code := post(t, srv+"/refresh", refreshRequest{ID: id, Wait: true}, nil); code != http.StatusOK {
+				t.Fatalf("continuation refresh returned %d", code)
+			}
+		}
+		dA, dB = getDigest(t, tsA.URL, id), getDigest(t, tsB.URL, id)
+		if dA != dB {
+			t.Fatalf("step %d: digests diverge in continuation: %+v vs %+v", step, dA, dB)
+		}
+	}
+}
+
+// TestSnapshotRestoreBatch pins the batch-method (sps) checkpoint: request +
+// generation alone restore the exact served bits, because publishSeed makes
+// every generation addressable.
+func TestSnapshotRestoreBatch(t *testing.T) {
+	sA, tsA := startServer(t, Config{})
+	req := medicalRequest()
+	eA, _, err := sA.Publish(req, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := eA.ID()
+	for i := 0; i < 2; i++ {
+		if code := post(t, tsA.URL+"/refresh", refreshRequest{ID: id, Wait: true}, nil); code != http.StatusOK {
+			t.Fatalf("refresh returned %d", code)
+		}
+	}
+
+	snap := snapshotOf(t, tsA.URL, id)
+	if snap.Inc != nil || snap.Generation != 2 {
+		t.Fatalf("batch snapshot: generation %d, inc present %v", snap.Generation, snap.Inc != nil)
+	}
+
+	_, tsB := startServer(t, Config{})
+	if code := post(t, tsB.URL+"/restore", snap, nil); code != http.StatusOK {
+		t.Fatalf("restore returned %d", code)
+	}
+	dA, dB := getDigest(t, tsA.URL, id), getDigest(t, tsB.URL, id)
+	if dA != dB {
+		t.Fatalf("batch digests diverge after restore: %+v vs %+v", dA, dB)
+	}
+}
+
+// TestRestoreRejections covers the control-plane error paths: restoring onto
+// an existing publication, restoring an incremental snapshot without
+// publisher state, and snapshotting an unknown id.
+func TestRestoreRejections(t *testing.T) {
+	s, ts := startServer(t, Config{})
+	e := publishIncremental(t, s, 300)
+	snap := snapshotOf(t, ts.URL, e.ID())
+
+	if code := post(t, ts.URL+"/restore", snap, nil); code != http.StatusBadRequest {
+		t.Errorf("restore onto an existing publication returned %d, want 400", code)
+	}
+
+	_, tsB := startServer(t, Config{})
+	noState := *snap
+	noState.Inc = nil
+	if code := post(t, tsB.URL+"/restore", &noState, nil); code != http.StatusBadRequest {
+		t.Errorf("incremental restore without state returned %d, want 400", code)
+	}
+
+	if code := post(t, ts.URL+"/snapshot", snapshotRequest{ID: "pub-nope"}, nil); code != http.StatusNotFound {
+		t.Errorf("snapshot of unknown id returned %d, want 404", code)
+	}
+}

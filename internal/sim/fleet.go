@@ -44,6 +44,17 @@ type FleetPlan struct {
 	Spike      time.Duration `json:"-"`
 	// Timeout is the router's per-attempt deadline (default 1s).
 	Timeout time.Duration `json:"-"`
+	// CrossProcess runs each replica as a spawned child process of this
+	// binary, reached over real sockets — kills become real process exits
+	// and restarts respawn and replay. The process embedding the simulator
+	// must call fleet.ChildServeMain first thing in main (rpsim, rpbench,
+	// and the test binaries all do).
+	CrossProcess bool `json:"cross_process,omitempty"`
+	// CheckpointLog is the fleet's mutation-log fold threshold (0 keeps the
+	// fleet default; negative disables checkpointing). Ingest-style fleet
+	// scenarios set it low so logs fold repeatedly mid-run and the
+	// restarted replica restores snapshot + tail rather than full history.
+	CheckpointLog int `json:"checkpoint_log,omitempty"`
 	// TolerateUnavailable accepts typed 429/503 rejections as outcomes —
 	// tallied, not violations. Required when the plan makes loss reachable
 	// (replication factor 1 plus a kill and no restart); such runs trade
@@ -75,12 +86,15 @@ func (p FleetPlan) withDefaults() FleetPlan {
 // and chaos counts are schedule-independent, and verify mismatches are
 // asserted zero by an invariant, so all of it is safe to byte-compare.
 type FleetSummary struct {
-	Replicas          int    `json:"replicas"`
-	ReplicationFactor int    `json:"replication_factor"`
-	Publications      int    `json:"publications"`
-	Kills             int64  `json:"kills"`
-	Restarts          int64  `json:"restarts"`
-	VerifyMismatches  uint64 `json:"verify_mismatches"`
+	Replicas          int `json:"replicas"`
+	ReplicationFactor int `json:"replication_factor"`
+	// Transport is how the fleet reached its replicas: "in-process" or
+	// "spawned" (cross-process child processes).
+	Transport        string `json:"transport"`
+	Publications     int    `json:"publications"`
+	Kills            int64  `json:"kills"`
+	Restarts         int64  `json:"restarts"`
+	VerifyMismatches uint64 `json:"verify_mismatches"`
 }
 
 // FleetTiming is the nondeterministic fleet half: how often the router
@@ -96,6 +110,10 @@ type FleetTiming struct {
 	Shed        uint64 `json:"shed"`
 	Unavailable uint64 `json:"unavailable"`
 	Verified    uint64 `json:"verified"`
+	// Checkpoints counts mutation logs folded into snapshots. The fold
+	// count depends on which holders were alive at each threshold crossing,
+	// so it reports here, not in the summary.
+	Checkpoints uint64 `json:"checkpoints"`
 	// Rejected counts client operations that ended in a tolerated 429/503
 	// (always zero unless the plan sets TolerateUnavailable).
 	Rejected int64 `json:"rejected"`
@@ -115,6 +133,10 @@ type fleetRunner struct {
 	m    int                  // SA domain size (shared schema)
 	base string
 	hc   *http.Client
+	// fold reports whether answers are folded into the summary digest:
+	// only when the workload never mutates state (answers are then
+	// interleaving-independent) and no rejections are tolerated.
+	fold bool
 
 	check *checker
 
@@ -147,6 +169,8 @@ func runFleet(opts Options, sc Scenario) (*Result, error) {
 		r.steps = sc.Steps
 	}
 
+	r.fold = sc.DeterministicAnswers() && !r.plan.TolerateUnavailable
+
 	cfg := opts.Config
 	if cfg.Clock == nil {
 		cfg.Clock = func() time.Time { return simEpoch }
@@ -155,12 +179,23 @@ func runFleet(opts Options, sc Scenario) (*Result, error) {
 	// trusted budget tier so admission never interferes with the chaos
 	// schedule under scrutiny.
 	cfg.BudgetTrusted = append([]string(nil), trustedClientIDs(r.clients)...)
-	r.f = fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Replicas:          r.plan.Replicas,
 		ReplicationFactor: r.plan.ReplicationFactor,
 		Timeout:           r.plan.Timeout,
+		CheckpointLog:     r.plan.CheckpointLog,
 		Serve:             cfg,
-	})
+	}
+	if r.plan.CrossProcess {
+		f, err := fleet.NewProcs(fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: spawning cross-process fleet: %w", err)
+		}
+		r.f = f
+	} else {
+		r.f = fleet.New(fcfg)
+	}
+	defer r.f.Close()
 	for i := 0; i < r.plan.Publications; i++ {
 		req := sc.Publish
 		req.Seed = sc.Publish.Seed + int64(i)
@@ -197,7 +232,10 @@ func runFleet(opts Options, sc Scenario) (*Result, error) {
 	go hs.Serve(ln)
 	defer hs.Close()
 	r.base = "http://" + ln.Addr().String()
-	r.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: r.clients + 2}}
+	r.hc = &http.Client{
+		Timeout:   opts.clientTimeout(),
+		Transport: &http.Transport{MaxIdleConnsPerHost: r.clients + 2},
+	}
 
 	start := time.Now()
 	results := make([]clientResult, r.clients)
@@ -254,6 +292,12 @@ func (r *fleetRunner) runClient(idx int, res *clientResult) {
 		case opQuery:
 			res.ops.Query++
 			r.doQuery(rng, id, idem, res, digest)
+		case opInsert:
+			res.ops.Insert++
+			r.doInsert(rng, idem, res)
+		case opRefresh:
+			res.ops.Refresh++
+			r.doRefresh(rng, idem, res)
 		case opReconstruct:
 			res.ops.Reconstruct++
 			r.doReconstruct(rng, id, idem, res)
@@ -343,11 +387,61 @@ func (r *fleetRunner) doQuery(rng *stats.Rand, id, idem string, res *clientResul
 		if !r.check.check(a.Error == "", "query %d failed: %s", i, a.Error) {
 			continue
 		}
-		if !r.plan.TolerateUnavailable {
+		if r.fold {
 			digest.Word(uint64(a.Count))
 			digest.Word(math.Float64bits(a.Estimate))
 		}
 	}
+}
+
+// doInsert streams one record batch through the router: the batch fans out
+// to every live holder and lands in the mutation log (folding into a
+// checkpoint when the log fills), so the exactly-once check here is the
+// batch arriving intact — total-record conservation across the whole run is
+// what ReplicaAgreement proves at the end.
+func (r *fleetRunner) doInsert(rng *stats.Rand, idem string, res *clientResult) {
+	pid, pub := r.pickPub(rng)
+	recs := make([]map[string]string, r.sc.RecordsPerInsert)
+	schema := pub.Orig
+	for i := range recs {
+		rec := make(map[string]string, schema.NumAttrs())
+		for ai := range schema.Attrs {
+			attr := &schema.Attrs[ai]
+			rec[attr.Name] = attr.Values[rng.Intn(attr.Domain())]
+		}
+		recs[i] = rec
+	}
+	var resp insertWire
+	code, err := r.timedPost("insert", res, "/insert", idem,
+		map[string]any{"id": pid, "records": recs, "wait": true}, &resp)
+	if r.tolerated(code, err) {
+		return
+	}
+	if !r.check.check(err == nil && code == http.StatusOK, "insert returned %d (%v)", code, err) {
+		return
+	}
+	r.check.check(resp.Inserted == len(recs),
+		"routed insert applied %d of %d records — a batch was partially lost", resp.Inserted, len(recs))
+	r.check.check(resp.Trials+resp.Absorbed == resp.Inserted,
+		"insert of %d split into %d trials + %d absorbed", resp.Inserted, resp.Trials, resp.Absorbed)
+}
+
+// doRefresh advances a publication's generation through the router; the
+// router fans it out to every live holder and logs it for restart replay.
+func (r *fleetRunner) doRefresh(rng *stats.Rand, idem string, res *clientResult) {
+	pid, _ := r.pickPub(rng)
+	var view struct {
+		Generation int `json:"generation"`
+	}
+	code, err := r.timedPost("refresh", res, "/refresh", idem,
+		map[string]any{"id": pid}, &view)
+	if r.tolerated(code, err) {
+		return
+	}
+	if !r.check.check(err == nil && code == http.StatusOK, "refresh returned %d (%v)", code, err) {
+		return
+	}
+	r.check.check(view.Generation >= 1, "refreshed publication at generation %d", view.Generation)
 }
 
 // doReconstruct issues one reconstruction batch through the router.
@@ -410,6 +504,8 @@ func (r *fleetRunner) finish(results []clientResult, wall time.Duration) (*Resul
 	for i := range results {
 		res := &results[i]
 		sum.Ops.Query += res.ops.Query
+		sum.Ops.Insert += res.ops.Insert
+		sum.Ops.Refresh += res.ops.Refresh
 		sum.Ops.Reconstruct += res.ops.Reconstruct
 		sum.Ops.Audit += res.ops.Audit
 		sum.Queries += res.queries
@@ -464,12 +560,25 @@ func (r *fleetRunner) finish(results []clientResult, wall time.Duration) (*Resul
 		r.check.check(r.restarts.Load() == 1, "restart fired %d times, want 1", r.restarts.Load())
 	}
 
-	if !r.plan.TolerateUnavailable {
+	// Checkpoint bound: with folding enabled, no publication's mutation log
+	// may end the run at or above the threshold — every crossing must have
+	// folded into a snapshot (the run restarts its only killed replica, so
+	// a live checkpoint source always exists).
+	if r.plan.CheckpointLog > 0 {
+		for _, id := range r.ids {
+			l := r.f.MutationLogLen(id)
+			r.check.check(l < r.plan.CheckpointLog,
+				"publication %s mutation log at %d, threshold %d: checkpointing never folded it", id, l, r.plan.CheckpointLog)
+		}
+	}
+
+	if r.fold {
 		sum.AnswersDigest = fmt.Sprintf("%016x", digest)
 	}
 	sum.Fleet = &FleetSummary{
 		Replicas:          r.plan.Replicas,
 		ReplicationFactor: r.plan.ReplicationFactor,
+		Transport:         r.f.Transport(),
 		Publications:      len(r.ids),
 		Kills:             r.kills.Load(),
 		Restarts:          r.restarts.Load(),
@@ -483,7 +592,7 @@ func (r *fleetRunner) finish(results []clientResult, wall time.Duration) (*Resul
 
 	timing := Timing{
 		WallMS:   float64(wall.Microseconds()) / 1000,
-		Requests: sum.Ops.Query + sum.Ops.Reconstruct + sum.Ops.Audit,
+		Requests: sum.Ops.Query + sum.Ops.Insert + sum.Ops.Refresh + sum.Ops.Reconstruct + sum.Ops.Audit,
 		Ops:      opTimings(lats),
 		Fleet: &FleetTiming{
 			Requests:    st.Requests,
@@ -495,6 +604,7 @@ func (r *fleetRunner) finish(results []clientResult, wall time.Duration) (*Resul
 			Shed:        st.Shed,
 			Unavailable: st.Unavailable,
 			Verified:    st.Verified,
+			Checkpoints: st.Checkpoints,
 			Rejected:    r.rejected.Load(),
 		},
 	}

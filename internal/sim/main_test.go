@@ -1,0 +1,16 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"github.com/reconpriv/reconpriv/internal/fleet"
+)
+
+// TestMain lets the test binary double as a fleet replica child process:
+// cross-process fleet scenarios re-execute their own binary, and
+// ChildServeMain turns that re-execution into a bare replica server.
+func TestMain(m *testing.M) {
+	fleet.ChildServeMain()
+	os.Exit(m.Run())
+}

@@ -36,6 +36,12 @@ type Options struct {
 	// schedule). The fraction is drawn even at Think == 0 so the operation
 	// sequence — and hence the summary — is independent of pacing.
 	Think time.Duration
+	// ClientTimeout bounds each simulated client's HTTP exchanges (default
+	// 30s). Without it a stuck server would hang the whole run; it must
+	// comfortably exceed the fleet's worst retry chain (MaxAttempts × the
+	// per-attempt timeout plus backoff), so a timed-out client is always a
+	// real failure, never an impatient one.
+	ClientTimeout time.Duration
 	// Config is the traffic server's configuration. Clock is overridden
 	// with a fixed epoch so time-derived /statsz fields are deterministic.
 	Config serve.Config
@@ -46,6 +52,14 @@ type Options struct {
 
 // simEpoch is the fixed clock injected into every simulated server.
 var simEpoch = time.Unix(1700000000, 0)
+
+// clientTimeout resolves the client-side HTTP timeout.
+func (o Options) clientTimeout() time.Duration {
+	if o.ClientTimeout > 0 {
+		return o.ClientTimeout
+	}
+	return 30 * time.Second
+}
 
 // auditSeeds is the fixed pool audit operations draw their seed from. Audit
 // verdicts are Monte-Carlo with a fixed tolerance, so keeping the seeds
@@ -259,7 +273,10 @@ func Run(opts Options) (*Result, error) {
 	go hs.Serve(ln)
 	defer hs.Close()
 	r.base = "http://" + ln.Addr().String()
-	r.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: r.clients + 2}}
+	r.hc = &http.Client{
+		Timeout:   opts.clientTimeout(),
+		Transport: &http.Transport{MaxIdleConnsPerHost: r.clients + 2},
+	}
 
 	if err := r.setup(cfg); err != nil {
 		return nil, err

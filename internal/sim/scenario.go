@@ -63,10 +63,11 @@ type Scenario struct {
 	CheckBernstein bool
 	// Fleet, when set, runs the scenario against a replicated fleet with
 	// deterministic fault injection instead of a single server (see
-	// FleetPlan). Fleet scenarios are read-only — replicas converge through
-	// deterministic rebuilds, so the workload must not mutate state through
-	// the router — and skip the Bernstein invariant, which needs raw-group
-	// access the router does not expose.
+	// FleetPlan). Mutations are allowed — the router fans inserts and
+	// refreshes out to every live holder and logs them for restart replay,
+	// folding the log into checkpoints when configured — but fleet
+	// scenarios skip the Bernstein invariant, which needs raw-group access
+	// the router does not expose.
 	Fleet *FleetPlan
 	// Budget, when set, enables the exposure-budget workload (see
 	// BudgetPlan): quotas are enforced, identities are zipf-skewed, and the
@@ -117,13 +118,8 @@ func (sc *Scenario) validate() error {
 		return fmt.Errorf("sim: scenario %q enables the Bernstein invariant on method %q; it is only sound for %q",
 			sc.Name, sc.Publish.Method, serve.MethodUP)
 	}
-	if sc.Fleet != nil {
-		if sc.Mix.Insert > 0 || sc.Mix.Refresh > 0 {
-			return fmt.Errorf("sim: fleet scenario %q mixes mutations; fleet workloads are read-only", sc.Name)
-		}
-		if sc.CheckBernstein {
-			return fmt.Errorf("sim: fleet scenario %q enables the Bernstein invariant; it needs raw-group access the router does not expose", sc.Name)
-		}
+	if sc.Fleet != nil && sc.CheckBernstein {
+		return fmt.Errorf("sim: fleet scenario %q enables the Bernstein invariant; it needs raw-group access the router does not expose", sc.Name)
 	}
 	if b := sc.Budget; b != nil {
 		if sc.Fleet != nil {
@@ -213,6 +209,30 @@ func Scenarios() []Scenario {
 				SpikeEvery:        25,
 				Spike:             1300 * time.Millisecond,
 				Timeout:           time.Second,
+			},
+		},
+		{
+			Name:             "fleet-ingest",
+			Description:      "cross-process fleet under a streaming firehose: child replicas killed and respawned mid-ingest, mutation logs folding into checkpoints, zero lost batches",
+			Publish:          simDataset(serve.MethodIncremental),
+			Mix:              Mix{Query: 3, Insert: 4, Refresh: 1},
+			Clients:          6,
+			Steps:            20,
+			QueriesPerBatch:  15,
+			RecordsPerInsert: 30,
+			Fleet: &FleetPlan{
+				Replicas:          3,
+				ReplicationFactor: 2,
+				Publications:      2,
+				KillAtFrac:        0.25,
+				RestartAtFrac:     0.65,
+				// No latency spikes are injected, so failover comes from the
+				// kill's instant connection-refused, not from timeouts — the
+				// deadline is deliberately generous so race-instrumented child
+				// processes on a loaded runner never burn the attempt budget.
+				Timeout:       5 * time.Second,
+				CrossProcess:  true,
+				CheckpointLog: 6,
 			},
 		},
 		{

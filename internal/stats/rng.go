@@ -76,6 +76,28 @@ func (r *Rand) Uint64() uint64 {
 	return r.s.Uint64()
 }
 
+// RandState is the complete serializable state of a Rand: the SplitMix64
+// counter plus the polar-Gaussian spare cache. Restoring it reproduces the
+// stream exactly — RestoreRand(r.State()) continues bit-for-bit where r
+// left off, which is what lets publication snapshots checkpoint a streaming
+// publisher mid-stream.
+type RandState struct {
+	S        uint64  `json:"s"`
+	Spare    float64 `json:"spare,omitempty"`
+	HasSpare bool    `json:"has_spare,omitempty"`
+}
+
+// State captures the stream's current state for serialization.
+func (r *Rand) State() RandState {
+	return RandState{S: r.s.state, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// RestoreRand reconstructs a Rand from a captured state. The returned stream
+// produces exactly the draws the captured stream would have produced next.
+func RestoreRand(st RandState) *Rand {
+	return &Rand{s: SplitMix64{state: st.S}, spare: st.Spare, hasSpare: st.HasSpare}
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 random bits.
 func (r *Rand) Float64() float64 {
 	return float64(r.s.Uint64()>>11) / (1 << 53)
